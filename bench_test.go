@@ -1,0 +1,278 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation. Each benchmark regenerates its artifact end to end
+// (compile -> annotate -> trace -> select -> simulate) and reports the
+// headline quantity as a custom metric, so `go test -bench=. -benchmem`
+// reproduces the whole evaluation. benchScale shrinks the inputs to keep
+// a full sweep fast; `cmd/benchtab` runs the full-size version.
+package jrpm_test
+
+import (
+	"testing"
+
+	"jrpm"
+	"jrpm/internal/experiments"
+	"jrpm/internal/hydra"
+	"jrpm/internal/workloads"
+)
+
+const benchScale = 0.35
+
+// BenchmarkTable1Config regenerates the buffer-limit table.
+func BenchmarkTable1Config(b *testing.B) {
+	cfg := hydra.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1(cfg) == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2Config regenerates the TLS overhead table.
+func BenchmarkTable2Config(b *testing.B) {
+	cfg := hydra.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if experiments.Table2(cfg) == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable3HuffmanSelection reruns the Equation 2 comparison on the
+// Huffman nest and reports both loops' estimated speedups.
+func BenchmarkTable3HuffmanSelection(b *testing.B) {
+	var d experiments.Table3Data
+	for i := 0; i < b.N; i++ {
+		var err error
+		d, _, err = experiments.Table3(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !d.OuterChosen {
+			b.Fatal("Equation 2 did not choose the outer Huffman loop")
+		}
+	}
+	b.ReportMetric(d.OuterSpeedup, "outer-speedup")
+	b.ReportMetric(d.InnerSpeedup, "inner-speedup")
+}
+
+// BenchmarkTable4Annotations renders the annotating-instruction summary.
+func BenchmarkTable4Annotations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table4() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable5Transistors recomputes the transistor budget and reports
+// TEST's share of the CMP.
+func BenchmarkTable5Transistors(b *testing.B) {
+	cfg := hydra.DefaultConfig()
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		frac = hydra.TESTFraction(cfg)
+		if frac <= 0 || frac >= 0.01 {
+			b.Fatalf("TEST fraction %.4f outside the paper's <1%% claim", frac)
+		}
+	}
+	b.ReportMetric(100*frac, "test-%-of-cmp")
+}
+
+// BenchmarkTable6Characteristics runs the full 26-benchmark sweep and
+// regenerates the characteristics table.
+func BenchmarkTable6Characteristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchScale)
+		rows, _, err := experiments.Table6(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 26 {
+			b.Fatalf("%d rows, want 26", len(rows))
+		}
+	}
+}
+
+// BenchmarkFigure6Slowdown measures base vs optimized annotation slowdowns
+// across the suite and reports the worst optimized slowdown.
+func BenchmarkFigure6Slowdown(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchScale)
+		rows, _, err := experiments.Figure6(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, r := range rows {
+			if r.OptTotal > worst {
+				worst = r.OptTotal
+			}
+		}
+	}
+	b.ReportMetric(100*worst, "worst-opt-slowdown-%")
+}
+
+// BenchmarkFigure9Pathological reruns the lost-precision demonstration.
+func BenchmarkFigure9Pathological(b *testing.B) {
+	var rows []experiments.Figure9Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = experiments.Figure9(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(last.EstSpeedup, "test-estimate-n16")
+	b.ReportMetric(last.IdealSpeedup, "available-n16")
+}
+
+// BenchmarkFigure10Coverage regenerates the coverage composition chart.
+func BenchmarkFigure10Coverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchScale)
+		rows, _, err := experiments.Figure10(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 26 {
+			b.Fatalf("%d rows, want 26", len(rows))
+		}
+	}
+}
+
+// BenchmarkFigure11PredictedVsActual runs profile + TLS simulation for the
+// whole suite and reports the mean |predicted-actual| gap.
+func BenchmarkFigure11PredictedVsActual(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchScale)
+		rows, _, err := experiments.Figure11(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = 0
+		for _, r := range rows {
+			d := r.ActualNorm - r.PredictedNorm
+			if d < 0 {
+				d = -d
+			}
+			gap += d
+		}
+		gap /= float64(len(rows))
+	}
+	b.ReportMetric(gap, "mean-abs-gap")
+}
+
+// BenchmarkSoftwareProfilerSlowdown reproduces the section 5 software
+// profiling comparison and reports the mean modeled software slowdown.
+func BenchmarkSoftwareProfilerSlowdown(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchScale)
+		rows, _, err := experiments.SoftwareSlowdown(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = 0
+		for _, r := range rows {
+			mean += r.Software
+		}
+		mean /= float64(len(rows))
+	}
+	b.ReportMetric(mean, "sw-slowdown-x")
+}
+
+// BenchmarkPipelineHuffman measures the cost of the full Jrpm pipeline on
+// the paper's running example.
+func BenchmarkPipelineHuffman(b *testing.B) {
+	w, err := workloads.ByName("Huffman")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := w.NewInput(benchScale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := jrpm.Run(w.Source, in, jrpm.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTracerThroughput measures raw tracer event processing: the
+// sequential VM running a hot loop with the full TEST model attached.
+func BenchmarkTracerThroughput(b *testing.B) {
+	w, err := workloads.ByName("LuFactor")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := w.NewInput(benchScale)
+	b.ResetTimer()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		pr, err := jrpm.Profile(w.Source, in, jrpm.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = pr.TracedCycles
+	}
+	b.ReportMetric(float64(cycles), "traced-cycles")
+}
+
+// BenchmarkOptimizerEffect measures the microJIT scalar optimizer's static
+// and dynamic effect across the suite and checks the pipeline's result is
+// stable under it.
+func BenchmarkOptimizerEffect(b *testing.B) {
+	var shrink float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.OptimizerEffect(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var before, after int
+		for _, r := range rows {
+			before += r.InstrsBefore
+			after += r.InstrsAfter
+			if r.InstrsAfter > r.InstrsBefore || r.CyclesAfter > r.CyclesBefore {
+				b.Fatalf("%s: optimizer made things worse: %+v", r.Name, r)
+			}
+		}
+		shrink = 100 * (1 - float64(after)/float64(before))
+	}
+	b.ReportMetric(shrink, "static-shrink-%")
+}
+
+// BenchmarkMethodCallReturn reruns the section 4.1 scope-decision
+// experiment and reports the worst-case MCR overlap not covered by loops.
+func BenchmarkMethodCallReturn(b *testing.B) {
+	var worstUncovered float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.MethodCallReturn(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstUncovered = 0
+		for _, r := range rows {
+			if u := r.OverlapFrac * (1 - r.InLoopFrac); u > worstUncovered {
+				worstUncovered = u
+			}
+		}
+	}
+	b.ReportMetric(100*worstUncovered, "uncovered-mcr-%")
+}
+
+// BenchmarkAblations runs the three design-choice ablations end to end.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.AblateBanks(benchScale, []int{1, 8}); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := experiments.AblateHistory(benchScale, []int{8, 192}); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := experiments.AblateBins(benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Command benchtab regenerates the paper's evaluation artifacts: every
+// table (1-6) and figure (6, 9, 10, 11) plus the section 5 software
+// profiling comparison.
+//
+// Usage:
+//
+//	benchtab                 # everything
+//	benchtab -table 5        # one table
+//	benchtab -fig 11         # one figure
+//	benchtab -fig softslow   # the >100x software-profiling comparison
+//	benchtab -scale 0.5      # smaller inputs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jrpm"
+	"jrpm/internal/experiments"
+)
+
+func main() {
+	var (
+		table  = flag.String("table", "", "table to regenerate: 1..6 (empty = all)")
+		fig    = flag.String("fig", "", "figure to regenerate: 6, 9, 10, 11, softslow (empty = all)")
+		ablate = flag.String("ablate", "", "ablation/extension to run: banks, history, bins, mcr, optimizer, scalesweep, all")
+		scale  = flag.Float64("scale", 1, "input scale factor")
+		asJSON = flag.Bool("json", false, "emit all experiment data as JSON instead of text")
+	)
+	flag.Parse()
+
+	cfg := jrpm.DefaultOptions().Cfg
+	suite := experiments.NewSuite(*scale)
+	if *asJSON {
+		rep, err := experiments.BuildReport(suite)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		b, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(append(b, '\n'))
+		return
+	}
+	all := *table == "" && *fig == "" && *ablate == ""
+
+	emit := func(s string, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		fmt.Println(s)
+	}
+
+	if all || *table == "1" {
+		emit(experiments.Table1(cfg), nil)
+	}
+	if all || *table == "2" {
+		emit(experiments.Table2(cfg), nil)
+	}
+	if all || *table == "3" {
+		_, s, err := experiments.Table3(*scale)
+		emit(s, err)
+	}
+	if all || *table == "4" {
+		emit(experiments.Table4(), nil)
+	}
+	if all || *table == "5" {
+		emit(experiments.Table5(cfg), nil)
+	}
+	if all || *table == "6" {
+		_, s, err := experiments.Table6(suite)
+		emit(s, err)
+	}
+	if all || *fig == "6" {
+		_, s, err := experiments.Figure6(suite)
+		emit(s, err)
+	}
+	if all || *fig == "9" {
+		_, s, err := experiments.Figure9(*scale)
+		emit(s, err)
+	}
+	if all || *fig == "10" {
+		_, s, err := experiments.Figure10(suite)
+		emit(s, err)
+	}
+	if all || *fig == "11" {
+		_, s, err := experiments.Figure11(suite)
+		emit(s, err)
+	}
+	if all || *fig == "softslow" {
+		_, s, err := experiments.SoftwareSlowdown(suite)
+		emit(s, err)
+	}
+	if *ablate == "banks" || *ablate == "all" {
+		_, s, err := experiments.AblateBanks(*scale, []int{1, 2, 4, 8, 16})
+		emit(s, err)
+	}
+	if *ablate == "history" || *ablate == "all" {
+		_, s, err := experiments.AblateHistory(*scale, []int{8, 48, 192, 4096})
+		emit(s, err)
+	}
+	if *ablate == "bins" || *ablate == "all" {
+		_, s, err := experiments.AblateBins(*scale)
+		emit(s, err)
+	}
+	if *ablate == "mcr" || *ablate == "all" {
+		_, s, err := experiments.MethodCallReturn(*scale)
+		emit(s, err)
+	}
+	if *ablate == "optimizer" || *ablate == "all" {
+		_, s, err := experiments.OptimizerEffect(*scale)
+		emit(s, err)
+	}
+	if *ablate == "scalesweep" || *ablate == "all" {
+		_, s, err := experiments.ScaleSweep([]float64{0.5 * *scale, *scale, 2 * *scale})
+		emit(s, err)
+	}
+}

@@ -1,0 +1,58 @@
+// Command jrfmt formats JR source files canonically (the analogue of
+// gofmt for the reproduction's input language).
+//
+// Usage:
+//
+//	jrfmt file.jr            # print formatted source to stdout
+//	jrfmt -w file.jr ...     # rewrite files in place
+//	jrfmt -l file.jr ...     # list files whose formatting differs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jrpm/internal/lang"
+)
+
+func main() {
+	var (
+		write = flag.Bool("w", false, "write result back to the file")
+		list  = flag.Bool("l", false, "list files whose formatting differs")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: jrfmt [-w|-l] <file.jr>...")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jrfmt:", err)
+			exit = 1
+			continue
+		}
+		out, err := lang.FormatSource(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jrfmt: %s: %v\n", path, err)
+			exit = 1
+			continue
+		}
+		switch {
+		case *list:
+			if out != string(src) {
+				fmt.Println(path)
+			}
+		case *write:
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "jrfmt:", err)
+				exit = 1
+			}
+		default:
+			os.Stdout.WriteString(out)
+		}
+	}
+	os.Exit(exit)
+}

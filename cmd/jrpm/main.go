@@ -1,0 +1,88 @@
+// Command jrpm runs the complete Java Runtime Parallelizing Machine
+// pipeline on a JR program: profile with TEST, select STLs with
+// Equations 1 and 2, recompile, and execute speculatively on the simulated
+// 4-CPU Hydra CMP.
+//
+// Usage:
+//
+//	jrpm -w Huffman              # built-in workload
+//	jrpm -src prog.jr            # standalone program
+//	jrpm -w LuFactor -scale 0.5  # smaller input
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jrpm"
+	"jrpm/internal/workloads"
+)
+
+func main() {
+	var (
+		wname   = flag.String("w", "", "built-in workload name")
+		srcPath = flag.String("src", "", "path to a .jr source file")
+		scale   = flag.Float64("scale", 1, "input scale factor for -w")
+		list    = flag.Bool("list", false, "list built-in workloads")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-14s %-14s %s\n", w.Meta.Name, w.Meta.Category, w.Meta.Description)
+		}
+		return
+	}
+
+	var src string
+	var in jrpm.Input
+	switch {
+	case *wname != "":
+		w, err := workloads.ByName(*wname)
+		if err != nil {
+			fatal(err)
+		}
+		src = w.Source
+		in = w.NewInput(*scale)
+	case *srcPath != "":
+		b, err := os.ReadFile(*srcPath)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(b)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: jrpm -w <workload> | -src <file.jr>")
+		os.Exit(2)
+	}
+
+	res, err := jrpm.Run(src, in, jrpm.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	pr := res.Profile
+	an := pr.Analysis
+
+	fmt.Printf("sequential cycles:       %d\n", pr.CleanCycles)
+	fmt.Printf("profiling slowdown:      %.2fx\n", pr.Slowdown())
+	fmt.Printf("loops found:             %d (max dynamic nest depth %d)\n", len(pr.Annotated.Loops), an.MaxDepth())
+	fmt.Printf("selected STLs:           %d\n", len(an.Selected))
+	for _, n := range an.Selected {
+		r := res.Loops[n.Loop]
+		line := fmt.Sprintf("  %-20s coverage %5.1f%%  est %.2fx", an.LoopName(n.Loop),
+			100*float64(n.Stats.Cycles)/float64(an.TotalCycles), n.Est.Speedup)
+		if r != nil {
+			line += fmt.Sprintf("  actual %.2fx  (%d threads, %d violations, %d comm-stall cycles, %d overflow stalls)",
+				r.Speedup, r.Threads, r.Violations, r.CommStalls, r.OverflowStalls)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("\nrecompilation plan:\n%s", res.Plan)
+	fmt.Printf("\npredicted program speedup: %.2fx\n", an.PredictedSpeedup())
+	fmt.Printf("actual program speedup:    %.2fx (TLS simulation)\n", res.ActualSpeedup)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jrpm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,146 @@
+// Command testtrace runs the TEST profiling phase on a JR program (a .jr
+// file or a named built-in workload) and dumps the per-loop statistics,
+// Equation 1 estimates and the Equation 2 selection — the raw material of
+// Table 6 for one benchmark.
+//
+// Usage:
+//
+//	testtrace -w Huffman           # built-in workload
+//	testtrace -src prog.jr         # standalone program (no globals bound)
+//	testtrace -w Huffman -scale 2  # larger input
+//	testtrace -w Huffman -extended # per-load-PC dependency bins (§6.3)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"jrpm"
+	"jrpm/internal/core"
+	"jrpm/internal/profile"
+	"jrpm/internal/tir"
+	"jrpm/internal/workloads"
+)
+
+func main() {
+	var (
+		wname    = flag.String("w", "", "built-in workload name (see -list)")
+		srcPath  = flag.String("src", "", "path to a .jr source file")
+		scale    = flag.Float64("scale", 1, "input scale factor for -w")
+		list     = flag.Bool("list", false, "list built-in workloads")
+		extended = flag.Bool("extended", false, "enable per-load-PC dependency binning")
+		disasm   = flag.Bool("disasm", false, "dump annotated TIR disassembly")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-14s %-14s %s\n", w.Meta.Name, w.Meta.Category, w.Meta.Description)
+		}
+		return
+	}
+
+	var src string
+	var in jrpm.Input
+	switch {
+	case *wname != "":
+		w, err := workloads.ByName(*wname)
+		if err != nil {
+			fatal(err)
+		}
+		src = w.Source
+		in = w.NewInput(*scale)
+	case *srcPath != "":
+		b, err := os.ReadFile(*srcPath)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(b)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: testtrace -w <workload> | -src <file.jr>")
+		os.Exit(2)
+	}
+
+	opts := jrpm.DefaultOptions()
+	opts.Tracer.Extended = *extended
+	res, err := jrpm.Profile(src, in, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *disasm {
+		fmt.Printf("// %d loops, %d annotation instructions inserted\n\n",
+			len(res.Annotated.Loops), res.AnnotationCount)
+		fmt.Println(tir.DisasmProgram(res.Annotated))
+	}
+	Report(os.Stdout, res)
+}
+
+// Report prints the full profiling report for one program.
+func Report(w *os.File, res *jrpm.ProfileResult) {
+	an := res.Analysis
+	fmt.Fprintf(w, "sequential cycles: %d   traced cycles: %d   slowdown: %.2fx\n",
+		res.CleanCycles, res.TracedCycles, res.Slowdown())
+	fmt.Fprintf(w, "heap loads/stores: %d/%d   local annots: %d   loop annots: %d   readstats: %d\n\n",
+		res.HeapLoads, res.HeapStores, res.LocalAnnots, res.LoopAnnots, res.ReadStats)
+
+	fmt.Fprintf(w, "%-18s %5s %9s %8s %8s %7s %7s %7s %7s %7s %6s %s\n",
+		"loop", "depth", "cycles", "entries", "threads", "thrSz", "arcF1", "arcL1", "arcF<", "ovfF", "est", "flags")
+	var walk func(n *profile.Node)
+	walk = func(n *profile.Node) {
+		s := n.Stats
+		info := &an.Prog.Loops[n.Loop]
+		flags := ""
+		if n.Selected {
+			flags += "SELECTED "
+		}
+		if !info.Candidate {
+			flags += "rejected(" + info.Reject + ") "
+		}
+		if s != nil {
+			d := profile.Derive(s)
+			fmt.Fprintf(w, "%-18s %5d %9d %8d %8d %7.1f %7.2f %7.1f %7.2f %7.2f %6.2f %s\n",
+				an.LoopName(n.Loop), n.Depth, s.Cycles, s.Entries, s.Threads,
+				d.AvgThreadSize, d.ArcFreq[core.BinPrev], d.AvgArcLen[core.BinPrev],
+				d.ArcFreq[core.BinEarlier], d.OverflowFreq, n.Est.Speedup, flags)
+		} else {
+			fmt.Fprintf(w, "%-18s %5d %9s untraced %s\n", an.LoopName(n.Loop), n.Depth, "-", flags)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range an.Roots {
+		walk(r)
+	}
+
+	fmt.Fprintf(w, "\npredicted program cycles with selected STLs: %.0f (%.2fx speedup over sequential)\n",
+		an.PredictedCycles, an.PredictedSpeedup())
+
+	// Extended per-PC bins, if collected.
+	for _, n := range an.Selected {
+		if n.Stats == nil || len(n.Stats.PCArcs) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "\ncritical arcs by load PC for %s:\n", an.LoopName(n.Loop))
+		pcs := make([]int, 0, len(n.Stats.PCArcs))
+		for pc := range n.Stats.PCArcs {
+			pcs = append(pcs, pc)
+		}
+		sort.Slice(pcs, func(i, j int) bool {
+			return n.Stats.PCArcs[pcs[i]].Count > n.Stats.PCArcs[pcs[j]].Count
+		})
+		for _, pc := range pcs {
+			pa := n.Stats.PCArcs[pc]
+			fmt.Fprintf(w, "  pc %-6d count %-8d avg len %-8.1f min len %d\n",
+				pc, pa.Count, float64(pa.LenSum)/float64(pa.Count), pa.MinLen)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "testtrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Quickstart: run the whole Jrpm pipeline — compile, TEST-profile, select
+// STLs with Equations 1 and 2, recompile and execute speculatively on the
+// simulated 4-CPU Hydra — on a small inline JR program.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jrpm"
+)
+
+// A vector-scale kernel with an obviously parallel outer loop and a serial
+// prefix-sum loop, so both outcomes of the analysis show up.
+const src = `
+global a: int[];
+global b: int[];
+global prefix: int[];
+
+func main() {
+	// parallel: independent iterations
+	var i: int = 0;
+	while (i < len(a)) {
+		b[i] = a[i]*3 + 7;
+		i++;
+	}
+	// serial: loop-carried dependency through prefix[i-1]
+	prefix[0] = b[0];
+	i = 1;
+	while (i < len(prefix)) {
+		prefix[i] = prefix[i-1] + b[i];
+		i++;
+	}
+}
+`
+
+func main() {
+	n := 2000
+	in := jrpm.Input{Ints: map[string][]int64{
+		"a":      make([]int64, n),
+		"b":      make([]int64, n),
+		"prefix": make([]int64, n),
+	}}
+	for i := 0; i < n; i++ {
+		in.Ints["a"][i] = int64(i % 97)
+	}
+
+	res, err := jrpm.Run(src, in, jrpm.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr := res.Profile
+	an := pr.Analysis
+
+	fmt.Printf("sequential execution:  %d cycles\n", pr.CleanCycles)
+	fmt.Printf("profiling overhead:    %.1f%% (the paper reports 3-25%%)\n\n", 100*(pr.Slowdown()-1))
+
+	fmt.Println("TEST analysis per loop:")
+	for id := range an.Nodes {
+		n := an.Nodes[id]
+		status := "not selected"
+		if n.Selected {
+			status = "SELECTED as STL"
+		}
+		fmt.Printf("  %-16s estimated speedup %.2fx  -> %s\n",
+			an.LoopName(id), n.Est.Speedup, status)
+	}
+
+	fmt.Printf("\npredicted whole-program speedup: %.2fx\n", an.PredictedSpeedup())
+	fmt.Printf("actual (TLS simulation):         %.2fx\n", res.ActualSpeedup)
+	fmt.Printf("\nrecompilation plan:\n%s", res.Plan)
+}

@@ -1,0 +1,3 @@
+module jrpm
+
+go 1.22

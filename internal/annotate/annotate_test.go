@@ -1,0 +1,368 @@
+package annotate_test
+
+import (
+	"strings"
+	"testing"
+
+	"jrpm/internal/annotate"
+	"jrpm/internal/lang"
+	"jrpm/internal/tir"
+	"jrpm/internal/vmsim"
+)
+
+func compile(t *testing.T, src string) *tir.Program {
+	t.Helper()
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func apply(t *testing.T, prog *tir.Program, opts annotate.Options) int {
+	t.Helper()
+	n, err := annotate.Apply(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// run executes main with the given int globals and returns out.
+func run(t *testing.T, prog *tir.Program, globals map[string][]int64) []int64 {
+	t.Helper()
+	vm := vmsim.New(prog)
+	for name, vals := range globals {
+		if err := vm.BindGlobalInts(name, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := vm.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := vm.GlobalInts("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+const nestSrc = `
+global a: int[];
+global out: int[];
+func main() {
+	var i: int = 0;
+	var total: int = 0;
+	while (i < 8) {
+		var j: int = 0;
+		while (j < 8) {
+			total = total + a[(i*8+j) % len(a)];
+			if (total > 1000000) { break; }
+			j++;
+		}
+		i++;
+	}
+	out[0] = total;
+}`
+
+// TestAnnotationPreservesSemantics: inserting annotations must not change
+// program results, under any option combination.
+func TestAnnotationPreservesSemantics(t *testing.T) {
+	globals := map[string][]int64{
+		"a":   {3, 1, 4, 1, 5, 9, 2, 6},
+		"out": {0},
+	}
+	clean := compile(t, nestSrc)
+	apply(t, clean, annotate.Options{})
+	want := run(t, clean, globals)
+
+	for _, opts := range []annotate.Options{
+		{LoopMarkers: true},
+		{LoopMarkers: true, Locals: true},
+		annotate.Base(),
+		annotate.Optimized(),
+	} {
+		prog := compile(t, nestSrc)
+		apply(t, prog, opts)
+		if err := tir.Validate(prog); err != nil {
+			t.Fatalf("opts %+v: invalid program: %v", opts, err)
+		}
+		got := run(t, prog, globals)
+		if got[0] != want[0] {
+			t.Fatalf("opts %+v: out = %d, want %d", opts, got[0], want[0])
+		}
+	}
+}
+
+// countOps tallies instruction kinds across a program.
+func countOps(prog *tir.Program) map[tir.Op]int {
+	counts := map[tir.Op]int{}
+	for _, f := range prog.Funcs {
+		for bi := range f.Blocks {
+			for ii := range f.Blocks[bi].Instrs {
+				counts[f.Blocks[bi].Instrs[ii].Op]++
+			}
+		}
+	}
+	return counts
+}
+
+// TestMarkerPlacement: each candidate loop gets sloop on entries, eoi on
+// back edges, eloop on exits, and one readstats site per loop.
+func TestMarkerPlacement(t *testing.T) {
+	prog := compile(t, nestSrc)
+	apply(t, prog, annotate.Base())
+	counts := countOps(prog)
+	if counts[tir.OpSLoop] != 2 {
+		t.Errorf("sloop count = %d, want 2 (one entry edge per loop)", counts[tir.OpSLoop])
+	}
+	// The inner loop has two exits (break + condition), the outer one.
+	if counts[tir.OpELoop] != 3 {
+		t.Errorf("eloop count = %d, want 3", counts[tir.OpELoop])
+	}
+	if counts[tir.OpEOI] != 2 {
+		t.Errorf("eoi count = %d, want 2 (one back edge per loop)", counts[tir.OpEOI])
+	}
+	if counts[tir.OpReadStats] != 3 {
+		t.Errorf("readstats count = %d, want 3 (at each eloop, unhoisted)", counts[tir.OpReadStats])
+	}
+}
+
+// TestHoistedReadStats: in a single-child nest the inner loop's statistics
+// are read at the outer loop's exit.
+func TestHoistedReadStats(t *testing.T) {
+	prog := compile(t, nestSrc)
+	apply(t, prog, annotate.Optimized())
+	// Find the inner loop's Hoisted flag.
+	hoisted := 0
+	for _, l := range prog.Loops {
+		if l.Hoisted {
+			hoisted++
+		}
+	}
+	if hoisted != 1 {
+		t.Fatalf("hoisted loops = %d, want 1 (the inner loop)", hoisted)
+	}
+	// Readstats for the inner loop must sit in outer-exit trampolines
+	// only: the inner loop's own exits carry none.
+	var innerID int
+	for _, l := range prog.Loops {
+		if l.StaticDepth == 2 {
+			innerID = l.ID
+		}
+	}
+	f := prog.Funcs[0]
+	outer := prog.Loops[0]
+	if outer.StaticDepth != 1 {
+		t.Fatal("loop 0 not outermost")
+	}
+	inOuter := map[int]bool{}
+	for _, b := range outer.Blocks {
+		inOuter[b] = true
+	}
+	for bi := range f.Blocks {
+		for ii := range f.Blocks[bi].Instrs {
+			in := &f.Blocks[bi].Instrs[ii]
+			if in.Op == tir.OpReadStats && in.Loop == innerID && inOuter[bi] {
+				t.Fatalf("inner loop's readstats found inside the outer loop body (block %d)", bi)
+			}
+		}
+	}
+}
+
+// TestOptimizedInsertsFewerLocals: the Figure 6 optimization must strictly
+// reduce local annotations on code with repeated loads.
+func TestOptimizedInsertsFewerLocals(t *testing.T) {
+	src := `
+global a: int[];
+global out: int[];
+func main() {
+	var v: int = 0;
+	var i: int = 0;
+	while (i < len(a)) {
+		if (a[i] > 0) { v = v + a[i]; }
+		out[0] = v + v + v; // repeated loads of v in one block
+		i++;
+	}
+}`
+	base := compile(t, src)
+	nBase := apply(t, base, annotate.Base())
+	opt := compile(t, src)
+	nOpt := apply(t, opt, annotate.Optimized())
+	if nOpt >= nBase {
+		t.Fatalf("optimized annotations (%d) not fewer than base (%d)", nOpt, nBase)
+	}
+	cb, co := countOps(base), countOps(opt)
+	if co[tir.OpLWL] >= cb[tir.OpLWL] {
+		t.Fatalf("optimized lwl (%d) not fewer than base (%d)", co[tir.OpLWL], cb[tir.OpLWL])
+	}
+}
+
+// TestMultiLoopBreakUnwindsAllLoops: a break leaving two loops at once
+// must produce eloop for both, innermost first.
+func TestMultiLoopBreakUnwindsAllLoops(t *testing.T) {
+	src := `
+global a: int[];
+global out: int[];
+func main() {
+	var i: int = 0;
+	while (i < 10) {
+		var j: int = 0;
+		while (j < 10) {
+			if (a[(i+j) % len(a)] == 7) {
+				out[0] = i*100 + j;
+				return; // leaves both loops
+			}
+			j++;
+		}
+		i++;
+	}
+	out[0] = -1;
+}`
+	prog := compile(t, src)
+	apply(t, prog, annotate.Options{LoopMarkers: true})
+	// Find a trampoline block containing two eloops.
+	f := prog.Funcs[0]
+	found := false
+	for bi := range f.Blocks {
+		var loops []int
+		for ii := range f.Blocks[bi].Instrs {
+			if f.Blocks[bi].Instrs[ii].Op == tir.OpELoop {
+				loops = append(loops, f.Blocks[bi].Instrs[ii].Loop)
+			}
+		}
+		if len(loops) == 2 {
+			found = true
+			// Innermost (deeper) loop must be closed first.
+			if prog.Loops[loops[0]].StaticDepth <= prog.Loops[loops[1]].StaticDepth {
+				t.Fatalf("eloop order %v closes outer before inner", loops)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no trampoline closes both loops on the early return path")
+	}
+	// And the program still runs correctly with the markers.
+	got := run(t, prog, map[string][]int64{"a": {1, 2, 7, 3}, "out": {0}})
+	if got[0] != 2 {
+		t.Fatalf("out = %d, want 2 (i=0, j=2)", got[0])
+	}
+}
+
+// TestNonCandidateLoopsGetNoMarkers: loops rejected by the scalar screen
+// are recorded in the loop table but not instrumented.
+func TestNonCandidateLoopsGetNoMarkers(t *testing.T) {
+	src := `
+global a: int[];
+global out: int[];
+func main() {
+	var p: int = 0;
+	while (a[p] != -1) {
+		p = a[p]; // serial pointer chase, rejected
+	}
+	out[0] = p;
+}`
+	prog := compile(t, src)
+	apply(t, prog, annotate.Base())
+	if len(prog.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(prog.Loops))
+	}
+	if prog.Loops[0].Candidate {
+		t.Fatal("pointer-chase loop not rejected")
+	}
+	if !strings.Contains(prog.Loops[0].Reject, "recurrence") {
+		t.Fatalf("reject reason %q", prog.Loops[0].Reject)
+	}
+	counts := countOps(prog)
+	if counts[tir.OpSLoop] != 0 || counts[tir.OpEOI] != 0 || counts[tir.OpELoop] != 0 {
+		t.Fatalf("rejected loop was instrumented: %v", counts)
+	}
+}
+
+// TestLoopTableStableAcrossOptions: loop IDs and candidates must not
+// depend on which annotations are inserted (the recorder relies on this).
+func TestLoopTableStableAcrossOptions(t *testing.T) {
+	a := compile(t, nestSrc)
+	apply(t, a, annotate.Options{})
+	b := compile(t, nestSrc)
+	apply(t, b, annotate.Optimized())
+	if len(a.Loops) != len(b.Loops) {
+		t.Fatalf("loop counts differ: %d vs %d", len(a.Loops), len(b.Loops))
+	}
+	for i := range a.Loops {
+		if a.Loops[i].Header != b.Loops[i].Header ||
+			a.Loops[i].Func != b.Loops[i].Func ||
+			a.Loops[i].Candidate != b.Loops[i].Candidate ||
+			a.Loops[i].StaticDepth != b.Loops[i].StaticDepth {
+			t.Fatalf("loop %d differs across options:\n%+v\n%+v", i, a.Loops[i], b.Loops[i])
+		}
+	}
+}
+
+// TestFigure5SampleLoop reproduces the paper's Figure 5: the sample while
+// loop with a conditionally-updated local compiles to code whose
+// annotation pattern matches the figure — one sloop reserving one local
+// timestamp slot, lwl on the condition's load, swl on the conditional
+// decrement, eoi at the back edge, eloop + read-statistics at the exit.
+func TestFigure5SampleLoop(t *testing.T) {
+	src := `
+global this_val: int[];
+func call(): int {
+	return this_val[0] & 1;
+}
+func main() {
+	var lcl_v: int = 10;
+	while (lcl_v > 0) {
+		if (call() != 0) {
+			lcl_v = lcl_v - 1;
+		} else {
+			this_val[0] = this_val[0] + 1;
+		}
+	}
+}`
+	prog := compile(t, src)
+	apply(t, prog, annotate.Optimized())
+
+	if len(prog.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(prog.Loops))
+	}
+	info := prog.Loops[0]
+	if !info.Candidate {
+		t.Fatalf("loop rejected: %s", info.Reject)
+	}
+	// lcl_v is conditionally decremented -> not an inductor -> exactly one
+	// reserved local timestamp, as "sloop 1" in the figure.
+	if info.NumLocals != 1 {
+		t.Fatalf("reserved locals = %d, want 1 (lcl_v)", info.NumLocals)
+	}
+	counts := countOps(prog)
+	if counts[tir.OpSLoop] != 1 || counts[tir.OpELoop] != 1 || counts[tir.OpEOI] != 1 {
+		t.Fatalf("marker counts = sloop %d / eloop %d / eoi %d, want 1/1/1",
+			counts[tir.OpSLoop], counts[tir.OpELoop], counts[tir.OpEOI])
+	}
+	if counts[tir.OpLWL] == 0 || counts[tir.OpSWL] == 0 {
+		t.Fatalf("lwl/swl = %d/%d, want both > 0", counts[tir.OpLWL], counts[tir.OpSWL])
+	}
+	if counts[tir.OpReadStats] != 1 {
+		t.Fatalf("readstats = %d, want 1 at the loop exit", counts[tir.OpReadStats])
+	}
+	// The sloop instruction reserves exactly NumLocals slots.
+	f := prog.Funcs[prog.Loops[0].Func]
+	for bi := range f.Blocks {
+		for ii := range f.Blocks[bi].Instrs {
+			in := &f.Blocks[bi].Instrs[ii]
+			if in.Op == tir.OpSLoop && in.Imm != int64(info.NumLocals) {
+				t.Fatalf("sloop reserves %d, loop table says %d", in.Imm, info.NumLocals)
+			}
+		}
+	}
+	// And the annotated program still terminates correctly: lcl_v counts
+	// down on odd values of this_val, which the else branch increments.
+	vm := vmsim.New(prog)
+	if err := vm.BindGlobalInts("this_val", []int64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run("main"); err != nil {
+		t.Fatalf("annotated Figure 5 loop failed: %v", err)
+	}
+}

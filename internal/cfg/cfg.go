@@ -1,0 +1,256 @@
+// Package cfg builds control-flow graphs over TIR functions and finds
+// natural loops, which are the paper's candidate speculative thread loops
+// (section 4.1: "The compiler chooses potential STLs by examining a
+// method's control-flow graph to identify all natural loops").
+package cfg
+
+import "jrpm/internal/tir"
+
+// Graph is the CFG of one function. Block indices match f.Blocks.
+type Graph struct {
+	F     *tir.Function
+	Succs [][]int
+	Preds [][]int
+	// RPO is a reverse postorder of the reachable blocks.
+	RPO []int
+	// RPONum maps block index to its position in RPO (-1 if unreachable).
+	RPONum []int
+}
+
+// Build computes the CFG for f.
+func Build(f *tir.Function) *Graph {
+	n := len(f.Blocks)
+	g := &Graph{
+		F:      f,
+		Succs:  make([][]int, n),
+		Preds:  make([][]int, n),
+		RPONum: make([]int, n),
+	}
+	for i := range f.Blocks {
+		g.Succs[i] = f.Blocks[i].Targets
+		for _, t := range f.Blocks[i].Targets {
+			g.Preds[t] = append(g.Preds[t], i)
+		}
+	}
+	// Postorder DFS from the entry.
+	visited := make([]bool, n)
+	var post []int
+	var dfs func(int)
+	dfs = func(b int) {
+		visited[b] = true
+		for _, s := range g.Succs[b] {
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	if n > 0 {
+		dfs(0)
+	}
+	g.RPO = make([]int, len(post))
+	for i := range g.RPONum {
+		g.RPONum[i] = -1
+	}
+	for i, b := range post {
+		idx := len(post) - 1 - i
+		g.RPO[idx] = b
+		g.RPONum[b] = idx
+	}
+	return g
+}
+
+// Dominators computes the immediate dominator of every reachable block
+// using the Cooper-Harvey-Kennedy iterative algorithm. idom[entry] = entry;
+// unreachable blocks get -1.
+func (g *Graph) Dominators() []int {
+	n := len(g.F.Blocks)
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	if n == 0 {
+		return idom
+	}
+	idom[0] = 0
+	intersect := func(a, b int) int {
+		for a != b {
+			for g.RPONum[a] > g.RPONum[b] {
+				a = idom[a]
+			}
+			for g.RPONum[b] > g.RPONum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range g.RPO {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Preds[b] {
+				if idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b given an idom array.
+func Dominates(idom []int, a, b int) bool {
+	if idom[b] == -1 {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		if b == 0 {
+			return false
+		}
+		b = idom[b]
+	}
+}
+
+// ExitEdge is a CFG edge leaving a loop.
+type ExitEdge struct {
+	From, To int
+}
+
+// Loop is one natural loop. All back edges sharing a header are merged
+// into a single loop, as is conventional.
+type Loop struct {
+	Header   int
+	Blocks   map[int]bool
+	Latches  []int      // back-edge sources, ascending
+	Exits    []ExitEdge // edges from inside to outside
+	Parent   *Loop
+	Children []*Loop
+	Depth    int // nesting depth within the function, outermost = 1
+	Line     int // source line of the header's first instruction
+}
+
+// Contains reports whether the loop body includes block b.
+func (l *Loop) Contains(b int) bool { return l.Blocks[b] }
+
+// Forest is the loop-nesting forest of one function.
+type Forest struct {
+	Roots []*Loop
+	// Loops holds every loop, outer loops before the loops they contain.
+	Loops    []*Loop
+	ByHeader map[int]*Loop
+}
+
+// NaturalLoops finds all natural loops of g and organizes them into a
+// nesting forest.
+func (g *Graph) NaturalLoops() *Forest {
+	idom := g.Dominators()
+	byHeader := map[int]*Loop{}
+	// Find back edges u -> h where h dominates u.
+	for _, u := range g.RPO {
+		for _, h := range g.Succs[u] {
+			if !Dominates(idom, h, u) {
+				continue
+			}
+			l := byHeader[h]
+			if l == nil {
+				line := 0
+				if len(g.F.Blocks[h].Instrs) > 0 {
+					line = g.F.Blocks[h].Instrs[0].Line
+				}
+				l = &Loop{Header: h, Blocks: map[int]bool{h: true}, Line: line}
+				byHeader[h] = l
+			}
+			l.Latches = append(l.Latches, u)
+			// Loop body: everything that reaches u without passing h.
+			if !l.Blocks[u] {
+				l.Blocks[u] = true
+			}
+			stack := []int{u}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if b == h {
+					continue
+				}
+				for _, p := range g.Preds[b] {
+					if !l.Blocks[p] {
+						l.Blocks[p] = true
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+	f := &Forest{ByHeader: byHeader}
+	for _, b := range g.RPO {
+		if l, ok := byHeader[b]; ok {
+			f.Loops = append(f.Loops, l)
+		}
+	}
+	// Nesting: parent = the smallest other loop containing this header.
+	for _, l := range f.Loops {
+		var best *Loop
+		for _, m := range f.Loops {
+			if m == l || !m.Blocks[l.Header] {
+				continue
+			}
+			if best == nil || len(m.Blocks) < len(best.Blocks) {
+				best = m
+			}
+		}
+		l.Parent = best
+		if best != nil {
+			best.Children = append(best.Children, l)
+		} else {
+			f.Roots = append(f.Roots, l)
+		}
+	}
+	var setDepth func(l *Loop, d int)
+	setDepth = func(l *Loop, d int) {
+		l.Depth = d
+		for _, c := range l.Children {
+			setDepth(c, d+1)
+		}
+	}
+	for _, r := range f.Roots {
+		setDepth(r, 1)
+	}
+	// Exit edges.
+	for _, l := range f.Loops {
+		for b := range l.Blocks {
+			for _, s := range g.Succs[b] {
+				if !l.Blocks[s] {
+					l.Exits = append(l.Exits, ExitEdge{From: b, To: s})
+				}
+			}
+		}
+	}
+	return f
+}
+
+// MaxDepth returns the deepest static nesting level in the forest.
+func (f *Forest) MaxDepth() int {
+	max := 0
+	for _, l := range f.Loops {
+		if l.Depth > max {
+			max = l.Depth
+		}
+	}
+	return max
+}

@@ -1,0 +1,258 @@
+package cfg_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jrpm/internal/cfg"
+	"jrpm/internal/lang"
+	"jrpm/internal/tir"
+)
+
+// buildFunc makes a synthetic function with the given successor lists.
+func buildFunc(succs [][]int) *tir.Function {
+	f := &tir.Function{Name: "synthetic", NumRegs: 1}
+	for _, s := range succs {
+		var b tir.Block
+		switch len(s) {
+		case 0:
+			b.Instrs = []tir.Instr{{Op: tir.OpRet}}
+		case 1:
+			b.Instrs = []tir.Instr{{Op: tir.OpBr}}
+			b.Targets = []int{s[0]}
+		default:
+			b.Instrs = []tir.Instr{{Op: tir.OpBrIf, A: 0}}
+			b.Targets = []int{s[0], s[1]}
+		}
+		f.Blocks = append(f.Blocks, b)
+	}
+	return f
+}
+
+// bruteDominates computes dominance by definition: a dominates b iff every
+// path from the entry to b passes through a, i.e. b is unreachable when a
+// is removed.
+func bruteDominates(succs [][]int, a, b int) bool {
+	if a == b {
+		return true
+	}
+	seen := make([]bool, len(succs))
+	var stack []int
+	if a != 0 {
+		stack = append(stack, 0)
+		seen[0] = true
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range succs[n] {
+			if s == a || seen[s] {
+				continue
+			}
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	// b reachable while avoiding a means a does not dominate b; if b is
+	// unreachable even with a present, dominance is vacuous (handled by
+	// callers only asking about reachable b).
+	return !seen[b]
+}
+
+func reachable(succs [][]int) []bool {
+	seen := make([]bool, len(succs))
+	seen[0] = true
+	stack := []int{0}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range succs[n] {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// TestDominatorsMatchBruteForce is a property test over random CFGs.
+func TestDominatorsMatchBruteForce(t *testing.T) {
+	f := func(seed uint32, nRaw uint8) bool {
+		n := int(nRaw%10) + 2
+		rnd := seed
+		next := func(m int) int {
+			rnd = rnd*1664525 + 1013904223
+			return int(rnd>>8) % m
+		}
+		succs := make([][]int, n)
+		for i := range succs {
+			switch next(3) {
+			case 0:
+				succs[i] = nil // ret
+			case 1:
+				succs[i] = []int{next(n)}
+			default:
+				succs[i] = []int{next(n), next(n)}
+			}
+		}
+		// Entry must not be a dead end for interesting graphs.
+		if len(succs[0]) == 0 && n > 1 {
+			succs[0] = []int{1 % n}
+		}
+		g := cfg.Build(buildFunc(succs))
+		idom := g.Dominators()
+		reach := reachable(succs)
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if !reach[a] || !reach[b] {
+					continue
+				}
+				got := cfg.Dominates(idom, a, b)
+				want := bruteDominates(succs, a, b)
+				if got != want {
+					t.Logf("graph %v: Dominates(%d,%d) = %v, brute = %v", succs, a, b, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// compile is a helper producing TIR from JR source.
+func compile(t *testing.T, src string) *tir.Program {
+	t.Helper()
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestNaturalLoopsNest verifies loop discovery and nesting on a compiled
+// triple nest.
+func TestNaturalLoopsNest(t *testing.T) {
+	prog := compile(t, `
+global a: int[];
+func main() {
+	var i: int = 0;
+	while (i < 10) {
+		var j: int = 0;
+		while (j < 10) {
+			var k: int = 0;
+			while (k < 10) {
+				a[0] = a[0] + 1;
+				k++;
+			}
+			j++;
+		}
+		i++;
+	}
+}`)
+	f, _, _ := prog.Lookup("main")
+	g := cfg.Build(f)
+	forest := g.NaturalLoops()
+	if len(forest.Loops) != 3 {
+		t.Fatalf("found %d loops, want 3", len(forest.Loops))
+	}
+	if len(forest.Roots) != 1 {
+		t.Fatalf("found %d root loops, want 1", len(forest.Roots))
+	}
+	if forest.MaxDepth() != 3 {
+		t.Fatalf("max depth %d, want 3", forest.MaxDepth())
+	}
+	root := forest.Roots[0]
+	if len(root.Children) != 1 || len(root.Children[0].Children) != 1 {
+		t.Fatal("nesting chain broken")
+	}
+	// Depths outermost-in.
+	if root.Depth != 1 || root.Children[0].Depth != 2 || root.Children[0].Children[0].Depth != 3 {
+		t.Fatalf("depths = %d/%d/%d", root.Depth, root.Children[0].Depth, root.Children[0].Children[0].Depth)
+	}
+	// Inclusion: inner blocks are subsets of outer blocks.
+	inner := root.Children[0].Children[0]
+	for b := range inner.Blocks {
+		if !root.Blocks[b] {
+			t.Fatalf("inner block %d not contained in the outer loop", b)
+		}
+	}
+}
+
+// TestLoopLatchesAndExits checks back edges and exit edges on do-while and
+// multi-exit loops.
+func TestLoopLatchesAndExits(t *testing.T) {
+	prog := compile(t, `
+global a: int[];
+func main() {
+	var i: int = 0;
+	do {
+		i++;
+		if (a[i % 8] > 100) { break; }
+	} while (i < 50);
+}`)
+	f, _, _ := prog.Lookup("main")
+	forest := cfg.Build(f).NaturalLoops()
+	if len(forest.Loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(forest.Loops))
+	}
+	l := forest.Loops[0]
+	if len(l.Latches) != 1 {
+		t.Fatalf("latches = %v, want exactly 1", l.Latches)
+	}
+	if len(l.Exits) != 2 {
+		t.Fatalf("exits = %v, want 2 (break and condition)", l.Exits)
+	}
+	for _, e := range l.Exits {
+		if !l.Blocks[e.From] || l.Blocks[e.To] {
+			t.Fatalf("exit edge %v not from inside to outside", e)
+		}
+	}
+}
+
+// TestSiblingLoops: two sequential loops must not nest.
+func TestSiblingLoops(t *testing.T) {
+	prog := compile(t, `
+global a: int[];
+func main() {
+	var i: int = 0;
+	while (i < 10) { a[0] = a[0] + 1; i++; }
+	var j: int = 0;
+	while (j < 10) { a[1] = a[1] + 1; j++; }
+}`)
+	f, _, _ := prog.Lookup("main")
+	forest := cfg.Build(f).NaturalLoops()
+	if len(forest.Loops) != 2 || len(forest.Roots) != 2 {
+		t.Fatalf("loops=%d roots=%d, want 2/2", len(forest.Loops), len(forest.Roots))
+	}
+}
+
+// TestRPOCoversReachable: every reachable block appears exactly once in
+// the reverse postorder.
+func TestRPOCoversReachable(t *testing.T) {
+	prog := compile(t, `
+func f(x: int): int {
+	if (x > 0) { return x; }
+	return -x;
+}
+func main() { f(3); }`)
+	f, _, _ := prog.Lookup("f")
+	g := cfg.Build(f)
+	seen := map[int]bool{}
+	for _, b := range g.RPO {
+		if seen[b] {
+			t.Fatalf("block %d appears twice in RPO", b)
+		}
+		seen[b] = true
+	}
+	if len(g.RPO) != len(f.Blocks) {
+		t.Fatalf("RPO has %d blocks, function has %d (codegen prunes unreachable)", len(g.RPO), len(f.Blocks))
+	}
+	// Entry first.
+	if g.RPO[0] != 0 {
+		t.Fatalf("RPO starts at %d, want entry 0", g.RPO[0])
+	}
+}

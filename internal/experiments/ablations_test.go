@@ -1,0 +1,144 @@
+package experiments_test
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"jrpm/internal/experiments"
+)
+
+// TestAblateBanksSaturates reproduces §6.1's claim that 8 banks suffice:
+// skipped entries vanish by 8 banks and monotonically decrease with more
+// banks.
+func TestAblateBanksSaturates(t *testing.T) {
+	rows, _, err := experiments.AblateBanks(0.3, []int{1, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SkippedFrac > rows[i-1].SkippedFrac+1e-9 {
+			t.Errorf("skipped fraction not monotone: %v", rows)
+		}
+	}
+	if rows[0].SkippedFrac < 0.5 {
+		t.Errorf("1 bank should skip most nested entries, skipped %.2f", rows[0].SkippedFrac)
+	}
+	if rows[2].SkippedFrac > 0.02 {
+		t.Errorf("8 banks skip %.2f%% of entries; the paper says they suffice", 100*rows[2].SkippedFrac)
+	}
+	if rows[2].MeanPredicted < rows[0].MeanPredicted {
+		t.Errorf("more banks yielded a worse mean prediction: %v", rows)
+	}
+}
+
+// TestAblateHistoryMonotone: deeper write history finds at least as many
+// arcs; the paper's 192 lines capture nearly all of them.
+func TestAblateHistoryMonotone(t *testing.T) {
+	rows, _, err := experiments.AblateHistory(0.3, []int{8, 192, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ArcCount < rows[i-1].ArcCount {
+			t.Errorf("arc count not monotone in history depth: %v", rows)
+		}
+	}
+	// 192 lines should capture the lion's share of what unlimited history
+	// sees.
+	if frac := float64(rows[1].ArcCount) / float64(rows[2].ArcCount); frac < 0.9 {
+		t.Errorf("192-line history captures only %.0f%% of arcs", 100*frac)
+	}
+}
+
+// TestAblateBinsAgree reproduces §6.2: two bins track exact distances for
+// nearly every benchmark.
+func TestAblateBinsAgree(t *testing.T) {
+	rows, _, err := experiments.AblateBins(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 26 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	agree := 0
+	for _, r := range rows {
+		if r.TwoBin == 0 {
+			continue
+		}
+		if math.Abs(r.TwoBin-r.ExactBins) < 0.5 {
+			agree++
+		}
+	}
+	if agree < 22 {
+		t.Errorf("only %d/26 benchmarks agree between two-bin and exact estimates", agree)
+	}
+}
+
+// TestScaleSweepAdaptation: thread sizes must grow with the data set for
+// the data-set-sensitive benchmarks, and at least one benchmark's
+// selection must move to a different nest level across the sweep — the
+// paper's §6.1 adaptation argument.
+func TestScaleSweepAdaptation(t *testing.T) {
+	rows, _, err := experiments.ScaleSweep([]float64{0.4, 0.8, 1.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no data-set-sensitive benchmarks swept")
+	}
+	depthShift := false
+	grew := 0
+	for _, row := range rows {
+		first, last := row.Points[0], row.Points[len(row.Points)-1]
+		if last.ThreadSize > first.ThreadSize*1.2 {
+			grew++
+		}
+		if diff := last.AvgDepth - first.AvgDepth; diff > 0.5 || diff < -0.5 {
+			depthShift = true
+		}
+		for _, pt := range row.Points {
+			if pt.Selected == 0 {
+				t.Errorf("%s@%.2f: nothing selected", row.Name, pt.Scale)
+			}
+		}
+	}
+	if grew < 3 {
+		t.Errorf("only %d benchmarks grew thread sizes with scale", grew)
+	}
+	if !depthShift {
+		t.Error("no benchmark moved its selection across nest levels with scale")
+	}
+}
+
+// TestJSONExportRoundTrips: the machine-readable report marshals and
+// carries every experiment's rows.
+func TestJSONExportRoundTrips(t *testing.T) {
+	s := experiments.NewSuite(0.3)
+	rep, err := experiments.BuildReport(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back experiments.Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Table6) != 26 || len(back.Figure6) != 26 ||
+		len(back.Figure10) != 26 || len(back.Figure11) != 26 || len(back.Software) != 26 {
+		t.Fatalf("row counts: %d/%d/%d/%d/%d", len(back.Table6), len(back.Figure6),
+			len(back.Figure10), len(back.Figure11), len(back.Software))
+	}
+	if len(back.Figure9) != 4 || len(back.Table5) == 0 {
+		t.Fatalf("figure9=%d table5=%d", len(back.Figure9), len(back.Table5))
+	}
+	if back.Scale != 0.3 {
+		t.Fatalf("scale = %f", back.Scale)
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"encoding/json"
+
+	"jrpm/internal/hydra"
+)
+
+// Report bundles every experiment's structured data for machine
+// consumption (plotting, regression tracking). cmd/benchtab -json emits
+// it.
+type Report struct {
+	Scale    float64                `json:"scale"`
+	Table5   []hydra.TransistorItem `json:"table5"`
+	Table6   []Table6Row            `json:"table6"`
+	Figure6  []Figure6Row           `json:"figure6"`
+	Figure9  []Figure9Row           `json:"figure9"`
+	Figure10 []Figure10Row          `json:"figure10"`
+	Figure11 []Figure11Row          `json:"figure11"`
+	Software []SoftwareRow          `json:"software"`
+}
+
+// BuildReport runs the full evaluation on the suite and collects the
+// structured rows.
+func BuildReport(s *Suite) (*Report, error) {
+	r := &Report{Scale: s.Scale, Table5: hydra.TransistorBudget(s.Opts.Cfg)}
+	var err error
+	if r.Table6, _, err = Table6(s); err != nil {
+		return nil, err
+	}
+	if r.Figure6, _, err = Figure6(s); err != nil {
+		return nil, err
+	}
+	if r.Figure9, _, err = Figure9(s.Scale); err != nil {
+		return nil, err
+	}
+	if r.Figure10, _, err = Figure10(s); err != nil {
+		return nil, err
+	}
+	if r.Figure11, _, err = Figure11(s); err != nil {
+		return nil, err
+	}
+	if r.Software, _, err = SoftwareSlowdown(s); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// JSON marshals the report with indentation.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

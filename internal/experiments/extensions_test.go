@@ -1,0 +1,131 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"jrpm"
+	"jrpm/internal/annotate"
+	"jrpm/internal/experiments"
+	"jrpm/internal/workloads"
+)
+
+// TestMCRSubsumption reproduces the section 4.1 scope decision across the
+// suite: method-call-return overlap is either absent, tiny, or inside
+// loop decompositions.
+func TestMCRSubsumption(t *testing.T) {
+	rows, _, err := experiments.MethodCallReturn(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 26 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		uncovered := r.OverlapFrac * (1 - r.InLoopFrac)
+		if uncovered > 0.02 {
+			t.Errorf("%s: %.1f%% of cycles are MCR overlap outside loops — contradicts the paper's scope decision",
+				r.Name, 100*uncovered)
+		}
+	}
+}
+
+// TestOptimizerStability: the scalar optimizer never grows code or cycles
+// and never changes the pipeline's outcome materially.
+func TestOptimizerStability(t *testing.T) {
+	rows, _, err := experiments.OptimizerEffect(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.InstrsAfter > r.InstrsBefore {
+			t.Errorf("%s: code grew %d -> %d", r.Name, r.InstrsBefore, r.InstrsAfter)
+		}
+		if r.CyclesAfter > r.CyclesBefore {
+			t.Errorf("%s: cycles grew %d -> %d", r.Name, r.CyclesBefore, r.CyclesAfter)
+		}
+		if d := r.ActualAfter - r.ActualBefore; d > 0.6 || d < -0.6 {
+			t.Errorf("%s: actual speedup moved %.2f -> %.2f under the optimizer",
+				r.Name, r.ActualBefore, r.ActualAfter)
+		}
+	}
+}
+
+// TestDataSetSensitivityFlip automates the §6.1 effect the datasize
+// example demonstrates: as a row grows past the store buffer, the
+// overflow analysis moves the selection from the row loop to the column
+// loop.
+func TestDataSetSensitivityFlip(t *testing.T) {
+	const src = `
+global grid: int[];
+global dims: int[];
+func main() {
+	var rows: int = dims[0];
+	var cols: int = dims[1];
+	var r: int = 0;
+	while (r < rows) {
+		var c: int = 0;
+		while (c < cols) {
+			var v: int = grid[r*cols + c];
+			grid[r*cols + c] = (v*v + r + c) & 0xffff;
+			c++;
+		}
+		r++;
+	}
+}`
+	depthOfSelection := func(cols int) int {
+		rows := 40
+		in := jrpm.Input{Ints: map[string][]int64{
+			"grid": make([]int64, rows*cols),
+			"dims": {int64(rows), int64(cols)},
+		}}
+		pr, err := jrpm.Profile(src, in, jrpm.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pr.Analysis.Selected) != 1 {
+			t.Fatalf("cols=%d: selected %v", cols, pr.Analysis.SelectedLoopIDs())
+		}
+		return pr.Analysis.Selected[0].Depth
+	}
+	if d := depthOfSelection(128); d != 1 {
+		t.Errorf("small rows: selected depth %d, want the outer loop (1)", d)
+	}
+	if d := depthOfSelection(2048); d != 2 {
+		t.Errorf("large rows: selected depth %d, want the inner loop (2) after overflow", d)
+	}
+}
+
+// TestAnnotationOptimizationPreservesArcs: the Figure 6 elisions (first
+// load per block, last store per block, store-killed loads) must not
+// change which critical arcs the tracer counts — only their cost.
+func TestAnnotationOptimizationPreservesArcs(t *testing.T) {
+	for _, name := range []string{"Huffman", "compress", "jess", "NumHeapSort", "deltaBlue"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := w.NewInput(0.3)
+
+		runMode := func(a annotate.Options) map[int][2]int64 {
+			opts := jrpm.DefaultOptions()
+			opts.Annot = a
+			pr, err := jrpm.Profile(w.Source, in, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := map[int][2]int64{}
+			for id, s := range pr.Tracer.Results() {
+				out[id] = [2]int64{s.ArcCount[0], s.ArcCount[1]}
+			}
+			return out
+		}
+		base := runMode(annotate.Base())
+		opt := runMode(annotate.Optimized())
+		for id, b := range base {
+			o := opt[id]
+			if b != o {
+				t.Errorf("%s loop L%d: arc counts differ base=%v optimized=%v", name, id, b, o)
+			}
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"jrpm"
+	"jrpm/internal/core"
+	"jrpm/internal/profile"
+	"jrpm/internal/softprof"
+)
+
+// Figure6Row is one benchmark's slowdown bars: base and optimized
+// annotations, split into the three components the paper stacks.
+type Figure6Row struct {
+	Name string
+	// Components as fractions of clean time (e.g. 0.08 = 8% overhead).
+	BaseMarkers, BaseLocals, BaseReadStats float64
+	OptMarkers, OptLocals, OptReadStats    float64
+	BaseTotal, OptTotal                    float64
+}
+
+// Figure6 measures profiling slowdowns with base and optimized
+// annotations, decomposed into loop-marker, local-variable and
+// read-counter overheads.
+func Figure6(s *Suite) ([]Figure6Row, string, error) {
+	results, err := s.RunAll()
+	if err != nil {
+		return nil, "", err
+	}
+	var rows []Figure6Row
+	for _, r := range results {
+		c := float64(r.CleanCycles)
+		row := Figure6Row{
+			Name:          r.Workload.Meta.Name,
+			BaseMarkers:   float64(r.BaseMarkersCycles-r.CleanCycles) / c,
+			BaseLocals:    float64(r.BaseLocalsCycles-r.BaseMarkersCycles) / c,
+			BaseReadStats: float64(r.BaseFullCycles-r.BaseLocalsCycles) / c,
+			OptMarkers:    float64(r.MarkersCycles-r.CleanCycles) / c,
+			OptLocals:     float64(r.LocalsCycles-r.MarkersCycles) / c,
+			OptReadStats:  float64(r.FullCycles-r.LocalsCycles) / c,
+		}
+		row.BaseTotal = row.BaseMarkers + row.BaseLocals + row.BaseReadStats
+		row.OptTotal = row.OptMarkers + row.OptLocals + row.OptReadStats
+		rows = append(rows, row)
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 6 - Execution slowdown during profiling (fraction of sequential time)\n")
+	fmt.Fprintf(&sb, "%-14s | %8s %8s %8s %8s | %8s %8s %8s %8s\n",
+		"Benchmark", "b.ann", "b.lcl", "b.read", "b.TOT", "o.ann", "o.lcl", "o.read", "o.TOT")
+	for _, row := range rows {
+		fmt.Fprintf(&sb, "%-14s | %7.1f%% %7.1f%% %7.1f%% %7.1f%% | %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+			row.Name,
+			100*row.BaseMarkers, 100*row.BaseLocals, 100*row.BaseReadStats, 100*row.BaseTotal,
+			100*row.OptMarkers, 100*row.OptLocals, 100*row.OptReadStats, 100*row.OptTotal)
+	}
+	return rows, sb.String(), nil
+}
+
+// Figure9Row is one configuration of the pathological loop of Figure 9.
+type Figure9Row struct {
+	N            int
+	ArcFreqPrev  float64
+	EstSpeedup   float64 // what TEST predicts
+	IdealSpeedup float64 // parallelism actually available (every n-th iter)
+}
+
+// figure9Src is the paper's Figure 9 loop: parallelism exists at every
+// n-th iteration, but TEST's two-bin accumulation sees a high count of
+// short arcs to the previous thread and concludes the loop is serial.
+const figure9Src = `
+global a: int[];
+global dims: int[]; // [0] = n
+func main() {
+	var n: int = dims[0];
+	var i: int = 1;
+	while (i < len(a)) {
+		if (i %% n != 0) {
+			var base: int = a[i-1]; // start-of-iteration load
+			var v: int = 0;
+			var k: int = 0;
+			while (k < 6) {
+				v = v + ((i*31 + k) & 7);
+				k++;
+			}
+			a[i] = base + v; // end-of-iteration store
+		}
+		i++;
+	}
+}
+`
+
+// Figure9 demonstrates the lost-precision case of Figure 9.
+func Figure9(scale float64) ([]Figure9Row, string, error) {
+	size := int(1500 * scale)
+	if size < 64 {
+		size = 64
+	}
+	var rows []Figure9Row
+	for _, n := range []int{2, 4, 8, 16} {
+		src := strings.ReplaceAll(figure9Src, "%%", "%")
+		in := jrpm.Input{Ints: map[string][]int64{
+			"a":    make([]int64, size),
+			"dims": {int64(n)},
+		}}
+		pr, err := jrpm.Profile(src, in, jrpm.DefaultOptions())
+		if err != nil {
+			return nil, "", err
+		}
+		an := pr.Analysis
+		if len(an.Roots) != 1 {
+			return nil, "", fmt.Errorf("figure9: expected 1 loop")
+		}
+		node := an.Roots[0]
+		d := profile.Derive(node.Stats)
+		rows = append(rows, Figure9Row{
+			N:           n,
+			ArcFreqPrev: d.ArcFreq[core.BinPrev],
+			EstSpeedup:  node.Est.Speedup,
+			// Chains of n-1 dependent iterations break at every n-th:
+			// with enough processors the chains pipeline, so the real
+			// limit is n/(n-1) per chain overlap times the CPU count,
+			// capped at 4; report the dependence-height bound.
+			IdealSpeedup: minf(4, float64(n)/float64(n-1)*2),
+		})
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 9 - A[i]=A[i-1] unless i%n==0: TEST misses every-n-th parallelism\n")
+	fmt.Fprintf(&sb, "%4s %12s %14s %16s\n", "n", "arcFreq(t-1)", "TEST estimate", "available (approx)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%4d %12.2f %14.2f %16.2f\n", r.N, r.ArcFreqPrev, r.EstSpeedup, r.IdealSpeedup)
+	}
+	sb.WriteString("High previous-thread arc counts hide the breaks at every n-th iteration.\n")
+	return rows, sb.String(), nil
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Figure10Row is one benchmark's stacked-coverage entry.
+type Figure10Row struct {
+	Name          string
+	SerialFrac    float64 // time not covered by any selected STL
+	PredictedNorm float64 // predicted speculative time / sequential
+	STLs          []STLBlock
+}
+
+// STLBlock is one block in a Figure 10 column.
+type STLBlock struct {
+	Loop      string
+	Coverage  float64
+	Speedup   float64
+	Predicted float64 // predicted normalized contribution
+}
+
+// Figure10 reproduces the selected-STL coverage chart.
+func Figure10(s *Suite) ([]Figure10Row, string, error) {
+	results, err := s.RunAll()
+	if err != nil {
+		return nil, "", err
+	}
+	var rows []Figure10Row
+	for _, r := range results {
+		an := r.Profile.Analysis
+		row := Figure10Row{
+			Name:          r.Workload.Meta.Name,
+			PredictedNorm: an.PredictedCycles / float64(an.CleanCycles),
+		}
+		covered := 0.0
+		for _, ss := range r.SelectedOverCoverage(0) {
+			covered += ss.Coverage
+			row.STLs = append(row.STLs, STLBlock{
+				Loop:      an.LoopName(ss.Node.Loop),
+				Coverage:  ss.Coverage,
+				Speedup:   ss.Node.Est.Speedup,
+				Predicted: ss.Coverage / ss.Node.Est.Speedup,
+			})
+		}
+		row.SerialFrac = 1 - covered
+		if row.SerialFrac < 0 {
+			row.SerialFrac = 0
+		}
+		rows = append(rows, row)
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 10 - Selected STLs: sequential (O) vs predicted speculative (P) composition\n")
+	fmt.Fprintf(&sb, "%-14s %7s %7s %6s  %s\n", "Benchmark", "serial", "P.norm", "#STL", "top STLs (coverage@speedup)")
+	for _, row := range rows {
+		var tops []string
+		for i, b := range row.STLs {
+			if i == 3 {
+				tops = append(tops, "...")
+				break
+			}
+			tops = append(tops, fmt.Sprintf("%s %.0f%%@%.2fx", b.Loop, 100*b.Coverage, b.Speedup))
+		}
+		fmt.Fprintf(&sb, "%-14s %6.1f%% %7.2f %6d  %s\n",
+			row.Name, 100*row.SerialFrac, row.PredictedNorm, len(row.STLs), strings.Join(tops, ", "))
+	}
+	return rows, sb.String(), nil
+}
+
+// Figure11Row compares predicted and TLS-simulated normalized times.
+type Figure11Row struct {
+	Name          string
+	PredictedNorm float64 // Equation 1+2 prediction / sequential
+	ActualNorm    float64 // TLS simulation / sequential
+}
+
+// Figure11 reproduces the estimated-vs-actual comparison.
+func Figure11(s *Suite) ([]Figure11Row, string, error) {
+	results, err := s.RunAll()
+	if err != nil {
+		return nil, "", err
+	}
+	var rows []Figure11Row
+	for _, r := range results {
+		an := r.Profile.Analysis
+		rows = append(rows, Figure11Row{
+			Name:          r.Workload.Meta.Name,
+			PredictedNorm: an.PredictedCycles / float64(an.CleanCycles),
+			ActualNorm:    r.Spec.ActualCycles / float64(r.Spec.Profile.CleanCycles),
+		})
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 11 - Estimated (predicted) vs actual normalized execution time\n")
+	fmt.Fprintf(&sb, "%-14s %10s %10s %10s\n", "Benchmark", "Predicted", "Actual", "Ratio")
+	for _, row := range rows {
+		ratio := row.ActualNorm / row.PredictedNorm
+		fmt.Fprintf(&sb, "%-14s %10.3f %10.3f %10.2f\n", row.Name, row.PredictedNorm, row.ActualNorm, ratio)
+	}
+	return rows, sb.String(), nil
+}
+
+// SoftwareRow compares hardware tracing with the software-only model.
+type SoftwareRow struct {
+	Name     string
+	Hardware float64
+	Software float64
+}
+
+// SoftwareSlowdown reproduces the section 5 motivation: hardware tracing
+// costs a few percent; a software-only implementation costs >100x.
+func SoftwareSlowdown(s *Suite) ([]SoftwareRow, string, error) {
+	results, err := s.RunAll()
+	if err != nil {
+		return nil, "", err
+	}
+	costs := softprof.DefaultCosts()
+	var rows []SoftwareRow
+	for _, r := range results {
+		cmp := softprof.Versus(r.Counts, r.Profile.TracedCycles, costs)
+		rows = append(rows, SoftwareRow{Name: r.Workload.Meta.Name, Hardware: cmp.Hardware, Software: cmp.Software})
+	}
+	var sb strings.Builder
+	sb.WriteString("Section 5 - Hardware (TEST) vs software-only profiling slowdown\n")
+	fmt.Fprintf(&sb, "%-14s %12s %12s\n", "Benchmark", "TEST", "software")
+	for _, row := range rows {
+		fmt.Fprintf(&sb, "%-14s %11.2fx %11.1fx\n", row.Name, row.Hardware, row.Software)
+	}
+	return rows, sb.String(), nil
+}

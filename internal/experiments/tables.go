@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"jrpm"
+	"jrpm/internal/core"
+	"jrpm/internal/hydra"
+	"jrpm/internal/profile"
+	"jrpm/internal/workloads"
+)
+
+// Table1 renders the TLS buffer limits (Table 1).
+func Table1(cfg hydra.Config) string {
+	var sb strings.Builder
+	sb.WriteString("Table 1 - Thread-level speculation buffer limits\n")
+	fmt.Fprintf(&sb, "%-14s %-28s %s\n", "Buffer", "Per-thread limit", "Associativity")
+	fmt.Fprintf(&sb, "%-14s %-28s %s\n", "Load buffer",
+		fmt.Sprintf("%dkB (%d lines x %dB)", cfg.Buffers.LoadLines*hydra.LineSize/1024, cfg.Buffers.LoadLines, hydra.LineSize),
+		"4-way")
+	fmt.Fprintf(&sb, "%-14s %-28s %s\n", "Store buffer",
+		fmt.Sprintf("%dkB (%d lines x %dB)", cfg.Buffers.StoreLines*hydra.LineSize/1024, cfg.Buffers.StoreLines, hydra.LineSize),
+		"Fully")
+	return sb.String()
+}
+
+// Table2 renders the TLS operation overheads (Table 2).
+func Table2(cfg hydra.Config) string {
+	ov := cfg.Overheads
+	var sb strings.Builder
+	sb.WriteString("Table 2 - Thread-level speculation overheads\n")
+	fmt.Fprintf(&sb, "%-28s %s\n", "TLS Operation", "Overhead / delay")
+	rows := []struct {
+		op string
+		c  int64
+	}{
+		{"Loop startup", ov.LoopStartup},
+		{"Loop shutdown", ov.LoopShutdown},
+		{"Loop end-of-iteration", ov.EndOfIter},
+		{"Violation and restart", ov.Violation},
+		{"Store-load communication", ov.StoreLoadComm},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-28s %d cycles\n", r.op, r.c)
+	}
+	return sb.String()
+}
+
+// Table3Data holds the Huffman decomposition comparison of Table 3.
+type Table3Data struct {
+	OuterSeq, InnerSeq, Serial int64   // sequential cycles
+	OuterSpeedup, InnerSpeedup float64 // Equation 1 estimates
+	OuterTLS, InnerPlusSerial  float64 // Equation 2 comparison operands
+	OuterChosen                bool
+}
+
+// Table3 applies Equation 2 to the Huffman loop nest (Figure 3 / Table 3):
+// speculate on the outer loop, or on the inner loop plus serial glue?
+func Table3(scale float64) (Table3Data, string, error) {
+	w, err := workloads.ByName("Huffman")
+	if err != nil {
+		return Table3Data{}, "", err
+	}
+	in := w.NewInput(scale)
+	pr, err := jrpm.Profile(w.Source, in, jrpm.DefaultOptions())
+	if err != nil {
+		return Table3Data{}, "", err
+	}
+	an := pr.Analysis
+	if len(an.Roots) != 1 || len(an.Roots[0].Children) != 1 {
+		return Table3Data{}, "", fmt.Errorf("huffman nest shape unexpected")
+	}
+	outer, inner := an.Roots[0], an.Roots[0].Children[0]
+	d := Table3Data{
+		OuterSeq:     int64(float64(outer.Stats.Cycles) * an.Scale),
+		InnerSeq:     int64(float64(inner.Stats.Cycles) * an.Scale),
+		OuterSpeedup: outer.Est.Speedup,
+		InnerSpeedup: inner.Est.Speedup,
+		OuterChosen:  outer.Selected,
+	}
+	d.Serial = d.OuterSeq - d.InnerSeq
+	d.OuterTLS = float64(d.OuterSeq) / d.OuterSpeedup
+	d.InnerPlusSerial = float64(d.InnerSeq)/maxf(d.InnerSpeedup, 1) + float64(d.Serial)
+	var sb strings.Builder
+	sb.WriteString("Table 3 - Equation 2 applied to the Huffman loop nest\n")
+	fmt.Fprintf(&sb, "%-26s %12s %12s %12s\n", "", "Outer loop", "Inner loop", "Serial")
+	fmt.Fprintf(&sb, "%-26s %12d %12d %12d\n", "Sequential time (cycles)", d.OuterSeq, d.InnerSeq, d.Serial)
+	fmt.Fprintf(&sb, "%-26s %12.2f %12.2f %12.2f\n", "Speedup", d.OuterSpeedup, d.InnerSpeedup, 1.0)
+	fmt.Fprintf(&sb, "%-26s %12.0f %12.0f\n", "TLS time (cycles)", d.OuterTLS, d.InnerPlusSerial-float64(d.Serial))
+	verdict := "outer"
+	if !d.OuterChosen {
+		verdict = "inner+serial"
+	}
+	fmt.Fprintf(&sb, "Total: outer %.0f vs inner+serial %.0f -> %s loop chosen\n",
+		d.OuterTLS, d.InnerPlusSerial, verdict)
+	return d, sb.String(), nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Table4 renders the annotating-instruction summary (Table 4).
+func Table4() string {
+	var sb strings.Builder
+	sb.WriteString("Table 4 - Annotating instructions and trace operations\n")
+	rows := [][2]string{
+		{"lw/lb/lh/lwc1 addr (load)", "get store + cache line timestamps; record cache line timestamp"},
+		{"sw/sb/sh/swc1 addr (store)", "get previous cache line timestamp; record store + line timestamps"},
+		{"lwl vn", "get store timestamp for local variable vn"},
+		{"swl vn", "record store timestamp for local variable vn"},
+		{"sloop n", "allocate comparator bank; set thread start timestamp; reserve n local timestamps"},
+		{"eoi", "shift thread start timestamps; start next thread"},
+		{"eloop n", "free comparator bank; free n local timestamps"},
+		{"(read_statistics)", "software routine reading a bank's counters"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-28s %s\n", r[0], r[1])
+	}
+	return sb.String()
+}
+
+// Table5 renders the transistor budget (Table 5).
+func Table5(cfg hydra.Config) string {
+	var sb strings.Builder
+	sb.WriteString("Table 5 - Transistor count estimates, Hydra with TLS and TEST\n")
+	fmt.Fprintf(&sb, "%-36s %6s %12s %14s %9s\n", "Structure", "Count", "Each", "Total", "% total")
+	for _, it := range hydra.TransistorBudget(cfg) {
+		if it.Structure == "Total" {
+			fmt.Fprintf(&sb, "%-36s %6s %12s %14d %8.2f%%\n", it.Structure, "", "", it.Total, it.Percent)
+			continue
+		}
+		fmt.Fprintf(&sb, "%-36s %6d %12d %14d %8.2f%%\n", it.Structure, it.Count, it.Each, it.Total, it.Percent)
+	}
+	fmt.Fprintf(&sb, "TEST comparator banks: %.2f%% of the CMP (paper: <1%%)\n", 100*hydra.TESTFraction(cfg))
+	return sb.String()
+}
+
+// Table6Row is one benchmark's row of Table 6.
+type Table6Row struct {
+	Category         string
+	Name             string
+	DataSet          string
+	Analyzable       bool
+	DataSetSensitive bool
+	LoopCount        int     // (c) static natural loops
+	LoopDepth        int     // (d) max dynamic nest depth
+	SelectedLoops    int     // (e) selected with >0.5% coverage
+	AvgHeight        float64 // (f) avg selected loop height above innermost
+	ThreadsPerEntry  float64 // (g) coverage-weighted
+	ThreadSize       float64 // (h) coverage-weighted, cycles
+}
+
+// Table6 computes the benchmark characteristics table.
+func Table6(s *Suite) ([]Table6Row, string, error) {
+	results, err := s.RunAll()
+	if err != nil {
+		return nil, "", err
+	}
+	var rows []Table6Row
+	for _, r := range results {
+		an := r.Profile.Analysis
+		row := Table6Row{
+			Category:         r.Workload.Meta.Category,
+			Name:             r.Workload.Meta.Name,
+			DataSet:          r.Workload.Meta.DataSet,
+			Analyzable:       r.Workload.Meta.Analyzable,
+			DataSetSensitive: r.Workload.Meta.DataSetSensitive,
+			LoopCount:        len(r.Profile.Annotated.Loops),
+			LoopDepth:        an.MaxDepth(),
+		}
+		sel := r.SelectedOverCoverage(s.Opts.Select.ReportCoverage)
+		row.SelectedLoops = len(sel)
+		var wsum, hsum, tpe, tsz float64
+		for _, ss := range sel {
+			d := profile.Derive(ss.Node.Stats)
+			wsum += ss.Coverage
+			hsum += float64(ss.Node.Height) * ss.Coverage
+			tpe += d.AvgItersPerEntry * ss.Coverage
+			tsz += d.AvgThreadSize * ss.Coverage
+		}
+		if wsum > 0 {
+			row.AvgHeight = hsum / wsum
+			row.ThreadsPerEntry = tpe / wsum
+			row.ThreadSize = tsz / wsum
+		}
+		rows = append(rows, row)
+	}
+	var sb strings.Builder
+	sb.WriteString("Table 6 - Benchmarks evaluated with STLs selected by TEST\n")
+	fmt.Fprintf(&sb, "%-13s %-14s %-8s %4s %4s %6s %6s %6s %10s %10s\n",
+		"Category", "Benchmark", "DataSet", "(a)", "(b)", "Loops", "Depth", "Sel", "Thr/entry", "ThrSize")
+	for _, row := range rows {
+		yn := func(b bool) string {
+			if b {
+				return "Y"
+			}
+			return "N"
+		}
+		fmt.Fprintf(&sb, "%-13s %-14s %-8s %4s %4s %6d %6d %6d %10.0f %10.0f\n",
+			row.Category, row.Name, row.DataSet, yn(row.Analyzable), yn(row.DataSetSensitive),
+			row.LoopCount, row.LoopDepth, row.SelectedLoops, row.ThreadsPerEntry, row.ThreadSize)
+	}
+	sb.WriteString("(a) analyzable by a traditional parallelizing compiler; (b) data-set sensitive\n")
+	_ = core.BinPrev
+	return rows, sb.String(), nil
+}

@@ -1,0 +1,147 @@
+// Package hydra models the Hydra chip multiprocessor configuration that
+// the paper's analyses are parameterised by: the speculative buffer limits
+// of Table 1, the TLS operation overheads of Table 2, and the transistor
+// cost model behind Table 5.
+package hydra
+
+// LineSize is the L1/store-buffer cache line size in bytes.
+const LineSize = 32
+
+// WordSize is the architectural word size in bytes (32-bit MIPS).
+const WordSize = 4
+
+// LineOf maps a byte address to its cache line number.
+func LineOf(addr uint32) uint32 { return addr / LineSize }
+
+// Overheads holds the TLS operation costs of Table 2, in cycles.
+type Overheads struct {
+	LoopStartup   int64 // initialize loop locals, load register-allocated invariants
+	LoopShutdown  int64 // complete sum and min/max reductions
+	EndOfIter     int64 // increment loop iterators
+	Violation     int64 // violation and restart; reload invariants
+	StoreLoadComm int64 // store-to-load communication latency between CPUs
+}
+
+// Buffers holds the per-thread speculative state limits of Table 1.
+type Buffers struct {
+	LoadLines  int // speculatively read L1 lines per thread (16kB / 32B)
+	StoreLines int // store-buffer lines per thread (2kB / 32B)
+}
+
+// Tracer holds the TEST hardware geometry of sections 5.2 and 5.3.
+type Tracer struct {
+	Banks          int   // comparator banks
+	HeapStoreLines int   // FIFO write-history lines (3 x 2kB buffers = 192 lines)
+	LoadLineTS     int   // direct-mapped line-timestamp entries for loads (bits 13:5)
+	StoreLineTS    int   // direct-mapped line-timestamp entries for stores (bits 10:5)
+	LocalSlots     int   // local-variable store-timestamp entries (2kB buffer, 64 lines)
+	ReadStatsCost  int64 // cycles to read one bank's counters into software
+	AnnotCost      int64 // cycles per annotation instruction (sloop/eloop/eoi/lwl/swl)
+}
+
+// Config is a full machine description.
+type Config struct {
+	CPUs      int
+	Overheads Overheads
+	Buffers   Buffers
+	Tracer    Tracer
+}
+
+// DefaultConfig returns the Hydra configuration used throughout the paper.
+func DefaultConfig() Config {
+	return Config{
+		CPUs: 4,
+		Overheads: Overheads{
+			LoopStartup:   25,
+			LoopShutdown:  25,
+			EndOfIter:     5,
+			Violation:     5,
+			StoreLoadComm: 10,
+		},
+		Buffers: Buffers{
+			LoadLines:  512, // 16kB / 32B, 4-way
+			StoreLines: 64,  // 2kB / 32B, fully associative
+		},
+		Tracer: Tracer{
+			Banks:          8,
+			HeapStoreLines: 192, // 6kB of write history
+			LoadLineTS:     512,
+			StoreLineTS:    64,
+			LocalSlots:     64,
+			ReadStatsCost:  32,
+			AnnotCost:      1,
+		},
+	}
+}
+
+// TransistorItem is one row of the Table 5 budget.
+type TransistorItem struct {
+	Structure string
+	Count     int
+	Each      int64
+	Total     int64
+	Percent   float64
+}
+
+// TransistorBudget reproduces Table 5: transistor estimates for Hydra with
+// TLS and TEST support, using the paper's costing conventions:
+//
+//   - SRAM arrays at 6 transistors per bit (the paper's cache figures —
+//     1573K for 32kB of L1, 98304K(x1024) for the 2MB L2 — are exactly
+//     6T/bit with no separate periphery line);
+//   - the CPU + FP core at the Hydra design's 2.5M transistors;
+//   - the fully associative write buffer as its 2kB data array plus a
+//     64-entry x 27-bit tag CAM (10T/cell) and ~56K of drain/priority
+//     control, calibrated to the published 172K per buffer;
+//   - one comparator bank (Figure 7) as ~24 32-bit counters/registers with
+//     increment/load logic (12T/bit), 12 comparators, 4 adders, and ~24K
+//     of pipeline/control/SRAM-interface logic — ~39K in total.
+func TransistorBudget(cfg Config) []TransistorItem {
+	sram := func(bytes int64) int64 { return bytes * 8 * 6 }
+	cam := func(entries, bits int64) int64 { return entries * bits * 10 }
+
+	cpuCore := int64(2_500_000)
+	l1 := sram(16*1024) + sram(16*1024) // 16kB I + 16kB D
+	l2 := sram(2 * 1024 * 1024)
+	writeBuf := sram(2*1024) + cam(64, 27) + 56_400
+
+	bankCounters := int64(24 * 32 * 12) // counters + timestamp registers
+	bankCmps := int64(12 * 32 * 6)
+	bankAdders := int64(4 * 32 * 28)
+	bankCtl := int64(24_000) // pipeline, muxing, store-buffer interface
+	bank := bankCounters + bankCmps + bankAdders + bankCtl
+
+	items := []TransistorItem{
+		{Structure: "CPU + FP core", Count: cfg.CPUs, Each: cpuCore},
+		{Structure: "16kB I / 16kB D cache", Count: cfg.CPUs, Each: l1},
+		{Structure: "2MB L2 cache", Count: 1, Each: l2},
+		{Structure: "Write buffer", Count: 5, Each: writeBuf},
+		{Structure: "Comparator bank", Count: cfg.Tracer.Banks, Each: bank},
+	}
+	var total int64
+	for i := range items {
+		items[i].Total = int64(items[i].Count) * items[i].Each
+		total += items[i].Total
+	}
+	for i := range items {
+		items[i].Percent = 100 * float64(items[i].Total) / float64(total)
+	}
+	items = append(items, TransistorItem{Structure: "Total", Total: total, Percent: 100})
+	return items
+}
+
+// TESTFraction returns the fraction of the total transistor budget consumed
+// by the TEST comparator banks (the paper's "<1%" headline).
+func TESTFraction(cfg Config) float64 {
+	items := TransistorBudget(cfg)
+	var banks, total int64
+	for _, it := range items {
+		if it.Structure == "Comparator bank" {
+			banks = it.Total
+		}
+		if it.Structure == "Total" {
+			total = it.Total
+		}
+	}
+	return float64(banks) / float64(total)
+}

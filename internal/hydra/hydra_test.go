@@ -1,0 +1,120 @@
+package hydra_test
+
+import (
+	"testing"
+
+	"jrpm/internal/hydra"
+)
+
+// TestDefaultConfigMatchesTables pins the Table 1 / Table 2 values.
+func TestDefaultConfigMatchesTables(t *testing.T) {
+	cfg := hydra.DefaultConfig()
+	if cfg.CPUs != 4 {
+		t.Errorf("CPUs = %d, want 4", cfg.CPUs)
+	}
+	// Table 1.
+	if cfg.Buffers.LoadLines != 512 { // 16kB / 32B
+		t.Errorf("load buffer = %d lines, want 512", cfg.Buffers.LoadLines)
+	}
+	if cfg.Buffers.StoreLines != 64 { // 2kB / 32B
+		t.Errorf("store buffer = %d lines, want 64", cfg.Buffers.StoreLines)
+	}
+	// Table 2.
+	ov := cfg.Overheads
+	if ov.LoopStartup != 25 || ov.LoopShutdown != 25 || ov.EndOfIter != 5 ||
+		ov.Violation != 5 || ov.StoreLoadComm != 10 {
+		t.Errorf("overheads = %+v, want 25/25/5/5/10", ov)
+	}
+	// Section 5.3 tracer geometry.
+	tr := cfg.Tracer
+	if tr.Banks != 8 {
+		t.Errorf("banks = %d, want 8", tr.Banks)
+	}
+	if tr.HeapStoreLines != 192 { // 6kB of write history
+		t.Errorf("heap store FIFO = %d lines, want 192", tr.HeapStoreLines)
+	}
+	if tr.LoadLineTS != 512 || tr.StoreLineTS != 64 || tr.LocalSlots != 64 {
+		t.Errorf("timestamp buffers = %d/%d/%d, want 512/64/64", tr.LoadLineTS, tr.StoreLineTS, tr.LocalSlots)
+	}
+}
+
+// TestLineOf: 32-byte lines.
+func TestLineOf(t *testing.T) {
+	cases := []struct {
+		addr uint32
+		line uint32
+	}{{0, 0}, {31, 0}, {32, 1}, {0x1000, 128}}
+	for _, c := range cases {
+		if got := hydra.LineOf(c.addr); got != c.line {
+			t.Errorf("LineOf(%#x) = %d, want %d", c.addr, got, c.line)
+		}
+	}
+}
+
+// TestTransistorBudgetShape: totals add up, percentages sum to 100, and
+// the headline claims hold (TEST <1%, L2 dominates).
+func TestTransistorBudgetShape(t *testing.T) {
+	cfg := hydra.DefaultConfig()
+	items := hydra.TransistorBudget(cfg)
+	var sum, total int64
+	var l2Pct, bankPct float64
+	for _, it := range items {
+		switch it.Structure {
+		case "Total":
+			total = it.Total
+		case "2MB L2 cache":
+			l2Pct = it.Percent
+			sum += it.Total
+		case "Comparator bank":
+			bankPct = it.Percent
+			if it.Count != 8 {
+				t.Errorf("bank count = %d, want 8", it.Count)
+			}
+			sum += it.Total
+		default:
+			sum += it.Total
+		}
+		if it.Total != int64(it.Count)*it.Each && it.Structure != "Total" {
+			t.Errorf("%s: total %d != count %d x each %d", it.Structure, it.Total, it.Count, it.Each)
+		}
+	}
+	if sum != total {
+		t.Errorf("line items sum to %d, total says %d", sum, total)
+	}
+	if l2Pct < 80 || l2Pct > 90 {
+		t.Errorf("L2 share = %.1f%%, paper has ~85%%", l2Pct)
+	}
+	if bankPct <= 0 || bankPct >= 1 {
+		t.Errorf("TEST share = %.2f%%, paper claims <1%%", bankPct)
+	}
+	// Paper's per-item anchors, within 15%.
+	anchor := map[string]int64{
+		"CPU + FP core":         2_500_000,
+		"16kB I / 16kB D cache": 1_573_000,
+		"Write buffer":          172_000,
+		"Comparator bank":       39_000,
+	}
+	for _, it := range items {
+		if want, ok := anchor[it.Structure]; ok {
+			lo, hi := want*85/100, want*115/100
+			if it.Each < lo || it.Each > hi {
+				t.Errorf("%s = %d transistors, paper has ~%d", it.Structure, it.Each, want)
+			}
+		}
+	}
+}
+
+// TestTESTFraction: consistent with the budget and sensitive to bank
+// count.
+func TestTESTFraction(t *testing.T) {
+	cfg := hydra.DefaultConfig()
+	f8 := hydra.TESTFraction(cfg)
+	cfg.Tracer.Banks = 16
+	f16 := hydra.TESTFraction(cfg)
+	if !(f16 > f8) {
+		t.Errorf("fraction not increasing with banks: %f vs %f", f8, f16)
+	}
+	if f8 <= 0 || f8 >= 0.01 {
+		t.Errorf("8-bank fraction = %f, want (0, 1%%)", f8)
+	}
+}

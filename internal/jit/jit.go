@@ -1,0 +1,139 @@
+// Package jit models the speculative recompilation step (section 3.2):
+// once TEST has chosen the best STLs, the dynamic compiler re-emits them
+// as speculative threads, inserting the control routines of Table 2 and
+// applying the scalar transformations the paper lists — globalizing
+// inter-thread dependent local variables, register-allocating loop
+// invariants, rewriting loop inductors as non-violating iterators, and
+// transforming sum/min-max reductions.
+//
+// In this reproduction the transformations are semantic facts consumed by
+// the TLS simulator rather than machine-code rewrites: inductors and
+// reductions carry no recorded dependencies (they are eliminated), and
+// globalized locals synchronize through store->load communication instead
+// of violating. Build derives, per selected loop, exactly which variables
+// fall in which class, so reports and the simulator agree with what a real
+// recompiler would have done.
+package jit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"jrpm/internal/cfg"
+	"jrpm/internal/hydra"
+	"jrpm/internal/scalar"
+	"jrpm/internal/tir"
+)
+
+// LoopPlan is the recompilation plan for one selected STL.
+type LoopPlan struct {
+	Loop int
+	Name string
+	// Globalized lists locals with potential inter-thread dependencies,
+	// moved to shared storage and synchronized.
+	Globalized []string
+	// Inductors are rewritten as non-violating loop iterators
+	// (incremented in the end-of-iteration routine).
+	Inductors []string
+	// Reductions are privatized per thread and merged at loop shutdown.
+	Reductions []string
+	// Invariants are register-allocated at loop startup.
+	Invariants []string
+	// Privatized locals are written before read every iteration; each
+	// thread keeps a private copy.
+	Privatized []string
+	// StartupCycles/ShutdownCycles/IterCycles are the inserted control
+	// routine costs (Table 2).
+	StartupCycles  int64
+	ShutdownCycles int64
+	IterCycles     int64
+}
+
+// Plan is a full recompilation plan.
+type Plan struct {
+	Loops []LoopPlan
+}
+
+// Build computes the recompilation plan for the selected loops of an
+// annotated program.
+func Build(prog *tir.Program, selected []int, cfg_ hydra.Config) (*Plan, error) {
+	p := &Plan{}
+	sorted := append([]int(nil), selected...)
+	sort.Ints(sorted)
+	for _, id := range sorted {
+		if id < 0 || id >= len(prog.Loops) {
+			return nil, fmt.Errorf("jit: no loop L%d", id)
+		}
+		info := &prog.Loops[id]
+		if !info.Candidate {
+			return nil, fmt.Errorf("jit: loop L%d (%s) was rejected by the scalar screen: %s",
+				id, info.Name, info.Reject)
+		}
+		f := prog.Funcs[info.Func]
+		lp, err := planLoop(f, info, cfg_)
+		if err != nil {
+			return nil, err
+		}
+		p.Loops = append(p.Loops, *lp)
+	}
+	return p, nil
+}
+
+func planLoop(f *tir.Function, info *tir.LoopInfo, cfg_ hydra.Config) (*LoopPlan, error) {
+	g := cfg.Build(f)
+	forest := g.NaturalLoops()
+	l := forest.ByHeader[info.Header]
+	if l == nil {
+		return nil, fmt.Errorf("jit: loop L%d header b%d not found in %s", info.ID, info.Header, f.Name)
+	}
+	sc := scalar.Analyze(f, l, g, forest)
+	lp := &LoopPlan{
+		Loop:           info.ID,
+		Name:           info.Name,
+		StartupCycles:  cfg_.Overheads.LoopStartup,
+		ShutdownCycles: cfg_.Overheads.LoopShutdown,
+		IterCycles:     cfg_.Overheads.EndOfIter,
+	}
+	for _, slot := range sc.Accessed {
+		name := f.Locals[slot].Name
+		switch sc.Classes[slot] {
+		case scalar.ClassInductor:
+			lp.Inductors = append(lp.Inductors, name)
+		case scalar.ClassReduction:
+			lp.Reductions = append(lp.Reductions, name)
+		case scalar.ClassInvariant:
+			lp.Invariants = append(lp.Invariants, name)
+		case scalar.ClassPrivate:
+			lp.Privatized = append(lp.Privatized, name)
+		default:
+			lp.Globalized = append(lp.Globalized, name)
+		}
+	}
+	return lp, nil
+}
+
+// String renders the plan as a report.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	for _, lp := range p.Loops {
+		fmt.Fprintf(&sb, "L%d (%s): startup %d, shutdown %d, eoi %d cycles\n",
+			lp.Loop, lp.Name, lp.StartupCycles, lp.ShutdownCycles, lp.IterCycles)
+		if len(lp.Globalized) > 0 {
+			fmt.Fprintf(&sb, "  globalized + synchronized: %s\n", strings.Join(lp.Globalized, ", "))
+		}
+		if len(lp.Inductors) > 0 {
+			fmt.Fprintf(&sb, "  non-violating inductors:   %s\n", strings.Join(lp.Inductors, ", "))
+		}
+		if len(lp.Reductions) > 0 {
+			fmt.Fprintf(&sb, "  transformed reductions:    %s\n", strings.Join(lp.Reductions, ", "))
+		}
+		if len(lp.Invariants) > 0 {
+			fmt.Fprintf(&sb, "  register-alloc invariants: %s\n", strings.Join(lp.Invariants, ", "))
+		}
+		if len(lp.Privatized) > 0 {
+			fmt.Fprintf(&sb, "  privatized locals:         %s\n", strings.Join(lp.Privatized, ", "))
+		}
+	}
+	return sb.String()
+}

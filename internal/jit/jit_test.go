@@ -1,0 +1,111 @@
+package jit_test
+
+import (
+	"strings"
+	"testing"
+
+	"jrpm/internal/annotate"
+	"jrpm/internal/hydra"
+	"jrpm/internal/jit"
+	"jrpm/internal/lang"
+	"jrpm/internal/tir"
+)
+
+const huffmanish = `
+global bits: int[];
+global out: int[];
+func main() {
+	var in_p: int = 0;
+	var out_p: int = 0;
+	var limit: int = len(bits) - 1;
+	do {
+		var n: int = 0;
+		while (bits[in_p] == 0 && n < 10) {
+			n++;
+			in_p++;
+		}
+		out[out_p] = n;
+		out_p++;
+	} while (in_p < limit);
+}`
+
+func compileAnnotated(t *testing.T) *tir.Program {
+	t.Helper()
+	prog, err := lang.Compile(huffmanish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := annotate.Apply(prog, annotate.Optimized()); err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestPlanClassifications: the recompilation plan mirrors section 3.2's
+// transformations on the Figure 3 shape.
+func TestPlanClassifications(t *testing.T) {
+	prog := compileAnnotated(t)
+	// Loop 0 is the outer do-while.
+	plan, err := jit.Build(prog, []int{0}, hydra.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Loops) != 1 {
+		t.Fatalf("plan has %d loops", len(plan.Loops))
+	}
+	lp := plan.Loops[0]
+	has := func(list []string, name string) bool {
+		for _, s := range list {
+			if s == name {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(lp.Globalized, "in_p") {
+		t.Errorf("in_p not globalized: %+v", lp)
+	}
+	if !has(lp.Inductors, "out_p") {
+		t.Errorf("out_p not an inductor: %+v", lp)
+	}
+	if !has(lp.Invariants, "limit") {
+		t.Errorf("limit not an invariant: %+v", lp)
+	}
+	if !has(lp.Privatized, "n") {
+		t.Errorf("n not privatized: %+v", lp)
+	}
+	if lp.StartupCycles != 25 || lp.ShutdownCycles != 25 || lp.IterCycles != 5 {
+		t.Errorf("control costs %d/%d/%d, want Table 2's 25/25/5",
+			lp.StartupCycles, lp.ShutdownCycles, lp.IterCycles)
+	}
+	report := plan.String()
+	for _, want := range []string{"in_p", "out_p", "limit", "startup 25"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestBuildRejectsBadLoops: unknown ids and screened-out loops fail.
+func TestBuildRejectsBadLoops(t *testing.T) {
+	prog := compileAnnotated(t)
+	if _, err := jit.Build(prog, []int{99}, hydra.DefaultConfig()); err == nil {
+		t.Fatal("unknown loop accepted")
+	}
+
+	serial, err := lang.Compile(`
+global a: int[];
+func main() {
+	var p: int = 0;
+	while (a[p] != -1) { p = a[p]; }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := annotate.Apply(serial, annotate.Optimized()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jit.Build(serial, []int{0}, hydra.DefaultConfig()); err == nil {
+		t.Fatal("scalar-screen-rejected loop accepted by the recompiler")
+	}
+}

@@ -1,0 +1,299 @@
+package lang
+
+import "jrpm/internal/tir"
+
+// Type is a JR type.
+type Type uint8
+
+// JR types. TypeVoid is only valid as a function result.
+const (
+	TypeInt Type = iota
+	TypeFloat
+	TypeBool
+	TypeIntArr
+	TypeFloatArr
+	TypeVoid
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeBool:
+		return "bool"
+	case TypeIntArr:
+		return "int[]"
+	case TypeFloatArr:
+		return "float[]"
+	case TypeVoid:
+		return "void"
+	}
+	return "?"
+}
+
+// IsArr reports whether t is an array type.
+func (t Type) IsArr() bool { return t == TypeIntArr || t == TypeFloatArr }
+
+// Elem returns the element type of an array type.
+func (t Type) Elem() Type {
+	if t == TypeIntArr {
+		return TypeInt
+	}
+	return TypeFloat
+}
+
+// Kind maps a JR type to its TIR kind.
+func (t Type) Kind() tir.Kind {
+	switch t {
+	case TypeInt:
+		return tir.KindInt
+	case TypeFloat:
+		return tir.KindFloat
+	case TypeBool:
+		return tir.KindBool
+	case TypeIntArr:
+		return tir.KindIntArr
+	default:
+		return tir.KindFloatArr
+	}
+}
+
+// File is a parsed JR source file.
+type File struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl declares a harness-bound global array.
+type GlobalDecl struct {
+	Name string
+	Type Type
+	Line int
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type Type
+	Line int
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Result Type // TypeVoid if none
+	Body   *BlockStmt
+	Line   int
+}
+
+// Stmt is the statement interface.
+type Stmt interface{ stmtNode() }
+
+// Expr is the expression interface. The checker records each expression's
+// type in its T field.
+type Expr interface {
+	exprNode()
+	Pos() int
+}
+
+// BlockStmt is { stmt* }.
+type BlockStmt struct {
+	Stmts []Stmt
+	Line  int
+}
+
+// VarStmt is `var name: type (= init)?;`.
+type VarStmt struct {
+	Name string
+	Type Type
+	Init Expr // may be nil
+	Line int
+	Slot int // filled by the checker
+}
+
+// AssignStmt is lvalue (=|+=|-=|*=) expr; or lvalue++/--.
+type AssignStmt struct {
+	LHS  Expr    // IdentExpr or IndexExpr
+	Op   TokKind // TokAssign, TokPlusEq, TokMinusEq, TokStarEq, TokPlusPlus, TokMinusMinus
+	RHS  Expr    // nil for ++/--
+	Line int
+}
+
+// IfStmt is if (cond) then else?
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt, or nil
+	Line int
+}
+
+// WhileStmt is while (cond) body.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+	Line int
+}
+
+// DoWhileStmt is do body while (cond);
+type DoWhileStmt struct {
+	Body *BlockStmt
+	Cond Expr
+	Line int
+}
+
+// ForStmt is for (init; cond; post) body. Any clause may be nil.
+type ForStmt struct {
+	Init Stmt // VarStmt or AssignStmt
+	Cond Expr
+	Post Stmt // AssignStmt
+	Body *BlockStmt
+	Line int
+}
+
+// ReturnStmt is return expr?;
+type ReturnStmt struct {
+	Val  Expr // may be nil
+	Line int
+}
+
+// BreakStmt is break;
+type BreakStmt struct{ Line int }
+
+// ContinueStmt is continue;
+type ContinueStmt struct{ Line int }
+
+// PrintStmt is print(expr);
+type PrintStmt struct {
+	Val  Expr
+	Line int
+}
+
+// ExprStmt is a bare call expression used for effect.
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+func (*BlockStmt) stmtNode()    {}
+func (*VarStmt) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*PrintStmt) stmtNode()    {}
+func (*ExprStmt) stmtNode()     {}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val  int64
+	Line int
+	T    Type
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	Val  float64
+	Line int
+	T    Type
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Val  bool
+	Line int
+	T    Type
+}
+
+// IdentExpr references a local, parameter or global.
+type IdentExpr struct {
+	Name   string
+	Line   int
+	T      Type
+	Slot   int  // local slot when Global is false
+	Global bool // references a global array
+	GIdx   int  // global index when Global
+}
+
+// IndexExpr is arr[idx].
+type IndexExpr struct {
+	Arr  Expr
+	Idx  Expr
+	Line int
+	T    Type
+}
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	Op   TokKind
+	X, Y Expr
+	Line int
+	T    Type
+}
+
+// UnExpr is unary -x or !x.
+type UnExpr struct {
+	Op   TokKind // TokMinus or TokBang
+	X    Expr
+	Line int
+	T    Type
+}
+
+// CallExpr is f(args...) including the builtins len, int, float, newint,
+// newfloat. Builtin is non-empty for builtins.
+type CallExpr struct {
+	Name    string
+	Args    []Expr
+	Line    int
+	T       Type
+	Builtin string // "", "len", "int", "float", "newint", "newfloat"
+	FuncIdx int    // callee index for user calls
+}
+
+func (*IntLit) exprNode()    {}
+func (*FloatLit) exprNode()  {}
+func (*BoolLit) exprNode()   {}
+func (*IdentExpr) exprNode() {}
+func (*IndexExpr) exprNode() {}
+func (*BinExpr) exprNode()   {}
+func (*UnExpr) exprNode()    {}
+func (*CallExpr) exprNode()  {}
+
+// Pos implementations.
+func (e *IntLit) Pos() int    { return e.Line }
+func (e *FloatLit) Pos() int  { return e.Line }
+func (e *BoolLit) Pos() int   { return e.Line }
+func (e *IdentExpr) Pos() int { return e.Line }
+func (e *IndexExpr) Pos() int { return e.Line }
+func (e *BinExpr) Pos() int   { return e.Line }
+func (e *UnExpr) Pos() int    { return e.Line }
+func (e *CallExpr) Pos() int  { return e.Line }
+
+// TypeOf returns the checker-recorded type of an expression.
+func TypeOf(e Expr) Type {
+	switch x := e.(type) {
+	case *IntLit:
+		return x.T
+	case *FloatLit:
+		return x.T
+	case *BoolLit:
+		return x.T
+	case *IdentExpr:
+		return x.T
+	case *IndexExpr:
+		return x.T
+	case *BinExpr:
+		return x.T
+	case *UnExpr:
+		return x.T
+	case *CallExpr:
+		return x.T
+	}
+	return TypeVoid
+}

@@ -1,0 +1,488 @@
+package lang
+
+import (
+	"fmt"
+
+	"jrpm/internal/tir"
+)
+
+// FuncMeta is the checker's record of one function: its frame of named
+// locals (parameters first), in slot order.
+type FuncMeta struct {
+	Decl   *FuncDecl
+	Locals []tir.Local
+}
+
+// Checked is a type-checked program, ready for code generation.
+type Checked struct {
+	File    *File
+	Globals []tir.GlobalArray
+	GIndex  map[string]int
+	FIndex  map[string]int
+	Funcs   []*FuncMeta
+}
+
+type scope struct {
+	parent *scope
+	names  map[string]*symbol
+}
+
+type symbol struct {
+	typ  Type
+	slot int
+}
+
+func (s *scope) lookup(name string) *symbol {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sym, ok := sc.names[name]; ok {
+			return sym
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	c       *Checked
+	fn      *FuncMeta
+	scope   *scope
+	loopNst int
+}
+
+// Check performs semantic analysis on a parsed file: name resolution, slot
+// assignment for named locals, and type checking. It mutates the AST in
+// place (filling Slot/GIdx/FuncIdx/T fields) and returns the Checked
+// program.
+func Check(f *File) (*Checked, error) {
+	c := &Checked{
+		File:   f,
+		GIndex: map[string]int{},
+		FIndex: map[string]int{},
+	}
+	for _, g := range f.Globals {
+		if _, dup := c.GIndex[g.Name]; dup {
+			return nil, errf(g.Line, "duplicate global %s", g.Name)
+		}
+		c.GIndex[g.Name] = len(c.Globals)
+		c.Globals = append(c.Globals, tir.GlobalArray{Name: g.Name, Kind: g.Type.Kind()})
+	}
+	for _, fn := range f.Funcs {
+		if _, dup := c.FIndex[fn.Name]; dup {
+			return nil, errf(fn.Line, "duplicate function %s", fn.Name)
+		}
+		if _, dup := c.GIndex[fn.Name]; dup {
+			return nil, errf(fn.Line, "function %s shadows a global", fn.Name)
+		}
+		c.FIndex[fn.Name] = len(c.Funcs)
+		c.Funcs = append(c.Funcs, &FuncMeta{Decl: fn})
+	}
+	for _, fm := range c.Funcs {
+		ck := &checker{c: c, fn: fm}
+		if err := ck.checkFunc(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (ck *checker) push() { ck.scope = &scope{parent: ck.scope, names: map[string]*symbol{}} }
+func (ck *checker) pop()  { ck.scope = ck.scope.parent }
+
+func (ck *checker) declare(name string, t Type, line int, param bool) (int, error) {
+	if _, dup := ck.scope.names[name]; dup {
+		return 0, errf(line, "duplicate declaration of %s in this scope", name)
+	}
+	slot := len(ck.fn.Locals)
+	ck.fn.Locals = append(ck.fn.Locals, tir.Local{Name: name, Kind: t.Kind(), Param: param})
+	ck.scope.names[name] = &symbol{typ: t, slot: slot}
+	return slot, nil
+}
+
+func (ck *checker) checkFunc() error {
+	fn := ck.fn.Decl
+	ck.push()
+	defer ck.pop()
+	for _, p := range fn.Params {
+		if _, err := ck.declare(p.Name, p.Type, p.Line, true); err != nil {
+			return err
+		}
+	}
+	return ck.checkBlock(fn.Body)
+}
+
+func (ck *checker) checkBlock(b *BlockStmt) error {
+	ck.push()
+	defer ck.pop()
+	for _, s := range b.Stmts {
+		if err := ck.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ck *checker) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return ck.checkBlock(st)
+	case *VarStmt:
+		if st.Init != nil {
+			t, err := ck.checkExpr(st.Init)
+			if err != nil {
+				return err
+			}
+			if t != st.Type {
+				return errf(st.Line, "cannot initialize %s %s with %s value", st.Type, st.Name, t)
+			}
+		}
+		slot, err := ck.declare(st.Name, st.Type, st.Line, false)
+		if err != nil {
+			return err
+		}
+		st.Slot = slot
+		return nil
+	case *AssignStmt:
+		return ck.checkAssign(st)
+	case *IfStmt:
+		t, err := ck.checkExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if t != TypeBool {
+			return errf(st.Line, "if condition must be bool, got %s", t)
+		}
+		if err := ck.checkBlock(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return ck.checkStmt(st.Else)
+		}
+		return nil
+	case *WhileStmt:
+		t, err := ck.checkExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if t != TypeBool {
+			return errf(st.Line, "while condition must be bool, got %s", t)
+		}
+		ck.loopNst++
+		err = ck.checkBlock(st.Body)
+		ck.loopNst--
+		return err
+	case *DoWhileStmt:
+		ck.loopNst++
+		err := ck.checkBlock(st.Body)
+		ck.loopNst--
+		if err != nil {
+			return err
+		}
+		t, err := ck.checkExpr(st.Cond)
+		if err != nil {
+			return err
+		}
+		if t != TypeBool {
+			return errf(st.Line, "do-while condition must be bool, got %s", t)
+		}
+		return nil
+	case *ForStmt:
+		ck.push()
+		defer ck.pop()
+		if st.Init != nil {
+			if err := ck.checkStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			t, err := ck.checkExpr(st.Cond)
+			if err != nil {
+				return err
+			}
+			if t != TypeBool {
+				return errf(st.Line, "for condition must be bool, got %s", t)
+			}
+		}
+		if st.Post != nil {
+			if _, isVar := st.Post.(*VarStmt); isVar {
+				return errf(st.Line, "for post clause cannot be a declaration")
+			}
+			if err := ck.checkStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		ck.loopNst++
+		err := ck.checkBlock(st.Body)
+		ck.loopNst--
+		return err
+	case *ReturnStmt:
+		want := ck.fn.Decl.Result
+		if st.Val == nil {
+			if want != TypeVoid {
+				return errf(st.Line, "function %s must return %s", ck.fn.Decl.Name, want)
+			}
+			return nil
+		}
+		if want == TypeVoid {
+			return errf(st.Line, "function %s returns no value", ck.fn.Decl.Name)
+		}
+		t, err := ck.checkExpr(st.Val)
+		if err != nil {
+			return err
+		}
+		if t != want {
+			return errf(st.Line, "return type mismatch: got %s, want %s", t, want)
+		}
+		return nil
+	case *BreakStmt:
+		if ck.loopNst == 0 {
+			return errf(st.Line, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if ck.loopNst == 0 {
+			return errf(st.Line, "continue outside loop")
+		}
+		return nil
+	case *PrintStmt:
+		t, err := ck.checkExpr(st.Val)
+		if err != nil {
+			return err
+		}
+		if t.IsArr() {
+			return errf(st.Line, "cannot print an array")
+		}
+		return nil
+	case *ExprStmt:
+		call, ok := st.X.(*CallExpr)
+		if !ok {
+			return errf(st.Line, "expression statement must be a call")
+		}
+		_, err := ck.checkExpr(call)
+		return err
+	}
+	return fmt.Errorf("unhandled statement %T", s)
+}
+
+func (ck *checker) checkAssign(st *AssignStmt) error {
+	var lt Type
+	switch lhs := st.LHS.(type) {
+	case *IdentExpr:
+		t, err := ck.checkExpr(lhs)
+		if err != nil {
+			return err
+		}
+		if lhs.Global {
+			return errf(st.Line, "cannot assign to global array %s", lhs.Name)
+		}
+		lt = t
+	case *IndexExpr:
+		t, err := ck.checkExpr(lhs)
+		if err != nil {
+			return err
+		}
+		lt = t
+	default:
+		return errf(st.Line, "cannot assign to this expression")
+	}
+	switch st.Op {
+	case TokPlusPlus, TokMinusMinus:
+		if lt != TypeInt {
+			return errf(st.Line, "%s requires an int lvalue, got %s", st.Op, lt)
+		}
+		return nil
+	case TokPlusEq, TokMinusEq, TokStarEq:
+		if lt != TypeInt && lt != TypeFloat {
+			return errf(st.Line, "%s requires a numeric lvalue, got %s", st.Op, lt)
+		}
+	}
+	rt, err := ck.checkExpr(st.RHS)
+	if err != nil {
+		return err
+	}
+	if rt != lt {
+		return errf(st.Line, "assignment type mismatch: %s = %s", lt, rt)
+	}
+	return nil
+}
+
+func (ck *checker) checkExpr(e Expr) (Type, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		x.T = TypeInt
+		return TypeInt, nil
+	case *FloatLit:
+		x.T = TypeFloat
+		return TypeFloat, nil
+	case *BoolLit:
+		x.T = TypeBool
+		return TypeBool, nil
+	case *IdentExpr:
+		if sym := ck.scope.lookup(x.Name); sym != nil {
+			x.T = sym.typ
+			x.Slot = sym.slot
+			return sym.typ, nil
+		}
+		if gi, ok := ck.c.GIndex[x.Name]; ok {
+			x.Global = true
+			x.GIdx = gi
+			if ck.c.Globals[gi].Kind == tir.KindIntArr {
+				x.T = TypeIntArr
+			} else {
+				x.T = TypeFloatArr
+			}
+			return x.T, nil
+		}
+		return TypeVoid, errf(x.Line, "undefined name %s", x.Name)
+	case *IndexExpr:
+		at, err := ck.checkExpr(x.Arr)
+		if err != nil {
+			return TypeVoid, err
+		}
+		if !at.IsArr() {
+			return TypeVoid, errf(x.Line, "cannot index %s", at)
+		}
+		it, err := ck.checkExpr(x.Idx)
+		if err != nil {
+			return TypeVoid, err
+		}
+		if it != TypeInt {
+			return TypeVoid, errf(x.Line, "array index must be int, got %s", it)
+		}
+		x.T = at.Elem()
+		return x.T, nil
+	case *UnExpr:
+		t, err := ck.checkExpr(x.X)
+		if err != nil {
+			return TypeVoid, err
+		}
+		switch x.Op {
+		case TokMinus:
+			if t != TypeInt && t != TypeFloat {
+				return TypeVoid, errf(x.Line, "unary - requires numeric operand, got %s", t)
+			}
+			x.T = t
+		case TokBang:
+			if t != TypeBool {
+				return TypeVoid, errf(x.Line, "! requires bool operand, got %s", t)
+			}
+			x.T = TypeBool
+		}
+		return x.T, nil
+	case *BinExpr:
+		return ck.checkBin(x)
+	case *CallExpr:
+		return ck.checkCall(x)
+	}
+	return TypeVoid, fmt.Errorf("unhandled expression %T", e)
+}
+
+func (ck *checker) checkBin(x *BinExpr) (Type, error) {
+	lt, err := ck.checkExpr(x.X)
+	if err != nil {
+		return TypeVoid, err
+	}
+	rt, err := ck.checkExpr(x.Y)
+	if err != nil {
+		return TypeVoid, err
+	}
+	switch x.Op {
+	case TokAndAnd, TokOrOr:
+		if lt != TypeBool || rt != TypeBool {
+			return TypeVoid, errf(x.Line, "%s requires bool operands, got %s and %s", x.Op, lt, rt)
+		}
+		x.T = TypeBool
+	case TokAmp, TokPipe, TokCaret, TokShl, TokShr, TokPercent:
+		if lt != TypeInt || rt != TypeInt {
+			return TypeVoid, errf(x.Line, "%s requires int operands, got %s and %s", x.Op, lt, rt)
+		}
+		x.T = TypeInt
+	case TokPlus, TokMinus, TokStar, TokSlash:
+		if lt != rt || (lt != TypeInt && lt != TypeFloat) {
+			return TypeVoid, errf(x.Line, "%s requires matching numeric operands, got %s and %s", x.Op, lt, rt)
+		}
+		x.T = lt
+	case TokEq, TokNe, TokLt, TokLe, TokGt, TokGe:
+		if lt != rt || (lt != TypeInt && lt != TypeFloat && !(lt == TypeBool && (x.Op == TokEq || x.Op == TokNe))) {
+			return TypeVoid, errf(x.Line, "%s requires matching comparable operands, got %s and %s", x.Op, lt, rt)
+		}
+		x.T = TypeBool
+	default:
+		return TypeVoid, errf(x.Line, "bad binary operator %s", x.Op)
+	}
+	return x.T, nil
+}
+
+func (ck *checker) checkCall(x *CallExpr) (Type, error) {
+	argTypes := make([]Type, len(x.Args))
+	for i, a := range x.Args {
+		t, err := ck.checkExpr(a)
+		if err != nil {
+			return TypeVoid, err
+		}
+		argTypes[i] = t
+	}
+	wantArgs := func(n int) error {
+		if len(x.Args) != n {
+			return errf(x.Line, "%s takes %d argument(s), got %d", x.Name, n, len(x.Args))
+		}
+		return nil
+	}
+	switch x.Name {
+	case "len":
+		if err := wantArgs(1); err != nil {
+			return TypeVoid, err
+		}
+		if !argTypes[0].IsArr() {
+			return TypeVoid, errf(x.Line, "len requires an array, got %s", argTypes[0])
+		}
+		x.Builtin, x.T = "len", TypeInt
+		return x.T, nil
+	case "int":
+		if err := wantArgs(1); err != nil {
+			return TypeVoid, err
+		}
+		if argTypes[0] != TypeFloat && argTypes[0] != TypeInt {
+			return TypeVoid, errf(x.Line, "int() requires numeric argument, got %s", argTypes[0])
+		}
+		x.Builtin, x.T = "int", TypeInt
+		return x.T, nil
+	case "float":
+		if err := wantArgs(1); err != nil {
+			return TypeVoid, err
+		}
+		if argTypes[0] != TypeFloat && argTypes[0] != TypeInt {
+			return TypeVoid, errf(x.Line, "float() requires numeric argument, got %s", argTypes[0])
+		}
+		x.Builtin, x.T = "float", TypeFloat
+		return x.T, nil
+	case "newint", "newfloat":
+		if err := wantArgs(1); err != nil {
+			return TypeVoid, err
+		}
+		if argTypes[0] != TypeInt {
+			return TypeVoid, errf(x.Line, "%s requires int size, got %s", x.Name, argTypes[0])
+		}
+		x.Builtin = x.Name
+		if x.Name == "newint" {
+			x.T = TypeIntArr
+		} else {
+			x.T = TypeFloatArr
+		}
+		return x.T, nil
+	}
+	fi, ok := ck.c.FIndex[x.Name]
+	if !ok {
+		return TypeVoid, errf(x.Line, "undefined function %s", x.Name)
+	}
+	callee := ck.c.Funcs[fi].Decl
+	if len(x.Args) != len(callee.Params) {
+		return TypeVoid, errf(x.Line, "%s takes %d argument(s), got %d", x.Name, len(callee.Params), len(x.Args))
+	}
+	for i, pt := range callee.Params {
+		if argTypes[i] != pt.Type {
+			return TypeVoid, errf(x.Line, "%s argument %d: got %s, want %s", x.Name, i+1, argTypes[i], pt.Type)
+		}
+	}
+	x.FuncIdx = fi
+	x.T = callee.Result
+	return x.T, nil
+}

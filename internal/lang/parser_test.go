@@ -1,0 +1,367 @@
+package lang_test
+
+import (
+	"strings"
+	"testing"
+
+	"jrpm/internal/lang"
+	"jrpm/internal/vmsim"
+)
+
+// evalInt compiles a main that stores one expression into out[0] and
+// returns the result.
+func evalInt(t *testing.T, expr string) int64 {
+	t.Helper()
+	src := "global out: int[];\nfunc main() { out[0] = " + expr + "; }"
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("compile %q: %v", expr, err)
+	}
+	vm := vmsim.New(prog)
+	if err := vm.BindGlobalInts("out", []int64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run("main"); err != nil {
+		t.Fatalf("run %q: %v", expr, err)
+	}
+	out, _ := vm.GlobalInts("out")
+	return out[0]
+}
+
+// TestOperatorPrecedence pins the C-like precedence table, including the
+// classic & vs == gotcha.
+func TestOperatorPrecedence(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"2 + 3 * 4", 14},
+		{"(2 + 3) * 4", 20},
+		{"10 - 4 - 3", 3},   // left associative
+		{"100 / 10 / 5", 2}, // left associative
+		{"1 << 3 + 1", 16},  // shift binds looser than +
+		{"7 & 3 | 8", 11},   // & binds tighter than |
+		{"6 ^ 3 & 2", 4},    // & tighter than ^
+		{"2 * 3 % 4", 2},    // same precedence, left assoc
+		{"-2 * 3", -6},      // unary minus
+		{"-(2 + 3)", -5},
+		{"0x10 + 0x0f", 31},
+		{"1 << 62 >> 62", 1},
+	}
+	for _, c := range cases {
+		if got := evalInt(t, c.expr); got != c.want {
+			t.Errorf("%s = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+// TestBoolPrecedence pins && / || / ! interactions.
+func TestBoolPrecedence(t *testing.T) {
+	src := `
+global out: int[];
+func b2i(b: bool): int { if (b) { return 1; } return 0; }
+func main() {
+	out[0] = b2i(true || false && false);   // && binds tighter: true
+	out[1] = b2i(!(1 > 2) && 3 != 4);
+	out[2] = b2i(1 < 2 == true);            // comparison then ==
+}`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := vmsim.New(prog)
+	if err := vm.BindGlobalInts("out", []int64{0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := vm.GlobalInts("out")
+	if out[0] != 1 || out[1] != 1 || out[2] != 1 {
+		t.Fatalf("out = %v, want all 1", out)
+	}
+}
+
+// TestCommentsAndWhitespace: both comment styles, weird spacing.
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "global out: int[];\n" +
+		"/* block\n   comment */\n" +
+		"func main() { // line comment\n" +
+		"\tout[0] = /* inline */ 7;\n" +
+		"}\n"
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := vmsim.New(prog)
+	if err := vm.BindGlobalInts("out", []int64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := vm.GlobalInts("out")
+	if out[0] != 7 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	_, err := lang.Compile("func main() { /* never closed ")
+	if err == nil || !strings.Contains(err.Error(), "unterminated block comment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestCompoundAssignments covers +=, -=, *=, ++ and -- on locals and
+// array elements.
+func TestCompoundAssignments(t *testing.T) {
+	src := `
+global out: int[];
+func main() {
+	var x: int = 10;
+	x += 5;
+	x -= 2;
+	x *= 3;   // 39
+	x++;
+	x--;
+	out[0] = x;
+	out[1] = 100;
+	out[1] += x;
+	out[1] *= 2;
+	var i: int = 2;
+	out[i]++;
+	out[i] -= 5;
+}`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := vmsim.New(prog)
+	if err := vm.BindGlobalInts("out", []int64{0, 0, 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := vm.GlobalInts("out")
+	if out[0] != 39 || out[1] != 278 || out[2] != 6 {
+		t.Fatalf("out = %v, want [39 278 6]", out)
+	}
+}
+
+// TestElseIfChain exercises the dangling-else structure.
+func TestElseIfChain(t *testing.T) {
+	src := `
+global out: int[];
+func classify(x: int): int {
+	if (x < 0) {
+		return -1;
+	} else if (x == 0) {
+		return 0;
+	} else if (x < 10) {
+		return 1;
+	} else {
+		return 2;
+	}
+}
+func main() {
+	out[0] = classify(-5);
+	out[1] = classify(0);
+	out[2] = classify(7);
+	out[3] = classify(99);
+}`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := vmsim.New(prog)
+	if err := vm.BindGlobalInts("out", make([]int64, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := vm.GlobalInts("out")
+	want := []int64{-1, 0, 1, 2}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+}
+
+// TestForClauseVariants: missing init/cond/post clauses.
+func TestForClauseVariants(t *testing.T) {
+	src := `
+global out: int[];
+func main() {
+	var n: int = 0;
+	for (var i: int = 0; i < 5; i++) { n += 1; }
+	var j: int = 0;
+	for (; j < 5; j++) { n += 10; }
+	var k: int = 0;
+	for (; k < 3;) { n += 100; k++; }
+	for (;;) { n += 1000; break; }
+	out[0] = n;
+}`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := vmsim.New(prog)
+	if err := vm.BindGlobalInts("out", []int64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := vm.GlobalInts("out")
+	if out[0] != 5+50+300+1000 {
+		t.Fatalf("out = %v, want 1355", out)
+	}
+}
+
+// TestScopeShadowing: an inner block may redeclare an outer name; the
+// outer binding survives.
+func TestScopeShadowing(t *testing.T) {
+	src := `
+global out: int[];
+func main() {
+	var x: int = 1;
+	{
+		var x: int = 2;
+		out[0] = x;
+	}
+	out[1] = x;
+	for (var i: int = 0; i < 1; i++) {
+		var y: int = 5;
+		out[2] = y;
+	}
+}`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := vmsim.New(prog)
+	if err := vm.BindGlobalInts("out", []int64{0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := vm.GlobalInts("out")
+	if out[0] != 2 || out[1] != 1 || out[2] != 5 {
+		t.Fatalf("out = %v, want [2 1 5]", out)
+	}
+}
+
+// TestMoreDiagnostics widens the error-path coverage.
+func TestMoreDiagnostics(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"func main() { continue; }", "continue outside loop"},
+		{"func main() { out[0] = 1; }", "undefined name out"},
+		{"global g: int[]; func main() { g = g; }", "cannot assign to global"},
+		{"func f() {} func f() {} func main() {}", "duplicate function"},
+		{"global g: int[]; global g: int[]; func main() {}", "duplicate global"},
+		{"global g: int[]; func g() {} func main() {}", "shadows a global"},
+		{"func main() { var a: bool[] = x; }", "bool arrays"},
+		{"func main() { var x: float = 1.0; x = x % x; }", "int operands"},
+		{"func main() { nosuch(); }", "undefined function"},
+		{"func f(a: int) {} func main() { f(); }", "takes 1 argument"},
+		{"func f(a: int) {} func main() { f(1.5); }", "argument 1"},
+		{"func main() { len(3); }", "requires an array"},
+		{"func main() { var x: int = 1; x[0] = 2; }", "cannot index int"},
+		{"func main() { while (true) { var b: bool = true; b++; } }", "requires an int lvalue"},
+		{"func main() { 3 + 4; }", "must be a call"},
+		{"func main() { var x: int = true; }", "cannot initialize"},
+		{"func main() { print(newint(3)); }", "cannot print an array"},
+		{"func main() { for (var i: int = 0; i < 3; var j: int = 0) {} }", "expected expression"},
+		{"func main() { var x: int = int(true); }", "requires numeric"},
+		{"func main() }", "expected"},
+		{"func main() { @ }", "unexpected character"},
+		{"func main() { var x: int = 1 ? 2; }", "expected"},
+	}
+	for _, c := range cases {
+		_, err := lang.Compile(c.src)
+		if err == nil {
+			t.Errorf("%q compiled; want error containing %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q missing %q", c.src, err, c.want)
+		}
+	}
+}
+
+// TestErrorLineNumbers: diagnostics carry the right source line.
+func TestErrorLineNumbers(t *testing.T) {
+	src := "global out: int[];\n\nfunc main() {\n\tvar x: int = 0;\n\tx = yy;\n}"
+	_, err := lang.Compile(src)
+	if err == nil {
+		t.Fatal("compiled")
+	}
+	if !strings.Contains(err.Error(), "line 5") {
+		t.Fatalf("error %q does not point at line 5", err)
+	}
+}
+
+// TestRecursionDepth: deep but bounded recursion works (frames are heap
+// allocated in the VM).
+func TestRecursionDepth(t *testing.T) {
+	src := `
+global out: int[];
+func down(n: int): int {
+	if (n == 0) { return 0; }
+	return down(n - 1) + 1;
+}
+func main() { out[0] = down(2000); }`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := vmsim.New(prog)
+	if err := vm.BindGlobalInts("out", []int64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := vm.GlobalInts("out")
+	if out[0] != 2000 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+// TestFloatLiteralForms: decimal and exponent forms parse.
+func TestFloatLiteralForms(t *testing.T) {
+	src := `
+global fout: float[];
+func main() {
+	fout[0] = 1.5;
+	fout[1] = 2.0e3;
+	fout[2] = 1.25e-2;
+	fout[3] = 7.0E+1;
+}`
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := vmsim.New(prog)
+	if err := vm.BindGlobalFloats("fout", make([]float64, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := vm.GlobalFloats("fout")
+	want := []float64{1.5, 2000, 0.0125, 70}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("fout = %v, want %v", out, want)
+		}
+	}
+}

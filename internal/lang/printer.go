@@ -1,0 +1,224 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders a parsed file back to canonical JR source. The output
+// round-trips: parsing it again yields a program with identical code
+// (Format is used by tooling and tested by re-compiling its output).
+func Format(f *File) string {
+	var p printer
+	for _, g := range f.Globals {
+		fmt.Fprintf(&p.sb, "global %s: %s;\n", g.Name, g.Type)
+	}
+	if len(f.Globals) > 0 && len(f.Funcs) > 0 {
+		p.sb.WriteByte('\n')
+	}
+	for i, fn := range f.Funcs {
+		if i > 0 {
+			p.sb.WriteByte('\n')
+		}
+		p.funcDecl(fn)
+	}
+	return p.sb.String()
+}
+
+// FormatSource parses and reformats JR source.
+func FormatSource(src string) (string, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return Format(f), nil
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.sb.WriteString(strings.Repeat("\t", p.indent))
+	fmt.Fprintf(&p.sb, format, args...)
+	p.sb.WriteByte('\n')
+}
+
+func (p *printer) funcDecl(fn *FuncDecl) {
+	var params []string
+	for _, pr := range fn.Params {
+		params = append(params, fmt.Sprintf("%s: %s", pr.Name, pr.Type))
+	}
+	sig := fmt.Sprintf("func %s(%s)", fn.Name, strings.Join(params, ", "))
+	if fn.Result != TypeVoid {
+		sig += ": " + fn.Result.String()
+	}
+	p.line("%s {", sig)
+	p.indent++
+	p.stmts(fn.Body.Stmts)
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) stmts(stmts []Stmt) {
+	for _, s := range stmts {
+		p.stmt(s)
+	}
+}
+
+func (p *printer) blockInline(b *BlockStmt) {
+	p.indent++
+	p.stmts(b.Stmts)
+	p.indent--
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *BlockStmt:
+		p.line("{")
+		p.blockInline(st)
+		p.line("}")
+	case *VarStmt:
+		if st.Init != nil {
+			p.line("var %s: %s = %s;", st.Name, st.Type, exprString(st.Init))
+		} else {
+			p.line("var %s: %s;", st.Name, st.Type)
+		}
+	case *AssignStmt:
+		switch st.Op {
+		case TokPlusPlus:
+			p.line("%s++;", exprString(st.LHS))
+		case TokMinusMinus:
+			p.line("%s--;", exprString(st.LHS))
+		default:
+			p.line("%s %s %s;", exprString(st.LHS), st.Op, exprString(st.RHS))
+		}
+	case *IfStmt:
+		p.ifChain(st, true)
+	case *WhileStmt:
+		p.line("while (%s) {", exprString(st.Cond))
+		p.blockInline(st.Body)
+		p.line("}")
+	case *DoWhileStmt:
+		p.line("do {")
+		p.blockInline(st.Body)
+		p.line("} while (%s);", exprString(st.Cond))
+	case *ForStmt:
+		p.line("for (%s; %s; %s) {", p.simple(st.Init), condString(st.Cond), p.simple(st.Post))
+		p.blockInline(st.Body)
+		p.line("}")
+	case *ReturnStmt:
+		if st.Val != nil {
+			p.line("return %s;", exprString(st.Val))
+		} else {
+			p.line("return;")
+		}
+	case *BreakStmt:
+		p.line("break;")
+	case *ContinueStmt:
+		p.line("continue;")
+	case *PrintStmt:
+		p.line("print(%s);", exprString(st.Val))
+	case *ExprStmt:
+		p.line("%s;", exprString(st.X))
+	}
+}
+
+// ifChain renders else-if ladders without extra nesting.
+func (p *printer) ifChain(st *IfStmt, first bool) {
+	p.line("if (%s) {", exprString(st.Cond))
+	p.blockInline(st.Then)
+	switch els := st.Else.(type) {
+	case nil:
+		p.line("}")
+	case *IfStmt:
+		p.sb.WriteString(strings.Repeat("\t", p.indent))
+		p.sb.WriteString("} else ")
+		// Render the chained if without leading indentation.
+		saved := p.indent
+		p.indent = 0
+		var tail printer
+		tail.indent = saved
+		tail.ifChain(els, false)
+		out := tail.sb.String()
+		p.sb.WriteString(strings.TrimLeft(out, "\t"))
+		p.indent = saved
+	case *BlockStmt:
+		p.line("} else {")
+		p.blockInline(els)
+		p.line("}")
+	}
+	_ = first
+}
+
+// simple renders a for-clause statement without the trailing semicolon.
+func (p *printer) simple(s Stmt) string {
+	switch st := s.(type) {
+	case nil:
+		return ""
+	case *VarStmt:
+		if st.Init != nil {
+			return fmt.Sprintf("var %s: %s = %s", st.Name, st.Type, exprString(st.Init))
+		}
+		return fmt.Sprintf("var %s: %s", st.Name, st.Type)
+	case *AssignStmt:
+		switch st.Op {
+		case TokPlusPlus:
+			return exprString(st.LHS) + "++"
+		case TokMinusMinus:
+			return exprString(st.LHS) + "--"
+		default:
+			return fmt.Sprintf("%s %s %s", exprString(st.LHS), st.Op, exprString(st.RHS))
+		}
+	case *ExprStmt:
+		return exprString(st.X)
+	}
+	return ""
+}
+
+func condString(e Expr) string {
+	if e == nil {
+		return ""
+	}
+	return exprString(e)
+}
+
+// exprString renders an expression fully parenthesized at binary nodes, so
+// the output never depends on precedence subtleties.
+func exprString(e Expr) string {
+	switch x := e.(type) {
+	case *IntLit:
+		return strconv.FormatInt(x.Val, 10)
+	case *FloatLit:
+		s := strconv.FormatFloat(x.Val, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case *BoolLit:
+		if x.Val {
+			return "true"
+		}
+		return "false"
+	case *IdentExpr:
+		return x.Name
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", exprString(x.Arr), exprString(x.Idx))
+	case *BinExpr:
+		return fmt.Sprintf("(%s %s %s)", exprString(x.X), x.Op, exprString(x.Y))
+	case *UnExpr:
+		if x.Op == TokBang {
+			return "!" + exprString(x.X)
+		}
+		return fmt.Sprintf("(-%s)", exprString(x.X))
+	case *CallExpr:
+		var args []string
+		for _, a := range x.Args {
+			args = append(args, exprString(a))
+		}
+		return fmt.Sprintf("%s(%s)", x.Name, strings.Join(args, ", "))
+	}
+	return "?"
+}

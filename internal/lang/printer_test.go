@@ -1,0 +1,135 @@
+package lang_test
+
+import (
+	"strings"
+	"testing"
+
+	"jrpm/internal/lang"
+	"jrpm/internal/tir"
+	"jrpm/internal/workloads"
+)
+
+// TestFormatRoundTripsWorkloads: formatting every benchmark's source and
+// recompiling must produce byte-identical TIR (modulo nothing — the
+// disassembly is compared exactly).
+func TestFormatRoundTripsWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Meta.Name, func(t *testing.T) {
+			orig, err := lang.Compile(w.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			formatted, err := lang.FormatSource(w.Source)
+			if err != nil {
+				t.Fatalf("format: %v", err)
+			}
+			reprog, err := lang.Compile(formatted)
+			if err != nil {
+				t.Fatalf("reparse of formatted source failed: %v\n%s", err, formatted)
+			}
+			a, b := tir.DisasmProgram(orig), tir.DisasmProgram(reprog)
+			if a != b {
+				t.Fatalf("TIR differs after format round trip\n--- formatted source ---\n%s", formatted)
+			}
+		})
+	}
+}
+
+// TestFormatIsIdempotent: formatting a formatted file changes nothing.
+func TestFormatIsIdempotent(t *testing.T) {
+	w, err := workloads.ByName("Huffman")
+	if err != nil {
+		t.Fatal(err)
+	}
+	once, err := lang.FormatSource(w.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := lang.FormatSource(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if once != twice {
+		t.Fatalf("formatting not idempotent:\n--- once ---\n%s\n--- twice ---\n%s", once, twice)
+	}
+}
+
+// TestFormatShapes: spot-check the rendering of each construct.
+func TestFormatShapes(t *testing.T) {
+	src := `
+global a: int[];
+global f: float[];
+func helper(x: int, y: float): int { return x; }
+func main() {
+	var i: int = 0;
+	var z: float = 1.5;
+	do { i++; } while (i < 3);
+	for (var k: int = 0; k < 4; k++) {
+		if (k == 2) { continue; } else if (k == 3) { break; } else { i += k; }
+	}
+	while (i > 0) { i--; }
+	f[0] = z * 2.0;
+	print(i);
+	helper(i, z);
+}`
+	out, err := lang.FormatSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"global a: int[];",
+		"func helper(x: int, y: float): int {",
+		"do {",
+		"} while ((i < 3));",
+		"for (var k: int = 0; (k < 4); k++) {",
+		"} else if ((k == 3)) {",
+		"i += k;",
+		"print(i);",
+		"helper(i, z);",
+		"f[0] = (z * 2.0);",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+	// And it still compiles + behaves.
+	if _, err := lang.Compile(out); err != nil {
+		t.Fatalf("formatted source does not compile: %v\n%s", err, out)
+	}
+}
+
+// TestFormatRandomPrograms: the random generator's programs survive the
+// format round trip with identical code.
+func TestFormatRandomPrograms(t *testing.T) {
+	for seed := uint64(300); seed <= 340; seed++ {
+		r := &genRNG{s: seed * 0x9e3779b97f4a7c15}
+		stmts := genStmts(r, 3, 4)
+		var sb strings.Builder
+		sb.WriteString("global out: int[];\nfunc main() {\n")
+		for i := 0; i < nVars; i++ {
+			sb.WriteString("\tvar v")
+			sb.WriteByte(byte('0' + i))
+			sb.WriteString(": int = 1;\n")
+		}
+		renderStmts(&sb, stmts, "\t")
+		sb.WriteString("}\n")
+		src := sb.String()
+
+		orig, err := lang.Compile(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		formatted, err := lang.FormatSource(src)
+		if err != nil {
+			t.Fatalf("seed %d: format: %v", seed, err)
+		}
+		re, err := lang.Compile(formatted)
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v\n%s", seed, err, formatted)
+		}
+		if tir.DisasmProgram(orig) != tir.DisasmProgram(re) {
+			t.Fatalf("seed %d: TIR differs after round trip", seed)
+		}
+	}
+}

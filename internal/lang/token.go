@@ -1,0 +1,134 @@
+// Package lang implements the JR language front end: lexer, parser,
+// semantic checker and TIR code generator.
+//
+// JR stands in for the Java source + bytecode of the paper's Jrpm system.
+// It is a small imperative language with ints, floats, bools and 1-D
+// arrays — just enough to express the paper's benchmark kernels and, more
+// importantly, to produce the loop nests, named-local accesses and heap
+// access patterns that the TEST tracer analyzes.
+package lang
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+
+	// Punctuation.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBrack
+	TokRBrack
+	TokComma
+	TokSemi
+	TokColon
+
+	// Operators.
+	TokAssign     // =
+	TokPlusEq     // +=
+	TokMinusEq    // -=
+	TokStarEq     // *=
+	TokPlusPlus   // ++
+	TokMinusMinus // --
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp
+	TokPipe
+	TokCaret
+	TokShl
+	TokShr
+	TokEq // ==
+	TokNe // !=
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokAndAnd
+	TokOrOr
+	TokBang
+
+	// Keywords.
+	TokFunc
+	TokGlobal
+	TokVar
+	TokIf
+	TokElse
+	TokWhile
+	TokDo
+	TokFor
+	TokReturn
+	TokBreak
+	TokContinue
+	TokTrue
+	TokFalse
+	TokIntType
+	TokFloatType
+	TokBoolType
+	TokPrint
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokInt: "int literal", TokFloat: "float literal",
+	TokLParen: "(", TokRParen: ")", TokLBrace: "{", TokRBrace: "}",
+	TokLBrack: "[", TokRBrack: "]", TokComma: ",", TokSemi: ";", TokColon: ":",
+	TokAssign: "=", TokPlusEq: "+=", TokMinusEq: "-=", TokStarEq: "*=",
+	TokPlusPlus: "++", TokMinusMinus: "--",
+	TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/", TokPercent: "%",
+	TokAmp: "&", TokPipe: "|", TokCaret: "^", TokShl: "<<", TokShr: ">>",
+	TokEq: "==", TokNe: "!=", TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+	TokAndAnd: "&&", TokOrOr: "||", TokBang: "!",
+	TokFunc: "func", TokGlobal: "global", TokVar: "var", TokIf: "if", TokElse: "else",
+	TokWhile: "while", TokDo: "do", TokFor: "for", TokReturn: "return",
+	TokBreak: "break", TokContinue: "continue", TokTrue: "true", TokFalse: "false",
+	TokIntType: "int", TokFloatType: "float", TokBoolType: "bool", TokPrint: "print",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", uint8(k))
+}
+
+var keywords = map[string]TokKind{
+	"func": TokFunc, "global": TokGlobal, "var": TokVar, "if": TokIf,
+	"else": TokElse, "while": TokWhile, "do": TokDo, "for": TokFor,
+	"return": TokReturn, "break": TokBreak, "continue": TokContinue,
+	"true": TokTrue, "false": TokFalse,
+	"int": TokIntType, "float": TokFloatType, "bool": TokBoolType,
+	"print": TokPrint,
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Int  int64
+	Flt  float64
+	Line int
+}
+
+// Diag is a positioned front-end diagnostic.
+type Diag struct {
+	Line int
+	Msg  string
+}
+
+func (d *Diag) Error() string {
+	return fmt.Sprintf("line %d: %s", d.Line, d.Msg)
+}
+
+func errf(line int, format string, args ...any) *Diag {
+	return &Diag{Line: line, Msg: fmt.Sprintf(format, args...)}
+}

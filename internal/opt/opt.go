@@ -1,0 +1,441 @@
+// Package opt implements the scalar optimizations of the microJIT dynamic
+// compiler (§3.2): constant folding, copy propagation and dead-register
+// elimination over TIR. The paper's compiler "performs optimizations and
+// transformations on the selected STLs"; these are the target-independent
+// ones that shrink the straight-line code the tracer watches.
+//
+// The passes deliberately preserve everything the trace analyses observe:
+//
+//   - named-local accesses (LdLoc/StLoc) are kept unless the loaded value
+//     is provably dead — exactly what a register allocator would do;
+//   - heap loads and stores are never removed or reordered, so the event
+//     stream the comparator banks see is unchanged;
+//   - calls, allocations and annotations are barriers.
+//
+// Run the optimizer before the annotation pass.
+package opt
+
+import (
+	"math"
+
+	"jrpm/internal/tir"
+)
+
+// Result reports what the optimizer did.
+type Result struct {
+	Folded     int // instructions replaced by constants
+	Propagated int // operand registers rewritten through moves
+	Removed    int // dead instructions deleted
+}
+
+// Program optimizes every function in place and re-numbers PCs.
+func Program(p *tir.Program) Result {
+	var total Result
+	for _, f := range p.Funcs {
+		r := Function(f)
+		total.Folded += r.Folded
+		total.Propagated += r.Propagated
+		total.Removed += r.Removed
+	}
+	p.AssignPCs()
+	return total
+}
+
+// Function optimizes one function in place: repeated fold+propagate
+// followed by dead-code elimination, to a fixed point.
+func Function(f *tir.Function) Result {
+	var total Result
+	for {
+		r := foldAndPropagate(f)
+		r.Removed = removeDead(f)
+		total.Folded += r.Folded
+		total.Propagated += r.Propagated
+		total.Removed += r.Removed
+		if r.Folded == 0 && r.Propagated == 0 && r.Removed == 0 {
+			return total
+		}
+	}
+}
+
+// value is the block-local abstract value of a register.
+type value struct {
+	kind  uint8 // 0 unknown, 1 const int, 2 const float, 3 copy-of
+	i     int64
+	fl    float64
+	alias tir.Reg
+}
+
+// foldAndPropagate runs constant folding and copy propagation within each
+// basic block (values do not flow across block boundaries — simple,
+// always-safe, and exactly what a one-pass JIT does).
+func foldAndPropagate(f *tir.Function) Result {
+	var res Result
+	vals := make([]value, f.NumRegs)
+	for bi := range f.Blocks {
+		for i := range vals {
+			vals[i] = value{}
+		}
+		instrs := f.Blocks[bi].Instrs
+		for ii := range instrs {
+			in := &instrs[ii]
+
+			// Rewrite operands through copies first.
+			rewrite := func(r *tir.Reg) {
+				if *r >= 0 && int(*r) < len(vals) && vals[*r].kind == 3 {
+					*r = vals[*r].alias
+					res.Propagated++
+				}
+			}
+			switch in.Op {
+			case tir.OpConstI, tir.OpConstF, tir.OpLdLoc, tir.OpLdGlob, tir.OpBr, tir.OpNop,
+				tir.OpSLoop, tir.OpELoop, tir.OpEOI, tir.OpLWL, tir.OpSWL, tir.OpReadStats:
+				// No register operands to rewrite.
+			case tir.OpCall:
+				for ai := range in.Args {
+					rewrite(&in.Args[ai])
+				}
+			case tir.OpStore:
+				rewrite(&in.A)
+				rewrite(&in.B)
+			case tir.OpMov, tir.OpNeg, tir.OpNot, tir.OpFNeg, tir.OpI2F, tir.OpF2I,
+				tir.OpLoad, tir.OpArrLen, tir.OpNewArr, tir.OpStLoc, tir.OpBrIf,
+				tir.OpRet, tir.OpPrint:
+				rewrite(&in.A)
+			default: // binary ops
+				rewrite(&in.A)
+				rewrite(&in.B)
+			}
+
+			// Try to fold.
+			folded := tryFold(in, vals)
+			if folded {
+				res.Folded++
+			}
+
+			// Update the abstract state for the defined register.
+			if d := defOf(in); d >= 0 {
+				// Any alias of the overwritten register dies.
+				for r := range vals {
+					if vals[r].kind == 3 && vals[r].alias == d {
+						vals[r] = value{}
+					}
+				}
+				switch in.Op {
+				case tir.OpConstI:
+					vals[d] = value{kind: 1, i: in.Imm}
+				case tir.OpConstF:
+					vals[d] = value{kind: 2, fl: in.FImm}
+				case tir.OpMov:
+					if in.A != d {
+						vals[d] = value{kind: 3, alias: in.A}
+					} else {
+						vals[d] = value{}
+					}
+				default:
+					vals[d] = value{}
+				}
+			}
+		}
+	}
+	return res
+}
+
+// defOf returns the register an instruction defines, or -1.
+func defOf(in *tir.Instr) tir.Reg {
+	switch in.Op {
+	case tir.OpConstI, tir.OpConstF, tir.OpMov, tir.OpAdd, tir.OpSub, tir.OpMul,
+		tir.OpDiv, tir.OpMod, tir.OpAnd, tir.OpOr, tir.OpXor, tir.OpShl, tir.OpShr,
+		tir.OpNeg, tir.OpNot, tir.OpFAdd, tir.OpFSub, tir.OpFMul, tir.OpFDiv, tir.OpFNeg,
+		tir.OpEq, tir.OpNe, tir.OpLt, tir.OpLe, tir.OpGt, tir.OpGe,
+		tir.OpFEq, tir.OpFNe, tir.OpFLt, tir.OpFLe, tir.OpFGt, tir.OpFGe,
+		tir.OpI2F, tir.OpF2I, tir.OpLdLoc, tir.OpLdGlob, tir.OpLoad, tir.OpArrLen, tir.OpNewArr:
+		return in.Dst
+	case tir.OpCall:
+		return in.Dst // may be NoReg (-1)
+	}
+	return -1
+}
+
+// tryFold replaces in with a constant when its operands are constants.
+// Semantics mirror the VM exactly (shift masking, truncation, 0/1 bools).
+func tryFold(in *tir.Instr, vals []value) bool {
+	ci := func(r tir.Reg) (int64, bool) {
+		if r >= 0 && int(r) < len(vals) && vals[r].kind == 1 {
+			return vals[r].i, true
+		}
+		return 0, false
+	}
+	cf := func(r tir.Reg) (float64, bool) {
+		if r >= 0 && int(r) < len(vals) && vals[r].kind == 2 {
+			return vals[r].fl, true
+		}
+		return 0, false
+	}
+	setI := func(v int64) bool {
+		*in = tir.Instr{Op: tir.OpConstI, Dst: in.Dst, Imm: v, Line: in.Line}
+		return true
+	}
+	setF := func(v float64) bool {
+		*in = tir.Instr{Op: tir.OpConstF, Dst: in.Dst, FImm: v, Line: in.Line}
+		return true
+	}
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+
+	switch in.Op {
+	case tir.OpMov:
+		if v, ok := ci(in.A); ok {
+			return setI(v)
+		}
+		if v, ok := cf(in.A); ok {
+			return setF(v)
+		}
+	case tir.OpNeg:
+		if v, ok := ci(in.A); ok {
+			return setI(-v)
+		}
+	case tir.OpNot:
+		if v, ok := ci(in.A); ok {
+			return setI(b2i(v == 0))
+		}
+	case tir.OpFNeg:
+		if v, ok := cf(in.A); ok {
+			return setF(-v)
+		}
+	case tir.OpI2F:
+		if v, ok := ci(in.A); ok {
+			return setF(float64(v))
+		}
+	case tir.OpF2I:
+		if v, ok := cf(in.A); ok && !math.IsNaN(v) && v >= -(1<<62) && v <= 1<<62 {
+			return setI(int64(v))
+		}
+	case tir.OpAdd, tir.OpSub, tir.OpMul, tir.OpDiv, tir.OpMod,
+		tir.OpAnd, tir.OpOr, tir.OpXor, tir.OpShl, tir.OpShr,
+		tir.OpEq, tir.OpNe, tir.OpLt, tir.OpLe, tir.OpGt, tir.OpGe:
+		a, okA := ci(in.A)
+		b, okB := ci(in.B)
+		if !okA || !okB {
+			return false
+		}
+		switch in.Op {
+		case tir.OpAdd:
+			return setI(a + b)
+		case tir.OpSub:
+			return setI(a - b)
+		case tir.OpMul:
+			return setI(a * b)
+		case tir.OpDiv:
+			if b == 0 {
+				return false // keep the trap
+			}
+			return setI(a / b)
+		case tir.OpMod:
+			if b == 0 {
+				return false
+			}
+			return setI(a % b)
+		case tir.OpAnd:
+			return setI(a & b)
+		case tir.OpOr:
+			return setI(a | b)
+		case tir.OpXor:
+			return setI(a ^ b)
+		case tir.OpShl:
+			return setI(a << (uint64(b) & 63))
+		case tir.OpShr:
+			return setI(a >> (uint64(b) & 63))
+		case tir.OpEq:
+			return setI(b2i(a == b))
+		case tir.OpNe:
+			return setI(b2i(a != b))
+		case tir.OpLt:
+			return setI(b2i(a < b))
+		case tir.OpLe:
+			return setI(b2i(a <= b))
+		case tir.OpGt:
+			return setI(b2i(a > b))
+		case tir.OpGe:
+			return setI(b2i(a >= b))
+		}
+	case tir.OpFAdd, tir.OpFSub, tir.OpFMul, tir.OpFDiv,
+		tir.OpFEq, tir.OpFNe, tir.OpFLt, tir.OpFLe, tir.OpFGt, tir.OpFGe:
+		a, okA := cf(in.A)
+		b, okB := cf(in.B)
+		if !okA || !okB {
+			return false
+		}
+		switch in.Op {
+		case tir.OpFAdd:
+			return setF(a + b)
+		case tir.OpFSub:
+			return setF(a - b)
+		case tir.OpFMul:
+			return setF(a * b)
+		case tir.OpFDiv:
+			return setF(a / b)
+		case tir.OpFEq:
+			return setI(b2i(a == b))
+		case tir.OpFNe:
+			return setI(b2i(a != b))
+		case tir.OpFLt:
+			return setI(b2i(a < b))
+		case tir.OpFLe:
+			return setI(b2i(a <= b))
+		case tir.OpFGt:
+			return setI(b2i(a > b))
+		case tir.OpFGe:
+			return setI(b2i(a >= b))
+		}
+	}
+	return false
+}
+
+// removable reports whether an instruction can be deleted when its result
+// is dead. Heap loads are kept even when dead so the tracer's event stream
+// (and any fault) is preserved; calls and allocations have effects.
+func removable(op tir.Op) bool {
+	switch op {
+	case tir.OpConstI, tir.OpConstF, tir.OpMov, tir.OpAdd, tir.OpSub, tir.OpMul,
+		tir.OpAnd, tir.OpOr, tir.OpXor, tir.OpShl, tir.OpShr,
+		tir.OpNeg, tir.OpNot, tir.OpFAdd, tir.OpFSub, tir.OpFMul, tir.OpFDiv, tir.OpFNeg,
+		tir.OpEq, tir.OpNe, tir.OpLt, tir.OpLe, tir.OpGt, tir.OpGe,
+		tir.OpFEq, tir.OpFNe, tir.OpFLt, tir.OpFLe, tir.OpFGt, tir.OpFGe,
+		tir.OpI2F, tir.OpF2I, tir.OpLdLoc, tir.OpLdGlob, tir.OpArrLen:
+		return true
+	}
+	// Div/Mod can trap; Load/Store/Call/NewArr/StLoc/annotations have
+	// observable effects; terminators structure the CFG.
+	return false
+}
+
+// uses appends the registers an instruction reads.
+func uses(in *tir.Instr, out []tir.Reg) []tir.Reg {
+	switch in.Op {
+	case tir.OpConstI, tir.OpConstF, tir.OpLdLoc, tir.OpLdGlob, tir.OpBr, tir.OpNop,
+		tir.OpSLoop, tir.OpELoop, tir.OpEOI, tir.OpLWL, tir.OpSWL, tir.OpReadStats:
+		return out
+	case tir.OpStore:
+		return append(out, in.A, in.B)
+	case tir.OpCall:
+		return append(out, in.Args...)
+	case tir.OpMov, tir.OpNeg, tir.OpNot, tir.OpFNeg, tir.OpI2F, tir.OpF2I,
+		tir.OpLoad, tir.OpArrLen, tir.OpNewArr, tir.OpStLoc, tir.OpBrIf, tir.OpPrint:
+		return append(out, in.A)
+	case tir.OpRet:
+		if in.HasVal {
+			return append(out, in.A)
+		}
+		return out
+	default: // binary ops
+		return append(out, in.A, in.B)
+	}
+}
+
+// removeDead deletes instructions whose defined register is dead, using a
+// backward liveness dataflow over the CFG.
+func removeDead(f *tir.Function) int {
+	n := len(f.Blocks)
+	preds := make([][]int, n)
+	for bi := range f.Blocks {
+		for _, t := range f.Blocks[bi].Targets {
+			preds[t] = append(preds[t], bi)
+		}
+	}
+
+	liveIn := make([]map[tir.Reg]bool, n)
+	liveOut := make([]map[tir.Reg]bool, n)
+	for i := range liveIn {
+		liveIn[i] = map[tir.Reg]bool{}
+		liveOut[i] = map[tir.Reg]bool{}
+	}
+	var scratch []tir.Reg
+	changed := true
+	for changed {
+		changed = false
+		for bi := n - 1; bi >= 0; bi-- {
+			out := map[tir.Reg]bool{}
+			for _, t := range f.Blocks[bi].Targets {
+				for r := range liveIn[t] {
+					out[r] = true
+				}
+			}
+			in := map[tir.Reg]bool{}
+			for r := range out {
+				in[r] = true
+			}
+			instrs := f.Blocks[bi].Instrs
+			for ii := len(instrs) - 1; ii >= 0; ii-- {
+				inst := &instrs[ii]
+				if d := defOf(inst); d >= 0 {
+					delete(in, d)
+				}
+				scratch = uses(inst, scratch[:0])
+				for _, r := range scratch {
+					if r >= 0 {
+						in[r] = true
+					}
+				}
+			}
+			if !sameSet(in, liveIn[bi]) {
+				liveIn[bi] = in
+				changed = true
+			}
+			liveOut[bi] = out
+		}
+	}
+
+	removed := 0
+	for bi := range f.Blocks {
+		instrs := f.Blocks[bi].Instrs
+		live := map[tir.Reg]bool{}
+		for r := range liveOut[bi] {
+			live[r] = true
+		}
+		// Backward pass marking which instructions to keep.
+		keep := make([]bool, len(instrs))
+		for ii := len(instrs) - 1; ii >= 0; ii-- {
+			inst := &instrs[ii]
+			d := defOf(inst)
+			dead := d >= 0 && !live[d] && removable(inst.Op)
+			keep[ii] = !dead
+			if !dead {
+				if d >= 0 {
+					delete(live, d)
+				}
+				scratch = uses(inst, scratch[:0])
+				for _, r := range scratch {
+					if r >= 0 {
+						live[r] = true
+					}
+				}
+			}
+		}
+		out := instrs[:0]
+		for ii := range instrs {
+			if keep[ii] {
+				out = append(out, instrs[ii])
+			} else {
+				removed++
+			}
+		}
+		f.Blocks[bi].Instrs = out
+	}
+	return removed
+}
+
+func sameSet(a, b map[tir.Reg]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for r := range a {
+		if !b[r] {
+			return false
+		}
+	}
+	return true
+}

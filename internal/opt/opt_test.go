@@ -1,0 +1,219 @@
+package opt_test
+
+import (
+	"testing"
+
+	"jrpm/internal/lang"
+	"jrpm/internal/opt"
+	"jrpm/internal/tir"
+	"jrpm/internal/vmsim"
+	"jrpm/internal/workloads"
+)
+
+func compile(t *testing.T, src string) *tir.Program {
+	t.Helper()
+	p, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func run(t *testing.T, p *tir.Program, ints map[string][]int64) (*vmsim.VM, []int64) {
+	t.Helper()
+	vm := vmsim.New(p)
+	for n, v := range ints {
+		if err := vm.BindGlobalInts(n, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := vm.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := vm.GlobalInts("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm, out
+}
+
+// TestConstantFolding: a constant expression tree collapses.
+func TestConstantFolding(t *testing.T) {
+	src := `
+global out: int[];
+func main() {
+	out[0] = (3 + 4) * (10 - 2) / 2;  // 28
+	out[1] = (1 << 10) & 0xFFF;
+	var b: bool = 3 < 4;
+	if (b) { out[2] = 1; }
+}`
+	p := compile(t, src)
+	before := p.NumInstrs()
+	r := opt.Program(p)
+	if err := tir.Validate(p); err != nil {
+		t.Fatalf("optimized program invalid: %v", err)
+	}
+	if r.Folded == 0 || r.Removed == 0 {
+		t.Fatalf("no folding/dce happened: %+v", r)
+	}
+	if after := p.NumInstrs(); after >= before {
+		t.Fatalf("instructions %d -> %d: no shrink", before, after)
+	}
+	_, out := run(t, p, map[string][]int64{"out": {0, 0, 0}})
+	if out[0] != 28 || out[1] != (1<<10)&0xFFF || out[2] != 1 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+// TestDivByZeroNotFolded: the trap must survive.
+func TestDivByZeroNotFolded(t *testing.T) {
+	src := `
+global out: int[];
+func main() {
+	var z: int = 0;
+	out[0] = 7 / z;
+}`
+	p := compile(t, src)
+	opt.Program(p)
+	vm := vmsim.New(p)
+	if err := vm.BindGlobalInts("out", []int64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run("main"); err == nil {
+		t.Fatal("division by zero folded away")
+	}
+}
+
+// TestDeadLoadOfLocalRemoved: a named-local read whose value is unused is
+// removable (register allocation would do the same).
+func TestDeadLoadOfLocalRemoved(t *testing.T) {
+	src := `
+global out: int[];
+func main() {
+	var x: int = 5;
+	var y: int = x;  // dead: y never used
+	out[0] = x;
+}`
+	p := compile(t, src)
+	r := opt.Program(p)
+	if r.Removed == 0 {
+		t.Fatalf("dead locals kept: %+v", r)
+	}
+	_, out := run(t, p, map[string][]int64{"out": {0}})
+	if out[0] != 5 {
+		t.Fatalf("out = %v", out)
+	}
+	// y's StLoc survives (stores are visible state) but the chain feeding
+	// nothing else shrinks; what matters is semantics, checked above.
+}
+
+// TestHeapAccessesPreserved: loads/stores are never removed — the tracer's
+// event stream must be identical.
+func TestHeapAccessesPreserved(t *testing.T) {
+	src := `
+global a: int[];
+global out: int[];
+func main() {
+	var i: int = 0;
+	while (i < len(a)) {
+		var dead: int = a[i]; // heap load with unused result
+		a[i] = a[i] + 1;
+		i++;
+	}
+	out[0] = a[0];
+}`
+	p := compile(t, src)
+	countLoads := func() int {
+		n := 0
+		for _, f := range p.Funcs {
+			for bi := range f.Blocks {
+				for ii := range f.Blocks[bi].Instrs {
+					if f.Blocks[bi].Instrs[ii].Op == tir.OpLoad {
+						n++
+					}
+				}
+			}
+		}
+		return n
+	}
+	before := countLoads()
+	opt.Program(p)
+	if after := countLoads(); after != before {
+		t.Fatalf("heap loads %d -> %d: the event stream changed", before, after)
+	}
+	vm, out := run(t, p, map[string][]int64{"a": {1, 2, 3}, "out": {0}})
+	if out[0] != 2 || vm.NHeapLoads == 0 {
+		t.Fatalf("semantics broken: out=%v loads=%d", out, vm.NHeapLoads)
+	}
+}
+
+// TestCopyPropagation: mov chains collapse onto the source register.
+func TestCopyPropagation(t *testing.T) {
+	src := `
+global out: int[];
+func main() {
+	var a: int = out[0];
+	var b: int = a;
+	var c: int = b;
+	out[1] = c + c;
+}`
+	p := compile(t, src)
+	r := opt.Program(p)
+	if r.Propagated == 0 && r.Removed == 0 {
+		t.Fatalf("no propagation: %+v", r)
+	}
+	_, out := run(t, p, map[string][]int64{"out": {21, 0}})
+	if out[1] != 42 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+// TestAllWorkloadsPreservedAndSmaller: the optimizer must keep every
+// benchmark's semantics (outputs identical) while shrinking code.
+func TestAllWorkloadsPreservedAndSmaller(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Meta.Name, func(t *testing.T) {
+			in := w.NewInput(0.3)
+			p := compile(t, w.Source)
+			before := p.NumInstrs()
+			opt.Program(p)
+			if err := tir.Validate(p); err != nil {
+				t.Fatalf("invalid after opt: %v", err)
+			}
+			if after := p.NumInstrs(); after > before {
+				t.Fatalf("instructions grew: %d -> %d", before, after)
+			}
+			vm := vmsim.New(p)
+			for n, v := range in.Ints {
+				if err := vm.BindGlobalInts(n, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for n, v := range in.Floats {
+				if err := vm.BindGlobalFloats(n, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := vm.Run("main"); err != nil {
+				t.Fatalf("optimized run failed: %v", err)
+			}
+			if err := w.Check(vm); err != nil {
+				t.Fatalf("optimized output wrong: %v", err)
+			}
+		})
+	}
+}
+
+// TestIdempotent: a second optimization pass finds nothing.
+func TestIdempotent(t *testing.T) {
+	w, err := workloads.ByName("Huffman")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := compile(t, w.Source)
+	opt.Program(p)
+	if r := opt.Program(p); r.Folded != 0 || r.Propagated != 0 || r.Removed != 0 {
+		t.Fatalf("second pass found work: %+v", r)
+	}
+}

@@ -1,0 +1,152 @@
+// Package profile post-processes the statistics collected by the TEST
+// comparator banks: it derives the per-loop values of Figure 3, estimates
+// each potential STL's speculative speedup with Equation 1, builds the
+// dynamic loop tree, and selects the optimal set of decompositions with
+// the Equation 2 comparison (section 4.3).
+package profile
+
+import (
+	"jrpm/internal/core"
+	"jrpm/internal/hydra"
+)
+
+// Derived holds the values derived from a loop's raw counters, mirroring
+// the "derived values" table in Figure 3.
+type Derived struct {
+	Loop             int
+	AvgThreadSize    float64    // # cycles / # threads
+	AvgItersPerEntry float64    // # threads / # entries
+	ArcFreq          [2]float64 // # critical arcs per thread pair, by bin
+	AvgArcLen        [2]float64 // mean critical arc length, by bin
+	OverflowFreq     float64    // overflowing threads / threads
+}
+
+// Derive computes the Figure 3 derived values from raw bank counters.
+func Derive(s *core.LoopStats) Derived {
+	d := Derived{Loop: s.Loop}
+	if s.Threads > 0 {
+		d.AvgThreadSize = float64(s.Cycles) / float64(s.Threads)
+		d.OverflowFreq = float64(s.Overflows) / float64(s.Threads)
+	}
+	if s.Entries > 0 {
+		d.AvgItersPerEntry = float64(s.Threads) / float64(s.Entries)
+	}
+	// A loop entry with n threads has n-1 consecutive thread pairs.
+	pairs := s.Threads - s.Entries
+	for bin := 0; bin < 2; bin++ {
+		if pairs > 0 {
+			d.ArcFreq[bin] = float64(s.ArcCount[bin]) / float64(pairs)
+			if d.ArcFreq[bin] > 1 {
+				d.ArcFreq[bin] = 1
+			}
+		}
+		if s.ArcCount[bin] > 0 {
+			d.AvgArcLen[bin] = float64(s.ArcLenSum[bin]) / float64(s.ArcCount[bin])
+		}
+	}
+	return d
+}
+
+// Estimate is the Equation 1 performance prediction for one STL.
+type Estimate struct {
+	Loop        int
+	Derived     Derived
+	BaseSpeedup float64 // dependency-limited speedup before overheads
+	SpecTime    float64 // predicted cycles when run speculatively
+	Speedup     float64 // sequential cycles / SpecTime, capped at p
+}
+
+// Estimator evaluates Equation 1 for loops under a machine configuration.
+type Estimator struct {
+	Cfg hydra.Config
+}
+
+// Estimate applies the (reconstructed) Equation 1 to one loop's
+// statistics.
+//
+// The paper's prose pins the key behaviour: "Speedup is limited to four
+// in Hydra ... we expect maximal speedup if the average critical arc
+// length is at least 3/4 the average thread size (or (p−1)/p where p is
+// the number of processors)". For a dependency arc of sequential length A
+// between threads k apart, threads of size T started every I cycles
+// overlap correctly when I ≥ T − (A − comm)/k, so the dependency-limited
+// initiation interval is
+//
+//	I(bin t−1)  = max(T/p, T − (A₁ − comm))         (k = 1)
+//	I(bin <t−1) = max(T/p, T − A₂/2)                 (k ≥ 2, conservative)
+//
+// and A ≥ (p−1)/p·T gives I = T/p — maximal speedup — exactly the paper's
+// 3/4 rule. Threads without a critical arc start every T/p cycles. The
+// expected interval is the arc-frequency-weighted mix, and fixed TLS
+// overheads (Table 2) plus serialization of overflowing threads complete
+// the prediction:
+//
+//	spec_time = entries·(startup+shutdown) + threads·eoi
+//	          + cycles·( ovf + (1−ovf)·I_eff/T )
+func (e Estimator) Estimate(s *core.LoopStats) Estimate {
+	d := Derive(s)
+	p := float64(e.Cfg.CPUs)
+	est := Estimate{Loop: s.Loop, Derived: d, BaseSpeedup: 1, Speedup: 0}
+	if s.Threads == 0 || s.Cycles == 0 {
+		return est
+	}
+	T := d.AvgThreadSize
+	if T <= 0 {
+		return est
+	}
+	comm := float64(e.Cfg.Overheads.StoreLoadComm)
+
+	iMin := T / p
+	i1 := iMin
+	if d.ArcFreq[core.BinPrev] > 0 {
+		i1 = T - (d.AvgArcLen[core.BinPrev] - comm)
+		if i1 < iMin {
+			i1 = iMin
+		}
+		if i1 > T {
+			i1 = T
+		}
+	}
+	i2 := iMin
+	if d.ArcFreq[core.BinEarlier] > 0 {
+		i2 = T - d.AvgArcLen[core.BinEarlier]/2
+		if i2 < iMin {
+			i2 = iMin
+		}
+		if i2 > T {
+			i2 = T
+		}
+	}
+	f1, f2 := d.ArcFreq[core.BinPrev], d.ArcFreq[core.BinEarlier]
+	if f1+f2 > 1 {
+		scale := 1 / (f1 + f2)
+		f1 *= scale
+		f2 *= scale
+	}
+	iEff := f1*i1 + f2*i2 + (1-f1-f2)*iMin
+	est.BaseSpeedup = T / iEff
+	if est.BaseSpeedup > p {
+		est.BaseSpeedup = p
+	}
+	if est.BaseSpeedup < 1 {
+		est.BaseSpeedup = 1
+	}
+
+	ov := e.Cfg.Overheads
+	ovf := d.OverflowFreq
+	est.SpecTime = float64(s.Entries)*float64(ov.LoopStartup+ov.LoopShutdown) +
+		float64(s.Threads)*float64(ov.EndOfIter) +
+		float64(s.Cycles)*(ovf+(1-ovf)/est.BaseSpeedup)
+	est.Speedup = float64(s.Cycles) / est.SpecTime
+	// A loop cannot use more processors than it has iterations per entry:
+	// short-tripping loops (e.g. a 2-pass outer loop) top out at their
+	// trip count even when fully independent.
+	cap := p
+	if d.AvgItersPerEntry < cap {
+		cap = d.AvgItersPerEntry
+	}
+	if est.Speedup > cap {
+		est.Speedup = cap
+	}
+	return est
+}

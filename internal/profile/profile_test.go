@@ -1,0 +1,360 @@
+package profile_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"jrpm/internal/core"
+	"jrpm/internal/hydra"
+	"jrpm/internal/profile"
+	"jrpm/internal/tir"
+)
+
+// TestDeriveFigure3 feeds the exact accumulated counters of the paper's
+// Figure 3 worked example and checks the derived values it lists.
+func TestDeriveFigure3(t *testing.T) {
+	s := &core.LoopStats{
+		Cycles:  35,
+		Threads: 3,
+		Entries: 1,
+	}
+	s.ArcCount[core.BinPrev] = 2
+	s.ArcLenSum[core.BinPrev] = 16
+
+	d := profile.Derive(s)
+	if math.Abs(d.AvgThreadSize-35.0/3.0) > 1e-9 {
+		t.Errorf("avg thread size = %.2f, want 11.67", d.AvgThreadSize)
+	}
+	if d.AvgItersPerEntry != 3 {
+		t.Errorf("iters/entry = %.1f, want 3", d.AvgItersPerEntry)
+	}
+	if d.ArcFreq[core.BinPrev] != 1.0 {
+		t.Errorf("critical arc frequency to previous thread = %.2f, want 1.0", d.ArcFreq[core.BinPrev])
+	}
+	if d.AvgArcLen[core.BinPrev] != 8 {
+		t.Errorf("avg critical arc length = %.1f, want 8", d.AvgArcLen[core.BinPrev])
+	}
+	if d.ArcFreq[core.BinEarlier] != 0 || d.AvgArcLen[core.BinEarlier] != 0 {
+		t.Errorf("earlier-thread bin should be empty")
+	}
+	if d.OverflowFreq != 0 {
+		t.Errorf("overflow freq = %.2f, want 0", d.OverflowFreq)
+	}
+}
+
+func stats(cycles, threads, entries int64) *core.LoopStats {
+	return &core.LoopStats{Cycles: cycles, Threads: threads, Entries: entries}
+}
+
+// TestEstimateIndependentLoop: no arcs, no overflows -> near-maximal
+// speedup, shaved only by fixed overheads.
+func TestEstimateIndependentLoop(t *testing.T) {
+	e := profile.Estimator{Cfg: hydra.DefaultConfig()}
+	s := stats(100_000, 100, 1) // 1000-cycle threads
+	est := e.Estimate(s)
+	if est.BaseSpeedup != 4 {
+		t.Fatalf("base speedup = %.2f, want 4", est.BaseSpeedup)
+	}
+	if est.Speedup < 3.8 || est.Speedup > 4.0 {
+		t.Fatalf("speedup = %.2f, want ~3.9", est.Speedup)
+	}
+}
+
+// TestEstimateThreeQuarterRule: "we expect maximal speedup if the average
+// critical arc length is at least 3/4 the average thread size".
+func TestEstimateThreeQuarterRule(t *testing.T) {
+	e := profile.Estimator{Cfg: hydra.DefaultConfig()}
+	atRule := stats(100_000, 100, 1)
+	atRule.ArcCount[core.BinPrev] = 99
+	atRule.ArcLenSum[core.BinPrev] = 99 * 800 // arcs = 0.8 x thread size
+	est := e.Estimate(atRule)
+	if est.BaseSpeedup != 4 {
+		t.Fatalf("arc >= 3/4 thread size must give maximal base speedup, got %.2f", est.BaseSpeedup)
+	}
+
+	below := stats(100_000, 100, 1)
+	below.ArcCount[core.BinPrev] = 99
+	below.ArcLenSum[core.BinPrev] = 99 * 200 // short arcs: strong constraint
+	est2 := e.Estimate(below)
+	if est2.BaseSpeedup > 1.5 {
+		t.Fatalf("short arcs should nearly serialize, got base %.2f", est2.BaseSpeedup)
+	}
+	if est2.Speedup >= est.Speedup {
+		t.Fatalf("shorter arcs must not speed the loop up (%.2f vs %.2f)", est2.Speedup, est.Speedup)
+	}
+}
+
+// TestEstimateOverflowPenalty: overflowing threads serialize.
+func TestEstimateOverflowPenalty(t *testing.T) {
+	e := profile.Estimator{Cfg: hydra.DefaultConfig()}
+	clean := e.Estimate(stats(100_000, 100, 1))
+	half := stats(100_000, 100, 1)
+	half.Overflows = 50
+	estHalf := e.Estimate(half)
+	full := stats(100_000, 100, 1)
+	full.Overflows = 100
+	estFull := e.Estimate(full)
+	if !(clean.Speedup > estHalf.Speedup && estHalf.Speedup > estFull.Speedup) {
+		t.Fatalf("overflow penalty not monotone: %.2f / %.2f / %.2f",
+			clean.Speedup, estHalf.Speedup, estFull.Speedup)
+	}
+	if estFull.Speedup > 1.05 {
+		t.Fatalf("always-overflowing loop estimated at %.2fx", estFull.Speedup)
+	}
+}
+
+// TestEstimateIterationCap: a loop with fewer iterations than CPUs cannot
+// exceed its trip count.
+func TestEstimateIterationCap(t *testing.T) {
+	e := profile.Estimator{Cfg: hydra.DefaultConfig()}
+	est := e.Estimate(stats(100_000, 2, 1)) // 2 iterations per entry
+	if est.Speedup > 2 {
+		t.Fatalf("2-trip loop estimated at %.2fx", est.Speedup)
+	}
+}
+
+// TestEstimateOverheadsBite: tiny threads lose to fixed per-thread costs.
+func TestEstimateOverheadsBite(t *testing.T) {
+	e := profile.Estimator{Cfg: hydra.DefaultConfig()}
+	est := e.Estimate(stats(10_000, 1000, 1)) // 10-cycle threads, eoi = 5
+	if est.Speedup > 2.5 {
+		t.Fatalf("10-cycle threads estimated at %.2fx despite 5-cycle eoi", est.Speedup)
+	}
+}
+
+// TestEstimateEmptyStats: degenerate inputs do not divide by zero.
+func TestEstimateEmptyStats(t *testing.T) {
+	e := profile.Estimator{Cfg: hydra.DefaultConfig()}
+	est := e.Estimate(stats(0, 0, 0))
+	if est.Speedup != 0 || est.BaseSpeedup != 1 {
+		t.Fatalf("empty stats: got %+v", est)
+	}
+}
+
+// --- Equation 2 selection -------------------------------------------------
+
+// buildAnalysis constructs a synthetic loop tree. spec[i] > 0 marks node i
+// selectable with that estimated speedup.
+type synthNode struct {
+	cycles   int64
+	speedup  float64 // 0 = not selectable
+	children []int
+}
+
+func buildAnalysis(nodes []synthNode, roots []int, total int64) *profile.Analysis {
+	prog := &tir.Program{}
+	a := &profile.Analysis{
+		Prog:        prog,
+		TotalCycles: total,
+		CleanCycles: total,
+		Scale:       1,
+		Nodes:       map[int]*profile.Node{},
+	}
+	objs := make([]*profile.Node, len(nodes))
+	for i, sn := range nodes {
+		prog.Loops = append(prog.Loops, tir.LoopInfo{ID: i, Candidate: sn.speedup > 0})
+		n := &profile.Node{Loop: i, Stats: &core.LoopStats{Loop: i, Cycles: sn.cycles, Threads: 100, Entries: 1}}
+		n.Est = profile.Estimate{Loop: i, Speedup: sn.speedup}
+		objs[i] = n
+		a.Nodes[i] = n
+	}
+	for i, sn := range nodes {
+		for _, c := range sn.children {
+			objs[c].Parent = objs[i]
+			objs[i].Children = append(objs[i].Children, objs[c])
+		}
+	}
+	for _, r := range roots {
+		a.Roots = append(a.Roots, objs[r])
+	}
+	return a
+}
+
+func selectOpts() profile.SelectOptions {
+	return profile.SelectOptions{MinSpeedup: 1.02, MinThreads: 2, ReportCoverage: 0.005}
+}
+
+// TestSelectPrefersOuterWhenBetter mirrors Table 3's structure.
+func TestSelectPrefersOuterWhenBetter(t *testing.T) {
+	// Outer loop 10000 cycles at 1.85x vs inner 7000 cycles at 1.30x +
+	// 3000 serial: outer wins (5405 < 8384).
+	a := buildAnalysis([]synthNode{
+		{cycles: 10000, speedup: 1.85, children: []int{1}},
+		{cycles: 7000, speedup: 1.30},
+	}, []int{0}, 10000)
+	a.Select(selectOpts())
+	if !a.Nodes[0].Selected || a.Nodes[1].Selected {
+		t.Fatalf("selection = outer:%v inner:%v, want outer only",
+			a.Nodes[0].Selected, a.Nodes[1].Selected)
+	}
+	if got := a.SelectedLoopIDs(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("selected ids = %v", got)
+	}
+}
+
+// TestSelectPrefersInnerWhenOuterWeak: a barely-speeding outer loop loses
+// to a strong inner loop.
+func TestSelectPrefersInnerWhenOuterWeak(t *testing.T) {
+	a := buildAnalysis([]synthNode{
+		{cycles: 10000, speedup: 1.05, children: []int{1}},
+		{cycles: 9000, speedup: 3.9},
+	}, []int{0}, 10000)
+	a.Select(selectOpts())
+	if a.Nodes[0].Selected || !a.Nodes[1].Selected {
+		t.Fatalf("selection = outer:%v inner:%v, want inner only",
+			a.Nodes[0].Selected, a.Nodes[1].Selected)
+	}
+	// Predicted = 9000/3.9 + 1000 serial.
+	want := 9000.0/3.9 + 1000
+	if math.Abs(a.PredictedCycles-want) > 1e-6 {
+		t.Fatalf("predicted = %.1f, want %.1f", a.PredictedCycles, want)
+	}
+}
+
+// TestSelectExclusivity: selecting a node excludes its descendants even
+// when both look attractive.
+func TestSelectExclusivity(t *testing.T) {
+	a := buildAnalysis([]synthNode{
+		{cycles: 10000, speedup: 3.9, children: []int{1}},
+		{cycles: 9900, speedup: 3.8},
+	}, []int{0}, 10000)
+	a.Select(selectOpts())
+	if !a.Nodes[0].Selected || a.Nodes[1].Selected {
+		t.Fatal("ancestor and descendant both selected")
+	}
+}
+
+// TestSelectMatchesExhaustive is a property test: the Equation 2 dynamic
+// program must find the same optimum as brute-force enumeration over all
+// valid (antichain) selections on random trees.
+func TestSelectMatchesExhaustive(t *testing.T) {
+	f := func(seed uint32, sizeRaw uint8) bool {
+		n := int(sizeRaw%7) + 1
+		rnd := seed
+		next := func(m int) int {
+			rnd = rnd*1664525 + 1013904223
+			return int(rnd>>8) % m
+		}
+		nodes := make([]synthNode, n)
+		var roots []int
+		for i := 0; i < n; i++ {
+			nodes[i].cycles = int64(1000 + next(9000))
+			if next(4) > 0 {
+				nodes[i].speedup = 1.0 + float64(next(300))/100
+			}
+			if i > 0 {
+				p := next(i + 1)
+				if p == i {
+					roots = append(roots, i)
+				} else {
+					nodes[p].children = append(nodes[p].children, i)
+				}
+			} else {
+				roots = append(roots, 0)
+			}
+		}
+		// Make cycles consistent: a parent covers at least its children.
+		var fix func(i int) int64
+		fix = func(i int) int64 {
+			var sum int64
+			for _, c := range nodes[i].children {
+				sum += fix(c)
+			}
+			if nodes[i].cycles < sum {
+				nodes[i].cycles = sum
+			}
+			return nodes[i].cycles
+		}
+		var total int64
+		for _, r := range roots {
+			total += fix(r)
+		}
+		if total == 0 {
+			return true
+		}
+
+		a := buildAnalysis(nodes, roots, total)
+		a.Select(selectOpts())
+
+		// Exhaustive: evaluate every subset that forms an antichain.
+		selectable := []int{}
+		for i := range nodes {
+			if nodes[i].speedup >= 1.02 {
+				selectable = append(selectable, i)
+			}
+		}
+		anc := func(x, y int) bool { // x is an ancestor of y
+			for p := a.Nodes[y].Parent; p != nil; p = p.Parent {
+				if p.Loop == x {
+					return true
+				}
+			}
+			return false
+		}
+		best := math.Inf(1)
+		for mask := 0; mask < 1<<len(selectable); mask++ {
+			sel := map[int]bool{}
+			ok := true
+			for bi, id := range selectable {
+				if mask&(1<<bi) != 0 {
+					sel[id] = true
+				}
+			}
+			for x := range sel {
+				for y := range sel {
+					if x != y && anc(x, y) {
+						ok = false
+					}
+				}
+			}
+			if !ok {
+				continue
+			}
+			var timeOf func(i int) float64
+			timeOf = func(i int) float64 {
+				if sel[i] {
+					return float64(nodes[i].cycles) / nodes[i].speedup
+				}
+				var childSum float64
+				var childCycles int64
+				for _, c := range nodes[i].children {
+					childSum += timeOf(c)
+					childCycles += nodes[c].cycles
+				}
+				return childSum + float64(nodes[i].cycles-childCycles)
+			}
+			tot := 0.0
+			for _, r := range roots {
+				tot += timeOf(r)
+			}
+			if tot < best {
+				best = tot
+			}
+		}
+		if math.Abs(best-a.PredictedCycles) > 1e-6*best {
+			t.Logf("DP = %.2f, exhaustive = %.2f (nodes %+v roots %v)", a.PredictedCycles, best, nodes, roots)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSelectIdempotent: running Select twice gives the same answer (stale
+// flags must be cleared).
+func TestSelectIdempotent(t *testing.T) {
+	a := buildAnalysis([]synthNode{
+		{cycles: 10000, speedup: 1.85, children: []int{1}},
+		{cycles: 7000, speedup: 1.30},
+	}, []int{0}, 10000)
+	a.Select(selectOpts())
+	first := a.SelectedLoopIDs()
+	a.Select(selectOpts())
+	second := a.SelectedLoopIDs()
+	if len(first) != len(second) || first[0] != second[0] {
+		t.Fatalf("selection changed across runs: %v vs %v", first, second)
+	}
+}

@@ -1,0 +1,386 @@
+// Package scalar implements the simple scalar screen of section 4.1:
+//
+//	"Any loop without obvious loop-carried dependencies that would
+//	 completely eliminate speedup (e.g. end-of-loop store and
+//	 start-of-loop load) is considered a potential STL. Loop inductors,
+//	 which are dependencies that can be eliminated by the compiler, are
+//	 ignored so that potentially parallel loops are not overlooked.
+//	 Scalar analysis is used to identify simple dependencies, but we forgo
+//	 advanced techniques."
+//
+// The analysis classifies each named local touched by a loop as an
+// inductor, a reduction, or a plain scalar. Inductors and reductions are
+// excluded from the loop's annotated local-variable set because the JIT
+// eliminates them when the loop is recompiled speculatively
+// (non-violating loop inductors; sum/min/max reduction transformation).
+//
+// A variable is an inductor of loop L only when every store is i = i ± c
+// with a constant c AND executes exactly once per iteration of L (its
+// block is in L, outside any loop nested in L, and dominates L's
+// latches). This distinction matters: in the paper's Huffman example
+// (Figure 3) in_p++ sits inside the inner loop, so for the outer loop
+// in_p advances a data-dependent amount per iteration — a real
+// loop-carried dependency, and indeed the critical arc the tracer must
+// find — while for the inner loop the same update is a plain eliminable
+// iterator.
+package scalar
+
+import (
+	"sort"
+
+	"jrpm/internal/cfg"
+	"jrpm/internal/tir"
+)
+
+// Class is the classification of one named local with respect to a loop.
+type Class uint8
+
+// Classifications.
+const (
+	// ClassPlain scalars carry potential loop-borne dependencies: they are
+	// annotated for tracing and globalized + synchronized by the
+	// recompiler.
+	ClassPlain Class = iota
+	// ClassInductor variables are i = i ± const once per iteration,
+	// rewritten as non-violating iterators.
+	ClassInductor
+	// ClassReduction accumulators (s = s OP e, never otherwise read) are
+	// privatized and merged at loop shutdown.
+	ClassReduction
+	// ClassInvariant locals are never stored in the loop: they are
+	// register-allocated at loop startup and can never cause a dependency.
+	ClassInvariant
+	// ClassPrivate locals are written before any read in the loop header,
+	// so every iteration sees only its own value; each thread gets a
+	// private copy.
+	ClassPrivate
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassInductor:
+		return "inductor"
+	case ClassReduction:
+		return "reduction"
+	case ClassInvariant:
+		return "invariant"
+	case ClassPrivate:
+		return "private"
+	default:
+		return "plain"
+	}
+}
+
+// LoopScalars is the scalar-analysis result for one natural loop.
+type LoopScalars struct {
+	// Accessed lists every named-local slot read or written inside the
+	// loop, ascending.
+	Accessed []int
+	// Classes maps each accessed slot to its classification.
+	Classes map[int]Class
+	// Annotated lists the slots the annotation pass should track for this
+	// loop: Accessed minus inductors and reductions.
+	Annotated []int
+	// Reject is non-empty when the screen drops the loop from the
+	// potential-STL set, with the reason.
+	Reject string
+}
+
+// Analyze classifies the named locals of loop l in function f. The graph
+// and forest must be the ones l came from.
+func Analyze(f *tir.Function, l *cfg.Loop, g *cfg.Graph, forest *cfg.Forest) *LoopScalars {
+	res := &LoopScalars{Classes: map[int]Class{}}
+
+	loads := map[int]int{}         // slot -> LdLoc count in loop
+	stores := map[int]int{}        // slot -> StLoc count in loop
+	selfOp := map[int]int{}        // stores of the form s = s OP x
+	indOp := map[int]int{}         // stores of the form s = s ± const
+	selfLoads := map[int]int{}     // LdLoc instructions feeding a self-update
+	storeBlocks := map[int][]int{} // slot -> blocks containing its stores
+
+	for bi := range f.Blocks {
+		if !l.Blocks[bi] {
+			continue
+		}
+		analyzeBlock(bi, f.Blocks[bi].Instrs, loads, stores, selfOp, indOp, selfLoads, storeBlocks)
+	}
+
+	seen := map[int]bool{}
+	for s := range loads {
+		seen[s] = true
+	}
+	for s := range stores {
+		seen[s] = true
+	}
+	for s := range seen {
+		res.Accessed = append(res.Accessed, s)
+	}
+	sort.Ints(res.Accessed)
+
+	idom := g.Dominators()
+	oncePerIter := func(slot int) bool {
+		for _, sb := range storeBlocks[slot] {
+			if inNestedLoop(sb, l, forest) {
+				return false
+			}
+			for _, latch := range l.Latches {
+				if !cfg.Dominates(idom, sb, latch) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	for _, s := range res.Accessed {
+		cls := ClassPlain
+		switch {
+		case stores[s] == 0:
+			cls = ClassInvariant
+		case indOp[s] == stores[s] && oncePerIter(s):
+			cls = ClassInductor
+		case selfOp[s] == stores[s] && loads[s] == selfLoads[s] && loads[s] == stores[s]:
+			cls = ClassReduction
+		case definedBeforeUsed(f, l, g, s):
+			cls = ClassPrivate
+		}
+		res.Classes[s] = cls
+		if cls == ClassPlain {
+			res.Annotated = append(res.Annotated, s)
+		}
+	}
+
+	res.Reject = screen(f, l, res)
+	return res
+}
+
+// definedBeforeUsed reports whether every load of slot inside the loop is
+// preceded, on every path from the loop header, by a store of the slot in
+// the same iteration — the classic privatization condition ("local
+// variable initializers are communicated to each thread"). It is a
+// must-define forward dataflow over the loop body with the header entry
+// forced undefined, so a value can never be observed across an iteration
+// boundary.
+func definedBeforeUsed(f *tir.Function, l *cfg.Loop, g *cfg.Graph, slot int) bool {
+	// Per-block facts: does the block have a load before any store of the
+	// slot (upward-exposed use), and does it store the slot at all?
+	upUse := map[int]bool{}
+	hasStore := map[int]bool{}
+	for b := range l.Blocks {
+		seenStore := false
+		for i := range f.Blocks[b].Instrs {
+			in := &f.Blocks[b].Instrs[i]
+			if in.Op == tir.OpStLoc && in.Slot == slot {
+				hasStore[b] = true
+				seenStore = true
+			}
+			if in.Op == tir.OpLdLoc && in.Slot == slot && !seenStore {
+				upUse[b] = true
+			}
+		}
+	}
+	// Optimistic must-define iteration: defIn[b] true unless proven
+	// otherwise; the header entry is undefined (iteration start).
+	defIn := map[int]bool{}
+	for b := range l.Blocks {
+		defIn[b] = b != l.Header
+	}
+	changed := true
+	for changed {
+		changed = false
+		for b := range l.Blocks {
+			in := defIn[b]
+			if b != l.Header {
+				in = true
+				for _, p := range g.Preds[b] {
+					if !l.Blocks[p] {
+						continue
+					}
+					if !(defIn[p] || hasStore[p]) {
+						in = false
+						break
+					}
+				}
+			} else {
+				in = false
+			}
+			if in != defIn[b] {
+				defIn[b] = in
+				changed = true
+			}
+		}
+	}
+	for b := range l.Blocks {
+		if upUse[b] && !defIn[b] {
+			return false
+		}
+	}
+	// A slot never loaded in the loop is trivially private, but that case
+	// is classified earlier; require at least one store so ClassPrivate
+	// only applies to written variables.
+	return len(hasStore) > 0
+}
+
+// inNestedLoop reports whether block b belongs to a loop strictly nested
+// inside l.
+func inNestedLoop(b int, l *cfg.Loop, forest *cfg.Forest) bool {
+	for _, m := range forest.Loops {
+		if m == l || !m.Blocks[b] {
+			continue
+		}
+		if l.Blocks[m.Header] {
+			return true
+		}
+	}
+	return false
+}
+
+// analyzeBlock performs a single pass over one block, tracking, per
+// register, whether it currently holds the value of a LdLoc of some slot
+// or a constant, in order to pattern-match self-updates.
+func analyzeBlock(bi int, instrs []tir.Instr, loads, stores, selfOp, indOp, selfLoads map[int]int, storeBlocks map[int][]int) {
+	type def struct {
+		fromSlot int // -1 if not a direct LdLoc value
+		isConst  bool
+		ldIdx    int // instruction index of the LdLoc
+	}
+	defs := map[tir.Reg]def{}
+	usedBySelf := map[int]bool{}
+
+	// chains[reg] records "LdLoc(slot) OP x" results.
+	type chain struct {
+		slot  int
+		ind   bool // OP is ± with a constant other operand
+		ldIdx int
+	}
+	chains := map[tir.Reg]chain{}
+
+	for idx := range instrs {
+		in := &instrs[idx]
+		switch in.Op {
+		case tir.OpLdLoc:
+			loads[in.Slot]++
+			defs[in.Dst] = def{fromSlot: in.Slot, ldIdx: idx}
+			delete(chains, in.Dst)
+		case tir.OpConstI, tir.OpConstF:
+			defs[in.Dst] = def{fromSlot: -1, isConst: true}
+			delete(chains, in.Dst)
+		case tir.OpAdd, tir.OpSub, tir.OpFAdd, tir.OpFSub, tir.OpMul, tir.OpFMul:
+			a, aok := defs[in.A]
+			b, bok := defs[in.B]
+			c := chain{slot: -1}
+			addSub := in.Op == tir.OpAdd || in.Op == tir.OpSub || in.Op == tir.OpFAdd || in.Op == tir.OpFSub
+			if aok && a.fromSlot >= 0 {
+				c = chain{slot: a.fromSlot, ind: addSub && bok && b.isConst, ldIdx: a.ldIdx}
+			} else if bok && b.fromSlot >= 0 && in.Op != tir.OpSub && in.Op != tir.OpFSub {
+				c = chain{slot: b.fromSlot, ind: addSub && aok && a.isConst, ldIdx: b.ldIdx}
+			}
+			if c.slot >= 0 {
+				chains[in.Dst] = c
+			} else {
+				delete(chains, in.Dst)
+			}
+			defs[in.Dst] = def{fromSlot: -1}
+		case tir.OpStLoc:
+			stores[in.Slot]++
+			storeBlocks[in.Slot] = append(storeBlocks[in.Slot], bi)
+			if c, ok := chains[in.A]; ok && c.slot == in.Slot {
+				selfOp[in.Slot]++
+				if c.ind {
+					indOp[in.Slot]++
+				}
+				if !usedBySelf[c.ldIdx] {
+					usedBySelf[c.ldIdx] = true
+					selfLoads[in.Slot]++
+				}
+			}
+			for r, d := range defs {
+				if d.fromSlot == in.Slot {
+					delete(defs, r)
+				}
+			}
+		default:
+			if writesDst(in.Op) {
+				defs[in.Dst] = def{fromSlot: -1}
+				delete(chains, in.Dst)
+			}
+		}
+	}
+}
+
+// writesDst reports whether op defines its Dst register (instructions like
+// Br, Store or the annotations leave Dst zero-valued but meaningless).
+func writesDst(op tir.Op) bool {
+	switch op {
+	case tir.OpStore, tir.OpStLoc, tir.OpBr, tir.OpBrIf, tir.OpRet, tir.OpPrint,
+		tir.OpNop, tir.OpSLoop, tir.OpELoop, tir.OpEOI, tir.OpLWL, tir.OpSWL, tir.OpReadStats:
+		return false
+	case tir.OpCall:
+		return true // Dst may be NoReg; the map key -1 is harmless
+	default:
+		return true
+	}
+}
+
+// screen applies the obvious-serialization rejection: a plain scalar that
+// is loaded at the very start of the loop header and stored in every
+// latch block (after its last load there) forms an end-of-loop-store ->
+// start-of-loop-load recurrence whose dependency arc spans the whole
+// iteration, eliminating any speedup.
+func screen(f *tir.Function, l *cfg.Loop, res *LoopScalars) string {
+	header := f.Blocks[l.Header].Instrs
+	for _, slot := range res.Annotated {
+		if !storedInLoop(f, l, slot) {
+			continue
+		}
+		headLoad := false
+		for i := range header {
+			if header[i].Op == tir.OpStLoc && header[i].Slot == slot {
+				break
+			}
+			if header[i].Op == tir.OpLdLoc && header[i].Slot == slot {
+				headLoad = true
+				break
+			}
+		}
+		if !headLoad {
+			continue
+		}
+		tail := true
+		for _, latch := range l.Latches {
+			instrs := f.Blocks[latch].Instrs
+			lastStore, lastLoad := -1, -1
+			for i := range instrs {
+				if instrs[i].Op == tir.OpStLoc && instrs[i].Slot == slot {
+					lastStore = i
+				}
+				if instrs[i].Op == tir.OpLdLoc && instrs[i].Slot == slot {
+					lastLoad = i
+				}
+			}
+			if lastStore == -1 || lastStore < lastLoad {
+				tail = false
+				break
+			}
+		}
+		if tail {
+			return "serial scalar recurrence on " + f.Locals[slot].Name
+		}
+	}
+	return ""
+}
+
+func storedInLoop(f *tir.Function, l *cfg.Loop, slot int) bool {
+	for bi := range f.Blocks {
+		if !l.Blocks[bi] {
+			continue
+		}
+		for i := range f.Blocks[bi].Instrs {
+			in := &f.Blocks[bi].Instrs[i]
+			if in.Op == tir.OpStLoc && in.Slot == slot {
+				return true
+			}
+		}
+	}
+	return false
+}

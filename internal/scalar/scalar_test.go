@@ -1,0 +1,254 @@
+package scalar_test
+
+import (
+	"strings"
+	"testing"
+
+	"jrpm/internal/cfg"
+	"jrpm/internal/lang"
+	"jrpm/internal/scalar"
+	"jrpm/internal/tir"
+)
+
+// analyze compiles src and returns the scalar analysis of the loop whose
+// header is at the given nest position (0 = outermost discovered).
+func analyze(t *testing.T, src string, loopIdx int) (*scalar.LoopScalars, *tir.Function) {
+	t.Helper()
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _, ok := prog.Lookup("main")
+	if !ok {
+		t.Fatal("no main")
+	}
+	g := cfg.Build(f)
+	forest := g.NaturalLoops()
+	if loopIdx >= len(forest.Loops) {
+		t.Fatalf("loop %d not found; have %d", loopIdx, len(forest.Loops))
+	}
+	return scalar.Analyze(f, forest.Loops[loopIdx], g, forest), f
+}
+
+// classOf returns the classification of the named local.
+func classOf(t *testing.T, sc *scalar.LoopScalars, f *tir.Function, name string) scalar.Class {
+	t.Helper()
+	for slot, cls := range sc.Classes {
+		if f.Locals[slot].Name == name {
+			return cls
+		}
+	}
+	t.Fatalf("local %q not accessed in loop", name)
+	return 0
+}
+
+func TestInductorClassification(t *testing.T) {
+	sc, f := analyze(t, `
+global a: int[];
+func main() {
+	var i: int = 0;
+	var sum: int = 0;
+	var x: int = 5;
+	while (i < len(a)) {
+		sum += a[i];     // reduction
+		a[i] = a[i] * x; // x invariant
+		i++;             // inductor
+	}
+}`, 0)
+	if got := classOf(t, sc, f, "i"); got != scalar.ClassInductor {
+		t.Errorf("i classified %v, want inductor", got)
+	}
+	if got := classOf(t, sc, f, "sum"); got != scalar.ClassReduction {
+		t.Errorf("sum classified %v, want reduction", got)
+	}
+	if got := classOf(t, sc, f, "x"); got != scalar.ClassInvariant {
+		t.Errorf("x classified %v, want invariant", got)
+	}
+	if len(sc.Annotated) != 0 {
+		t.Errorf("annotated = %v, want none", sc.Annotated)
+	}
+	if sc.Reject != "" {
+		t.Errorf("loop rejected: %s", sc.Reject)
+	}
+}
+
+// TestHuffmanInPDistinction is the paper's key case (Figure 3): in_p++
+// inside the inner loop is an eliminable iterator for the inner loop but a
+// genuine dependency for the outer loop.
+func TestHuffmanInPDistinction(t *testing.T) {
+	src := `
+global bits: int[];
+global out: int[];
+func main() {
+	var in_p: int = 0;
+	var out_p: int = 0;
+	do {
+		var n: int = 0;
+		while (bits[in_p] == 0 && n < 10) {
+			n++;
+			in_p++;
+		}
+		out[out_p] = n;
+		out_p++;
+	} while (in_p < len(bits) - 1);
+}`
+	// Loops are discovered outer-first.
+	outer, f := analyze(t, src, 0)
+	inner, _ := analyze(t, src, 1)
+	if got := classOf(t, outer, f, "in_p"); got != scalar.ClassPlain {
+		t.Errorf("outer loop: in_p classified %v, want plain (data-dependent advance)", got)
+	}
+	if got := classOf(t, inner, f, "in_p"); got != scalar.ClassInductor {
+		t.Errorf("inner loop: in_p classified %v, want inductor", got)
+	}
+	if got := classOf(t, outer, f, "out_p"); got != scalar.ClassInductor {
+		t.Errorf("outer loop: out_p classified %v, want inductor", got)
+	}
+}
+
+func TestConditionalUpdateIsNotInductor(t *testing.T) {
+	// Figure 5's lcl_v--: updated only on one branch, so not once per
+	// iteration — a real dependency the tracer must watch.
+	sc, f := analyze(t, `
+global a: int[];
+func main() {
+	var v: int = 10;
+	var i: int = 0;
+	while (i < len(a)) {
+		if (a[i] > 0) {
+			v = v - 1;
+		}
+		a[i] = v;
+		i++;
+	}
+}`, 0)
+	if got := classOf(t, sc, f, "v"); got != scalar.ClassPlain {
+		t.Errorf("v classified %v, want plain (conditional update)", got)
+	}
+	if len(sc.Annotated) != 1 {
+		t.Errorf("annotated = %v, want just v", sc.Annotated)
+	}
+}
+
+func TestPrivateClassification(t *testing.T) {
+	sc, f := analyze(t, `
+global a: int[];
+func main() {
+	var i: int = 0;
+	while (i < len(a)) {
+		var tmp: int = a[i] * 3; // written before any read, every iteration
+		a[i] = tmp + tmp;
+		i++;
+	}
+}`, 0)
+	if got := classOf(t, sc, f, "tmp"); got != scalar.ClassPrivate {
+		t.Errorf("tmp classified %v, want private", got)
+	}
+}
+
+func TestConditionalWriteIsNotPrivate(t *testing.T) {
+	sc, f := analyze(t, `
+global a: int[];
+func main() {
+	var i: int = 0;
+	var last: int = 0;
+	while (i < len(a)) {
+		if (a[i] > 5) {
+			last = a[i];
+		}
+		a[i] = last; // reads a value possibly from a previous iteration
+		i++;
+	}
+}`, 0)
+	if got := classOf(t, sc, f, "last"); got != scalar.ClassPlain {
+		t.Errorf("last classified %v, want plain (conditionally defined)", got)
+	}
+}
+
+// TestReductionRequiresExclusiveUse: an accumulator read for another
+// purpose inside the loop is not transformable.
+func TestReductionRequiresExclusiveUse(t *testing.T) {
+	sc, f := analyze(t, `
+global a: int[];
+func main() {
+	var s: int = 0;
+	var i: int = 0;
+	while (i < len(a)) {
+		s += a[i];
+		a[i] = s; // observes intermediate values
+		i++;
+	}
+}`, 0)
+	if got := classOf(t, sc, f, "s"); got != scalar.ClassPlain {
+		t.Errorf("s classified %v, want plain (intermediate values observed)", got)
+	}
+}
+
+// TestSerialRecurrenceScreen rejects the obvious end-of-loop-store /
+// start-of-loop-load recurrence of section 4.1.
+func TestSerialRecurrenceScreen(t *testing.T) {
+	sc, _ := analyze(t, `
+global a: int[];
+func main() {
+	var p: int = 0;
+	while (a[p] != -1) {
+		p = a[p];
+	}
+}`, 0)
+	if sc.Reject == "" {
+		t.Fatal("pointer-chase loop not rejected by the scalar screen")
+	}
+	if !strings.Contains(sc.Reject, "p") {
+		t.Fatalf("rejection %q does not name the recurrence variable", sc.Reject)
+	}
+}
+
+// TestMulReduction: products are reductions too.
+func TestMulReduction(t *testing.T) {
+	sc, f := analyze(t, `
+global a: int[];
+func main() {
+	var prod: int = 1;
+	var i: int = 0;
+	while (i < len(a)) {
+		prod *= a[i];
+		i++;
+	}
+}`, 0)
+	if got := classOf(t, sc, f, "prod"); got != scalar.ClassReduction {
+		t.Errorf("prod classified %v, want reduction", got)
+	}
+}
+
+// TestFloatReduction: float accumulators behave like int ones.
+func TestFloatReduction(t *testing.T) {
+	sc, f := analyze(t, `
+global x: float[];
+func main() {
+	var s: float = 0.0;
+	var i: int = 0;
+	while (i < len(x)) {
+		s = s + x[i];
+		i++;
+	}
+}`, 0)
+	if got := classOf(t, sc, f, "s"); got != scalar.ClassReduction {
+		t.Errorf("s classified %v, want reduction", got)
+	}
+}
+
+// TestClassString covers the diagnostic names.
+func TestClassString(t *testing.T) {
+	want := map[scalar.Class]string{
+		scalar.ClassPlain:     "plain",
+		scalar.ClassInductor:  "inductor",
+		scalar.ClassReduction: "reduction",
+		scalar.ClassInvariant: "invariant",
+		scalar.ClassPrivate:   "private",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Class(%d).String() = %q, want %q", c, c.String(), s)
+		}
+	}
+}

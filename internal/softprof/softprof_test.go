@@ -1,0 +1,62 @@
+package softprof_test
+
+import (
+	"testing"
+
+	"jrpm/internal/softprof"
+)
+
+func TestModelArithmetic(t *testing.T) {
+	c := softprof.Costs{CallbackEntry: 10, TableLookup: 5, PerBankWork: 10, ActiveBanks: 2, LoopEvent: 50}
+	if got := c.PerAccess(); got != 35 {
+		t.Fatalf("PerAccess = %d, want 35", got)
+	}
+	n := softprof.Counts{
+		CleanCycles: 1000,
+		HeapLoads:   10, HeapStores: 10,
+		LocalLoads: 5, LocalStores: 5,
+		LoopEvents: 2,
+	}
+	e := softprof.Model(n, c)
+	want := int64(1000 + 30*35 + 2*50)
+	if e.ProfiledCycles != want {
+		t.Fatalf("profiled = %d, want %d", e.ProfiledCycles, want)
+	}
+	if e.Slowdown != float64(want)/1000 {
+		t.Fatalf("slowdown = %f", e.Slowdown)
+	}
+}
+
+// TestDefaultCostsReproduceHundredX: an instruction mix typical of the
+// benchmarks (roughly 40% of cycles touching memory or locals) must land
+// in the paper's >100x regime.
+func TestDefaultCostsReproduceHundredX(t *testing.T) {
+	n := softprof.Counts{
+		CleanCycles: 1_000_000,
+		HeapLoads:   120_000, HeapStores: 40_000,
+		LocalLoads: 180_000, LocalStores: 80_000,
+		LoopEvents: 30_000,
+	}
+	e := softprof.Model(n, softprof.DefaultCosts())
+	if e.Slowdown < 80 || e.Slowdown > 200 {
+		t.Fatalf("modeled software slowdown = %.1fx, want order-100x", e.Slowdown)
+	}
+}
+
+func TestVersus(t *testing.T) {
+	n := softprof.Counts{CleanCycles: 1000, HeapLoads: 100}
+	cmp := softprof.Versus(n, 1100, softprof.DefaultCosts())
+	if cmp.Hardware != 1.1 {
+		t.Fatalf("hardware slowdown = %f, want 1.1", cmp.Hardware)
+	}
+	if cmp.Software <= cmp.Hardware {
+		t.Fatalf("software (%.1f) should dwarf hardware (%.2f)", cmp.Software, cmp.Hardware)
+	}
+}
+
+func TestZeroCyclesSafe(t *testing.T) {
+	e := softprof.Model(softprof.Counts{}, softprof.DefaultCosts())
+	if e.Slowdown != 0 {
+		t.Fatalf("zero-cycle slowdown = %f", e.Slowdown)
+	}
+}

@@ -1,0 +1,160 @@
+package tir
+
+import (
+	"fmt"
+	"strings"
+)
+
+var opNames = map[Op]string{
+	OpNop:       "nop",
+	OpConstI:    "consti",
+	OpConstF:    "constf",
+	OpMov:       "mov",
+	OpAdd:       "add",
+	OpSub:       "sub",
+	OpMul:       "mul",
+	OpDiv:       "div",
+	OpMod:       "mod",
+	OpAnd:       "and",
+	OpOr:        "or",
+	OpXor:       "xor",
+	OpShl:       "shl",
+	OpShr:       "shr",
+	OpNeg:       "neg",
+	OpNot:       "not",
+	OpFAdd:      "fadd",
+	OpFSub:      "fsub",
+	OpFMul:      "fmul",
+	OpFDiv:      "fdiv",
+	OpFNeg:      "fneg",
+	OpEq:        "eq",
+	OpNe:        "ne",
+	OpLt:        "lt",
+	OpLe:        "le",
+	OpGt:        "gt",
+	OpGe:        "ge",
+	OpFEq:       "feq",
+	OpFNe:       "fne",
+	OpFLt:       "flt",
+	OpFLe:       "fle",
+	OpFGt:       "fgt",
+	OpFGe:       "fge",
+	OpI2F:       "i2f",
+	OpF2I:       "f2i",
+	OpLdLoc:     "ldloc",
+	OpStLoc:     "stloc",
+	OpLdGlob:    "ldglob",
+	OpLoad:      "load",
+	OpStore:     "store",
+	OpArrLen:    "arrlen",
+	OpNewArr:    "newarr",
+	OpBr:        "br",
+	OpBrIf:      "brif",
+	OpRet:       "ret",
+	OpCall:      "call",
+	OpPrint:     "print",
+	OpSLoop:     "sloop",
+	OpELoop:     "eloop",
+	OpEOI:       "eoi",
+	OpLWL:       "lwl",
+	OpSWL:       "swl",
+	OpReadStats: "readstats",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// String renders one instruction in a readable assembly-like form. Branch
+// targets are printed from the enclosing block's Targets by Disasm; here a
+// terminator prints only its operands.
+func (in *Instr) String() string {
+	switch in.Op {
+	case OpConstI:
+		return fmt.Sprintf("r%d = consti %d", in.Dst, in.Imm)
+	case OpConstF:
+		return fmt.Sprintf("r%d = constf %g", in.Dst, in.FImm)
+	case OpMov:
+		return fmt.Sprintf("r%d = mov r%d", in.Dst, in.A)
+	case OpNeg, OpNot, OpFNeg, OpI2F, OpF2I, OpArrLen, OpNewArr, OpLoad:
+		return fmt.Sprintf("r%d = %s r%d", in.Dst, in.Op, in.A)
+	case OpStore:
+		return fmt.Sprintf("store [r%d] = r%d", in.A, in.B)
+	case OpLdLoc:
+		return fmt.Sprintf("r%d = ldloc s%d", in.Dst, in.Slot)
+	case OpStLoc:
+		return fmt.Sprintf("stloc s%d = r%d", in.Slot, in.A)
+	case OpLdGlob:
+		return fmt.Sprintf("r%d = ldglob g%d", in.Dst, in.Imm)
+	case OpBr:
+		return "br"
+	case OpBrIf:
+		return fmt.Sprintf("brif r%d", in.A)
+	case OpRet:
+		if in.HasVal {
+			return fmt.Sprintf("ret r%d", in.A)
+		}
+		return "ret"
+	case OpCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = fmt.Sprintf("r%d", a)
+		}
+		if in.Dst != NoReg {
+			return fmt.Sprintf("r%d = call f%d(%s)", in.Dst, in.Func, strings.Join(args, ", "))
+		}
+		return fmt.Sprintf("call f%d(%s)", in.Func, strings.Join(args, ", "))
+	case OpPrint:
+		return fmt.Sprintf("print r%d", in.A)
+	case OpSLoop:
+		return fmt.Sprintf("sloop L%d, %d", in.Loop, in.Imm)
+	case OpELoop:
+		return fmt.Sprintf("eloop L%d, %d", in.Loop, in.Imm)
+	case OpEOI:
+		return fmt.Sprintf("eoi L%d", in.Loop)
+	case OpLWL:
+		return fmt.Sprintf("lwl s%d", in.Slot)
+	case OpSWL:
+		return fmt.Sprintf("swl s%d", in.Slot)
+	case OpReadStats:
+		return fmt.Sprintf("readstats L%d", in.Loop)
+	case OpNop:
+		return "nop"
+	default:
+		return fmt.Sprintf("r%d = %s r%d, r%d", in.Dst, in.Op, in.A, in.B)
+	}
+}
+
+// Disasm renders a whole function, with block labels and branch targets.
+func Disasm(f *Function) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s (params=%d, locals=%d, regs=%d)\n", f.Name, f.Params, len(f.Locals), f.NumRegs)
+	for bi := range f.Blocks {
+		b := &f.Blocks[bi]
+		fmt.Fprintf(&sb, "b%d:\n", bi)
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			s := in.String()
+			if in.Op == OpBr && len(b.Targets) == 1 {
+				s = fmt.Sprintf("br b%d", b.Targets[0])
+			} else if in.Op == OpBrIf && len(b.Targets) == 2 {
+				s = fmt.Sprintf("brif r%d, b%d, b%d", in.A, b.Targets[0], b.Targets[1])
+			}
+			fmt.Fprintf(&sb, "\t%s\n", s)
+		}
+	}
+	return sb.String()
+}
+
+// DisasmProgram renders every function in the program.
+func DisasmProgram(p *Program) string {
+	var sb strings.Builder
+	for _, f := range p.Funcs {
+		sb.WriteString(Disasm(f))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

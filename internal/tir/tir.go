@@ -1,0 +1,285 @@
+// Package tir defines the Tiny Intermediate Representation: the
+// register-machine bytecode that the JR compiler targets and that the
+// sequential VM (internal/vmsim) executes.
+//
+// TIR plays the role of the annotated native MIPS code in the paper: it
+// carries ordinary computation instructions plus the TEST annotating
+// instructions of Table 4 (sloop, eloop, eoi, lwl, swl and the
+// read-statistics call) that the annotation pass (internal/annotate)
+// inserts around potential speculative thread loops.
+//
+// Functions are built from explicit basic blocks. Every block ends with a
+// terminator (Br, BrIf or Ret); there is no fallthrough. Values live in
+// per-frame virtual registers; *named* local variables additionally live in
+// numbered slots so that local-variable accesses remain visible events for
+// the tracer (the paper distinguishes named locals, which can carry
+// loop-borne dependencies, from block-local temporaries, which cannot).
+package tir
+
+import "fmt"
+
+// Op enumerates TIR opcodes.
+type Op uint8
+
+// Opcode space. Integer values are stored as int64, floats as float64; a
+// register holds the raw 64-bit pattern and the opcode fixes the
+// interpretation (as in a real ISA).
+const (
+	OpNop Op = iota
+
+	// Constants and moves.
+	OpConstI // dst <- Imm
+	OpConstF // dst <- FImm
+	OpMov    // dst <- a
+
+	// Integer arithmetic.
+	OpAdd // dst <- a + b
+	OpSub
+	OpMul
+	OpDiv // traps on zero divisor
+	OpMod // traps on zero divisor
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr // arithmetic shift right
+	OpNeg // dst <- -a
+	OpNot // dst <- !a (logical: a==0 -> 1 else 0)
+
+	// Float arithmetic.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFNeg
+
+	// Comparisons produce 0/1 ints.
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpFEq
+	OpFNe
+	OpFLt
+	OpFLe
+	OpFGt
+	OpFGe
+
+	// Conversions.
+	OpI2F // dst <- float(a)
+	OpF2I // dst <- int(a), truncating
+
+	// Named-local access. Slot selects the local.
+	OpLdLoc // dst <- slot
+	OpStLoc // slot <- a
+
+	// Global array handles.
+	OpLdGlob // dst <- base address of global array Imm
+
+	// Heap access. Addresses are byte addresses; each element occupies a
+	// 4-byte word (Hydra is a 32-bit MIPS CMP), 8 words per 32-byte cache
+	// line. a holds the address.
+	OpLoad   // dst <- mem[a]
+	OpStore  // mem[a] <- b
+	OpArrLen // dst <- length (in elements) of array with base address a
+	OpNewArr // dst <- base address of fresh array of a elements
+
+	// Control flow (terminators).
+	OpBr   // goto Targets[0]
+	OpBrIf // if a != 0 goto Targets[0] else Targets[1]
+	OpRet  // return a (HasVal) or nothing
+
+	// Calls.
+	OpCall // dst <- Funcs[Func](Args...)
+
+	// Debug output.
+	OpPrint // print a (int or float per IsF)
+
+	// TEST annotating instructions (Table 4).
+	OpSLoop     // enter potential STL Loop; reserve Imm local timestamps
+	OpELoop     // exit potential STL Loop; free Imm local timestamps
+	OpEOI       // end-of-iteration for STL Loop
+	OpLWL       // local variable load annotation for Slot
+	OpSWL       // local variable store annotation for Slot
+	OpReadStats // read collected statistics for STL Loop (software routine)
+)
+
+// Reg is a virtual register index within a frame.
+type Reg int32
+
+// NoReg marks an unused register operand.
+const NoReg Reg = -1
+
+// Instr is one TIR instruction. Fields are used per-opcode; unused fields
+// are zero. PC is a program-wide unique id assigned by Program.AssignPCs
+// and is what the extended tracer bins dependency arcs by.
+type Instr struct {
+	Op     Op
+	Dst    Reg
+	A, B   Reg
+	Imm    int64
+	FImm   float64
+	Slot   int   // named-local slot for LdLoc/StLoc/LWL/SWL
+	Func   int   // callee index for Call
+	Loop   int   // static loop id for SLoop/ELoop/EOI/ReadStats
+	Args   []Reg // Call arguments
+	HasVal bool  // Ret carries a value
+	IsF    bool  // Print/Ret value is a float
+	PC     int   // program-wide instruction id
+	Line   int   // source line, 0 if unknown
+}
+
+// Block is a basic block: straight-line instructions ending in exactly one
+// terminator, whose successor block indices live in Targets.
+type Block struct {
+	Instrs  []Instr
+	Targets []int // successor block indices (empty for Ret)
+}
+
+// Terminator returns the block's final instruction.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	return &b.Instrs[len(b.Instrs)-1]
+}
+
+// IsTerminator reports whether op ends a basic block.
+func IsTerminator(op Op) bool {
+	return op == OpBr || op == OpBrIf || op == OpRet
+}
+
+// Kind is a JR value kind as seen by TIR (used for globals and function
+// signatures; registers themselves are untyped bit patterns).
+type Kind uint8
+
+// Value kinds.
+const (
+	KindInt Kind = iota
+	KindFloat
+	KindBool
+	KindIntArr
+	KindFloatArr
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	case KindIntArr:
+		return "int[]"
+	case KindFloatArr:
+		return "float[]"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Local describes one named local variable (or parameter) of a function.
+type Local struct {
+	Name  string
+	Kind  Kind
+	Param bool
+}
+
+// Function is a compiled JR function.
+type Function struct {
+	Name    string
+	Params  int // first Params locals are parameters
+	Locals  []Local
+	NumRegs int
+	Blocks  []Block
+	Result  Kind
+	HasRes  bool
+}
+
+// GlobalArray is a harness-bound array global.
+type GlobalArray struct {
+	Name string
+	Kind Kind // KindIntArr or KindFloatArr
+}
+
+// LoopInfo records one potential STL discovered by the compiler. IDs are
+// dense program-wide. The annotation pass fills this table.
+type LoopInfo struct {
+	ID          int
+	Func        int    // owning function index
+	Header      int    // header block index within the function
+	Name        string // "func:line" style label for reports
+	Line        int
+	StaticDepth int    // nesting depth within its function (outermost = 1)
+	Blocks      []int  // member block indices
+	NumLocals   int    // annotated local-variable timestamp reservations
+	AnnLocals   []int  // named-local slots tracked for this loop
+	Hoisted     bool   // read-statistics call hoisted out of this loop
+	Candidate   bool   // passed the scalar screen of section 4.1
+	Reject      string // why the scalar screen rejected it, if it did
+}
+
+// Program is a complete compiled JR program.
+type Program struct {
+	Funcs     []*Function
+	FuncIndex map[string]int
+	Globals   []GlobalArray
+	GlobIndex map[string]int
+	Loops     []LoopInfo
+	NumPCs    int
+}
+
+// Lookup returns the function with the given name.
+func (p *Program) Lookup(name string) (*Function, int, bool) {
+	i, ok := p.FuncIndex[name]
+	if !ok {
+		return nil, 0, false
+	}
+	return p.Funcs[i], i, true
+}
+
+// AssignPCs numbers every instruction with a program-wide unique PC and
+// records the count. Call after all passes that insert instructions.
+func (p *Program) AssignPCs() {
+	pc := 0
+	for _, f := range p.Funcs {
+		for bi := range f.Blocks {
+			b := &f.Blocks[bi]
+			for ii := range b.Instrs {
+				b.Instrs[ii].PC = pc
+				pc++
+			}
+		}
+	}
+	p.NumPCs = pc
+}
+
+// FindPC returns the function name and source line of a program-wide PC,
+// for mapping the extended tracer's per-PC dependency bins back to source
+// (section 6.3's programmer feedback).
+func (p *Program) FindPC(pc int) (fn string, line int, ok bool) {
+	for _, f := range p.Funcs {
+		for bi := range f.Blocks {
+			for ii := range f.Blocks[bi].Instrs {
+				in := &f.Blocks[bi].Instrs[ii]
+				if in.PC == pc {
+					return f.Name, in.Line, true
+				}
+			}
+		}
+	}
+	return "", 0, false
+}
+
+// NumInstrs counts instructions across the whole program.
+func (p *Program) NumInstrs() int {
+	n := 0
+	for _, f := range p.Funcs {
+		for bi := range f.Blocks {
+			n += len(f.Blocks[bi].Instrs)
+		}
+	}
+	return n
+}

@@ -1,0 +1,193 @@
+package tir_test
+
+import (
+	"strings"
+	"testing"
+
+	"jrpm/internal/lang"
+	"jrpm/internal/tir"
+)
+
+func makeFunc(blocks []tir.Block) *tir.Program {
+	f := &tir.Function{Name: "f", NumRegs: 4, Blocks: blocks}
+	return &tir.Program{Funcs: []*tir.Function{f}, FuncIndex: map[string]int{"f": 0}}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	p := makeFunc([]tir.Block{
+		{Instrs: []tir.Instr{
+			{Op: tir.OpConstI, Dst: 0, Imm: 1},
+			{Op: tir.OpBrIf, A: 0},
+		}, Targets: []int{1, 1}},
+		{Instrs: []tir.Instr{{Op: tir.OpRet}}},
+	})
+	if err := tir.Validate(p); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *tir.Program
+		want string
+	}{
+		{
+			"no terminator",
+			makeFunc([]tir.Block{{Instrs: []tir.Instr{{Op: tir.OpConstI, Dst: 0}}}}),
+			"does not end in a terminator",
+		},
+		{
+			"terminator mid-block",
+			makeFunc([]tir.Block{{Instrs: []tir.Instr{
+				{Op: tir.OpRet}, {Op: tir.OpRet},
+			}}}),
+			"terminator",
+		},
+		{
+			"register out of range",
+			makeFunc([]tir.Block{{Instrs: []tir.Instr{
+				{Op: tir.OpConstI, Dst: 99},
+				{Op: tir.OpRet},
+			}}}),
+			"out of range",
+		},
+		{
+			"br target count",
+			makeFunc([]tir.Block{{Instrs: []tir.Instr{{Op: tir.OpBr}}}}),
+			"br needs 1 target",
+		},
+		{
+			"brif target count",
+			makeFunc([]tir.Block{{Instrs: []tir.Instr{{Op: tir.OpBrIf, A: 0}}, Targets: []int{0}}}),
+			"brif needs 2 targets",
+		},
+		{
+			"target out of range",
+			makeFunc([]tir.Block{{Instrs: []tir.Instr{{Op: tir.OpBr}}, Targets: []int{7}}}),
+			"target b7 out of range",
+		},
+		{
+			"empty block",
+			makeFunc([]tir.Block{{}}),
+			"empty block",
+		},
+		{
+			"slot out of range",
+			makeFunc([]tir.Block{{Instrs: []tir.Instr{
+				{Op: tir.OpLdLoc, Dst: 0, Slot: 5},
+				{Op: tir.OpRet},
+			}}}),
+			"slot s5 out of range",
+		},
+		{
+			"loop id out of range",
+			makeFunc([]tir.Block{{Instrs: []tir.Instr{
+				{Op: tir.OpSLoop, Loop: 3},
+				{Op: tir.OpRet},
+			}}}),
+			"loop L3 out of range",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := tir.Validate(c.prog)
+			if err == nil {
+				t.Fatal("invalid program accepted")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestAssignPCsAndFindPC(t *testing.T) {
+	prog, err := lang.Compile(`
+global a: int[];
+func helper(x: int): int { return x * 2; }
+func main() {
+	var i: int = 0;
+	while (i < 4) {
+		a[i] = helper(i);
+		i++;
+	}
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PCs must be dense and unique.
+	seen := map[int]bool{}
+	n := 0
+	for _, f := range prog.Funcs {
+		for bi := range f.Blocks {
+			for ii := range f.Blocks[bi].Instrs {
+				pc := f.Blocks[bi].Instrs[ii].PC
+				if seen[pc] {
+					t.Fatalf("duplicate pc %d", pc)
+				}
+				seen[pc] = true
+				n++
+			}
+		}
+	}
+	if n != prog.NumPCs {
+		t.Fatalf("NumPCs = %d, counted %d", prog.NumPCs, n)
+	}
+	// FindPC maps back to the right function.
+	fn, line, ok := prog.FindPC(0)
+	if !ok || fn == "" || line == 0 {
+		t.Fatalf("FindPC(0) = %q/%d/%v", fn, line, ok)
+	}
+	if _, _, ok := prog.FindPC(1 << 30); ok {
+		t.Fatal("FindPC of a bogus pc succeeded")
+	}
+}
+
+func TestDisasmMentionsEverything(t *testing.T) {
+	prog, err := lang.Compile(`
+global a: int[];
+func main() {
+	var i: int = 0;
+	var f: float = 1.5;
+	while (i < len(a)) {
+		a[i] = a[i] + int(f);
+		i++;
+	}
+	print(i);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tir.DisasmProgram(prog)
+	for _, want := range []string{"func main", "consti", "constf", "ldloc", "stloc", "load", "store", "brif", "ret", "f2i", "print", "arrlen", "ldglob"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[tir.Kind]string{
+		tir.KindInt: "int", tir.KindFloat: "float", tir.KindBool: "bool",
+		tir.KindIntArr: "int[]", tir.KindFloatArr: "float[]",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind %d = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	prog, err := lang.Compile(`func main() { } func other() { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := prog.Lookup("other"); !ok {
+		t.Fatal("Lookup(other) failed")
+	}
+	if _, _, ok := prog.Lookup("missing"); ok {
+		t.Fatal("Lookup(missing) succeeded")
+	}
+}

@@ -1,0 +1,153 @@
+package tir
+
+import "fmt"
+
+// Validate checks the structural invariants every TIR program must satisfy
+// before it can be executed or analyzed:
+//
+//   - every block ends with exactly one terminator, and terminators appear
+//     nowhere else;
+//   - branch target counts match the terminator arity and point at existing
+//     blocks;
+//   - register, slot, function and global indices are in range;
+//   - loop annotation instructions reference loops in the program table.
+//
+// It returns the first violation found.
+func Validate(p *Program) error {
+	for fi, f := range p.Funcs {
+		if len(f.Blocks) == 0 {
+			return fmt.Errorf("func %s: no blocks", f.Name)
+		}
+		if f.Params > len(f.Locals) {
+			return fmt.Errorf("func %s: %d params but %d locals", f.Name, f.Params, len(f.Locals))
+		}
+		for bi := range f.Blocks {
+			if err := validateBlock(p, f, fi, bi); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func validateBlock(p *Program, f *Function, fi, bi int) error {
+	b := &f.Blocks[bi]
+	where := func(ii int) string { return fmt.Sprintf("func %s b%d i%d", f.Name, bi, ii) }
+	if len(b.Instrs) == 0 {
+		return fmt.Errorf("func %s b%d: empty block", f.Name, bi)
+	}
+	for ii := range b.Instrs {
+		in := &b.Instrs[ii]
+		last := ii == len(b.Instrs)-1
+		if IsTerminator(in.Op) != last {
+			if last {
+				return fmt.Errorf("%s: block does not end in a terminator (%s)", where(ii), in.Op)
+			}
+			return fmt.Errorf("%s: terminator %s in middle of block", where(ii), in.Op)
+		}
+		ckReg := func(r Reg, what string) error {
+			if r < 0 || int(r) >= f.NumRegs {
+				return fmt.Errorf("%s: %s register r%d out of range [0,%d)", where(ii), what, r, f.NumRegs)
+			}
+			return nil
+		}
+		ckSlot := func() error {
+			if in.Slot < 0 || in.Slot >= len(f.Locals) {
+				return fmt.Errorf("%s: slot s%d out of range [0,%d)", where(ii), in.Slot, len(f.Locals))
+			}
+			return nil
+		}
+		ckLoop := func() error {
+			if in.Loop < 0 || in.Loop >= len(p.Loops) {
+				return fmt.Errorf("%s: loop L%d out of range [0,%d)", where(ii), in.Loop, len(p.Loops))
+			}
+			return nil
+		}
+		var err error
+		switch in.Op {
+		case OpNop:
+		case OpConstI, OpConstF:
+			err = ckReg(in.Dst, "dst")
+		case OpMov, OpNeg, OpNot, OpFNeg, OpI2F, OpF2I, OpLoad, OpArrLen, OpNewArr:
+			if err = ckReg(in.Dst, "dst"); err == nil {
+				err = ckReg(in.A, "src")
+			}
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr,
+			OpFAdd, OpFSub, OpFMul, OpFDiv,
+			OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpFEq, OpFNe, OpFLt, OpFLe, OpFGt, OpFGe:
+			if err = ckReg(in.Dst, "dst"); err == nil {
+				if err = ckReg(in.A, "a"); err == nil {
+					err = ckReg(in.B, "b")
+				}
+			}
+		case OpStore:
+			if err = ckReg(in.A, "addr"); err == nil {
+				err = ckReg(in.B, "val")
+			}
+		case OpLdLoc:
+			if err = ckReg(in.Dst, "dst"); err == nil {
+				err = ckSlot()
+			}
+		case OpStLoc:
+			if err = ckReg(in.A, "src"); err == nil {
+				err = ckSlot()
+			}
+		case OpLdGlob:
+			if err = ckReg(in.Dst, "dst"); err == nil {
+				if in.Imm < 0 || int(in.Imm) >= len(p.Globals) {
+					err = fmt.Errorf("%s: global g%d out of range [0,%d)", where(ii), in.Imm, len(p.Globals))
+				}
+			}
+		case OpBr:
+			if len(b.Targets) != 1 {
+				err = fmt.Errorf("%s: br needs 1 target, block has %d", where(ii), len(b.Targets))
+			}
+		case OpBrIf:
+			if err = ckReg(in.A, "cond"); err == nil && len(b.Targets) != 2 {
+				err = fmt.Errorf("%s: brif needs 2 targets, block has %d", where(ii), len(b.Targets))
+			}
+		case OpRet:
+			if len(b.Targets) != 0 {
+				err = fmt.Errorf("%s: ret must have 0 targets, block has %d", where(ii), len(b.Targets))
+			} else if in.HasVal {
+				err = ckReg(in.A, "result")
+			}
+		case OpCall:
+			if in.Func < 0 || in.Func >= len(p.Funcs) {
+				err = fmt.Errorf("%s: callee f%d out of range [0,%d)", where(ii), in.Func, len(p.Funcs))
+				break
+			}
+			callee := p.Funcs[in.Func]
+			if len(in.Args) != callee.Params {
+				err = fmt.Errorf("%s: call %s with %d args, want %d", where(ii), callee.Name, len(in.Args), callee.Params)
+				break
+			}
+			for _, a := range in.Args {
+				if err = ckReg(a, "arg"); err != nil {
+					break
+				}
+			}
+			if err == nil && in.Dst != NoReg {
+				err = ckReg(in.Dst, "dst")
+			}
+		case OpPrint:
+			err = ckReg(in.A, "val")
+		case OpSLoop, OpELoop, OpEOI, OpReadStats:
+			err = ckLoop()
+		case OpLWL, OpSWL:
+			err = ckSlot()
+		default:
+			err = fmt.Errorf("%s: unknown opcode %d", where(ii), uint8(in.Op))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	for _, t := range b.Targets {
+		if t < 0 || t >= len(f.Blocks) {
+			return fmt.Errorf("func %s b%d: target b%d out of range", f.Name, bi, t)
+		}
+	}
+	_ = fi
+	return nil
+}

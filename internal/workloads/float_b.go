@@ -1,0 +1,427 @@
+package workloads
+
+import "jrpm"
+
+// ---------------------------------------------------------------------------
+// moldyn (Java Grande): molecular dynamics. The pairwise force loop
+// accumulates into both particles' force slots, so younger threads write
+// locations older threads read — real violations, very fine threads (the
+// paper reports 96-cycle threads).
+
+const moldynSrc = `
+// Lennard-Jones-ish force pairs plus a velocity-Verlet integration step.
+global x: float[];
+global y: float[];
+global fx: float[];
+global fy: float[];
+global vx: float[];
+global vy: float[];
+global pairs: int[];  // flattened (i, j) interaction pairs
+global fsum: float[]; // [0] = energy-ish checksum
+global expected: float[];
+
+func main() {
+	var np: int = len(pairs) / 2;
+	var step: int = 0;
+	while (step < 2) {
+		// zero forces
+		var z: int = 0;
+		while (z < len(fx)) {
+			fx[z] = 0.0;
+			fy[z] = 0.0;
+			z++;
+		}
+		// pair forces
+		var p: int = 0;
+		while (p < np) {
+			var i: int = pairs[p*2];
+			var j: int = pairs[p*2+1];
+			var dx: float = x[i] - x[j];
+			var dy: float = y[i] - y[j];
+			var r2: float = dx*dx + dy*dy + 0.01;
+			var inv: float = 1.0 / r2;
+			var f: float = inv*inv - 0.5*inv;
+			fx[i] = fx[i] + f*dx;
+			fy[i] = fy[i] + f*dy;
+			fx[j] = fx[j] - f*dx;
+			fy[j] = fy[j] - f*dy;
+			p++;
+		}
+		// integrate
+		var k: int = 0;
+		while (k < len(x)) {
+			vx[k] = vx[k] + 0.001*fx[k];
+			vy[k] = vy[k] + 0.001*fy[k];
+			x[k] = x[k] + 0.01*vx[k];
+			y[k] = y[k] + 0.01*vy[k];
+			k++;
+		}
+		step++;
+	}
+	var s: float = 0.0;
+	var q: int = 0;
+	while (q < len(x)) {
+		s = s + x[q]*x[q] + y[q]*y[q] + vx[q]*vx[q] + vy[q]*vy[q];
+		q++;
+	}
+	fsum[0] = s;
+}
+`
+
+func init() {
+	register(&Workload{
+		Meta: Meta{
+			Name:        "moldyn",
+			Category:    CatFloat,
+			Description: "Molecular dynamics",
+			Analyzable:  true,
+		},
+		Source: moldynSrc,
+		NewInput: func(scale float64) jrpm.Input {
+			r := newRNG(0x3014d)
+			n := scaled(56, scale, 12)
+			x := make([]float64, n)
+			y := make([]float64, n)
+			for i := range x {
+				x[i] = r.float() * 10
+				y[i] = r.float() * 10
+			}
+			// Neighbour-list style pairs: each particle with a handful of
+			// others.
+			var pairs []int64
+			for i := 0; i < n; i++ {
+				for k := 0; k < 6; k++ {
+					j := r.intn(n)
+					if j != i {
+						pairs = append(pairs, int64(i), int64(j))
+					}
+				}
+			}
+			// Reference mirrors the JR float math.
+			rx := append([]float64(nil), x...)
+			ry := append([]float64(nil), y...)
+			rfx := make([]float64, n)
+			rfy := make([]float64, n)
+			rvx := make([]float64, n)
+			rvy := make([]float64, n)
+			np := len(pairs) / 2
+			for step := 0; step < 2; step++ {
+				for z := 0; z < n; z++ {
+					rfx[z], rfy[z] = 0, 0
+				}
+				for p := 0; p < np; p++ {
+					i, j := pairs[p*2], pairs[p*2+1]
+					dx := rx[i] - rx[j]
+					dy := ry[i] - ry[j]
+					r2 := dx*dx + dy*dy + 0.01
+					inv := 1.0 / r2
+					f := inv*inv - 0.5*inv
+					rfx[i] += f * dx
+					rfy[i] += f * dy
+					rfx[j] -= f * dx
+					rfy[j] -= f * dy
+				}
+				for k := 0; k < n; k++ {
+					rvx[k] += 0.001 * rfx[k]
+					rvy[k] += 0.001 * rfy[k]
+					rx[k] += 0.01 * rvx[k]
+					ry[k] += 0.01 * rvy[k]
+				}
+			}
+			var s float64
+			for q := 0; q < n; q++ {
+				s += rx[q]*rx[q] + ry[q]*ry[q] + rvx[q]*rvx[q] + rvy[q]*rvy[q]
+			}
+			return jrpm.Input{
+				Ints: map[string][]int64{"pairs": pairs},
+				Floats: map[string][]float64{
+					"x": x, "y": y,
+					"fx": make([]float64, n), "fy": make([]float64, n),
+					"vx": make([]float64, n), "vy": make([]float64, n),
+					"fsum":     {0},
+					"expected": {s},
+				},
+			}
+		},
+		Check: checkFloatsClose("fsum", "expected", 1e-9),
+	})
+}
+
+// ---------------------------------------------------------------------------
+// NeuralNet (jBYTEmark): multilayer perceptron forward/backward passes on a
+// 35-8-8 network. The unit loops run only 8-9 iterations — the paper's
+// finest-grained selected STL (9 threads per entry, 617-cycle threads).
+
+const neuralNetSrc = `
+// 35-8-8 MLP: forward pass over a batch plus a delta-rule weight update.
+global inp: float[];   // nsamp * 35 inputs
+global w1: float[];    // 8 * 35 hidden weights
+global w2: float[];    // 8 * 8 output weights
+global target: float[]; // nsamp * 8 targets
+global hid: float[];   // 8 scratch
+global outv: float[];  // 8 scratch
+global fsum: float[];  // [0] = total error
+global expected: float[];
+
+func sigmoid(v: float): float {
+	// rational approximation, monotone like the logistic
+	var a: float = v;
+	if (a < 0.0) { a = -a; }
+	var s: float = v / (1.0 + a);
+	return 0.5 + 0.5*s;
+}
+
+func main() {
+	var nin: int = 35;
+	var nh: int = 8;
+	var nout: int = 8;
+	var nsamp: int = len(inp) / nin;
+	var err: float = 0.0;
+	var n: int = 0;
+	while (n < nsamp) {
+		// hidden layer
+		var j: int = 0;
+		while (j < nh) {
+			var acc: float = 0.0;
+			var i: int = 0;
+			while (i < nin) {
+				acc = acc + w1[j*nin+i] * inp[n*nin+i];
+				i++;
+			}
+			hid[j] = sigmoid(acc);
+			j++;
+		}
+		// output layer
+		var k: int = 0;
+		while (k < nout) {
+			var acc2: float = 0.0;
+			var j2: int = 0;
+			while (j2 < nh) {
+				acc2 = acc2 + w2[k*nh+j2] * hid[j2];
+				j2++;
+			}
+			outv[k] = sigmoid(acc2);
+			k++;
+		}
+		// error and delta-rule update of the output weights
+		k = 0;
+		while (k < nout) {
+			var d: float = target[n*nout+k] - outv[k];
+			err = err + d*d;
+			var j3: int = 0;
+			while (j3 < nh) {
+				w2[k*nh+j3] = w2[k*nh+j3] + 0.05 * d * hid[j3];
+				j3++;
+			}
+			k++;
+		}
+		n++;
+	}
+	fsum[0] = err;
+}
+`
+
+func init() {
+	register(&Workload{
+		Meta: Meta{
+			Name:             "NeuralNet",
+			Category:         CatFloat,
+			Description:      "Neural net",
+			Analyzable:       true,
+			DataSetSensitive: true,
+			DataSet:          "35x8x8",
+		},
+		Source: neuralNetSrc,
+		NewInput: func(scale float64) jrpm.Input {
+			r := newRNG(0x4e41a1)
+			nin, nh, nout := 35, 8, 8
+			nsamp := scaled(40, scale, 4)
+			inp := make([]float64, nsamp*nin)
+			for i := range inp {
+				inp[i] = r.float()
+			}
+			w1 := make([]float64, nh*nin)
+			w2 := make([]float64, nout*nh)
+			for i := range w1 {
+				w1[i] = r.float()*0.4 - 0.2
+			}
+			for i := range w2 {
+				w2[i] = r.float()*0.4 - 0.2
+			}
+			target := make([]float64, nsamp*nout)
+			for i := range target {
+				target[i] = r.float()
+			}
+			sig := func(v float64) float64 {
+				a := v
+				if a < 0 {
+					a = -a
+				}
+				return 0.5 + 0.5*(v/(1.0+a))
+			}
+			// Reference.
+			rw2 := append([]float64(nil), w2...)
+			hid := make([]float64, nh)
+			outv := make([]float64, nout)
+			var errSum float64
+			for n := 0; n < nsamp; n++ {
+				for j := 0; j < nh; j++ {
+					var acc float64
+					for i := 0; i < nin; i++ {
+						acc += w1[j*nin+i] * inp[n*nin+i]
+					}
+					hid[j] = sig(acc)
+				}
+				for k := 0; k < nout; k++ {
+					var acc float64
+					for j := 0; j < nh; j++ {
+						acc += rw2[k*nh+j] * hid[j]
+					}
+					outv[k] = sig(acc)
+				}
+				for k := 0; k < nout; k++ {
+					d := target[n*nout+k] - outv[k]
+					errSum += d * d
+					for j := 0; j < nh; j++ {
+						rw2[k*nh+j] += 0.05 * d * hid[j]
+					}
+				}
+			}
+			return jrpm.Input{Floats: map[string][]float64{
+				"inp":      inp,
+				"w1":       w1,
+				"w2":       w2,
+				"target":   target,
+				"hid":      make([]float64, nh),
+				"outv":     make([]float64, nout),
+				"fsum":     {0},
+				"expected": {errSum},
+			}}
+		},
+		Check: checkFloatsClose("fsum", "expected", 1e-9),
+	})
+}
+
+// ---------------------------------------------------------------------------
+// shallow (shallow water simulation): three-field 2-D stencils on a
+// 256x256 grid (scaled down here). Wide, regular parallelism with
+// 1420-cycle threads in the paper.
+
+const shallowSrc = `
+// Shallow-water style update: u, v, h fields with neighbour stencils.
+global u: float[];
+global v: float[];
+global h: float[];
+global un: float[];
+global vn: float[];
+global hn: float[];
+global dims: int[];  // [0]=nx, [1]=ny, [2]=steps
+global fsum: float[];
+global expected: float[];
+
+func main() {
+	var nx: int = dims[0];
+	var ny: int = dims[1];
+	var steps: int = dims[2];
+	var t: int = 0;
+	while (t < steps) {
+		var i: int = 1;
+		while (i < nx-1) {
+			var j: int = 1;
+			while (j < ny-1) {
+				var p: int = i*ny + j;
+				un[p] = u[p] - 0.1*(h[p+ny] - h[p-ny]) + 0.01*(u[p+1] + u[p-1] - 2.0*u[p]);
+				vn[p] = v[p] - 0.1*(h[p+1] - h[p-1]) + 0.01*(v[p+ny] + v[p-ny] - 2.0*v[p]);
+				hn[p] = h[p] - 0.1*(u[p+ny] - u[p-ny]) - 0.1*(v[p+1] - v[p-1]);
+				j++;
+			}
+			i++;
+		}
+		i = 1;
+		while (i < nx-1) {
+			var j: int = 1;
+			while (j < ny-1) {
+				var p: int = i*ny + j;
+				u[p] = un[p];
+				v[p] = vn[p];
+				h[p] = hn[p];
+				j++;
+			}
+			i++;
+		}
+		t++;
+	}
+	var s: float = 0.0;
+	var q: int = 0;
+	while (q < nx*ny) {
+		s = s + u[q] + v[q] + h[q];
+		q++;
+	}
+	fsum[0] = s;
+}
+`
+
+func init() {
+	register(&Workload{
+		Meta: Meta{
+			Name:             "shallow",
+			Category:         CatFloat,
+			Description:      "Shallow water sim",
+			Analyzable:       true,
+			DataSetSensitive: true,
+			DataSet:          "256x256",
+		},
+		Source: shallowSrc,
+		NewInput: func(scale float64) jrpm.Input {
+			r := newRNG(0x5a110)
+			nx := scaled(26, scale, 8)
+			ny := scaled(26, scale, 8)
+			steps := 4
+			u := make([]float64, nx*ny)
+			v := make([]float64, nx*ny)
+			h := make([]float64, nx*ny)
+			for i := range u {
+				u[i] = r.float()
+				v[i] = r.float()
+				h[i] = 1 + r.float()*0.1
+			}
+			ru := append([]float64(nil), u...)
+			rv := append([]float64(nil), v...)
+			rh := append([]float64(nil), h...)
+			run := make([]float64, nx*ny)
+			rvn := make([]float64, nx*ny)
+			rhn := make([]float64, nx*ny)
+			for t := 0; t < steps; t++ {
+				for i := 1; i < nx-1; i++ {
+					for j := 1; j < ny-1; j++ {
+						p := i*ny + j
+						run[p] = ru[p] - 0.1*(rh[p+ny]-rh[p-ny]) + 0.01*(ru[p+1]+ru[p-1]-2.0*ru[p])
+						rvn[p] = rv[p] - 0.1*(rh[p+1]-rh[p-1]) + 0.01*(rv[p+ny]+rv[p-ny]-2.0*rv[p])
+						rhn[p] = rh[p] - 0.1*(ru[p+ny]-ru[p-ny]) - 0.1*(rv[p+1]-rv[p-1])
+					}
+				}
+				for i := 1; i < nx-1; i++ {
+					for j := 1; j < ny-1; j++ {
+						p := i*ny + j
+						ru[p], rv[p], rh[p] = run[p], rvn[p], rhn[p]
+					}
+				}
+			}
+			var s float64
+			for q := 0; q < nx*ny; q++ {
+				s += ru[q] + rv[q] + rh[q]
+			}
+			z := func() []float64 { return make([]float64, nx*ny) }
+			return jrpm.Input{
+				Ints: map[string][]int64{"dims": {int64(nx), int64(ny), int64(steps)}},
+				Floats: map[string][]float64{
+					"u": u, "v": v, "h": h,
+					"un": z(), "vn": z(), "hn": z(),
+					"fsum":     {0},
+					"expected": {s},
+				},
+			}
+		},
+		Check: checkFloatsClose("fsum", "expected", 1e-9),
+	})
+}

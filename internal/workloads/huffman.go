@@ -1,0 +1,184 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"jrpm"
+	"jrpm/internal/vmsim"
+)
+
+// huffmanSrc is the paper's own running example (Figure 3): a Huffman
+// decoder whose outer loop decodes one symbol per iteration by walking the
+// code tree bit by bit. The outer loop carries the in_p dependency (each
+// iteration consumes a data-dependent number of input bits), which is the
+// critical arc TEST must find; out_p is an eliminable inductor.
+const huffmanSrc = `
+// Huffman decode (Figure 3 of the paper).
+global tleft: int[];  // left child per node, -1 at leaves
+global tright: int[]; // right child per node
+global tchar: int[];  // symbol at leaf nodes
+global in: int[];     // encoded bit stream (0/1 per element)
+global out: int[];    // decoded symbols
+global meta: int[];   // [0] = root node index
+global expected: int[]; // harness-side reference output (not read by JR code)
+
+func main() {
+	var in_p: int = 0;
+	var out_p: int = 0;
+	var n: int = 0;
+	var root: int = meta[0];
+	// outer loop (selected STL)
+	do {
+		n = root;
+		// inner loop: walk the tree one bit at a time
+		while (tleft[n] != -1) {
+			if (in[in_p] == 0) {
+				n = tleft[n];
+			} else {
+				n = tright[n];
+			}
+			in_p++;
+		}
+		out[out_p] = tchar[n];
+		out_p++;
+	} while (in_p < len(in));
+}
+`
+
+// huffTree is a Huffman code tree built over symbol frequencies.
+type huffTree struct {
+	left, right, char []int64
+	root              int
+	codes             map[int][]int64 // symbol -> bit sequence
+}
+
+// buildHuffTree constructs a Huffman tree for nsym symbols with skewed
+// (Zipf-ish) frequencies, giving codes of varying length like real text.
+func buildHuffTree(nsym int, r *rng) *huffTree {
+	type node struct {
+		weight      int
+		left, right int // -1 for leaves
+		sym         int
+	}
+	nodes := make([]node, 0, 2*nsym-1)
+	type qitem struct{ idx, weight int }
+	var queue []qitem
+	for s := 0; s < nsym; s++ {
+		w := 1 + 1000/(s+1) + r.intn(3) // Zipf-ish with a little noise
+		nodes = append(nodes, node{weight: w, left: -1, right: -1, sym: s})
+		queue = append(queue, qitem{idx: s, weight: w})
+	}
+	popMin := func() qitem {
+		best := 0
+		for i := 1; i < len(queue); i++ {
+			if queue[i].weight < queue[best].weight {
+				best = i
+			}
+		}
+		it := queue[best]
+		queue = append(queue[:best], queue[best+1:]...)
+		return it
+	}
+	for len(queue) > 1 {
+		a := popMin()
+		b := popMin()
+		nodes = append(nodes, node{weight: a.weight + b.weight, left: a.idx, right: b.idx, sym: -1})
+		queue = append(queue, qitem{idx: len(nodes) - 1, weight: a.weight + b.weight})
+	}
+	t := &huffTree{
+		left:  make([]int64, len(nodes)),
+		right: make([]int64, len(nodes)),
+		char:  make([]int64, len(nodes)),
+		root:  queue[0].idx,
+		codes: map[int][]int64{},
+	}
+	for i, n := range nodes {
+		t.left[i] = int64(n.left)
+		t.right[i] = int64(n.right)
+		t.char[i] = int64(n.sym)
+	}
+	var walk func(idx int, prefix []int64)
+	walk = func(idx int, prefix []int64) {
+		n := nodes[idx]
+		if n.left == -1 {
+			t.codes[n.sym] = append([]int64(nil), prefix...)
+			return
+		}
+		walk(n.left, append(prefix, 0))
+		walk(n.right, append(prefix, 1))
+	}
+	walk(t.root, nil)
+	return t
+}
+
+// encode produces the bit stream and the expected decoded symbols.
+func (t *huffTree) encode(nMsg int, nsym int, r *rng) (bits, syms []int64) {
+	// Skewed symbol draw matching the build frequencies.
+	weights := make([]int, nsym)
+	total := 0
+	for s := 0; s < nsym; s++ {
+		weights[s] = 1 + 1000/(s+1)
+		total += weights[s]
+	}
+	cum := make([]int, nsym)
+	acc := 0
+	for s := 0; s < nsym; s++ {
+		acc += weights[s]
+		cum[s] = acc
+	}
+	for i := 0; i < nMsg; i++ {
+		x := r.intn(total)
+		s := sort.SearchInts(cum, x+1)
+		syms = append(syms, int64(s))
+		bits = append(bits, t.codes[s]...)
+	}
+	return bits, syms
+}
+
+func init() {
+	register(&Workload{
+		Meta: Meta{
+			Name:        "Huffman",
+			Category:    CatInteger,
+			Description: "Compression",
+		},
+		Source: huffmanSrc,
+		NewInput: func(scale float64) jrpm.Input {
+			r := newRNG(0x48554646)
+			nsym := 24
+			tree := buildHuffTree(nsym, r)
+			nMsg := scaled(2500, scale, 16)
+			bits, syms := tree.encode(nMsg, nsym, r)
+			return jrpm.Input{Ints: map[string][]int64{
+				"tleft":  tree.left,
+				"tright": tree.right,
+				"tchar":  tree.char,
+				"in":     bits,
+				"out":    make([]int64, len(syms)),
+				"meta":   {int64(tree.root)},
+				// expected is harness-side only; bound so Check can
+				// compare without re-encoding.
+				"expected": syms,
+			}}
+		},
+		Check: checkHuffman,
+	})
+}
+
+func checkHuffman(vm *vmsim.VM) error {
+	got, err := vm.GlobalInts("out")
+	if err != nil {
+		return err
+	}
+	want, err := vm.GlobalInts("expected")
+	if err != nil {
+		return err
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("huffman: out[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,457 @@
+package workloads
+
+import (
+	"fmt"
+
+	"jrpm"
+	"jrpm/internal/vmsim"
+)
+
+// ---------------------------------------------------------------------------
+// BitOps (jBYTEmark): bit-array operations. Very fine-grained threads (the
+// paper reports 29-cycle threads): word-wise set/toggle sweeps and a
+// popcount reduction.
+
+const bitOpsSrc = `
+// Bit array operations: set ranges, toggle ranges, count bits.
+global bits: int[];   // bit array, 32 bits per word
+global ops: int[];    // triples: (kind, start, len) in bit positions
+global out: int[];    // [0] = final popcount
+global expected: int[];
+
+func setbit(w: int, b: int): int { return w | (1 << b); }
+func clrbit(w: int, b: int): int { return w & (0xffffffff ^ (1 << b)); }
+
+func main() {
+	var nops: int = len(ops) / 3;
+	var o: int = 0;
+	// apply each range op
+	while (o < nops) {
+		var kind: int = ops[o*3];
+		var start: int = ops[o*3+1];
+		var n: int = ops[o*3+2];
+		var b: int = start;
+		// fine-grained STL: one bit per iteration
+		while (b < start + n) {
+			var w: int = b >> 5;
+			var pos: int = b & 31;
+			if (kind == 0) {
+				bits[w] = setbit(bits[w], pos);
+			} else {
+				if (kind == 1) {
+					bits[w] = clrbit(bits[w], pos);
+				} else {
+					bits[w] = bits[w] ^ (1 << pos);
+				}
+			}
+			b++;
+		}
+		o++;
+	}
+	// popcount reduction
+	var count: int = 0;
+	var i: int = 0;
+	while (i < len(bits)) {
+		var w: int = bits[i];
+		while (w != 0) {
+			w = w & (w - 1);
+			count++;
+		}
+		i++;
+	}
+	out[0] = count;
+}
+`
+
+func init() {
+	register(&Workload{
+		Meta: Meta{
+			Name:        "BitOps",
+			Category:    CatInteger,
+			Description: "Bit array operations",
+		},
+		Source: bitOpsSrc,
+		NewInput: func(scale float64) jrpm.Input {
+			r := newRNG(0xb1707)
+			words := scaled(512, scale, 32)
+			nops := scaled(160, scale, 8)
+			bits := make([]int64, words)
+			ops := make([]int64, 0, nops*3)
+			for i := 0; i < nops; i++ {
+				kind := int64(r.intn(3))
+				start := int64(r.intn(words*32 - 64))
+				n := int64(8 + r.intn(56))
+				ops = append(ops, kind, start, n)
+			}
+			// Reference result.
+			ref := make([]uint32, words)
+			for i := 0; i < nops; i++ {
+				kind, start, n := ops[i*3], ops[i*3+1], ops[i*3+2]
+				for b := start; b < start+n; b++ {
+					w, pos := b>>5, uint(b&31)
+					switch kind {
+					case 0:
+						ref[w] |= 1 << pos
+					case 1:
+						ref[w] &^= 1 << pos
+					default:
+						ref[w] ^= 1 << pos
+					}
+				}
+			}
+			count := int64(0)
+			for _, w := range ref {
+				for w != 0 {
+					w &= w - 1
+					count++
+				}
+			}
+			return jrpm.Input{Ints: map[string][]int64{
+				"bits":     bits,
+				"ops":      ops,
+				"out":      {0},
+				"expected": {count},
+			}}
+		},
+		Check: checkIntsEqual("out", "expected"),
+	})
+}
+
+// checkIntsEqual compares two int global arrays element-wise.
+func checkIntsEqual(got, want string) func(vm *vmsim.VM) error {
+	return func(vm *vmsim.VM) error {
+		g, err := vm.GlobalInts(got)
+		if err != nil {
+			return err
+		}
+		w, err := vm.GlobalInts(want)
+		if err != nil {
+			return err
+		}
+		if len(g) != len(w) {
+			return fmt.Errorf("%s has %d elements, %s has %d", got, len(g), want, len(w))
+		}
+		for i := range w {
+			if g[i] != w[i] {
+				return fmt.Errorf("%s[%d] = %d, want %d", got, i, g[i], w[i])
+			}
+		}
+		return nil
+	}
+}
+
+// checkFloatsClose compares two float global arrays with a relative
+// tolerance (used where JR and Go evaluation order may differ).
+func checkFloatsClose(got, want string, tol float64) func(vm *vmsim.VM) error {
+	return func(vm *vmsim.VM) error {
+		g, err := vm.GlobalFloats(got)
+		if err != nil {
+			return err
+		}
+		w, err := vm.GlobalFloats(want)
+		if err != nil {
+			return err
+		}
+		if len(g) != len(w) {
+			return fmt.Errorf("%s has %d elements, %s has %d", got, len(g), want, len(w))
+		}
+		for i := range w {
+			d := g[i] - w[i]
+			if d < 0 {
+				d = -d
+			}
+			m := w[i]
+			if m < 0 {
+				m = -m
+			}
+			if d > tol*(1+m) {
+				return fmt.Errorf("%s[%d] = %g, want %g", got, i, g[i], w[i])
+			}
+		}
+		return nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// IDEA (jBYTEmark): block encryption. One coarse, fully parallel outer loop
+// over 4-word blocks with an 8-round inner loop (the paper reports
+// 6307-cycle threads and a single selected loop).
+
+const ideaSrc = `
+// IDEA-style block cipher: 8 rounds of mul-mod-65537 / add-mod-65536 / xor.
+global data: int[];   // 4 16-bit words per block
+global key: int[];    // 52 subkeys
+global out: int[];
+global expected: int[];
+
+func mulmod(a: int, b: int): int {
+	// multiplication modulo 65537 with the IDEA zero convention
+	if (a == 0) { a = 65536; }
+	if (b == 0) { b = 65536; }
+	var p: int = (a * b) % 65537;
+	if (p == 65536) { p = 0; }
+	return p;
+}
+
+func main() {
+	var nblk: int = len(data) / 4;
+	var blk: int = 0;
+	while (blk < nblk) {
+		var x0: int = data[blk*4];
+		var x1: int = data[blk*4+1];
+		var x2: int = data[blk*4+2];
+		var x3: int = data[blk*4+3];
+		var r: int = 0;
+		while (r < 8) {
+			var k: int = r * 6;
+			x0 = mulmod(x0, key[k]);
+			x1 = (x1 + key[k+1]) & 0xffff;
+			x2 = (x2 + key[k+2]) & 0xffff;
+			x3 = mulmod(x3, key[k+3]);
+			var t0: int = x0 ^ x2;
+			var t1: int = x1 ^ x3;
+			t0 = mulmod(t0, key[k+4]);
+			t1 = (t1 + t0) & 0xffff;
+			t1 = mulmod(t1, key[k+5]);
+			t0 = (t0 + t1) & 0xffff;
+			x0 = x0 ^ t1;
+			x2 = x2 ^ t1;
+			x1 = x1 ^ t0;
+			x3 = x3 ^ t0;
+			r++;
+		}
+		out[blk*4]   = mulmod(x0, key[48]);
+		out[blk*4+1] = (x2 + key[49]) & 0xffff;
+		out[blk*4+2] = (x1 + key[50]) & 0xffff;
+		out[blk*4+3] = mulmod(x3, key[51]);
+		blk++;
+	}
+}
+`
+
+func ideaMulMod(a, b int64) int64 {
+	if a == 0 {
+		a = 65536
+	}
+	if b == 0 {
+		b = 65536
+	}
+	p := (a * b) % 65537
+	if p == 65536 {
+		p = 0
+	}
+	return p
+}
+
+func init() {
+	register(&Workload{
+		Meta: Meta{
+			Name:        "IDEA",
+			Category:    CatInteger,
+			Description: "Encryption",
+			Analyzable:  true,
+		},
+		Source: ideaSrc,
+		NewInput: func(scale float64) jrpm.Input {
+			r := newRNG(0x1dea)
+			nblk := scaled(220, scale, 8)
+			data := make([]int64, nblk*4)
+			for i := range data {
+				data[i] = int64(r.intn(65536))
+			}
+			key := make([]int64, 52)
+			for i := range key {
+				key[i] = int64(r.intn(65536))
+			}
+			// Reference encryption.
+			exp := make([]int64, nblk*4)
+			for blk := 0; blk < nblk; blk++ {
+				x0, x1, x2, x3 := data[blk*4], data[blk*4+1], data[blk*4+2], data[blk*4+3]
+				for rr := 0; rr < 8; rr++ {
+					k := int64(rr * 6)
+					x0 = ideaMulMod(x0, key[k])
+					x1 = (x1 + key[k+1]) & 0xffff
+					x2 = (x2 + key[k+2]) & 0xffff
+					x3 = ideaMulMod(x3, key[k+3])
+					t0 := x0 ^ x2
+					t1 := x1 ^ x3
+					t0 = ideaMulMod(t0, key[k+4])
+					t1 = (t1 + t0) & 0xffff
+					t1 = ideaMulMod(t1, key[k+5])
+					t0 = (t0 + t1) & 0xffff
+					x0 ^= t1
+					x2 ^= t1
+					x1 ^= t0
+					x3 ^= t0
+				}
+				exp[blk*4] = ideaMulMod(x0, key[48])
+				exp[blk*4+1] = (x2 + key[49]) & 0xffff
+				exp[blk*4+2] = (x1 + key[50]) & 0xffff
+				exp[blk*4+3] = ideaMulMod(x3, key[51])
+			}
+			return jrpm.Input{Ints: map[string][]int64{
+				"data":     data,
+				"key":      key,
+				"out":      make([]int64, nblk*4),
+				"expected": exp,
+			}}
+		},
+		Check: checkIntsEqual("out", "expected"),
+	})
+}
+
+// ---------------------------------------------------------------------------
+// monteCarlo (Java Grande): Monte Carlo simulation. The outer sample loop
+// is embarrassingly parallel once the accumulator is recognized as a
+// reduction; each sample runs a private LCG.
+
+const monteCarloSrc = `
+// Monte Carlo pi-style estimation with per-sample LCG streams.
+global seeds: int[];
+global out: int[];    // [0] = hits
+global expected: int[];
+
+func main() {
+	var hits: int = 0;
+	var i: int = 0;
+	while (i < len(seeds)) {
+		var s: int = seeds[i];
+		var j: int = 0;
+		// burn a few LCG steps per sample to give threads some size
+		while (j < 8) {
+			s = (s * 1103515245 + 12345) & 0x7fffffff;
+			j++;
+		}
+		var x: int = s & 0xffff;
+		s = (s * 1103515245 + 12345) & 0x7fffffff;
+		var y: int = s & 0xffff;
+		if (x*x + y*y < 65536*65536/2) {
+			hits += 1;
+		}
+		i++;
+	}
+	out[0] = hits;
+}
+`
+
+func init() {
+	register(&Workload{
+		Meta: Meta{
+			Name:        "monteCarlo",
+			Category:    CatInteger,
+			Description: "Monte carlo sim",
+		},
+		Source: monteCarloSrc,
+		NewInput: func(scale float64) jrpm.Input {
+			r := newRNG(0x3c4a10)
+			n := scaled(3000, scale, 64)
+			seeds := make([]int64, n)
+			for i := range seeds {
+				seeds[i] = int64(r.intn(1 << 30))
+			}
+			hits := int64(0)
+			for _, s0 := range seeds {
+				s := s0
+				for j := 0; j < 8; j++ {
+					s = (s*1103515245 + 12345) & 0x7fffffff
+				}
+				x := s & 0xffff
+				s = (s*1103515245 + 12345) & 0x7fffffff
+				y := s & 0xffff
+				if x*x+y*y < 65536*65536/2 {
+					hits++
+				}
+			}
+			return jrpm.Input{Ints: map[string][]int64{
+				"seeds":    seeds,
+				"out":      {0},
+				"expected": {hits},
+			}}
+		},
+		Check: checkIntsEqual("out", "expected"),
+	})
+}
+
+// ---------------------------------------------------------------------------
+// NumHeapSort (jBYTEmark): heap sort. Sift-down chains serialize through
+// the array; TEST should find modest parallelism at best (the paper
+// reports 555-cycle threads and highly varying thread sizes).
+
+const numHeapSortSrc = `
+// Heap sort over an int array.
+global a: int[];
+global expected: int[];
+
+func siftdown(i: int, n: int) {
+	var root: int = i;
+	var done: int = 0;
+	while (done == 0) {
+		var child: int = root*2 + 1;
+		if (child >= n) {
+			done = 1;
+		} else {
+			if (child + 1 < n && a[child] < a[child+1]) {
+				child++;
+			}
+			if (a[root] < a[child]) {
+				var t: int = a[root];
+				a[root] = a[child];
+				a[child] = t;
+				root = child;
+			} else {
+				done = 1;
+			}
+		}
+	}
+}
+
+func main() {
+	var n: int = len(a);
+	// heapify
+	var i: int = n/2 - 1;
+	while (i >= 0) {
+		siftdown(i, n);
+		i = i - 1;
+	}
+	// extract
+	var end: int = n - 1;
+	while (end > 0) {
+		var t: int = a[0];
+		a[0] = a[end];
+		a[end] = t;
+		siftdown(0, end);
+		end = end - 1;
+	}
+}
+`
+
+func init() {
+	register(&Workload{
+		Meta: Meta{
+			Name:        "NumHeapSort",
+			Category:    CatInteger,
+			Description: "Heap sort",
+		},
+		Source: numHeapSortSrc,
+		NewInput: func(scale float64) jrpm.Input {
+			r := newRNG(0x50127)
+			n := scaled(1200, scale, 32)
+			a := make([]int64, n)
+			for i := range a {
+				a[i] = int64(r.intn(1 << 20))
+			}
+			exp := append([]int64(nil), a...)
+			// Insertion-free reference: simple sort.
+			for i := 1; i < len(exp); i++ {
+				for j := i; j > 0 && exp[j-1] > exp[j]; j-- {
+					exp[j-1], exp[j] = exp[j], exp[j-1]
+				}
+			}
+			return jrpm.Input{Ints: map[string][]int64{
+				"a":        a,
+				"expected": exp,
+			}}
+		},
+		Check: checkIntsEqual("a", "expected"),
+	})
+}

@@ -1,0 +1,571 @@
+package workloads
+
+import "jrpm"
+
+// ---------------------------------------------------------------------------
+// compress (SPECjvm98): LZW compression. The dictionary code `w` chains
+// from one iteration into the next and the shared hash table grows as
+// codes are added, so TEST should find only modest parallelism (the paper
+// reports 546-cycle threads).
+
+const compressSrc = `
+// LZW compression with an open-addressing dictionary hash table.
+global in: int[];         // input symbols, 0..255
+global dictPrefix: int[]; // prefix code per dictionary code
+global dictChar: int[];   // appended symbol per dictionary code
+global hashTab: int[];    // open addressing: slot -> code or -1
+global out: int[];        // emitted codes
+global ocount: int[];     // [0] = number of codes emitted
+global expected: int[];
+global expcount: int[];
+
+func main() {
+	var mask: int = len(hashTab) - 1;
+	var next: int = 256;
+	var w: int = in[0];
+	var out_p: int = 0;
+	var i: int = 1;
+	while (i < len(in)) {
+		var c: int = in[i];
+		var key: int = w * 256 + c;
+		var h: int = (key * 2654435761) & mask;
+		var code: int = -1;
+		var probing: int = 1;
+		while (probing == 1) {
+			var e: int = hashTab[h];
+			if (e == -1) {
+				probing = 0;
+			} else {
+				if (dictPrefix[e] == w && dictChar[e] == c) {
+					code = e;
+					probing = 0;
+				} else {
+					h = (h + 1) & mask;
+				}
+			}
+		}
+		if (code != -1) {
+			w = code;
+		} else {
+			out[out_p] = w;
+			out_p++;
+			if (next < len(dictPrefix)) {
+				dictPrefix[next] = w;
+				dictChar[next] = c;
+				hashTab[h] = next;
+				next++;
+			}
+			w = c;
+		}
+		i++;
+	}
+	out[out_p] = w;
+	out_p++;
+	ocount[0] = out_p;
+}
+`
+
+func init() {
+	register(&Workload{
+		Meta: Meta{
+			Name:        "compress",
+			Category:    CatInteger,
+			Description: "Compression",
+		},
+		Source: compressSrc,
+		NewInput: func(scale float64) jrpm.Input {
+			r := newRNG(0xc0352)
+			n := scaled(4000, scale, 64)
+			in := make([]int64, n)
+			// Compressible input: repeated short phrases over a small
+			// alphabet.
+			phrase := make([]int64, 12)
+			for i := range phrase {
+				phrase[i] = int64(r.intn(16))
+			}
+			for i := range in {
+				if r.intn(8) == 0 {
+					in[i] = int64(r.intn(64))
+				} else {
+					in[i] = phrase[i%len(phrase)]
+				}
+			}
+			const dictCap = 2048
+			const tabCap = 8192 // power of two
+			hashTab := make([]int64, tabCap)
+			for i := range hashTab {
+				hashTab[i] = -1
+			}
+			// Reference compression mirroring the JR code exactly.
+			refTab := append([]int64(nil), hashTab...)
+			refPrefix := make([]int64, dictCap)
+			refChar := make([]int64, dictCap)
+			var refOut []int64
+			next := int64(256)
+			w := in[0]
+			mask := int64(tabCap - 1)
+			for i := 1; i < len(in); i++ {
+				c := in[i]
+				key := w*256 + c
+				h := (key * 2654435761) & mask
+				code := int64(-1)
+				for {
+					e := refTab[h]
+					if e == -1 {
+						break
+					}
+					if refPrefix[e] == w && refChar[e] == c {
+						code = e
+						break
+					}
+					h = (h + 1) & mask
+				}
+				if code != -1 {
+					w = code
+				} else {
+					refOut = append(refOut, w)
+					if next < dictCap {
+						refPrefix[next] = w
+						refChar[next] = c
+						refTab[h] = next
+						next++
+					}
+					w = c
+				}
+			}
+			refOut = append(refOut, w)
+			out := make([]int64, n+1)
+			exp := make([]int64, n+1)
+			copy(exp, refOut)
+			return jrpm.Input{Ints: map[string][]int64{
+				"in":         in,
+				"dictPrefix": make([]int64, dictCap),
+				"dictChar":   make([]int64, dictCap),
+				"hashTab":    hashTab,
+				"out":        out,
+				"ocount":     {0},
+				"expected":   exp,
+				"expcount":   {int64(len(refOut))},
+			}}
+		},
+		Check: checkIntsEqual("ocount", "expcount"),
+	})
+}
+
+// ---------------------------------------------------------------------------
+// db (SPECjvm98): an in-memory database. Queries scan the record table;
+// point updates create occasional cross-query dependencies, and a final
+// sort-like pass is serial (the paper notes db has significant serial
+// sections).
+
+const dbSrc = `
+// Query mix over a flat record table: range sums, point updates, counts.
+global keys: int[];
+global vals: int[];
+global qop: int[];   // 0 = range sum, 1 = point update, 2 = count
+global qarg: int[];  // key argument per query
+global out: int[];   // one result per query
+global ranked: int[]; // serial post-pass output
+global expected: int[];
+
+func main() {
+	var nq: int = len(qop);
+	var q: int = 0;
+	while (q < nq) {
+		var op: int = qop[q];
+		var arg: int = qarg[q];
+		var acc: int = 0;
+		var i: int = 0;
+		if (op == 0) {
+			while (i < len(keys)) {
+				if (keys[i] >= arg && keys[i] < arg + 64) {
+					acc += vals[i];
+				}
+				i++;
+			}
+		} else {
+			if (op == 1) {
+				while (i < len(keys)) {
+					if (keys[i] == arg) {
+						vals[i] = vals[i] + 1;
+						acc++;
+					}
+					i++;
+				}
+			} else {
+				while (i < len(keys)) {
+					if (vals[i] > arg) {
+						acc++;
+					}
+					i++;
+				}
+			}
+		}
+		out[q] = acc;
+		q++;
+	}
+	// serial section: rank accumulation (prefix dependence)
+	var run: int = 0;
+	var j: int = 0;
+	while (j < len(ranked)) {
+		run = (run + out[j % nq]) & 0xffffff;
+		ranked[j] = run;
+		j++;
+	}
+}
+`
+
+func init() {
+	register(&Workload{
+		Meta: Meta{
+			Name:             "db",
+			Category:         CatInteger,
+			Description:      "Database",
+			DataSetSensitive: true,
+			DataSet:          "5000",
+		},
+		Source: dbSrc,
+		NewInput: func(scale float64) jrpm.Input {
+			r := newRNG(0xdb5000)
+			nrec := scaled(700, scale, 32)
+			nq := scaled(90, scale, 8)
+			keys := make([]int64, nrec)
+			vals := make([]int64, nrec)
+			for i := range keys {
+				keys[i] = int64(r.intn(4096))
+				vals[i] = int64(r.intn(1000))
+			}
+			qop := make([]int64, nq)
+			qarg := make([]int64, nq)
+			for i := range qop {
+				qop[i] = int64(r.intn(3))
+				qarg[i] = int64(r.intn(4096))
+			}
+			// Reference.
+			rvals := append([]int64(nil), vals...)
+			rout := make([]int64, nq)
+			for q := 0; q < nq; q++ {
+				op, arg := qop[q], qarg[q]
+				var acc int64
+				switch op {
+				case 0:
+					for i := range keys {
+						if keys[i] >= arg && keys[i] < arg+64 {
+							acc += rvals[i]
+						}
+					}
+				case 1:
+					for i := range keys {
+						if keys[i] == arg {
+							rvals[i]++
+							acc++
+						}
+					}
+				default:
+					for i := range rvals {
+						if rvals[i] > arg {
+							acc++
+						}
+					}
+				}
+				rout[q] = acc
+			}
+			nrank := scaled(600, scale, 16)
+			exp := make([]int64, nq)
+			copy(exp, rout)
+			return jrpm.Input{Ints: map[string][]int64{
+				"keys":     keys,
+				"vals":     vals,
+				"qop":      qop,
+				"qarg":     qarg,
+				"out":      make([]int64, nq),
+				"ranked":   make([]int64, nrank),
+				"expected": exp,
+			}}
+		},
+		Check: checkIntsEqual("out", "expected"),
+	})
+}
+
+// ---------------------------------------------------------------------------
+// deltaBlue (jBYTEmark/Smalltalk benchmark): incremental constraint
+// solver. Propagation walks constraint chains through pointer-like index
+// arrays — irregular accesses and genuine cross-iteration dependencies.
+
+const deltaBlueSrc = `
+// Constraint propagation: the planner has produced one execution chain per
+// output variable (as real deltaBlue plans do); chains touch disjoint
+// variables, so the outer chain loop is parallel while each chain's inner
+// walk is a genuine serial dataflow.
+global chainOff: int[]; // chain -> first constraint index (len = nchains+1)
+global csrc: int[];     // constraint source variable
+global cdst: int[];     // constraint destination variable
+global cstr: int[];     // constraint strength
+global value: int[];    // variable values
+global vstr: int[];     // strength of each variable's current value
+global out: int[];      // [0] = checksum of values
+global expected: int[];
+
+func main() {
+	// several propagation passes, as the solver re-plans
+	var pass: int = 0;
+	while (pass < 3) {
+		var ch: int = 0;
+		while (ch < len(chainOff) - 1) {
+			var p: int = chainOff[ch];
+			var stop: int = chainOff[ch+1];
+			while (p < stop) {
+				var s: int = csrc[p];
+				var d: int = cdst[p];
+				if (cstr[p] + pass >= vstr[d]) {
+					value[d] = value[s] + p;
+					vstr[d] = cstr[p];
+				}
+				p++;
+			}
+			ch++;
+		}
+		pass++;
+	}
+	var sum: int = 0;
+	var i: int = 0;
+	while (i < len(value)) {
+		sum = (sum + value[i]*(i+1)) & 0xffffff;
+		i++;
+	}
+	out[0] = sum;
+}
+`
+
+func init() {
+	register(&Workload{
+		Meta: Meta{
+			Name:        "deltaBlue",
+			Category:    CatInteger,
+			Description: "Constraint solver",
+		},
+		Source: deltaBlueSrc,
+		NewInput: func(scale float64) jrpm.Input {
+			r := newRNG(0xde17ab)
+			nchains := scaled(90, scale, 8)
+			// Each chain owns a disjoint set of variables and walks them
+			// in dataflow order: v0 -> v1 -> ... -> vk.
+			var chainOff, csrc, cdst, cstr []int64
+			nvar := 0
+			chainOff = append(chainOff, 0)
+			for ch := 0; ch < nchains; ch++ {
+				chainLen := 6 + r.intn(20)
+				base := nvar
+				nvar += chainLen + 1
+				for i := 0; i < chainLen; i++ {
+					csrc = append(csrc, int64(base+i))
+					cdst = append(cdst, int64(base+i+1))
+					cstr = append(cstr, int64(r.intn(8)))
+				}
+				chainOff = append(chainOff, int64(len(csrc)))
+			}
+			value := make([]int64, nvar)
+			vstr := make([]int64, nvar)
+			for i := range value {
+				value[i] = int64(r.intn(1000))
+				vstr[i] = int64(r.intn(4))
+			}
+			// Reference.
+			rv := append([]int64(nil), value...)
+			rs := append([]int64(nil), vstr...)
+			for pass := int64(0); pass < 3; pass++ {
+				for ch := 0; ch < nchains; ch++ {
+					for p := chainOff[ch]; p < chainOff[ch+1]; p++ {
+						s, d := csrc[p], cdst[p]
+						if cstr[p]+pass >= rs[d] {
+							rv[d] = rv[s] + p
+							rs[d] = cstr[p]
+						}
+					}
+				}
+			}
+			sum := int64(0)
+			for i := range rv {
+				sum = (sum + rv[i]*int64(i+1)) & 0xffffff
+			}
+			return jrpm.Input{Ints: map[string][]int64{
+				"chainOff": chainOff,
+				"csrc":     csrc,
+				"cdst":     cdst,
+				"cstr":     cstr,
+				"value":    value,
+				"vstr":     vstr,
+				"out":      {0},
+				"expected": {sum},
+			}}
+		},
+		Check: checkIntsEqual("out", "expected"),
+	})
+}
+
+// ---------------------------------------------------------------------------
+// jess (SPECjvm98): expert system shell. Rule matching joins facts against
+// rule conditions in deeply nested loops; agenda processing serializes on
+// a shared counter (the paper reports jess has the deepest loop nests —
+// depth 11 — and significant serial sections).
+
+const jessSrc = `
+// Rete-style rule matching: rules x facts x facts joins produce per-rule
+// match counts/checksums (reductions), then agenda processing walks the
+// activations serially — the paper notes jess keeps significant serial
+// sections not covered by any STL.
+global rtype1: int[];  // rule condition 1: fact type
+global rtype2: int[];  // rule condition 2: fact type
+global rrel: int[];    // join relation: 0 a==a, 1 a+1==a, 2 b==b
+global ftype: int[];   // fact type
+global fa: int[];      // fact attribute a
+global fb: int[];      // fact attribute b
+global rcount: int[];  // matches per rule
+global rsum: int[];    // checksum per rule
+global out: int[];     // [0] = total activations, [1] = agenda checksum
+global expected: int[];
+
+func main() {
+	var rep: int = 0;
+	while (rep < 2) {
+		var rr: int = 0;
+		while (rr < len(rtype1)) {
+			var t1: int = rtype1[rr];
+			var t2: int = rtype2[rr];
+			var rel: int = rrel[rr];
+			var cnt: int = 0;
+			var chk: int = 0;
+			var i: int = 0;
+			while (i < len(ftype)) {
+				if (ftype[i] == t1) {
+					var j: int = 0;
+					while (j < len(ftype)) {
+						if (ftype[j] == t2) {
+							var hit: int = 0;
+							if (rel == 0) {
+								if (fa[i] == fa[j]) { hit = 1; }
+							} else {
+								if (rel == 1) {
+									if (fa[i] + 1 == fa[j]) { hit = 1; }
+								} else {
+									if (fb[i] == fb[j]) { hit = 1; }
+								}
+							}
+							if (hit == 1) {
+								cnt += 1;
+								chk += i*256 + j;
+							}
+						}
+						j++;
+					}
+				}
+				i++;
+			}
+			rcount[rr] = rcount[rr] + cnt;
+			rsum[rr] = (rsum[rr] + chk) & 0xffffff;
+			rr++;
+		}
+		rep++;
+	}
+	// agenda processing: serial chain over rule activations
+	var total: int = 0;
+	var sum: int = 0;
+	var pass: int = 0;
+	while (pass < 40) {
+		var k: int = 0;
+		while (k < len(rcount)) {
+			total = total + rcount[k];
+			sum = (sum*31 + rsum[k] + total) & 0xffffff;
+			k++;
+		}
+		pass++;
+	}
+	out[0] = total;
+	out[1] = sum;
+}
+`
+
+func init() {
+	register(&Workload{
+		Meta: Meta{
+			Name:        "jess",
+			Category:    CatInteger,
+			Description: "Expert system",
+		},
+		Source: jessSrc,
+		NewInput: func(scale float64) jrpm.Input {
+			r := newRNG(0x1e55)
+			nrules := scaled(12, scale, 3)
+			nfacts := scaled(110, scale, 16)
+			rtype1 := make([]int64, nrules)
+			rtype2 := make([]int64, nrules)
+			rrel := make([]int64, nrules)
+			for i := 0; i < nrules; i++ {
+				rtype1[i] = int64(r.intn(6))
+				rtype2[i] = int64(r.intn(6))
+				rrel[i] = int64(r.intn(3))
+			}
+			ftype := make([]int64, nfacts)
+			fa := make([]int64, nfacts)
+			fb := make([]int64, nfacts)
+			for i := 0; i < nfacts; i++ {
+				ftype[i] = int64(r.intn(6))
+				fa[i] = int64(r.intn(32))
+				fb[i] = int64(r.intn(16))
+			}
+			// Reference.
+			rcount := make([]int64, nrules)
+			rsum := make([]int64, nrules)
+			for rep := 0; rep < 2; rep++ {
+				for rr := 0; rr < nrules; rr++ {
+					var cnt, chk int64
+					for i := 0; i < nfacts; i++ {
+						if ftype[i] != rtype1[rr] {
+							continue
+						}
+						for j := 0; j < nfacts; j++ {
+							if ftype[j] != rtype2[rr] {
+								continue
+							}
+							hit := false
+							switch rrel[rr] {
+							case 0:
+								hit = fa[i] == fa[j]
+							case 1:
+								hit = fa[i]+1 == fa[j]
+							default:
+								hit = fb[i] == fb[j]
+							}
+							if hit {
+								cnt++
+								chk += int64(i*256 + j)
+							}
+						}
+					}
+					rcount[rr] += cnt
+					rsum[rr] = (rsum[rr] + chk) & 0xffffff
+				}
+			}
+			var total, sum int64
+			for pass := 0; pass < 40; pass++ {
+				for k := 0; k < nrules; k++ {
+					total += rcount[k]
+					sum = (sum*31 + rsum[k] + total) & 0xffffff
+				}
+			}
+			return jrpm.Input{Ints: map[string][]int64{
+				"rtype1":   rtype1,
+				"rtype2":   rtype2,
+				"rrel":     rrel,
+				"ftype":    ftype,
+				"fa":       fa,
+				"fb":       fb,
+				"rcount":   make([]int64, nrules),
+				"rsum":     make([]int64, nrules),
+				"out":      {0, 0},
+				"expected": {total, sum},
+			}}
+		},
+		Check: checkIntsEqual("out", "expected"),
+	})
+}

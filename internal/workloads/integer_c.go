@@ -1,0 +1,657 @@
+package workloads
+
+import "jrpm"
+
+// ---------------------------------------------------------------------------
+// Assignment (jBYTEmark): task-assignment cost-matrix reduction on a 2-D
+// array. The paper highlights Assignment as data-set sensitive: with a
+// 51x51 matrix the selected STL moves between nest levels as the input
+// grows (many STLs contribute about equally — 11 selected loops).
+
+const assignmentSrc = `
+// Hungarian-style row/column reduction passes over an n x n cost matrix.
+global cost: int[];  // n*n, row major
+global dims: int[];  // [0] = n
+global out: int[];   // [0] = checksum, [1] = zero count
+global expected: int[];
+
+func main() {
+	var n: int = dims[0];
+	var pass: int = 0;
+	while (pass < 3) {
+		// row reduction
+		var r: int = 0;
+		while (r < n) {
+			var min: int = cost[r*n];
+			var c: int = 1;
+			while (c < n) {
+				if (cost[r*n+c] < min) { min = cost[r*n+c]; }
+				c++;
+			}
+			c = 0;
+			while (c < n) {
+				cost[r*n+c] = cost[r*n+c] - min;
+				c++;
+			}
+			r++;
+		}
+		// column reduction
+		var cc: int = 0;
+		while (cc < n) {
+			var cmin: int = cost[cc];
+			var rr: int = 1;
+			while (rr < n) {
+				if (cost[rr*n+cc] < cmin) { cmin = cost[rr*n+cc]; }
+				rr++;
+			}
+			rr = 0;
+			while (rr < n) {
+				cost[rr*n+cc] = cost[rr*n+cc] - cmin;
+				rr++;
+			}
+			cc++;
+		}
+		pass++;
+	}
+	// count zeros and checksum
+	var zeros: int = 0;
+	var sum: int = 0;
+	var i: int = 0;
+	while (i < n*n) {
+		if (cost[i] == 0) { zeros++; }
+		sum = (sum + cost[i]*(i+1)) & 0xffffff;
+		i++;
+	}
+	out[0] = sum;
+	out[1] = zeros;
+}
+`
+
+func init() {
+	register(&Workload{
+		Meta: Meta{
+			Name:             "Assignment",
+			Category:         CatInteger,
+			Description:      "Resource allocation",
+			DataSetSensitive: true,
+			DataSet:          "51x51",
+		},
+		Source: assignmentSrc,
+		NewInput: func(scale float64) jrpm.Input {
+			r := newRNG(0xa551)
+			n := scaled(51, scale, 8)
+			cost := make([]int64, n*n)
+			for i := range cost {
+				cost[i] = int64(r.intn(1000))
+			}
+			// Reference.
+			m := append([]int64(nil), cost...)
+			for pass := 0; pass < 3; pass++ {
+				for row := 0; row < n; row++ {
+					min := m[row*n]
+					for c := 1; c < n; c++ {
+						if m[row*n+c] < min {
+							min = m[row*n+c]
+						}
+					}
+					for c := 0; c < n; c++ {
+						m[row*n+c] -= min
+					}
+				}
+				for c := 0; c < n; c++ {
+					min := m[c]
+					for row := 1; row < n; row++ {
+						if m[row*n+c] < min {
+							min = m[row*n+c]
+						}
+					}
+					for row := 0; row < n; row++ {
+						m[row*n+c] -= min
+					}
+				}
+			}
+			var zeros, sum int64
+			for i := range m {
+				if m[i] == 0 {
+					zeros++
+				}
+				sum = (sum + m[i]*int64(i+1)) & 0xffffff
+			}
+			return jrpm.Input{Ints: map[string][]int64{
+				"cost":     cost,
+				"dims":     {int64(n)},
+				"out":      {0, 0},
+				"expected": {sum, zeros},
+			}}
+		},
+		Check: checkIntsEqual("out", "expected"),
+	})
+}
+
+// ---------------------------------------------------------------------------
+// EmFloatPnt (jBYTEmark): software floating-point emulation. Each element
+// runs a soft multiply with a shift-add mantissa loop and renormalization,
+// so threads are very coarse (the paper reports 20127-cycle threads and a
+// single selected loop).
+
+const emFloatSrc = `
+// Software floating point: numbers packed as sign<<56 | exp<<48 | man(24b)
+// are multiplied pairwise with an explicit shift-add mantissa loop.
+global a: int[];
+global b: int[];
+global out: int[];
+global expected: int[];
+
+func softmul(x: int, y: int): int {
+	var sx: int = (x >> 56) & 1;
+	var ex: int = (x >> 48) & 0xff;
+	var mx: int = x & 0xffffff;
+	var sy: int = (y >> 56) & 1;
+	var ey: int = (y >> 48) & 0xff;
+	var my: int = y & 0xffffff;
+	var s: int = sx ^ sy;
+	var e: int = ex + ey - 127;
+	// shift-add multiply of two 24-bit mantissas
+	var p: int = 0;
+	var bit: int = 0;
+	while (bit < 24) {
+		if (((my >> bit) & 1) == 1) {
+			p = p + (mx << bit);
+		}
+		bit++;
+	}
+	// normalize the 48-bit product back to 24 bits
+	while (p >= 16777216 * 2) {
+		p = p >> 1;
+		e++;
+	}
+	while (p != 0 && p < 16777216) {
+		p = p << 1;
+		e = e - 1;
+	}
+	p = p & 0xffffff;
+	if (e < 0) { e = 0; p = 0; }
+	if (e > 255) { e = 255; }
+	return (s << 56) | (e << 48) | p;
+}
+
+func main() {
+	var i: int = 0;
+	while (i < len(a)) {
+		var m: int = softmul(a[i], b[i]);
+		out[i] = softmul(m, a[i]);
+		i++;
+	}
+}
+`
+
+func softmulRef(x, y int64) int64 {
+	sx, ex, mx := (x>>56)&1, (x>>48)&0xff, x&0xffffff
+	sy, ey, my := (y>>56)&1, (y>>48)&0xff, y&0xffffff
+	s := sx ^ sy
+	e := ex + ey - 127
+	var p int64
+	for bit := int64(0); bit < 24; bit++ {
+		if (my>>bit)&1 == 1 {
+			p += mx << bit
+		}
+	}
+	for p >= 16777216*2 {
+		p >>= 1
+		e++
+	}
+	for p != 0 && p < 16777216 {
+		p <<= 1
+		e--
+	}
+	p &= 0xffffff
+	if e < 0 {
+		e, p = 0, 0
+	}
+	if e > 255 {
+		e = 255
+	}
+	return s<<56 | e<<48 | p
+}
+
+func init() {
+	register(&Workload{
+		Meta: Meta{
+			Name:        "EmFloatPnt",
+			Category:    CatInteger,
+			Description: "FP emulation",
+		},
+		Source: emFloatSrc,
+		NewInput: func(scale float64) jrpm.Input {
+			r := newRNG(0xef107)
+			n := scaled(300, scale, 16)
+			a := make([]int64, n)
+			b := make([]int64, n)
+			pack := func() int64 {
+				return int64(r.intn(2))<<56 | int64(100+r.intn(56))<<48 | (1<<23 | int64(r.intn(1<<23)))
+			}
+			for i := range a {
+				a[i] = pack()
+				b[i] = pack()
+			}
+			exp := make([]int64, n)
+			for i := range exp {
+				exp[i] = softmulRef(softmulRef(a[i], b[i]), a[i])
+			}
+			return jrpm.Input{Ints: map[string][]int64{
+				"a":        a,
+				"b":        b,
+				"out":      make([]int64, n),
+				"expected": exp,
+			}}
+		},
+		Check: checkIntsEqual("out", "expected"),
+	})
+}
+
+// ---------------------------------------------------------------------------
+// jLex (lexical analyzer generator): NFA-to-DFA subset construction over
+// bitmask state sets. The worklist of discovered DFA states grows as the
+// outer loop runs — a genuine sequential dependency — while the per-symbol
+// and per-NFA-state inner loops parallelize.
+
+const jLexSrc = `
+// Subset construction: NFA states fit a 62-bit mask; DFA states are
+// discovered by a worklist loop.
+global trans: int[];    // nfaState*nsym + sym -> bitmask of next NFA states
+global dims: int[];     // [0] = nNFA, [1] = nsym, [2] = max DFA states
+global dstates: int[];  // discovered DFA state masks
+global dtrans: int[];   // dfaState*nsym + sym -> dfa state index
+global out: int[];      // [0] = number of DFA states, [1] = checksum
+global expected: int[];
+
+func main() {
+	var nnfa: int = dims[0];
+	var nsym: int = dims[1];
+	var maxd: int = dims[2];
+	dstates[0] = 1; // start state = {0}
+	var ndfa: int = 1;
+	var w: int = 0;
+	while (w < ndfa) {
+		var cur: int = dstates[w];
+		var sym: int = 0;
+		while (sym < nsym) {
+			// union of transitions from every NFA state in cur
+			var next: int = 0;
+			var s: int = 0;
+			while (s < nnfa) {
+				if (((cur >> s) & 1) == 1) {
+					next = next | trans[s*nsym + sym];
+				}
+				s++;
+			}
+			// look up or add the subset state
+			var found: int = -1;
+			var d: int = 0;
+			while (d < ndfa) {
+				if (dstates[d] == next) { found = d; }
+				d++;
+			}
+			if (found == -1) {
+				if (ndfa < maxd) {
+					dstates[ndfa] = next;
+					found = ndfa;
+					ndfa++;
+				} else {
+					found = 0;
+				}
+			}
+			dtrans[w*nsym + sym] = found;
+			sym++;
+		}
+		w++;
+	}
+	var sum: int = 0;
+	var i: int = 0;
+	while (i < ndfa*nsym) {
+		sum = (sum*31 + dtrans[i]) & 0xffffff;
+		i++;
+	}
+	out[0] = ndfa;
+	out[1] = sum;
+}
+`
+
+func init() {
+	register(&Workload{
+		Meta: Meta{
+			Name:        "jLex",
+			Category:    CatInteger,
+			Description: "Lexical analyzer gen",
+		},
+		Source: jLexSrc,
+		NewInput: func(scale float64) jrpm.Input {
+			r := newRNG(0x17e8)
+			nnfa := 24
+			nsym := scaled(8, scale, 4)
+			maxd := 80
+			trans := make([]int64, nnfa*nsym)
+			for s := 0; s < nnfa; s++ {
+				for y := 0; y < nsym; y++ {
+					// sparse transitions: 1-2 target states
+					m := int64(1) << uint(r.intn(nnfa))
+					if r.intn(2) == 0 {
+						m |= int64(1) << uint(r.intn(nnfa))
+					}
+					trans[s*nsym+y] = m
+				}
+			}
+			// Reference subset construction.
+			dstates := make([]int64, maxd)
+			dtrans := make([]int64, maxd*nsym)
+			dstates[0] = 1
+			ndfa := 1
+			for w := 0; w < ndfa; w++ {
+				cur := dstates[w]
+				for sym := 0; sym < nsym; sym++ {
+					var next int64
+					for s := 0; s < nnfa; s++ {
+						if (cur>>uint(s))&1 == 1 {
+							next |= trans[s*nsym+sym]
+						}
+					}
+					found := -1
+					for d := 0; d < ndfa; d++ {
+						if dstates[d] == next {
+							found = d
+						}
+					}
+					if found == -1 {
+						if ndfa < maxd {
+							dstates[ndfa] = next
+							found = ndfa
+							ndfa++
+						} else {
+							found = 0
+						}
+					}
+					dtrans[w*nsym+sym] = int64(found)
+				}
+			}
+			var sum int64
+			for i := 0; i < ndfa*nsym; i++ {
+				sum = (sum*31 + dtrans[i]) & 0xffffff
+			}
+			return jrpm.Input{Ints: map[string][]int64{
+				"trans":    trans,
+				"dims":     {int64(nnfa), int64(nsym), int64(maxd)},
+				"dstates":  make([]int64, maxd),
+				"dtrans":   make([]int64, maxd*nsym),
+				"out":      {0, 0},
+				"expected": {int64(ndfa), sum},
+			}}
+		},
+		Check: checkIntsEqual("out", "expected"),
+	})
+}
+
+// ---------------------------------------------------------------------------
+// MipsSimulator (course project benchmark in the paper): an instruction-set
+// simulator. Each iteration decodes and executes one instruction of a
+// pre-generated linear trace against a simulated register file and data
+// memory — register reads/writes produce genuine short-distance RAW arcs.
+
+const mipsSimSrc = `
+// Simple MIPS-ish ISA simulator over a linear instruction trace.
+global prog: int[];   // packed instructions: op<<24 | rd<<16 | rs<<8 | rt  (or imm)
+global regs: int[];   // 32 simulated registers
+global dmem: int[];   // simulated data memory
+global out: int[];    // [0] = register checksum
+global expected: int[];
+
+func main() {
+	var pc: int = 0;
+	var n: int = len(prog);
+	var memmask: int = len(dmem) - 1;
+	while (pc < n) {
+		var insn: int = prog[pc];
+		var op: int = (insn >> 24) & 0xff;
+		var rd: int = (insn >> 16) & 0xff;
+		var rs: int = (insn >> 8) & 0xff;
+		var rt: int = insn & 0xff;
+		if (op == 0) {            // add
+			regs[rd] = regs[rs] + regs[rt];
+		} else { if (op == 1) {   // sub
+			regs[rd] = regs[rs] - regs[rt];
+		} else { if (op == 2) {   // addi (rt = imm)
+			regs[rd] = regs[rs] + rt;
+		} else { if (op == 3) {   // mul
+			regs[rd] = (regs[rs] * regs[rt]) & 0xffffff;
+		} else { if (op == 4) {   // load
+			regs[rd] = dmem[(regs[rs] + rt) & memmask];
+		} else { if (op == 5) {   // store
+			dmem[(regs[rs] + rt) & memmask] = regs[rd];
+		} else {                  // xor
+			regs[rd] = regs[rs] ^ regs[rt];
+		}}}}}}
+		pc++;
+	}
+	var sum: int = 0;
+	var i: int = 0;
+	while (i < 32) {
+		sum = (sum*31 + regs[i]) & 0xffffff;
+		i++;
+	}
+	out[0] = sum;
+}
+`
+
+func init() {
+	register(&Workload{
+		Meta: Meta{
+			Name:        "MipsSimulator",
+			Category:    CatInteger,
+			Description: "CPU simulator",
+		},
+		Source: mipsSimSrc,
+		NewInput: func(scale float64) jrpm.Input {
+			r := newRNG(0x3195)
+			n := scaled(9000, scale, 128)
+			memSize := 1024
+			prog := make([]int64, n)
+			for i := range prog {
+				op := int64(r.intn(7))
+				rd := int64(1 + r.intn(31))
+				rs := int64(r.intn(32))
+				rt := int64(r.intn(32))
+				if op == 2 || op == 4 || op == 5 {
+					rt = int64(r.intn(200))
+				}
+				prog[i] = op<<24 | rd<<16 | rs<<8 | rt
+			}
+			regs := make([]int64, 32)
+			dmem := make([]int64, memSize)
+			for i := range dmem {
+				dmem[i] = int64(r.intn(1 << 16))
+			}
+			// Reference execution.
+			rr := append([]int64(nil), regs...)
+			rm := append([]int64(nil), dmem...)
+			mask := int64(memSize - 1)
+			for _, insn := range prog {
+				op := (insn >> 24) & 0xff
+				rd := (insn >> 16) & 0xff
+				rs := (insn >> 8) & 0xff
+				rt := insn & 0xff
+				switch op {
+				case 0:
+					rr[rd] = rr[rs] + rr[rt]
+				case 1:
+					rr[rd] = rr[rs] - rr[rt]
+				case 2:
+					rr[rd] = rr[rs] + rt
+				case 3:
+					rr[rd] = (rr[rs] * rr[rt]) & 0xffffff
+				case 4:
+					rr[rd] = rm[(rr[rs]+rt)&mask]
+				case 5:
+					rm[(rr[rs]+rt)&mask] = rr[rd]
+				default:
+					rr[rd] = rr[rs] ^ rr[rt]
+				}
+			}
+			var sum int64
+			for i := 0; i < 32; i++ {
+				sum = (sum*31 + rr[i]) & 0xffffff
+			}
+			return jrpm.Input{Ints: map[string][]int64{
+				"prog":     prog,
+				"regs":     regs,
+				"dmem":     dmem,
+				"out":      {0},
+				"expected": {sum},
+			}}
+		},
+		Check: checkIntsEqual("out", "expected"),
+	})
+}
+
+// ---------------------------------------------------------------------------
+// raytrace (jBYTEmark): ray tracer. Each pixel's primary ray is tested
+// against a sphere list with full float math (quadratic solve with a
+// Newton square root) — independent pixels, an easy STL.
+
+const raytraceSrc = `
+// Sphere-list raytracer: one primary ray per pixel, Lambertian shade.
+global sx: float[];   // sphere centers / radii
+global sy: float[];
+global sz: float[];
+global sr: float[];
+global img: int[];    // output pixel intensities
+global dims: int[];   // [0] = width, [1] = height
+global expected: int[];
+
+func jsqrt(x: float): float {
+	if (x <= 0.0) { return 0.0; }
+	var g: float = x;
+	if (g > 1.0) { g = g * 0.5; }
+	var k: int = 0;
+	while (k < 10) {
+		g = 0.5 * (g + x / g);
+		k++;
+	}
+	return g;
+}
+
+func main() {
+	var w: int = dims[0];
+	var h: int = dims[1];
+	var p: int = 0;
+	while (p < w*h) {
+		var px: int = p % w;
+		var py: int = p / w;
+		// ray direction (unnormalized is fine for comparisons)
+		var dx: float = (float(px) - float(w)*0.5) / float(w);
+		var dy: float = (float(py) - float(h)*0.5) / float(h);
+		var dz: float = 1.0;
+		var d2: float = dx*dx + dy*dy + dz*dz;
+		var best: float = 1000000.0;
+		var bi: int = -1;
+		var s: int = 0;
+		while (s < len(sx)) {
+			// |o + t d - c|^2 = r^2 with o at origin
+			var b: float = dx*sx[s] + dy*sy[s] + dz*sz[s];
+			var c: float = sx[s]*sx[s] + sy[s]*sy[s] + sz[s]*sz[s] - sr[s]*sr[s];
+			var disc: float = b*b - d2*c;
+			if (disc > 0.0) {
+				var t: float = (b - jsqrt(disc)) / d2;
+				if (t > 0.0 && t < best) {
+					best = t;
+					bi = s;
+				}
+			}
+			s++;
+		}
+		if (bi >= 0) {
+			// shade by inverse distance
+			var shade: float = 255.0 / (1.0 + best);
+			img[p] = int(shade);
+		} else {
+			img[p] = 0;
+		}
+		p++;
+	}
+}
+`
+
+func init() {
+	register(&Workload{
+		Meta: Meta{
+			Name:        "raytrace",
+			Category:    CatInteger,
+			Description: "Raytracer",
+		},
+		Source: raytraceSrc,
+		NewInput: func(scale float64) jrpm.Input {
+			r := newRNG(0x4a117ace)
+			w := scaled(24, scale, 8)
+			h := scaled(18, scale, 6)
+			ns := 12
+			sx := make([]float64, ns)
+			sy := make([]float64, ns)
+			sz := make([]float64, ns)
+			sr := make([]float64, ns)
+			for i := 0; i < ns; i++ {
+				sx[i] = r.float()*4 - 2
+				sy[i] = r.float()*4 - 2
+				sz[i] = 4 + r.float()*6
+				sr[i] = 0.3 + r.float()*0.9
+			}
+			// Reference mirrors the JR float math exactly.
+			jsqrt := func(x float64) float64 {
+				if x <= 0 {
+					return 0
+				}
+				g := x
+				if g > 1 {
+					g = g * 0.5
+				}
+				for k := 0; k < 10; k++ {
+					g = 0.5 * (g + x/g)
+				}
+				return g
+			}
+			exp := make([]int64, w*h)
+			for p := 0; p < w*h; p++ {
+				px, py := p%w, p/w
+				dx := (float64(px) - float64(w)*0.5) / float64(w)
+				dy := (float64(py) - float64(h)*0.5) / float64(h)
+				dz := 1.0
+				d2 := dx*dx + dy*dy + dz*dz
+				best := 1000000.0
+				bi := -1
+				for s := 0; s < ns; s++ {
+					b := dx*sx[s] + dy*sy[s] + dz*sz[s]
+					c := sx[s]*sx[s] + sy[s]*sy[s] + sz[s]*sz[s] - sr[s]*sr[s]
+					disc := b*b - d2*c
+					if disc > 0 {
+						t := (b - jsqrt(disc)) / d2
+						if t > 0 && t < best {
+							best = t
+							bi = s
+						}
+					}
+				}
+				if bi >= 0 {
+					exp[p] = int64(255.0 / (1.0 + best))
+				}
+			}
+			return jrpm.Input{
+				Ints: map[string][]int64{
+					"img":      make([]int64, w*h),
+					"dims":     {int64(w), int64(h)},
+					"expected": exp,
+				},
+				Floats: map[string][]float64{
+					"sx": sx, "sy": sy, "sz": sz, "sr": sr,
+				},
+			}
+		},
+		Check: checkIntsEqual("img", "expected"),
+	})
+}

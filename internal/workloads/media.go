@@ -1,0 +1,698 @@
+package workloads
+
+import "jrpm"
+
+// Shared 8-point integer butterfly transform used by the codec kernels
+// (a Hadamard-like stand-in for the DCT with the same loop structure).
+// The JR and Go versions must stay in lock step.
+
+func hxform8(x []int64) []int64 {
+	e0, e1, e2, e3 := x[0]+x[7], x[1]+x[6], x[2]+x[5], x[3]+x[4]
+	o0, o1, o2, o3 := x[0]-x[7], x[1]-x[6], x[2]-x[5], x[3]-x[4]
+	return []int64{
+		e0 + e1 + e2 + e3,
+		o0 + o1 + o2 + o3,
+		e0 - e1 - e2 + e3,
+		o0 - o1 - o2 + o3,
+		e0 + e1 - e2 - e3,
+		o0 + o1 - o2 - o3,
+		e0 - e1 + e2 - e3,
+		o0 - o1 + o2 - o3,
+	}
+}
+
+const jrXform = `
+// 8-point butterfly transform of row r (stride s) of blk into tmp.
+func xrow(blk: int[], base: int, stride: int, outb: int[], obase: int, ostride: int) {
+	var x0: int = blk[base];
+	var x1: int = blk[base+stride];
+	var x2: int = blk[base+stride*2];
+	var x3: int = blk[base+stride*3];
+	var x4: int = blk[base+stride*4];
+	var x5: int = blk[base+stride*5];
+	var x6: int = blk[base+stride*6];
+	var x7: int = blk[base+stride*7];
+	var e0: int = x0 + x7;
+	var e1: int = x1 + x6;
+	var e2: int = x2 + x5;
+	var e3: int = x3 + x4;
+	var o0: int = x0 - x7;
+	var o1: int = x1 - x6;
+	var o2: int = x2 - x5;
+	var o3: int = x3 - x4;
+	outb[obase]           = e0 + e1 + e2 + e3;
+	outb[obase+ostride]   = o0 + o1 + o2 + o3;
+	outb[obase+ostride*2] = e0 - e1 - e2 + e3;
+	outb[obase+ostride*3] = o0 - o1 - o2 + o3;
+	outb[obase+ostride*4] = e0 + e1 - e2 - e3;
+	outb[obase+ostride*5] = o0 + o1 - o2 - o3;
+	outb[obase+ostride*6] = e0 - e1 + e2 - e3;
+	outb[obase+ostride*7] = o0 - o1 + o2 - o3;
+}
+`
+
+// xform8x8 applies the row and column transforms to one 8x8 block
+// in-place through a scratch buffer, mirroring the JR code.
+func xform8x8(blk []int64) {
+	tmp := make([]int64, 64)
+	for r := 0; r < 8; r++ {
+		row := hxform8(blk[r*8 : r*8+8])
+		copy(tmp[r*8:], row)
+	}
+	for c := 0; c < 8; c++ {
+		col := make([]int64, 8)
+		for r := 0; r < 8; r++ {
+			col[r] = tmp[r*8+c]
+		}
+		out := hxform8(col)
+		for r := 0; r < 8; r++ {
+			blk[r*8+c] = out[r]
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// decJpeg (multimedia suite): per-block dequantization, inverse transform,
+// level shift and clamp. The paper selects 21 loops here; the block loop
+// is the big one.
+
+const decJpegSrc = `
+// JPEG-style decode: dequantize + inverse transform + clamp per 8x8 block.
+global coef: int[];   // quantized coefficients, 64 per block
+global quant: int[];  // 64-entry quantization table
+global pix: int[];    // output pixels
+global tmp: int[];    // per-block scratch (64)
+global expected: int[];
+` + jrXform + `
+func main() {
+	var nblk: int = len(coef) / 64;
+	var b: int = 0;
+	while (b < nblk) {
+		var base: int = b * 64;
+		// dequantize into pix (used as working storage)
+		var i: int = 0;
+		while (i < 64) {
+			pix[base+i] = coef[base+i] * quant[i];
+			i++;
+		}
+		// rows then columns
+		var r: int = 0;
+		while (r < 8) {
+			xrow(pix, base + r*8, 1, tmp, r*8, 1);
+			r++;
+		}
+		var c: int = 0;
+		while (c < 8) {
+			xrow(tmp, c, 8, pix, base + c, 8);
+			c++;
+		}
+		// level shift + clamp
+		i = 0;
+		while (i < 64) {
+			var v: int = (pix[base+i] >> 6) + 128;
+			if (v < 0) { v = 0; }
+			if (v > 255) { v = 255; }
+			pix[base+i] = v;
+			i++;
+		}
+		b++;
+	}
+}
+`
+
+// decJpegRef mirrors the JR decode.
+func decJpegRef(coef, quant []int64) []int64 {
+	nblk := len(coef) / 64
+	pix := make([]int64, len(coef))
+	for b := 0; b < nblk; b++ {
+		blk := make([]int64, 64)
+		for i := 0; i < 64; i++ {
+			blk[i] = coef[b*64+i] * quant[i]
+		}
+		xform8x8(blk)
+		for i := 0; i < 64; i++ {
+			v := (blk[i] >> 6) + 128
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			pix[b*64+i] = v
+		}
+	}
+	return pix
+}
+
+func init() {
+	register(&Workload{
+		Meta: Meta{
+			Name:        "decJpeg",
+			Category:    CatMultimedia,
+			Description: "Image decoder",
+		},
+		Source: decJpegSrc,
+		NewInput: func(scale float64) jrpm.Input {
+			r := newRNG(0xdec4be6)
+			nblk := scaled(120, scale, 8)
+			coef := make([]int64, nblk*64)
+			for i := range coef {
+				// Sparse high-frequency coefficients, like real JPEG data.
+				if i%64 == 0 || r.intn(4) == 0 {
+					coef[i] = int64(r.intn(64)) - 32
+				}
+			}
+			quant := make([]int64, 64)
+			for i := range quant {
+				quant[i] = int64(2 + i/4)
+			}
+			return jrpm.Input{Ints: map[string][]int64{
+				"coef":     coef,
+				"quant":    quant,
+				"pix":      make([]int64, nblk*64),
+				"tmp":      make([]int64, 64),
+				"expected": decJpegRef(coef, quant),
+			}}
+		},
+		Check: checkIntsEqual("pix", "expected"),
+	})
+}
+
+// ---------------------------------------------------------------------------
+// encJpeg: forward transform + quantization + zero-run statistics.
+
+const encJpegSrc = `
+// JPEG-style encode: forward transform + quantize + count zero runs.
+global pix: int[];    // input pixels, 64 per block
+global quant: int[];  // 64-entry quantization table
+global coef: int[];   // output coefficients
+global tmp: int[];    // per-block scratch
+global stats: int[];  // [0] = nonzero count
+global expected: int[];
+global expstats: int[];
+` + jrXform + `
+func main() {
+	var nblk: int = len(pix) / 64;
+	var nz: int = 0;
+	var b: int = 0;
+	while (b < nblk) {
+		var base: int = b * 64;
+		var i: int = 0;
+		while (i < 64) {
+			coef[base+i] = pix[base+i] - 128;
+			i++;
+		}
+		var r: int = 0;
+		while (r < 8) {
+			xrow(coef, base + r*8, 1, tmp, r*8, 1);
+			r++;
+		}
+		var c: int = 0;
+		while (c < 8) {
+			xrow(tmp, c, 8, coef, base + c, 8);
+			c++;
+		}
+		i = 0;
+		while (i < 64) {
+			var q: int = coef[base+i] / (quant[i] * 16);
+			coef[base+i] = q;
+			if (q != 0) { nz += 1; }
+			i++;
+		}
+		b++;
+	}
+	stats[0] = nz;
+}
+`
+
+func init() {
+	register(&Workload{
+		Meta: Meta{
+			Name:        "encJpeg",
+			Category:    CatMultimedia,
+			Description: "Image compression",
+		},
+		Source: encJpegSrc,
+		NewInput: func(scale float64) jrpm.Input {
+			r := newRNG(0xe2c4be6)
+			nblk := scaled(110, scale, 8)
+			pix := make([]int64, nblk*64)
+			for b := 0; b < nblk; b++ {
+				bias := int64(r.intn(200))
+				for i := 0; i < 64; i++ {
+					pix[b*64+i] = bias + int64(r.intn(56))
+				}
+			}
+			quant := make([]int64, 64)
+			for i := range quant {
+				quant[i] = int64(2 + i/4)
+			}
+			// Reference.
+			exp := make([]int64, nblk*64)
+			var nz int64
+			for b := 0; b < nblk; b++ {
+				blk := make([]int64, 64)
+				for i := 0; i < 64; i++ {
+					blk[i] = pix[b*64+i] - 128
+				}
+				xform8x8(blk)
+				for i := 0; i < 64; i++ {
+					q := blk[i] / (quant[i] * 16)
+					exp[b*64+i] = q
+					if q != 0 {
+						nz++
+					}
+				}
+			}
+			return jrpm.Input{Ints: map[string][]int64{
+				"pix":      pix,
+				"quant":    quant,
+				"coef":     make([]int64, nblk*64),
+				"tmp":      make([]int64, 64),
+				"stats":    {0},
+				"expected": exp,
+				"expstats": {nz},
+			}}
+		},
+		Check: checkIntsEqual("coef", "expected"),
+	})
+}
+
+// ---------------------------------------------------------------------------
+// h263dec: motion compensation. Each macroblock copies a displaced 8x8
+// region from the reference frame and adds a residual, clamped to 8 bits.
+
+const h263decSrc = `
+// Motion compensation over a frame of 8x8 macroblocks.
+global ref: int[];    // reference frame, w*h
+global resid: int[];  // residuals, 64 per block
+global mv: int[];     // motion vectors: (dx, dy) per block
+global cur: int[];    // output frame
+global dims: int[];   // [0]=w, [1]=h (pixels, multiples of 8)
+global expected: int[];
+
+func main() {
+	var w: int = dims[0];
+	var h: int = dims[1];
+	var bw: int = w / 8;
+	var bh: int = h / 8;
+	var b: int = 0;
+	while (b < bw*bh) {
+		var bx: int = (b % bw) * 8;
+		var by: int = (b / bw) * 8;
+		var dx: int = mv[b*2];
+		var dy: int = mv[b*2+1];
+		var y: int = 0;
+		while (y < 8) {
+			var x: int = 0;
+			while (x < 8) {
+				var sx: int = bx + x + dx;
+				var sy: int = by + y + dy;
+				if (sx < 0) { sx = 0; }
+				if (sx >= w) { sx = w - 1; }
+				if (sy < 0) { sy = 0; }
+				if (sy >= h) { sy = h - 1; }
+				var v: int = ref[sy*w+sx] + resid[b*64 + y*8 + x];
+				if (v < 0) { v = 0; }
+				if (v > 255) { v = 255; }
+				cur[(by+y)*w + bx + x] = v;
+				x++;
+			}
+			y++;
+		}
+		b++;
+	}
+}
+`
+
+func init() {
+	register(&Workload{
+		Meta: Meta{
+			Name:        "h263dec",
+			Category:    CatMultimedia,
+			Description: "Video decoder",
+		},
+		Source: h263decSrc,
+		NewInput: func(scale float64) jrpm.Input {
+			r := newRNG(0x263dec)
+			w := 8 * scaled(12, scale, 4)
+			h := 8 * scaled(9, scale, 3)
+			ref := make([]int64, w*h)
+			for i := range ref {
+				ref[i] = int64(r.intn(256))
+			}
+			bw, bh := w/8, h/8
+			nblk := bw * bh
+			resid := make([]int64, nblk*64)
+			for i := range resid {
+				resid[i] = int64(r.intn(17)) - 8
+			}
+			mv := make([]int64, nblk*2)
+			for i := range mv {
+				mv[i] = int64(r.intn(9)) - 4
+			}
+			// Reference.
+			exp := make([]int64, w*h)
+			for b := 0; b < nblk; b++ {
+				bx, by := (b%bw)*8, (b/bw)*8
+				dx, dy := mv[b*2], mv[b*2+1]
+				for y := 0; y < 8; y++ {
+					for x := 0; x < 8; x++ {
+						sx := int64(bx+x) + dx
+						sy := int64(by+y) + dy
+						if sx < 0 {
+							sx = 0
+						}
+						if sx >= int64(w) {
+							sx = int64(w) - 1
+						}
+						if sy < 0 {
+							sy = 0
+						}
+						if sy >= int64(h) {
+							sy = int64(h) - 1
+						}
+						v := ref[sy*int64(w)+sx] + resid[b*64+y*8+x]
+						if v < 0 {
+							v = 0
+						}
+						if v > 255 {
+							v = 255
+						}
+						exp[(by+y)*w+bx+x] = v
+					}
+				}
+			}
+			return jrpm.Input{Ints: map[string][]int64{
+				"ref":      ref,
+				"resid":    resid,
+				"mv":       mv,
+				"cur":      make([]int64, w*h),
+				"dims":     {int64(w), int64(h)},
+				"expected": exp,
+			}}
+		},
+		Check: checkIntsEqual("cur", "expected"),
+	})
+}
+
+// ---------------------------------------------------------------------------
+// mpegVideo: motion compensation plus the inverse transform per block over
+// two frames — the deepest multimedia nest (the paper reports 8 levels).
+
+const mpegVideoSrc = `
+// MPEG-style decode: per frame, per macroblock: MC + inverse transform.
+global ref: int[];
+global coef: int[];   // 64 per block per frame
+global mv: int[];     // 2 per block per frame
+global cur: int[];
+global tmp: int[];
+global dims: int[];   // [0]=w, [1]=h, [2]=frames
+global expected: int[];
+` + jrXform + `
+func main() {
+	var w: int = dims[0];
+	var h: int = dims[1];
+	var frames: int = dims[2];
+	var bw: int = w / 8;
+	var bh: int = h / 8;
+	var nblk: int = bw * bh;
+	var f: int = 0;
+	while (f < frames) {
+		var b: int = 0;
+		while (b < nblk) {
+			var base: int = (f*nblk + b) * 64;
+			// inverse transform of the residual block into tmp
+			var r: int = 0;
+			while (r < 8) {
+				xrow(coef, base + r*8, 1, tmp, r*8, 1);
+				r++;
+			}
+			var c: int = 0;
+			while (c < 8) {
+				xrow(tmp, c, 8, tmp, c, 8);
+				c++;
+			}
+			// motion compensate and add
+			var bx: int = (b % bw) * 8;
+			var by: int = (b / bw) * 8;
+			var dx: int = mv[(f*nblk + b)*2];
+			var dy: int = mv[(f*nblk + b)*2 + 1];
+			var y: int = 0;
+			while (y < 8) {
+				var x: int = 0;
+				while (x < 8) {
+					var sx: int = bx + x + dx;
+					var sy: int = by + y + dy;
+					if (sx < 0) { sx = 0; }
+					if (sx >= w) { sx = w - 1; }
+					if (sy < 0) { sy = 0; }
+					if (sy >= h) { sy = h - 1; }
+					var v: int = ref[sy*w+sx] + (tmp[y*8+x] >> 6);
+					if (v < 0) { v = 0; }
+					if (v > 255) { v = 255; }
+					cur[(by+y)*w + bx + x] = v;
+					x++;
+				}
+				y++;
+			}
+			b++;
+		}
+		// cur becomes the reference for the next frame
+		var p: int = 0;
+		while (p < w*h) {
+			ref[p] = cur[p];
+			p++;
+		}
+		f++;
+	}
+}
+`
+
+func init() {
+	register(&Workload{
+		Meta: Meta{
+			Name:        "mpegVideo",
+			Category:    CatMultimedia,
+			Description: "Video decoder",
+		},
+		Source: mpegVideoSrc,
+		NewInput: func(scale float64) jrpm.Input {
+			r := newRNG(0x34e6)
+			w := 8 * scaled(8, scale, 3)
+			h := 8 * scaled(6, scale, 3)
+			frames := 3
+			bw, bh := w/8, h/8
+			nblk := bw * bh
+			ref := make([]int64, w*h)
+			for i := range ref {
+				ref[i] = int64(r.intn(256))
+			}
+			coef := make([]int64, frames*nblk*64)
+			for i := range coef {
+				if r.intn(5) == 0 {
+					coef[i] = int64(r.intn(33)) - 16
+				}
+			}
+			mv := make([]int64, frames*nblk*2)
+			for i := range mv {
+				mv[i] = int64(r.intn(7)) - 3
+			}
+			// Reference decode.
+			rref := append([]int64(nil), ref...)
+			cur := make([]int64, w*h)
+			for f := 0; f < frames; f++ {
+				for b := 0; b < nblk; b++ {
+					blk := make([]int64, 64)
+					copy(blk, coef[(f*nblk+b)*64:(f*nblk+b)*64+64])
+					// Row transform into tmp, then the in-place column
+					// transform exactly as the JR code does (note the JR
+					// version transforms tmp columns in place).
+					tmp := make([]int64, 64)
+					for rr := 0; rr < 8; rr++ {
+						row := hxform8(blk[rr*8 : rr*8+8])
+						copy(tmp[rr*8:], row)
+					}
+					for c := 0; c < 8; c++ {
+						col := make([]int64, 8)
+						for rr := 0; rr < 8; rr++ {
+							col[rr] = tmp[rr*8+c]
+						}
+						out := hxform8(col)
+						for rr := 0; rr < 8; rr++ {
+							tmp[rr*8+c] = out[rr]
+						}
+					}
+					bx, by := (b%bw)*8, (b/bw)*8
+					dx, dy := mv[(f*nblk+b)*2], mv[(f*nblk+b)*2+1]
+					for y := 0; y < 8; y++ {
+						for x := 0; x < 8; x++ {
+							sx := int64(bx+x) + dx
+							sy := int64(by+y) + dy
+							if sx < 0 {
+								sx = 0
+							}
+							if sx >= int64(w) {
+								sx = int64(w) - 1
+							}
+							if sy < 0 {
+								sy = 0
+							}
+							if sy >= int64(h) {
+								sy = int64(h) - 1
+							}
+							v := rref[sy*int64(w)+sx] + (tmp[y*8+x] >> 6)
+							if v < 0 {
+								v = 0
+							}
+							if v > 255 {
+								v = 255
+							}
+							cur[(by+y)*w+bx+x] = v
+						}
+					}
+				}
+				copy(rref, cur)
+			}
+			return jrpm.Input{Ints: map[string][]int64{
+				"ref":      ref,
+				"coef":     coef,
+				"mv":       mv,
+				"cur":      make([]int64, w*h),
+				"tmp":      make([]int64, 64),
+				"dims":     {int64(w), int64(h), int64(frames)},
+				"expected": cur,
+			}}
+		},
+		Check: checkIntsEqual("cur", "expected"),
+	})
+}
+
+// ---------------------------------------------------------------------------
+// mp3: a serial bitstream/scalefactor decode followed by parallel subband
+// synthesis — the paper notes mp3 keeps significant serial sections and
+// selects 17 loops.
+
+const mp3Src = `
+// mp3-style decode: serial scalefactor state machine + subband synthesis.
+global bits: int[];    // bitstream, one bit per element
+global sf: int[];      // decoded scalefactors (serial output)
+global samples: int[]; // subband input samples: ngran * 32 * 16
+global window: int[];  // 16-tap synthesis window
+global pcm: int[];     // ngran * 32 outputs
+global dims: int[];    // [0] = granules
+global expected: int[];
+
+func main() {
+	// serial phase: delta-decode scalefactors from the bitstream
+	var acc: int = 60;
+	var bp: int = 0;
+	var i: int = 0;
+	while (i < len(sf)) {
+		var d: int = 0;
+		// variable-length code: count leading ones
+		while (bp < len(bits) && bits[bp] == 1) {
+			d++;
+			bp++;
+		}
+		bp++; // consume the zero
+		if (bits[bp % len(bits)] == 1) { d = -d; }
+		acc = acc + d;
+		if (acc < 0) { acc = 0; }
+		if (acc > 127) { acc = 127; }
+		sf[i] = acc;
+		i++;
+	}
+	// parallel phase: subband synthesis per granule
+	var ngran: int = dims[0];
+	var g: int = 0;
+	while (g < ngran) {
+		var band: int = 0;
+		while (band < 32) {
+			var s: int = 0;
+			var t: int = 0;
+			while (t < 16) {
+				s = s + samples[(g*32+band)*16 + t] * window[t];
+				t++;
+			}
+			var scalei: int = sf[(g*32 + band) % len(sf)];
+			pcm[g*32+band] = (s * scalei) >> 12;
+			band++;
+		}
+		g++;
+	}
+}
+`
+
+func init() {
+	register(&Workload{
+		Meta: Meta{
+			Name:        "mp3",
+			Category:    CatMultimedia,
+			Description: "mp3 decoder",
+		},
+		Source: mp3Src,
+		NewInput: func(scale float64) jrpm.Input {
+			r := newRNG(0x303)
+			nsf := scaled(700, scale, 32)
+			nbits := nsf * 6
+			bits := make([]int64, nbits)
+			for i := range bits {
+				if r.intn(3) == 0 {
+					bits[i] = 1
+				}
+			}
+			ngran := scaled(10, scale, 2)
+			samples := make([]int64, ngran*32*16)
+			for i := range samples {
+				samples[i] = int64(r.intn(2048)) - 1024
+			}
+			window := make([]int64, 16)
+			for i := range window {
+				window[i] = int64(8 - i/2)
+			}
+			// Reference.
+			sf := make([]int64, nsf)
+			acc, bp := int64(60), 0
+			for i := 0; i < nsf; i++ {
+				var d int64
+				for bp < nbits && bits[bp] == 1 {
+					d++
+					bp++
+				}
+				bp++
+				if bits[bp%nbits] == 1 {
+					d = -d
+				}
+				acc += d
+				if acc < 0 {
+					acc = 0
+				}
+				if acc > 127 {
+					acc = 127
+				}
+				sf[i] = acc
+			}
+			pcm := make([]int64, ngran*32)
+			for g := 0; g < ngran; g++ {
+				for band := 0; band < 32; band++ {
+					var s int64
+					for t := 0; t < 16; t++ {
+						s += samples[(g*32+band)*16+t] * window[t]
+					}
+					pcm[g*32+band] = (s * sf[(g*32+band)%nsf]) >> 12
+				}
+			}
+			return jrpm.Input{Ints: map[string][]int64{
+				"bits":     bits,
+				"sf":       make([]int64, nsf),
+				"samples":  samples,
+				"window":   window,
+				"pcm":      make([]int64, ngran*32),
+				"dims":     {int64(ngran)},
+				"expected": pcm,
+			}}
+		},
+		Check: checkIntsEqual("pcm", "expected"),
+	})
+}

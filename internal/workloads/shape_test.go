@@ -1,0 +1,112 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"jrpm"
+	"jrpm/internal/workloads"
+)
+
+// shape describes per-benchmark expectations for the full pipeline at the
+// test scale: the qualitative facts Table 6 / Figures 10-11 assert for
+// each program.
+type shape struct {
+	// minActual/maxActual bound the TLS-simulated whole-program speedup.
+	minActual, maxActual float64
+	// maxPredActualGap bounds |predicted - actual| normalized-time gap.
+	maxPredActualGap float64
+	// minSelected STLs expected.
+	minSelected int
+	// serial marks benchmarks that must retain an uncovered serial part.
+	serialAbove float64
+}
+
+var shapes = map[string]shape{
+	// Highly parallel kernels: near the 4-CPU bound.
+	"IDEA":        {minActual: 3.5, maxActual: 4.0, maxPredActualGap: 0.08, minSelected: 1},
+	"EmFloatPnt":  {minActual: 3.5, maxActual: 4.0, maxPredActualGap: 0.08, minSelected: 1},
+	"FourierTest": {minActual: 3.5, maxActual: 4.0, maxPredActualGap: 0.08, minSelected: 1},
+	"monteCarlo":  {minActual: 3.3, maxActual: 4.0, maxPredActualGap: 0.08, minSelected: 1},
+	"raytrace":    {minActual: 3.0, maxActual: 4.0, maxPredActualGap: 0.10, minSelected: 1},
+	"decJpeg":     {minActual: 3.5, maxActual: 4.0, maxPredActualGap: 0.08, minSelected: 1},
+	"encJpeg":     {minActual: 3.4, maxActual: 4.0, maxPredActualGap: 0.08, minSelected: 1},
+	"h263dec":     {minActual: 3.5, maxActual: 4.0, maxPredActualGap: 0.08, minSelected: 1},
+	"shallow":     {minActual: 3.0, maxActual: 4.0, maxPredActualGap: 0.10, minSelected: 2},
+
+	// Dependence-limited kernels: real but modest speedups.
+	"Huffman":  {minActual: 1.1, maxActual: 1.8, maxPredActualGap: 0.10, minSelected: 1},
+	"compress": {minActual: 1.0, maxActual: 1.6, maxPredActualGap: 0.20, minSelected: 1},
+
+	// Mixed / multi-STL programs.
+	"Assignment":    {minActual: 2.5, maxActual: 4.0, maxPredActualGap: 0.15, minSelected: 2},
+	"BitOps":        {minActual: 2.0, maxActual: 4.0, maxPredActualGap: 0.15, minSelected: 2},
+	"db":            {minActual: 2.8, maxActual: 4.0, maxPredActualGap: 0.10, minSelected: 1},
+	"deltaBlue":     {minActual: 2.0, maxActual: 4.0, maxPredActualGap: 0.12, minSelected: 1},
+	"jess":          {minActual: 2.0, maxActual: 4.0, maxPredActualGap: 0.15, minSelected: 1},
+	"jLex":          {minActual: 2.0, maxActual: 4.0, maxPredActualGap: 0.15, minSelected: 1},
+	"MipsSimulator": {minActual: 2.5, maxActual: 4.0, maxPredActualGap: 0.12, minSelected: 1},
+	"NumHeapSort":   {minActual: 2.5, maxActual: 4.0, maxPredActualGap: 0.12, minSelected: 2},
+	"euler":         {minActual: 2.8, maxActual: 4.0, maxPredActualGap: 0.10, minSelected: 2},
+	"LuFactor":      {minActual: 2.5, maxActual: 4.0, maxPredActualGap: 0.12, minSelected: 1},
+	"moldyn":        {minActual: 2.0, maxActual: 4.0, maxPredActualGap: 0.15, minSelected: 2},
+	"NeuralNet":     {minActual: 1.8, maxActual: 4.0, maxPredActualGap: 0.25, minSelected: 1},
+	"mpegVideo":     {minActual: 2.8, maxActual: 4.0, maxPredActualGap: 0.12, minSelected: 1},
+
+	// Programs with serial phases the STLs cannot cover.
+	"fft": {minActual: 1.5, maxActual: 3.5, maxPredActualGap: 0.15, minSelected: 1, serialAbove: 0.05},
+	"mp3": {minActual: 2.0, maxActual: 4.0, maxPredActualGap: 0.12, minSelected: 1},
+}
+
+// TestPerBenchmarkShapes runs each benchmark end to end and checks the
+// qualitative result the paper reports for its class.
+func TestPerBenchmarkShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline sweep")
+	}
+	for _, w := range workloads.All() {
+		w := w
+		sh, ok := shapes[w.Meta.Name]
+		if !ok {
+			t.Errorf("no shape expectation for %s", w.Meta.Name)
+			continue
+		}
+		t.Run(w.Meta.Name, func(t *testing.T) {
+			in := w.NewInput(0.5)
+			res, err := jrpm.Run(w.Source, in, jrpm.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			an := res.Profile.Analysis
+
+			if res.ActualSpeedup < sh.minActual || res.ActualSpeedup > sh.maxActual+1e-9 {
+				t.Errorf("actual speedup %.2fx outside [%.1f, %.1f]",
+					res.ActualSpeedup, sh.minActual, sh.maxActual)
+			}
+			if len(an.Selected) < sh.minSelected {
+				t.Errorf("selected %d STLs, want >= %d", len(an.Selected), sh.minSelected)
+			}
+			pred := an.PredictedCycles / float64(res.Profile.CleanCycles)
+			act := res.ActualCycles / float64(res.Profile.CleanCycles)
+			if gap := abs(pred - act); gap > sh.maxPredActualGap {
+				t.Errorf("prediction gap %.3f (pred %.3f, actual %.3f) exceeds %.2f",
+					gap, pred, act, sh.maxPredActualGap)
+			}
+			if sh.serialAbove > 0 {
+				covered := 0.0
+				for _, n := range an.Selected {
+					covered += float64(n.Stats.Cycles) / float64(an.TotalCycles)
+				}
+				if serial := 1 - covered; serial < sh.serialAbove {
+					t.Errorf("serial fraction %.3f, expected > %.2f", serial, sh.serialAbove)
+				}
+			}
+		})
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

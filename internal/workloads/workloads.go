@@ -1,0 +1,143 @@
+// Package workloads provides JR implementations of the 26 benchmarks the
+// paper evaluates TEST on (Table 6): kernels from jBYTEmark, SPECjvm98,
+// Java Grande and the multimedia suite, each reproducing the original's
+// loop-nest shape and dependency structure. Inputs are generated
+// deterministically so every run is reproducible.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"jrpm"
+	"jrpm/internal/vmsim"
+)
+
+// Category labels match Table 6.
+const (
+	CatInteger    = "Integer"
+	CatFloat      = "Floating point"
+	CatMultimedia = "Multimedia"
+)
+
+// Meta is the per-benchmark information of Table 6's left columns.
+type Meta struct {
+	Name        string
+	Category    string
+	Description string
+	// Analyzable marks benchmarks a traditional parallelizing compiler
+	// could handle (column a): Fortran-like affine array code.
+	Analyzable bool
+	// DataSetSensitive marks benchmarks whose best decomposition changes
+	// with input size (column b).
+	DataSetSensitive bool
+	// DataSet names the default input size, when the paper lists one.
+	DataSet string
+}
+
+// Workload is one runnable benchmark.
+type Workload struct {
+	Meta   Meta
+	Source string
+	// NewInput builds fresh input bindings. scale stretches the dataset
+	// (1.0 = default size).
+	NewInput func(scale float64) jrpm.Input
+	// Check validates the outputs of a completed run, if non-nil.
+	Check func(vm *vmsim.VM) error
+}
+
+var registry []*Workload
+
+func register(w *Workload) { registry = append(registry, w) }
+
+// All returns every registered workload in Table 6 order: integer
+// benchmarks, then floating point, then multimedia, alphabetically within
+// each category (the paper's ordering).
+func All() []*Workload {
+	out := append([]*Workload(nil), registry...)
+	rank := map[string]int{CatInteger: 0, CatFloat: 1, CatMultimedia: 2}
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, rj := rank[out[i].Meta.Category], rank[out[j].Meta.Category]
+		if ri != rj {
+			return ri < rj
+		}
+		return lessFold(out[i].Meta.Name, out[j].Meta.Name)
+	})
+	return out
+}
+
+// lessFold is a case-insensitive name ordering.
+func lessFold(a, b string) bool {
+	la, lb := len(a), len(b)
+	for i := 0; i < la && i < lb; i++ {
+		ca, cb := fold(a[i]), fold(b[i])
+		if ca != cb {
+			return ca < cb
+		}
+	}
+	return la < lb
+}
+
+func fold(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + 32
+	}
+	return c
+}
+
+// ByName returns the named workload.
+func ByName(name string) (*Workload, error) {
+	for _, w := range registry {
+		if w.Meta.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: no benchmark named %q", name)
+}
+
+// Names lists the registered workload names in Table 6 order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, w := range all {
+		names[i] = w.Meta.Name
+	}
+	return names
+}
+
+// rng is a deterministic 64-bit xorshift* generator so inputs never
+// depend on package math/rand behaviour across Go versions.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// float returns a value in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// scaled returns max(min, round(base*scale)).
+func scaled(base int, scale float64, min int) int {
+	n := int(float64(base)*scale + 0.5)
+	if n < min {
+		n = min
+	}
+	return n
+}

@@ -1,0 +1,108 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"jrpm"
+	"jrpm/internal/lang"
+	"jrpm/internal/vmsim"
+	"jrpm/internal/workloads"
+)
+
+// TestAllWorkloadsCorrect compiles every benchmark, runs it sequentially,
+// and validates its outputs against the harness-side reference
+// implementation. This is the ground truth the whole evaluation rests on.
+func TestAllWorkloadsCorrect(t *testing.T) {
+	all := workloads.All()
+	if len(all) != 26 {
+		t.Fatalf("registered %d workloads, want the paper's 26", len(all))
+	}
+	for _, w := range all {
+		w := w
+		t.Run(w.Meta.Name, func(t *testing.T) {
+			prog, err := lang.Compile(w.Source)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			in := w.NewInput(1)
+			vm := vmsim.New(prog)
+			bind(t, vm, in)
+			if err := vm.Run("main"); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if w.Check == nil {
+				t.Fatal("workload has no output check")
+			}
+			if err := w.Check(vm); err != nil {
+				t.Fatalf("output check: %v", err)
+			}
+		})
+	}
+}
+
+// TestWorkloadsCorrectAtSmallScale re-validates each kernel on a smaller
+// dataset, catching input generators that bake in the default size.
+func TestWorkloadsCorrectAtSmallScale(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Meta.Name, func(t *testing.T) {
+			prog, err := lang.Compile(w.Source)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			in := w.NewInput(0.4)
+			vm := vmsim.New(prog)
+			bind(t, vm, in)
+			if err := vm.Run("main"); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if err := w.Check(vm); err != nil {
+				t.Fatalf("output check: %v", err)
+			}
+		})
+	}
+}
+
+func bind(t *testing.T, vm *vmsim.VM, in jrpm.Input) {
+	t.Helper()
+	for name, vals := range in.Ints {
+		if err := vm.BindGlobalInts(name, vals); err != nil {
+			t.Fatalf("bind %s: %v", name, err)
+		}
+	}
+	for name, vals := range in.Floats {
+		if err := vm.BindGlobalFloats(name, vals); err != nil {
+			t.Fatalf("bind %s: %v", name, err)
+		}
+	}
+}
+
+// TestWorkloadMetadata checks the Table 6 bookkeeping: names unique,
+// categories valid, lookup works.
+func TestWorkloadMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	cats := map[string]int{}
+	for _, w := range workloads.All() {
+		if seen[w.Meta.Name] {
+			t.Errorf("duplicate workload name %q", w.Meta.Name)
+		}
+		seen[w.Meta.Name] = true
+		switch w.Meta.Category {
+		case workloads.CatInteger, workloads.CatFloat, workloads.CatMultimedia:
+			cats[w.Meta.Category]++
+		default:
+			t.Errorf("%s: bad category %q", w.Meta.Name, w.Meta.Category)
+		}
+		got, err := workloads.ByName(w.Meta.Name)
+		if err != nil || got != w {
+			t.Errorf("ByName(%q) failed: %v", w.Meta.Name, err)
+		}
+	}
+	// Table 6 has 14 integer, 7 floating point, 5 multimedia benchmarks.
+	if cats[workloads.CatInteger] != 14 || cats[workloads.CatFloat] != 7 || cats[workloads.CatMultimedia] != 5 {
+		t.Errorf("category counts = %v, want 14/7/5", cats)
+	}
+	if _, err := workloads.ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+}

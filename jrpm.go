@@ -1,0 +1,193 @@
+// Package jrpm is the public API of this reproduction of "TEST: A Tracer
+// for Extracting Speculative Threads" (Chen & Olukotun, CGO 2003): a
+// complete Java Runtime Parallelizing Machine pipeline over the JR
+// language.
+//
+// The pipeline mirrors Figure 1 of the paper:
+//
+//  1. Compile the source and identify potential STLs (natural loops that
+//     pass the scalar screen), inserting annotation instructions.
+//  2. Run the annotated program sequentially; the TEST comparator-bank
+//     model collects dependency and buffer statistics per loop.
+//  3. Post-process the statistics: estimate each loop's speculative
+//     speedup (Equation 1) and choose the best decompositions
+//     (Equation 2).
+//  4. Recompile the chosen loops as speculative threads.
+//  5. Run the speculative code — here, a trace-driven TLS timing
+//     simulation of the 4-CPU Hydra CMP.
+//
+// Profile covers steps 1–3; Speculate covers steps 4–5.
+package jrpm
+
+import (
+	"fmt"
+
+	"jrpm/internal/annotate"
+	"jrpm/internal/core"
+	"jrpm/internal/hydra"
+	"jrpm/internal/lang"
+	"jrpm/internal/opt"
+	"jrpm/internal/profile"
+	"jrpm/internal/tir"
+	"jrpm/internal/vmsim"
+)
+
+// Input binds harness data to a program's global arrays.
+type Input struct {
+	Ints   map[string][]int64
+	Floats map[string][]float64
+}
+
+// Options configures the pipeline. The zero value is replaced by
+// DefaultOptions.
+type Options struct {
+	Cfg    hydra.Config
+	Annot  annotate.Options
+	Tracer core.Options
+	Select profile.SelectOptions
+	// Optimize runs the microJIT scalar optimizer (constant folding, copy
+	// propagation, dead-register elimination) before annotation, as the
+	// paper's dynamic compiler does. Off by default so the published
+	// experiment numbers stay stable; see BenchmarkOptimizerEffect.
+	Optimize bool
+}
+
+// DefaultOptions returns the paper's setup: the Hydra configuration,
+// optimized annotations, default runtime policies.
+func DefaultOptions() Options {
+	return Options{
+		Cfg:    hydra.DefaultConfig(),
+		Annot:  annotate.Optimized(),
+		Tracer: core.DefaultOptions(),
+		Select: profile.DefaultSelectOptions(),
+	}
+}
+
+// ProfileResult is the outcome of the profiling phase (steps 1-3).
+type ProfileResult struct {
+	// Clean is the compiled program without annotations; Annotated is the
+	// program that was traced.
+	Clean     *tir.Program
+	Annotated *tir.Program
+	// CleanCycles is the sequential execution time without tracing;
+	// TracedCycles the time with annotation overheads (Figure 6 compares
+	// the two).
+	CleanCycles  int64
+	TracedCycles int64
+	// Tracer is the TEST hardware model after the run.
+	Tracer *core.Tracer
+	// Analysis holds the loop tree, Equation 1 estimates and the
+	// Equation 2 selection.
+	Analysis *profile.Analysis
+	// Event counters from the traced run.
+	HeapLoads, HeapStores, LocalAnnots, LoopAnnots, ReadStats int64
+	// AnnotationCount is the number of annotation instructions inserted.
+	AnnotationCount int
+	Opts            Options
+}
+
+// Slowdown is the tracing overhead: traced time / clean time.
+func (r *ProfileResult) Slowdown() float64 {
+	if r.CleanCycles == 0 {
+		return 1
+	}
+	return float64(r.TracedCycles) / float64(r.CleanCycles)
+}
+
+func newVM(prog *tir.Program, in Input, cfg hydra.Config) (*vmsim.VM, error) {
+	vm := vmsim.New(prog)
+	vm.AnnotCost = cfg.Tracer.AnnotCost
+	vm.ReadStatsCost = cfg.Tracer.ReadStatsCost
+	for name, vals := range in.Ints {
+		if err := vm.BindGlobalInts(name, vals); err != nil {
+			return nil, err
+		}
+	}
+	for name, vals := range in.Floats {
+		if err := vm.BindGlobalFloats(name, vals); err != nil {
+			return nil, err
+		}
+	}
+	return vm, nil
+}
+
+// RunClean compiles and runs src without any instrumentation, returning
+// the program and its sequential cycle count.
+func RunClean(src string, in Input, cfg hydra.Config) (*tir.Program, int64, error) {
+	return runClean(src, in, cfg, false)
+}
+
+func runClean(src string, in Input, cfg hydra.Config, optimize bool) (*tir.Program, int64, error) {
+	prog, err := lang.Compile(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	if optimize {
+		opt.Program(prog)
+	}
+	if _, err := annotate.Apply(prog, annotate.Options{}); err != nil {
+		return nil, 0, fmt.Errorf("loop discovery: %w", err)
+	}
+	vm, err := newVM(prog, in, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := vm.Run("main"); err != nil {
+		return nil, 0, err
+	}
+	return prog, vm.Cycles, nil
+}
+
+// Profile runs the full profiling phase on a JR source program.
+func Profile(src string, in Input, opts Options) (*ProfileResult, error) {
+	if opts.Cfg.CPUs == 0 {
+		defaults := DefaultOptions()
+		defaults.Optimize = opts.Optimize
+		opts = defaults
+	}
+	clean, cleanCycles, err := runClean(src, in, opts.Cfg, opts.Optimize)
+	if err != nil {
+		return nil, err
+	}
+
+	annotated, err := lang.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Optimize {
+		opt.Program(annotated)
+	}
+	nAnnot, err := annotate.Apply(annotated, opts.Annot)
+	if err != nil {
+		return nil, fmt.Errorf("annotate: %w", err)
+	}
+
+	vm, err := newVM(annotated, in, opts.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	tracer := core.NewTracer(annotated, opts.Cfg, opts.Tracer)
+	vm.Listeners = append(vm.Listeners, tracer)
+	if err := vm.Run("main"); err != nil {
+		return nil, err
+	}
+
+	analysis := profile.BuildTree(annotated, tracer, vm.Cycles, cleanCycles, opts.Cfg)
+	analysis.Select(opts.Select)
+
+	return &ProfileResult{
+		Clean:           clean,
+		Annotated:       annotated,
+		CleanCycles:     cleanCycles,
+		TracedCycles:    vm.Cycles,
+		Tracer:          tracer,
+		Analysis:        analysis,
+		HeapLoads:       vm.NHeapLoads,
+		HeapStores:      vm.NHeapStores,
+		LocalAnnots:     vm.NLocalAnnot,
+		LoopAnnots:      vm.NLoopAnnot,
+		ReadStats:       vm.NReadStats,
+		AnnotationCount: nAnnot,
+		Opts:            opts,
+	}, nil
+}

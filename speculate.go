@@ -1,0 +1,91 @@
+package jrpm
+
+import (
+	"sort"
+
+	"jrpm/internal/jit"
+	"jrpm/internal/tls"
+)
+
+// SpeculateResult is the outcome of steps 4-5 of the pipeline: running the
+// selected decompositions speculatively on the simulated Hydra CMP.
+type SpeculateResult struct {
+	Profile *ProfileResult
+	Plan    *jit.Plan
+	// Loops maps each selected loop to its TLS simulation outcome.
+	Loops map[int]*tls.Result
+	// ActualCycles is the whole-program execution time with the selected
+	// STLs running speculatively, in clean sequential cycle units; the
+	// Figure 11 "Actual" series is ActualCycles / CleanCycles.
+	ActualCycles  float64
+	ActualSpeedup float64
+}
+
+// Speculate recompiles the loops selected by Profile and executes them
+// speculatively: it replays the program once more to record per-iteration
+// traces of the selected loops, then runs the trace-driven TLS timing
+// simulation of the 4-CPU Hydra.
+func Speculate(in Input, pr *ProfileResult) (*SpeculateResult, error) {
+	selected := pr.Analysis.SelectedLoopIDs()
+	plan, err := jit.Build(pr.Annotated, selected, pr.Opts.Cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	rec := tls.NewRecorder(pr.Annotated, selected)
+	vm, err := newVM(pr.Annotated, in, pr.Opts.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	vm.Listeners = append(vm.Listeners, rec)
+	if err := vm.Run("main"); err != nil {
+		return nil, err
+	}
+
+	results := tls.Simulate(rec.Entries, pr.Opts.Cfg)
+
+	// Program-level time: the recording run shares the annotated
+	// program's timing, so per-loop sequential times are in traced units;
+	// deflate to clean units with the profiling run's scale factor.
+	scale := 1.0
+	if pr.TracedCycles > 0 {
+		scale = float64(pr.CleanCycles) / float64(pr.TracedCycles)
+	}
+	loopIDs := make([]int, 0, len(results))
+	for id := range results {
+		loopIDs = append(loopIDs, id)
+	}
+	sort.Ints(loopIDs) // deterministic float accumulation order
+	actual := float64(pr.CleanCycles)
+	for _, id := range loopIDs {
+		r := results[id]
+		if r.SeqCycles == 0 {
+			continue
+		}
+		seqClean := float64(r.SeqCycles) * scale
+		actual -= seqClean * (1 - 1/r.Speedup)
+	}
+
+	res := &SpeculateResult{
+		Profile:      pr,
+		Plan:         plan,
+		Loops:        results,
+		ActualCycles: actual,
+	}
+	if actual > 0 {
+		res.ActualSpeedup = float64(pr.CleanCycles) / actual
+	} else {
+		res.ActualSpeedup = 1
+	}
+	return res, nil
+}
+
+// Run executes the complete Jrpm pipeline — profile, select, recompile,
+// speculate — on one program.
+func Run(src string, in Input, opts Options) (*SpeculateResult, error) {
+	pr, err := Profile(src, in, opts)
+	if err != nil {
+		return nil, err
+	}
+	return Speculate(in, pr)
+}

@@ -1,0 +1,155 @@
+package jrpm_test
+
+import (
+	"testing"
+
+	"jrpm"
+	"jrpm/internal/workloads"
+)
+
+// TestAllWorkloadsThroughPipeline pushes every Table 6 benchmark through
+// the full pipeline at reduced scale and checks the invariants that must
+// hold for any program:
+//
+//   - profiling succeeds and the slowdown stays in a sane band;
+//   - the selected decompositions are mutually exclusive (no
+//     ancestor/descendant pairs) and all passed the scalar screen;
+//   - predicted time never exceeds sequential time (Equation 2 can always
+//     fall back to fully serial);
+//   - the TLS simulation yields a speedup in [0.5, CPUs].
+func TestAllWorkloadsThroughPipeline(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Meta.Name, func(t *testing.T) {
+			in := w.NewInput(0.35)
+			res, err := jrpm.Run(w.Source, in, jrpm.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			pr := res.Profile
+			an := pr.Analysis
+
+			if s := pr.Slowdown(); s < 1.0 || s > 1.5 {
+				t.Errorf("profiling slowdown %.2fx out of band", s)
+			}
+			if len(an.Selected) == 0 {
+				t.Error("no STL selected")
+			}
+
+			// Exclusivity and screen.
+			isAncestor := func(a, b int) bool {
+				for n := an.Nodes[b]; n != nil; n = n.Parent {
+					if n.Loop == a {
+						return true
+					}
+				}
+				return false
+			}
+			ids := an.SelectedLoopIDs()
+			for _, a := range ids {
+				if !pr.Annotated.Loops[a].Candidate {
+					t.Errorf("selected loop L%d failed the scalar screen", a)
+				}
+				for _, b := range ids {
+					if a != b && isAncestor(a, b) {
+						t.Errorf("selected loops L%d and L%d nest", a, b)
+					}
+				}
+			}
+
+			if an.PredictedCycles > float64(pr.CleanCycles)*1.001 {
+				t.Errorf("predicted %.0f exceeds sequential %d", an.PredictedCycles, pr.CleanCycles)
+			}
+			if res.ActualSpeedup < 0.5 || res.ActualSpeedup > float64(pr.Opts.Cfg.CPUs)+0.01 {
+				t.Errorf("actual speedup %.2fx outside [0.5, %d]", res.ActualSpeedup, pr.Opts.Cfg.CPUs)
+			}
+			// Every selected loop got simulated.
+			for _, id := range ids {
+				if res.Loops[id] == nil {
+					t.Errorf("selected loop L%d has no TLS result", id)
+				}
+			}
+		})
+	}
+}
+
+// TestPipelineDeterminism: two runs of the same benchmark must agree
+// exactly — the whole system is deterministic by construction.
+func TestPipelineDeterminism(t *testing.T) {
+	w, err := workloads.ByName("NumHeapSort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := w.NewInput(0.4)
+	a, err := jrpm.Run(w.Source, in, jrpm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := jrpm.Run(w.Source, in, jrpm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Profile.CleanCycles != b.Profile.CleanCycles ||
+		a.Profile.TracedCycles != b.Profile.TracedCycles {
+		t.Fatalf("cycle counts differ: %d/%d vs %d/%d",
+			a.Profile.CleanCycles, a.Profile.TracedCycles,
+			b.Profile.CleanCycles, b.Profile.TracedCycles)
+	}
+	if a.ActualCycles != b.ActualCycles {
+		t.Fatalf("TLS simulation differs: %.0f vs %.0f", a.ActualCycles, b.ActualCycles)
+	}
+	ia, ib := a.Profile.Analysis.SelectedLoopIDs(), b.Profile.Analysis.SelectedLoopIDs()
+	if len(ia) != len(ib) {
+		t.Fatalf("selections differ: %v vs %v", ia, ib)
+	}
+	for i := range ia {
+		if ia[i] != ib[i] {
+			t.Fatalf("selections differ: %v vs %v", ia, ib)
+		}
+	}
+}
+
+// TestSpeculateWithoutSelection: a fully serial program selects nothing
+// and Speculate degrades gracefully to sequential time.
+func TestSpeculateWithoutSelection(t *testing.T) {
+	src := `
+global a: int[];
+func main() {
+	var p: int = 0;
+	while (a[p] != -1) {
+		p = a[p];
+	}
+	a[0] = p;
+}`
+	// A pointer-chase ring ending in -1.
+	n := 64
+	vals := make([]int64, n)
+	for i := 0; i < n-1; i++ {
+		vals[i] = int64(i + 1)
+	}
+	vals[n-1] = -1
+	in := jrpm.Input{Ints: map[string][]int64{"a": vals}}
+	res, err := jrpm.Run(src, in, jrpm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Profile.Analysis.Selected) != 0 {
+		t.Fatalf("serial chase selected %v", res.Profile.Analysis.SelectedLoopIDs())
+	}
+	if res.ActualSpeedup < 0.99 || res.ActualSpeedup > 1.01 {
+		t.Fatalf("speedup %.3f, want 1.0 (nothing speculated)", res.ActualSpeedup)
+	}
+}
+
+// TestOptionsDefaulting: zero Options fall back to DefaultOptions.
+func TestOptionsDefaulting(t *testing.T) {
+	w, _ := workloads.ByName("BitOps")
+	in := w.NewInput(0.3)
+	res, err := jrpm.Profile(w.Source, in, jrpm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Opts.Cfg.CPUs != 4 {
+		t.Fatalf("options not defaulted: %+v", res.Opts.Cfg)
+	}
+}

@@ -7,11 +7,15 @@
 package jrpm_test
 
 import (
+	"context"
+	"strings"
 	"testing"
+	"time"
 
 	"jrpm"
 	"jrpm/internal/experiments"
 	"jrpm/internal/hydra"
+	"jrpm/internal/service"
 	"jrpm/internal/workloads"
 )
 
@@ -260,6 +264,67 @@ func BenchmarkMethodCallReturn(b *testing.B) {
 		}
 	}
 	b.ReportMetric(100*worstUncovered, "uncovered-mcr-%")
+}
+
+// BenchmarkServiceCacheHit compares job latency through the jrpmd worker
+// pool with a cold compile stage versus a content-addressed cache hit.
+// The cold case defeats the cache by perturbing the source text (trailing
+// newlines — same compile cost, different SHA-256), so the delta is
+// exactly the lex/parse/codegen/annotate work a hit skips.
+func BenchmarkServiceCacheHit(b *testing.B) {
+	w, err := workloads.ByName("Huffman")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := w.NewInput(benchScale)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	runOne := func(b *testing.B, pool *service.Pool, req service.Request) {
+		b.Helper()
+		j, err := pool.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, err := j.Wait(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v.State != service.StateDone {
+			b.Fatalf("job %s: %s", v.State, v.Error)
+		}
+	}
+
+	b.Run("cold-compile", func(b *testing.B) {
+		pool := service.NewPool(service.Config{Workers: 1, QueueDepth: 1, CacheSize: 4})
+		defer pool.Stop()
+		for i := 0; i < b.N; i++ {
+			req := service.Request{
+				Source: w.Source + strings.Repeat("\n", i+1),
+				Ints:   in.Ints,
+				Floats: in.Floats,
+			}
+			runOne(b, pool, req)
+		}
+		if hits := pool.Metrics().CacheHits.Load(); hits != 0 {
+			b.Fatalf("cold case hit the cache %d times", hits)
+		}
+	})
+
+	b.Run("cache-hit", func(b *testing.B) {
+		pool := service.NewPool(service.Config{Workers: 1, QueueDepth: 1, CacheSize: 4})
+		defer pool.Stop()
+		req := service.Request{Source: w.Source, Ints: in.Ints, Floats: in.Floats}
+		runOne(b, pool, req) // warm the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runOne(b, pool, req)
+		}
+		b.StopTimer()
+		if hits := pool.Metrics().CacheHits.Load(); hits != int64(b.N) {
+			b.Fatalf("cache_hits=%d, want %d", hits, b.N)
+		}
+	})
 }
 
 // BenchmarkAblations runs the three design-choice ablations end to end.

@@ -8,14 +8,21 @@
 //	jrpm -w Huffman              # built-in workload
 //	jrpm -src prog.jr            # standalone program
 //	jrpm -w LuFactor -scale 0.5  # smaller input
+//	jrpm -w Huffman -daemon localhost:8077   # submit to a jrpmd instead
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"time"
 
 	"jrpm"
+	"jrpm/internal/service"
 	"jrpm/internal/workloads"
 )
 
@@ -25,6 +32,7 @@ func main() {
 		srcPath = flag.String("src", "", "path to a .jr source file")
 		scale   = flag.Float64("scale", 1, "input scale factor for -w")
 		list    = flag.Bool("list", false, "list built-in workloads")
+		daemon  = flag.String("daemon", "", "jrpmd address: submit the job to a running daemon instead of executing locally")
 	)
 	flag.Parse()
 
@@ -52,8 +60,13 @@ func main() {
 		}
 		src = string(b)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: jrpm -w <workload> | -src <file.jr>")
+		fmt.Fprintln(os.Stderr, "usage: jrpm -w <workload> | -src <file.jr> [-daemon addr]")
 		os.Exit(2)
+	}
+
+	if *daemon != "" {
+		runRemote(*daemon, *wname, *scale, src)
+		return
 	}
 
 	res, err := jrpm.Run(src, in, jrpm.DefaultOptions())
@@ -80,6 +93,79 @@ func main() {
 	fmt.Printf("\nrecompilation plan:\n%s", res.Plan)
 	fmt.Printf("\npredicted program speedup: %.2fx\n", an.PredictedSpeedup())
 	fmt.Printf("actual program speedup:    %.2fx (TLS simulation)\n", res.ActualSpeedup)
+}
+
+// runRemote submits the job to a jrpmd daemon and waits for the result.
+// Workloads are sent by name (the daemon regenerates the deterministic
+// inputs); file sources are sent inline.
+func runRemote(addr, wname string, scale float64, src string) {
+	req := service.Request{Speculate: true}
+	if wname != "" {
+		req.Workload = wname
+		req.Scale = scale
+	} else {
+		req.Source = src
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		fatal(err)
+	}
+	base := "http://" + addr
+	client := &http.Client{Timeout: 15 * time.Minute}
+
+	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatal(err)
+	}
+	var sub struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	decodeBody(resp, &sub)
+	if sub.Error != "" {
+		fatal(fmt.Errorf("daemon rejected job: %s", sub.Error))
+	}
+
+	resp, err = client.Get(base + "/v1/jobs/" + sub.ID + "?wait=1")
+	if err != nil {
+		fatal(err)
+	}
+	var view service.JobView
+	decodeBody(resp, &view)
+	if view.State != service.StateDone {
+		fatal(fmt.Errorf("job %s %s: %s", view.ID, view.State, view.Error))
+	}
+	r := view.Result
+
+	fmt.Printf("job %s on %s (queue %.1fms, run %.1fms, cache hit: %v)\n",
+		view.ID, addr, view.QueueWaitMs, view.RunMs, r.CacheHit)
+	fmt.Printf("sequential cycles:       %d\n", r.CleanCycles)
+	fmt.Printf("profiling slowdown:      %.2fx\n", r.Slowdown)
+	fmt.Printf("selected STLs:           %d\n", len(r.SelectedLoops))
+	for _, l := range r.Loops {
+		if !l.Selected {
+			continue
+		}
+		line := fmt.Sprintf("  %-20s coverage %5.1f%%  est %.2fx", l.Name, 100*l.Coverage, l.EstSpeedup)
+		if l.ActualSpeedup > 0 {
+			line += fmt.Sprintf("  actual %.2fx  (%d threads, %d violations, %d comm-stall cycles, %d overflow stalls)",
+				l.ActualSpeedup, l.Threads, l.Violations, l.CommStalls, l.OverflowStalls)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("\npredicted program speedup: %.2fx\n", r.PredictedSpeedup)
+	fmt.Printf("actual program speedup:    %.2fx (TLS simulation)\n", r.ActualSpeedup)
+}
+
+func decodeBody(resp *http.Response, v any) {
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		fatal(fmt.Errorf("bad daemon response (HTTP %d): %s", resp.StatusCode, b))
+	}
 }
 
 func fatal(err error) {

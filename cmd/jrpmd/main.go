@@ -1,0 +1,78 @@
+// Command jrpmd is the resident Jrpm profiling service: a job queue and
+// worker pool running TEST profiling (and optional TLS simulation) jobs
+// concurrently, with a content-addressed cache of compiled artifacts and
+// an HTTP JSON API.
+//
+// Usage:
+//
+//	jrpmd                          # serve on :8077 with GOMAXPROCS workers
+//	jrpmd -addr :9000 -workers 8 -queue 256 -cache 512 -timeout 30s
+//
+// Endpoints: POST /v1/jobs, GET /v1/jobs/{id}[?wait=1],
+// DELETE /v1/jobs/{id}, GET /v1/metrics, GET /v1/healthz. See the README
+// section "Running as a service" for request and response shapes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"jrpm/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8077", "listen address")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "max queued jobs before 429")
+		cache   = flag.Int("cache", 128, "artifact cache capacity (compiled programs)")
+		timeout = flag.Duration("timeout", 60*time.Second, "default per-job timeout")
+		maxTO   = flag.Duration("max-timeout", 10*time.Minute, "hard cap on per-job timeout")
+	)
+	flag.Parse()
+
+	pool := service.NewPool(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cache,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTO,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewServer(pool).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("jrpmd: serving on %s (%d workers, queue %d, cache %d)",
+		*addr, pool.Config().Workers, pool.Config().QueueDepth, pool.Config().CacheSize)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "jrpmd:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		log.Print("jrpmd: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("jrpmd: shutdown: %v", err)
+		}
+		pool.Stop()
+	}
+}

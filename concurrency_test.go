@@ -1,0 +1,120 @@
+package jrpm_test
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"jrpm"
+	"jrpm/internal/workloads"
+)
+
+// TestCompiledSharedAcrossGoroutines enforces the tir.Program concurrency
+// contract: one Compiled artifact, shared read-only by many workers, each
+// with its own VM and Tracer, profiled under the race detector. Every
+// worker must report identical cycle counts and the same selected-STL
+// set.
+func TestCompiledSharedAcrossGoroutines(t *testing.T) {
+	w, err := workloads.ByName("Huffman")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := w.NewInput(0.3)
+	opts := jrpm.DefaultOptions()
+
+	compiled, err := jrpm.Compile(w.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := 2 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	type outcome struct {
+		clean, traced int64
+		selected      string
+		err           error
+	}
+	results := make([]outcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pr, err := compiled.Profile(context.Background(), in, opts)
+			if err != nil {
+				results[i] = outcome{err: err}
+				return
+			}
+			results[i] = outcome{
+				clean:    pr.CleanCycles,
+				traced:   pr.TracedCycles,
+				selected: fmt.Sprint(pr.Analysis.SelectedLoopIDs()),
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	ref := results[0]
+	if ref.err != nil {
+		t.Fatal(ref.err)
+	}
+	if ref.selected == "[]" {
+		t.Fatal("no STL selected: the comparison below would be vacuous")
+	}
+	for i, r := range results[1:] {
+		if r.err != nil {
+			t.Fatalf("worker %d: %v", i+1, r.err)
+		}
+		if r != ref {
+			t.Fatalf("worker %d diverged: got %+v, want %+v", i+1, r, ref)
+		}
+	}
+}
+
+// TestProfileDeterminismAcrossWorkers runs the complete pipeline — its
+// own compile included — on N parallel workers and requires bit-identical
+// CleanCycles, TracedCycles and selected-STL sets, plus identical TLS
+// simulation outcomes. With -race this doubles as the subsystem's
+// data-race audit.
+func TestProfileDeterminismAcrossWorkers(t *testing.T) {
+	for _, name := range []string{"Huffman", "NumHeapSort"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := w.NewInput(0.25)
+
+		const n = 6
+		sigs := make([]string, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				res, err := jrpm.Run(w.Source, in, jrpm.DefaultOptions())
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				pr := res.Profile
+				sigs[i] = fmt.Sprintf("clean=%d traced=%d selected=%v actual=%.6f",
+					pr.CleanCycles, pr.TracedCycles, pr.Analysis.SelectedLoopIDs(), res.ActualSpeedup)
+			}(i)
+		}
+		wg.Wait()
+
+		for i := 0; i < n; i++ {
+			if errs[i] != nil {
+				t.Fatalf("%s worker %d: %v", name, i, errs[i])
+			}
+			if sigs[i] != sigs[0] {
+				t.Fatalf("%s: worker %d diverged:\n  %s\nvs\n  %s", name, i, sigs[i], sigs[0])
+			}
+		}
+	}
+}

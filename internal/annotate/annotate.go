@@ -42,6 +42,12 @@ func Optimized() Options {
 // always fills prog.Loops (the potential-STL table) even when opts insert
 // no instructions, so callers can inspect loop structure on clean
 // programs. It returns the number of annotation instructions inserted.
+//
+// Apply mutates prog and is the last compile-stage pass: per the
+// tir.Program concurrency contract it must run before the program is
+// published to other goroutines (the jrpmd artifact cache shares
+// fully-annotated programs across workers), and must never run on a
+// program that is already cached or executing.
 func Apply(prog *tir.Program, opts Options) (int, error) {
 	prog.Loops = nil
 	inserted := 0

@@ -9,6 +9,12 @@ import (
 // Compile parses, checks and code-generates a JR source file into a TIR
 // program. The result has no annotations yet; run internal/annotate to turn
 // potential STLs into traced loops.
+//
+// Compile is deterministic — the same source always yields a structurally
+// identical program — and the returned Program shares no state with other
+// compilations. Both properties are load-bearing for the jrpmd artifact
+// cache, which addresses compiled programs by a hash of their source and
+// serves one Program to many concurrent readers (see tir.Program).
 func Compile(src string) (*tir.Program, error) {
 	file, err := Parse(src)
 	if err != nil {

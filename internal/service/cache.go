@@ -1,0 +1,89 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync"
+
+	"jrpm"
+)
+
+// CacheKey returns the content address of a compile-stage artifact: the
+// SHA-256 of the source text plus every option that changes the compiled
+// output (annotation policy and the scalar optimizer). Run-stage options
+// — machine config, tracer policies, selection thresholds — deliberately
+// do not participate, so profiling the same program under different
+// runtime policies still hits the cache.
+func CacheKey(src string, opts jrpm.Options) string {
+	opts = jrpm.Normalize(opts)
+	h := sha256.New()
+	io.WriteString(h, "jrpm-artifact-v1\x00")
+	io.WriteString(h, src)
+	fmt.Fprintf(h, "\x00annot=%+v\x00optimize=%v", opts.Annot, opts.Optimize)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Cache is a bounded, thread-safe LRU of compiled artifacts keyed by
+// CacheKey. Values are *jrpm.Compiled, which are read-only after
+// construction (see tir.Program), so a cached artifact is handed out to
+// concurrent workers without copying.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val *jrpm.Compiled
+}
+
+// NewCache creates a cache holding at most max artifacts; max <= 0
+// disables caching (every Get misses).
+func NewCache(max int) *Cache {
+	return &Cache{max: max, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the artifact for key and refreshes its recency.
+func (c *Cache) Get(key string) (*jrpm.Compiled, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put inserts or refreshes an artifact, evicting the least recently used
+// entry when over capacity.
+func (c *Cache) Put(key string, val *jrpm.Compiled) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached artifacts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,232 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"jrpm"
+	"jrpm/internal/workloads"
+)
+
+// Request is the body of POST /v1/jobs: a JR program (inline source or a
+// built-in workload name), its input arrays, and pipeline knobs.
+type Request struct {
+	// Exactly one of Source / Workload must be set. Workload names a
+	// built-in benchmark whose deterministic inputs are generated
+	// server-side at Scale (default 1.0); Source carries inline JR text
+	// bound to Ints/Floats.
+	Source   string  `json:"source,omitempty"`
+	Workload string  `json:"workload,omitempty"`
+	Scale    float64 `json:"scale,omitempty"`
+
+	Ints   map[string][]int64   `json:"ints,omitempty"`
+	Floats map[string][]float64 `json:"floats,omitempty"`
+
+	// Optimize enables the microJIT scalar optimizer (a compile-stage
+	// option: it participates in the cache key).
+	Optimize bool `json:"optimize,omitempty"`
+	// Speculate runs steps 4-5 (recompilation + TLS timing simulation)
+	// after profiling.
+	Speculate bool `json:"speculate,omitempty"`
+	// TimeoutMs bounds the job's run time; 0 uses the pool default. The
+	// pool's MaxTimeout caps it either way.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// resolve turns a Request into runnable source + inputs.
+func (r *Request) resolve() (src string, in jrpm.Input, err error) {
+	switch {
+	case r.Source != "" && r.Workload != "":
+		return "", in, fmt.Errorf("set either source or workload, not both")
+	case r.Source != "":
+		return r.Source, jrpm.Input{Ints: r.Ints, Floats: r.Floats}, nil
+	case r.Workload != "":
+		w, err := workloads.ByName(r.Workload)
+		if err != nil {
+			return "", in, err
+		}
+		scale := r.Scale
+		if scale <= 0 {
+			scale = 1
+		}
+		return w.Source, w.NewInput(scale), nil
+	default:
+		return "", in, fmt.Errorf("empty job: set source or workload")
+	}
+}
+
+func (r *Request) options() jrpm.Options {
+	return jrpm.Normalize(jrpm.Options{Optimize: r.Optimize})
+}
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether no further transitions can happen.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// LoopResult is one loop's profile (and, when speculated, simulation)
+// outcome in a job result.
+type LoopResult struct {
+	Loop       int     `json:"loop"`
+	Name       string  `json:"name"`
+	Depth      int     `json:"depth"`
+	Coverage   float64 `json:"coverage"`
+	EstSpeedup float64 `json:"est_speedup"`
+	Selected   bool    `json:"selected"`
+	// TLS simulation fields, present when the job speculated and
+	// Equation 2 selected this loop.
+	ActualSpeedup  float64 `json:"actual_speedup,omitempty"`
+	Threads        int64   `json:"threads,omitempty"`
+	Violations     int64   `json:"violations,omitempty"`
+	CommStalls     int64   `json:"comm_stalls,omitempty"`
+	OverflowStalls int64   `json:"overflow_stalls,omitempty"`
+}
+
+// Result is the payload of a completed job.
+type Result struct {
+	CleanCycles      int64        `json:"clean_cycles"`
+	TracedCycles     int64        `json:"traced_cycles"`
+	Slowdown         float64      `json:"slowdown"`
+	AnnotationCount  int          `json:"annotation_count"`
+	Loops            []LoopResult `json:"loops"`
+	SelectedLoops    []int        `json:"selected_loops"`
+	PredictedSpeedup float64      `json:"predicted_speedup"`
+	// ActualSpeedup is the TLS-simulated whole-program speedup; only set
+	// when the job speculated.
+	ActualSpeedup float64 `json:"actual_speedup,omitempty"`
+	CacheHit      bool    `json:"cache_hit"`
+}
+
+// Job is one queued unit of pipeline work. All mutable state is behind
+// mu; Done is closed exactly once on reaching a terminal state.
+type Job struct {
+	ID  string
+	Req Request
+
+	mu        sync.Mutex
+	state     State
+	result    *Result
+	errMsg    string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc
+
+	done chan struct{}
+}
+
+// JobView is the JSON form of a job for GET /v1/jobs/{id}.
+type JobView struct {
+	ID          string  `json:"id"`
+	State       State   `json:"state"`
+	Error       string  `json:"error,omitempty"`
+	Result      *Result `json:"result,omitempty"`
+	QueueWaitMs float64 `json:"queue_wait_ms"`
+	RunMs       float64 `json:"run_ms"`
+}
+
+// View snapshots the job.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{ID: j.ID, State: j.state, Error: j.errMsg, Result: j.result}
+	if !j.started.IsZero() {
+		v.QueueWaitMs = float64(j.started.Sub(j.submitted).Microseconds()) / 1e3
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		v.RunMs = float64(end.Sub(j.started).Microseconds()) / 1e3
+	}
+	return v
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finishes or ctx expires, returning the final
+// view (or ctx's error).
+func (j *Job) Wait(ctx context.Context) (JobView, error) {
+	select {
+	case <-j.done:
+		return j.View(), nil
+	case <-ctx.Done():
+		return j.View(), ctx.Err()
+	}
+}
+
+// start moves queued -> running, returning the time the job spent
+// queued; it fails if the job was canceled while waiting in the queue.
+func (j *Job) start(cancel context.CancelFunc) (time.Duration, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return 0, false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	return j.started.Sub(j.submitted), true
+}
+
+func (j *Job) finish(state State, res *Result, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return
+	}
+	j.state = state
+	j.result = res
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	close(j.done)
+}
+
+// cancelOutcome says what Job.Cancel did: nothing (terminal already),
+// marked a queued job canceled on the spot, or requested cancellation of
+// a running job (the worker records the terminal state).
+type cancelOutcome int
+
+const (
+	cancelNoop cancelOutcome = iota
+	cancelQueued
+	cancelRequested
+)
+
+// Cancel aborts the job: a queued job is marked canceled immediately, a
+// running one has its context canceled (the VM interrupts at its next
+// check point).
+func (j *Job) Cancel() cancelOutcome {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return cancelNoop
+	}
+	if j.state == StateQueued {
+		j.state = StateCanceled
+		j.errMsg = "canceled while queued"
+		j.finished = time.Now()
+		close(j.done)
+		j.mu.Unlock()
+		return cancelQueued
+	}
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return cancelRequested
+}

@@ -1,0 +1,123 @@
+package service
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histBounds are the upper bounds (exclusive) of the latency histogram
+// buckets, in microseconds; the last bucket is unbounded. The spread
+// covers everything from a cache-hit no-op job to a full-suite profile.
+var histBounds = [numBounds]int64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000}
+
+const numBounds = 6
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// observation without locks.
+type Histogram struct {
+	buckets [numBounds + 1]atomic.Int64
+	count   atomic.Int64
+	sumUS   atomic.Int64
+	maxUS   atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	us := d.Microseconds()
+	i := 0
+	for i < len(histBounds) && us >= histBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(us)
+	for {
+		old := h.maxUS.Load()
+		if us <= old || h.maxUS.CompareAndSwap(old, us) {
+			break
+		}
+	}
+}
+
+// HistogramSnapshot is the JSON form of a Histogram. Bucket i counts
+// observations in [BoundsUS[i-1], BoundsUS[i]); the final bucket is
+// unbounded above.
+type HistogramSnapshot struct {
+	Count    int64   `json:"count"`
+	MeanMS   float64 `json:"mean_ms"`
+	MaxMS    float64 `json:"max_ms"`
+	BoundsUS []int64 `json:"bounds_us"`
+	Buckets  []int64 `json:"buckets"`
+}
+
+// Snapshot returns a point-in-time copy. Counters are read individually,
+// so a snapshot taken during heavy traffic may be off by in-flight
+// observations — fine for monitoring.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:    h.count.Load(),
+		MaxMS:    float64(h.maxUS.Load()) / 1e3,
+		BoundsUS: histBounds[:],
+		Buckets:  make([]int64, len(h.buckets)),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	if s.Count > 0 {
+		s.MeanMS = float64(h.sumUS.Load()) / float64(s.Count) / 1e3
+	}
+	return s
+}
+
+// Metrics aggregates the daemon's operational counters. All fields are
+// atomics; the pool and server update them lock-free on the hot path.
+type Metrics struct {
+	JobsSubmitted atomic.Int64
+	JobsCompleted atomic.Int64
+	JobsFailed    atomic.Int64
+	JobsRejected  atomic.Int64 // queue-full rejections
+	JobsCanceled  atomic.Int64
+
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+
+	// CyclesSimulated totals VM cycles executed across clean, traced and
+	// recording runs — the daemon's unit of useful work.
+	CyclesSimulated atomic.Int64
+
+	QueueWait Histogram // submit -> worker pickup
+	RunTime   Histogram // worker pickup -> done
+}
+
+// MetricsSnapshot is the JSON body of GET /v1/metrics.
+type MetricsSnapshot struct {
+	JobsSubmitted   int64             `json:"jobs_submitted"`
+	JobsCompleted   int64             `json:"jobs_completed"`
+	JobsFailed      int64             `json:"jobs_failed"`
+	JobsRejected    int64             `json:"jobs_rejected"`
+	JobsCanceled    int64             `json:"jobs_canceled"`
+	CacheHits       int64             `json:"cache_hits"`
+	CacheMisses     int64             `json:"cache_misses"`
+	CacheSize       int               `json:"cache_size"`
+	CyclesSimulated int64             `json:"cycles_simulated"`
+	Workers         int               `json:"workers"`
+	QueueDepth      int               `json:"queue_depth"`
+	QueueLength     int               `json:"queue_length"`
+	QueueWait       HistogramSnapshot `json:"queue_wait"`
+	RunTime         HistogramSnapshot `json:"run_time"`
+}
+
+func (m *Metrics) snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		JobsSubmitted:   m.JobsSubmitted.Load(),
+		JobsCompleted:   m.JobsCompleted.Load(),
+		JobsFailed:      m.JobsFailed.Load(),
+		JobsRejected:    m.JobsRejected.Load(),
+		JobsCanceled:    m.JobsCanceled.Load(),
+		CacheHits:       m.CacheHits.Load(),
+		CacheMisses:     m.CacheMisses.Load(),
+		CyclesSimulated: m.CyclesSimulated.Load(),
+		QueueWait:       m.QueueWait.Snapshot(),
+		RunTime:         m.RunTime.Snapshot(),
+	}
+}

@@ -1,0 +1,287 @@
+// Package service is the jrpmd subsystem: a resident profiling service
+// that shards Jrpm pipeline jobs across a worker pool, caches compiled
+// artifacts by content address, and exposes an HTTP JSON API with
+// operational metrics. See README.md "Running as a service".
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jrpm"
+)
+
+// ErrQueueFull is returned by Submit when the bounded queue is at
+// capacity; the HTTP layer maps it to 429.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrStopped is returned by Submit after Stop.
+var ErrStopped = errors.New("service: pool stopped")
+
+// Config sizes the pool.
+type Config struct {
+	// Workers is the number of concurrent pipeline executors; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of jobs waiting to run; <= 0 means 64.
+	QueueDepth int
+	// CacheSize bounds the artifact cache, in compiled programs; <= 0
+	// means 128.
+	CacheSize int
+	// DefaultTimeout applies to jobs that do not set timeout_ms; <= 0
+	// means 60s. MaxTimeout caps every job; <= 0 means 10m.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	return c
+}
+
+// Pool runs pipeline jobs on a fixed set of workers fed by a bounded
+// queue. One bad program cannot take the daemon down: each job runs
+// under its own context (timeout + cancellation) and a panic inside the
+// pipeline is recovered into a failed job.
+type Pool struct {
+	cfg     Config
+	metrics *Metrics
+	cache   *Cache
+
+	queue   chan *Job
+	jobs    sync.Map // id -> *Job
+	seq     atomic.Int64
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	stopped atomic.Bool
+
+	// testHook, when set, runs at the start of every job execution; tests
+	// use it to inject panics and stalls.
+	testHook func(*Job)
+}
+
+// NewPool creates and starts a pool.
+func NewPool(cfg Config) *Pool {
+	cfg = cfg.withDefaults()
+	p := &Pool{
+		cfg:     cfg,
+		metrics: &Metrics{},
+		cache:   NewCache(cfg.CacheSize),
+		queue:   make(chan *Job, cfg.QueueDepth),
+	}
+	p.ctx, p.cancel = context.WithCancel(context.Background())
+	p.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Metrics exposes the pool's counters.
+func (p *Pool) Metrics() *Metrics { return p.metrics }
+
+// Cache exposes the artifact cache (read-mostly; the server reports its
+// size).
+func (p *Pool) Cache() *Cache { return p.cache }
+
+// Config returns the effective (defaulted) configuration.
+func (p *Pool) Config() Config { return p.cfg }
+
+// QueueLength is the number of jobs currently waiting for a worker.
+func (p *Pool) QueueLength() int { return len(p.queue) }
+
+// Submit validates and enqueues a job. It fails fast: an unresolvable
+// request (unknown workload, both/neither of source+workload) is rejected
+// here with an error rather than becoming a failed job.
+func (p *Pool) Submit(req Request) (*Job, error) {
+	if p.stopped.Load() {
+		return nil, ErrStopped
+	}
+	if _, _, err := req.resolve(); err != nil {
+		return nil, err
+	}
+	job := &Job{
+		ID:        fmt.Sprintf("j%08d", p.seq.Add(1)),
+		Req:       req,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	select {
+	case p.queue <- job:
+		p.jobs.Store(job.ID, job)
+		p.metrics.JobsSubmitted.Add(1)
+		return job, nil
+	default:
+		p.metrics.JobsRejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// Get returns a job by id.
+func (p *Pool) Get(id string) (*Job, bool) {
+	v, ok := p.jobs.Load(id)
+	if !ok {
+		return nil, false
+	}
+	return v.(*Job), true
+}
+
+// Cancel aborts a job by id; it reports whether the job was still live.
+func (p *Pool) Cancel(id string) (bool, error) {
+	j, ok := p.Get(id)
+	if !ok {
+		return false, fmt.Errorf("no job %q", id)
+	}
+	switch j.Cancel() {
+	case cancelQueued:
+		p.metrics.JobsCanceled.Add(1)
+		return true, nil
+	case cancelRequested:
+		return true, nil // the worker records the cancellation
+	default:
+		return false, nil
+	}
+}
+
+// Stop drains the pool: no new submissions are accepted, queued jobs are
+// canceled, running jobs are interrupted via their contexts, and all
+// workers are joined.
+func (p *Pool) Stop() {
+	if p.stopped.Swap(true) {
+		return
+	}
+	p.cancel()
+	p.wg.Wait()
+	// Workers are gone; fail anything still sitting in the queue.
+	for {
+		select {
+		case j := <-p.queue:
+			if j.Cancel() == cancelQueued {
+				p.metrics.JobsCanceled.Add(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case j := <-p.queue:
+			p.run(j)
+		}
+	}
+}
+
+// run executes one job with timeout, cancellation and panic isolation.
+func (p *Pool) run(j *Job) {
+	timeout := p.cfg.DefaultTimeout
+	if j.Req.TimeoutMs > 0 {
+		timeout = time.Duration(j.Req.TimeoutMs) * time.Millisecond
+	}
+	if timeout > p.cfg.MaxTimeout {
+		timeout = p.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeoutCause(p.ctx, timeout,
+		fmt.Errorf("job timeout (%s) exceeded", timeout))
+	defer cancel()
+
+	wait, ok := j.start(cancel)
+	if !ok {
+		return // canceled while queued
+	}
+	p.metrics.QueueWait.Observe(wait)
+	began := time.Now()
+
+	var res *Result
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("panic: %v", r)
+			}
+		}()
+		res, err = p.execute(ctx, j)
+	}()
+	p.metrics.RunTime.Observe(time.Since(began))
+
+	switch {
+	case err == nil:
+		p.metrics.JobsCompleted.Add(1)
+		j.finish(StateDone, res, "")
+	case errors.Is(err, context.Canceled):
+		p.metrics.JobsCanceled.Add(1)
+		j.finish(StateCanceled, nil, "canceled")
+	default:
+		p.metrics.JobsFailed.Add(1)
+		j.finish(StateFailed, nil, err.Error())
+	}
+}
+
+// execute runs the pipeline for one job: resolve, hit or fill the
+// artifact cache, profile, optionally speculate.
+func (p *Pool) execute(ctx context.Context, j *Job) (*Result, error) {
+	if p.testHook != nil {
+		p.testHook(j)
+	}
+	src, in, err := j.Req.resolve()
+	if err != nil {
+		return nil, err
+	}
+	opts := j.Req.options()
+
+	key := CacheKey(src, opts)
+	compiled, hit := p.cache.Get(key)
+	if hit {
+		p.metrics.CacheHits.Add(1)
+	} else {
+		p.metrics.CacheMisses.Add(1)
+		compiled, err = jrpm.Compile(src, opts)
+		if err != nil {
+			return nil, err
+		}
+		p.cache.Put(key, compiled)
+	}
+
+	pr, err := compiled.Profile(ctx, in, opts)
+	if err != nil {
+		return nil, err
+	}
+	p.metrics.CyclesSimulated.Add(pr.CleanCycles + pr.TracedCycles)
+
+	res := buildResult(pr, hit)
+	if j.Req.Speculate {
+		sr, err := jrpm.SpeculateContext(ctx, in, pr)
+		if err != nil {
+			return nil, err
+		}
+		p.metrics.CyclesSimulated.Add(pr.TracedCycles) // recording run replays the annotated program
+		mergeSpeculation(res, sr)
+	}
+	return res, nil
+}

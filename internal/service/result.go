@@ -1,0 +1,57 @@
+package service
+
+import (
+	"sort"
+
+	"jrpm"
+)
+
+// buildResult flattens a ProfileResult into the wire form: one row per
+// loop observed at runtime, in loop-id order.
+func buildResult(pr *jrpm.ProfileResult, cacheHit bool) *Result {
+	an := pr.Analysis
+	res := &Result{
+		CleanCycles:      pr.CleanCycles,
+		TracedCycles:     pr.TracedCycles,
+		Slowdown:         pr.Slowdown(),
+		AnnotationCount:  pr.AnnotationCount,
+		SelectedLoops:    an.SelectedLoopIDs(),
+		PredictedSpeedup: an.PredictedSpeedup(),
+		CacheHit:         cacheHit,
+	}
+	if res.SelectedLoops == nil {
+		res.SelectedLoops = []int{}
+	}
+	ids := make([]int, 0, len(an.Nodes))
+	for id := range an.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		n := an.Nodes[id]
+		res.Loops = append(res.Loops, LoopResult{
+			Loop:       id,
+			Name:       an.LoopName(id),
+			Depth:      n.Depth,
+			Coverage:   n.Coverage(an.TotalCycles),
+			EstSpeedup: n.Est.Speedup,
+			Selected:   n.Selected,
+		})
+	}
+	return res
+}
+
+// mergeSpeculation folds the TLS simulation outcome into the profile
+// rows.
+func mergeSpeculation(res *Result, sr *jrpm.SpeculateResult) {
+	res.ActualSpeedup = sr.ActualSpeedup
+	for i := range res.Loops {
+		if r, ok := sr.Loops[res.Loops[i].Loop]; ok && r != nil {
+			res.Loops[i].ActualSpeedup = r.Speedup
+			res.Loops[i].Threads = r.Threads
+			res.Loops[i].Violations = r.Violations
+			res.Loops[i].CommStalls = r.CommStalls
+			res.Loops[i].OverflowStalls = r.OverflowStalls
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// maxRequestBody bounds POST bodies (sources plus inline input arrays).
+const maxRequestBody = 16 << 20
+
+// Server is the HTTP face of a Pool.
+//
+//	POST   /v1/jobs           submit a job (202 + {"id": ...})
+//	GET    /v1/jobs/{id}      job status/result; ?wait=1 blocks until done
+//	DELETE /v1/jobs/{id}      cancel a job
+//	GET    /v1/metrics        operational counters and latency histograms
+//	GET    /v1/healthz        liveness + pool sizing
+type Server struct {
+	pool  *Pool
+	start time.Time
+}
+
+// NewServer wraps a pool.
+func NewServer(pool *Pool) *Server {
+	return &Server{pool: pool, start: time.Now()}
+}
+
+// Handler returns the API routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.get)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	mux.HandleFunc("GET /v1/metrics", s.metrics)
+	mux.HandleFunc("GET /v1/healthz", s.healthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	job, err := s.pool.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrStopped):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"id":    job.ID,
+		"state": string(StateQueued),
+	})
+}
+
+func (s *Server) get(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.pool.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if wait, _ := strconv.ParseBool(r.URL.Query().Get("wait")); wait {
+		select {
+		case <-job.Done():
+		case <-r.Context().Done():
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	live, err := s.pool.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"canceled": live})
+}
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	m := s.pool.Metrics().snapshot()
+	m.CacheSize = s.pool.Cache().Len()
+	m.Workers = s.pool.Config().Workers
+	m.QueueDepth = s.pool.Config().QueueDepth
+	m.QueueLength = s.pool.QueueLength()
+	writeJSON(w, http.StatusOK, m)
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"workers":   s.pool.Config().Workers,
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+	})
+}

@@ -1,0 +1,475 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"jrpm"
+)
+
+func postJob(base string, req Request) (string, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		return "", err
+	}
+	return sub.ID, nil
+}
+
+func waitJob(base, id string) (JobView, error) {
+	var v JobView
+	resp, err := http.Get(base + "/v1/jobs/" + id + "?wait=1")
+	if err != nil {
+		return v, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&v)
+	return v, err
+}
+
+// runJob submits and waits in one go; safe to call from any goroutine.
+func runJob(base string, req Request) (JobView, error) {
+	id, err := postJob(base, req)
+	if err != nil {
+		return JobView{}, err
+	}
+	return waitJob(base, id)
+}
+
+func getMetrics(t *testing.T, base string) MetricsSnapshot {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func mustWait(t *testing.T, j *Job) JobView {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	v, err := j.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestServiceEndToEnd is the acceptance test: serve on a random port,
+// submit concurrent jobs mixing distinct and duplicate sources, check
+// every result's per-loop estimates, duplicate results' determinism, and
+// the cache-hit accounting in /v1/metrics.
+func TestServiceEndToEnd(t *testing.T) {
+	pool := NewPool(Config{Workers: 4})
+	defer pool.Stop()
+	ts := httptest.NewServer(NewServer(pool).Handler())
+	defer ts.Close()
+
+	names := []string{"Huffman", "NumHeapSort", "compress", "deltaBlue"}
+	const scale = 0.25
+
+	// Wave 1: four distinct workloads in parallel — all cache misses.
+	first := make([]JobView, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			first[i], errs[i] = runJob(ts.URL, Request{Workload: name, Scale: scale, Speculate: true})
+		}(i, name)
+	}
+	wg.Wait()
+
+	for i, name := range names {
+		if errs[i] != nil {
+			t.Fatalf("%s: %v", name, errs[i])
+		}
+		v := first[i]
+		if v.State != StateDone {
+			t.Fatalf("%s: job %s: %s", name, v.State, v.Error)
+		}
+		r := v.Result
+		if r.CacheHit {
+			t.Errorf("%s: first run claims a cache hit", name)
+		}
+		if r.CleanCycles <= 0 || r.TracedCycles < r.CleanCycles {
+			t.Errorf("%s: implausible cycles clean=%d traced=%d", name, r.CleanCycles, r.TracedCycles)
+		}
+		if len(r.Loops) == 0 {
+			t.Errorf("%s: no per-loop estimates", name)
+		}
+		for _, l := range r.Loops {
+			if l.Name == "" || l.EstSpeedup < 0 {
+				t.Errorf("%s: bad loop row %+v", name, l)
+			}
+		}
+		if len(r.SelectedLoops) == 0 {
+			t.Errorf("%s: Equation 2 selected nothing", name)
+		}
+		if r.ActualSpeedup <= 0 {
+			t.Errorf("%s: missing TLS-simulated speedup", name)
+		}
+	}
+
+	// Wave 2: every workload twice more, all 8 concurrent — the compile
+	// stage must come from the cache, and results must be identical to
+	// the first run.
+	second := make([]JobView, 2*len(names))
+	errs2 := make([]error, len(second))
+	for i := range second {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := names[i%len(names)]
+			second[i], errs2[i] = runJob(ts.URL, Request{Workload: name, Scale: scale, Speculate: true})
+		}(i)
+	}
+	wg.Wait()
+
+	for i, v := range second {
+		name := names[i%len(names)]
+		if errs2[i] != nil {
+			t.Fatalf("dup %s: %v", name, errs2[i])
+		}
+		if v.State != StateDone {
+			t.Fatalf("dup %s: job %s: %s", name, v.State, v.Error)
+		}
+		if !v.Result.CacheHit {
+			t.Errorf("dup %s: expected cache hit", name)
+		}
+		want, got := first[i%len(names)].Result, v.Result
+		if got.CleanCycles != want.CleanCycles || got.TracedCycles != want.TracedCycles {
+			t.Errorf("dup %s: cycles differ: clean %d vs %d, traced %d vs %d",
+				name, got.CleanCycles, want.CleanCycles, got.TracedCycles, want.TracedCycles)
+		}
+		if fmt.Sprint(got.SelectedLoops) != fmt.Sprint(want.SelectedLoops) {
+			t.Errorf("dup %s: selected STLs differ: %v vs %v", name, got.SelectedLoops, want.SelectedLoops)
+		}
+	}
+
+	m := getMetrics(t, ts.URL)
+	if m.JobsSubmitted != int64(3*len(names)) || m.JobsCompleted != int64(3*len(names)) {
+		t.Errorf("metrics: submitted=%d completed=%d, want %d each", m.JobsSubmitted, m.JobsCompleted, 3*len(names))
+	}
+	if m.CacheHits < int64(2*len(names)) {
+		t.Errorf("metrics: cache_hits=%d, want >= %d", m.CacheHits, 2*len(names))
+	}
+	if m.CacheMisses != int64(len(names)) {
+		t.Errorf("metrics: cache_misses=%d, want %d", m.CacheMisses, len(names))
+	}
+	if m.CacheSize != len(names) {
+		t.Errorf("metrics: cache_size=%d, want %d", m.CacheSize, len(names))
+	}
+	if m.RunTime.Count != int64(3*len(names)) || m.QueueWait.Count != int64(3*len(names)) {
+		t.Errorf("metrics: histogram counts run=%d wait=%d, want %d", m.RunTime.Count, m.QueueWait.Count, 3*len(names))
+	}
+	if m.CyclesSimulated <= 0 {
+		t.Error("metrics: cycles_simulated not accounted")
+	}
+
+	// Health endpoint answers.
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestSubmitValidation: unresolvable requests are rejected at submit time
+// with 400, not queued.
+func TestSubmitValidation(t *testing.T) {
+	pool := NewPool(Config{Workers: 1})
+	defer pool.Stop()
+	ts := httptest.NewServer(NewServer(pool).Handler())
+	defer ts.Close()
+
+	for _, body := range []string{
+		`{}`,
+		`{"workload":"NoSuchBenchmark"}`,
+		`{"workload":"Huffman","source":"int main() {}"}`,
+		`{"bogus_field":1}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %s: HTTP %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if n := pool.Metrics().JobsSubmitted.Load(); n != 0 {
+		t.Errorf("invalid requests were queued: submitted=%d", n)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/j00000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestCompileErrorFailsJob: a program that does not compile produces a
+// failed job, not a dead worker.
+func TestCompileErrorFailsJob(t *testing.T) {
+	pool := NewPool(Config{Workers: 1})
+	defer pool.Stop()
+
+	j, err := pool.Submit(Request{Source: "this is not JR"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := mustWait(t, j); v.State != StateFailed || v.Error == "" {
+		t.Fatalf("state=%s error=%q, want failed with message", v.State, v.Error)
+	}
+
+	// The worker survives and still runs good jobs.
+	j2, err := pool.Submit(Request{Workload: "Huffman", Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := mustWait(t, j2); v.State != StateDone {
+		t.Fatalf("follow-up job: state=%s error=%q", v.State, v.Error)
+	}
+}
+
+// TestPanicRecovery: a panic inside the pipeline is isolated to its job.
+func TestPanicRecovery(t *testing.T) {
+	pool := NewPool(Config{Workers: 1})
+	defer pool.Stop()
+	pool.testHook = func(j *Job) {
+		if strings.Contains(j.Req.Source, "PANIC") {
+			panic("injected failure")
+		}
+	}
+
+	bad, err := pool.Submit(Request{Source: "// PANIC\nint main() { return 0; }"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := mustWait(t, bad); v.State != StateFailed || !strings.Contains(v.Error, "panic") {
+		t.Fatalf("state=%s error=%q, want failed with panic message", v.State, v.Error)
+	}
+
+	good, err := pool.Submit(Request{Workload: "Huffman", Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := mustWait(t, good); v.State != StateDone {
+		t.Fatalf("pool did not survive the panic: state=%s error=%q", v.State, v.Error)
+	}
+	if n := pool.Metrics().JobsFailed.Load(); n != 1 {
+		t.Errorf("jobs_failed=%d, want 1", n)
+	}
+}
+
+// TestJobTimeout: a job exceeding its deadline is interrupted mid-run and
+// fails with a timeout message.
+func TestJobTimeout(t *testing.T) {
+	pool := NewPool(Config{Workers: 1})
+	defer pool.Stop()
+
+	// ~200M VM steps: many seconds of simulation, far past the deadline.
+	slow := `
+global a: int[];
+func main() {
+    var i: int = 0;
+    var s: int = 0;
+    while (i < 200000000) {
+        s = s + i;
+        i++;
+    }
+    a[0] = s;
+}`
+	j, err := pool.Submit(Request{
+		Source:    slow,
+		Ints:      map[string][]int64{"a": {0}},
+		TimeoutMs: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := mustWait(t, j); v.State != StateFailed || !strings.Contains(v.Error, "timeout") {
+		t.Fatalf("state=%s error=%q, want failed with timeout", v.State, v.Error)
+	}
+	if n := pool.Metrics().JobsFailed.Load(); n != 1 {
+		t.Errorf("jobs_failed=%d, want 1", n)
+	}
+}
+
+// TestQueueFullRejects: the bounded queue sheds load with ErrQueueFull.
+func TestQueueFullRejects(t *testing.T) {
+	pool := NewPool(Config{Workers: 1, QueueDepth: 1})
+	defer pool.Stop()
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	pool.testHook = func(*Job) {
+		started <- struct{}{}
+		<-release
+	}
+	defer close(release)
+
+	// First job occupies the worker...
+	if _, err := pool.Submit(Request{Workload: "Huffman", Scale: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never picked up the first job")
+	}
+	// ...second fills the queue slot, third must bounce.
+	if _, err := pool.Submit(Request{Workload: "Huffman", Scale: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Submit(Request{Workload: "Huffman", Scale: 0.2}); err != ErrQueueFull {
+		t.Fatalf("third submit: err=%v, want ErrQueueFull", err)
+	}
+	if n := pool.Metrics().JobsRejected.Load(); n != 1 {
+		t.Errorf("jobs_rejected=%d, want 1", n)
+	}
+}
+
+// TestCancelQueuedAndRunning covers both cancellation paths.
+func TestCancelQueuedAndRunning(t *testing.T) {
+	pool := NewPool(Config{Workers: 1, QueueDepth: 4})
+	defer pool.Stop()
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	pool.testHook = func(*Job) {
+		started <- struct{}{}
+		<-release
+	}
+
+	running, err := pool.Submit(Request{Workload: "Huffman", Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := pool.Submit(Request{Workload: "Huffman", Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancel the queued job: it terminates immediately, never runs.
+	if live, err := pool.Cancel(queued.ID); err != nil || !live {
+		t.Fatalf("cancel queued: live=%v err=%v", live, err)
+	}
+	if v := queued.View(); v.State != StateCanceled {
+		t.Fatalf("queued job state=%s, want canceled", v.State)
+	}
+
+	// Cancel the running job, then let the hook return: the canceled
+	// context interrupts the pipeline.
+	if live, err := pool.Cancel(running.ID); err != nil || !live {
+		t.Fatalf("cancel running: live=%v err=%v", live, err)
+	}
+	close(release)
+	if v := mustWait(t, running); v.State != StateCanceled {
+		t.Fatalf("running job state=%s error=%q, want canceled", v.State, v.Error)
+	}
+	if n := pool.Metrics().JobsCanceled.Load(); n != 2 {
+		t.Errorf("jobs_canceled=%d, want 2", n)
+	}
+}
+
+// TestCacheLRU: eviction order and recency refresh.
+func TestCacheLRU(t *testing.T) {
+	c := NewCache(2)
+	a, b, d := &jrpm.Compiled{}, &jrpm.Compiled{}, &jrpm.Compiled{}
+	c.Put("a", a)
+	c.Put("b", b)
+	if _, ok := c.Get("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("d", d)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if v, ok := c.Get("a"); !ok || v != a {
+		t.Error("a lost")
+	}
+	if v, ok := c.Get("d"); !ok || v != d {
+		t.Error("d lost")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len=%d, want 2", c.Len())
+	}
+}
+
+// TestCacheKey: compile-stage options split the key; run-stage options do
+// not.
+func TestCacheKey(t *testing.T) {
+	src := "int main() { return 0; }"
+	base := CacheKey(src, jrpm.Options{})
+	if CacheKey(src, jrpm.DefaultOptions()) != base {
+		t.Error("zero options and explicit defaults should share a key")
+	}
+	if CacheKey(src+" ", jrpm.Options{}) == base {
+		t.Error("different sources share a key")
+	}
+	if CacheKey(src, jrpm.Options{Optimize: true}) == base {
+		t.Error("optimize must split the key")
+	}
+	runtimeOnly := jrpm.DefaultOptions()
+	runtimeOnly.Select.MinSpeedup = 3
+	runtimeOnly.Tracer.Extended = true
+	if CacheKey(src, runtimeOnly) != base {
+		t.Error("run-stage options must not split the key")
+	}
+}
+
+// TestHistogram: bucket boundaries and summary stats.
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	h.Observe(50 * time.Microsecond)  // bucket 0: < 100us
+	h.Observe(500 * time.Microsecond) // bucket 1: < 1ms
+	h.Observe(2 * time.Second)        // bucket 5: < 10s
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count=%d", s.Count)
+	}
+	want := []int64{1, 1, 0, 0, 0, 1, 0}
+	for i, b := range s.Buckets {
+		if b != want[i] {
+			t.Fatalf("buckets=%v, want %v", s.Buckets, want)
+		}
+	}
+	if s.MaxMS < 1999 || s.MaxMS > 2001 {
+		t.Errorf("max_ms=%.1f", s.MaxMS)
+	}
+}

@@ -222,6 +222,16 @@ type LoopInfo struct {
 }
 
 // Program is a complete compiled JR program.
+//
+// Concurrency contract: a Program is read-only once the compile stage
+// (lang.Compile + opt.Program + annotate.Apply) has finished. The VM
+// (vmsim), tracer (core), recorder (tls), recompiler (jit) and profile
+// analysis only read it, so one Program — and the jrpm.Compiled artifact
+// wrapping it — may be shared across any number of goroutines without
+// locking. This is what lets the jrpmd artifact cache hand the same
+// compiled program to every worker; TestCompiledSharedAcrossGoroutines
+// enforces it under the race detector. Passes that mutate a Program
+// (annotate.Apply, opt.Program) must run before it is published.
 type Program struct {
 	Funcs     []*Function
 	FuncIndex map[string]int

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync/atomic"
 
 	"jrpm/internal/hydra"
 	"jrpm/internal/tir"
@@ -47,6 +48,14 @@ type CallListener interface {
 // ErrStepLimit is returned when execution exceeds VM.MaxSteps.
 var ErrStepLimit = errors.New("vmsim: step limit exceeded")
 
+// ErrInterrupted is returned when Interrupt stops a run early (job
+// timeout or cancellation in the jrpmd service).
+var ErrInterrupted = errors.New("vmsim: interrupted")
+
+// interruptMask throttles the interrupt-flag poll to one atomic load per
+// 8192 executed instructions, keeping the hot interpreter loop cheap.
+const interruptMask = 1<<13 - 1
+
 // RuntimeError is a positioned execution fault.
 type RuntimeError struct {
 	Msg  string
@@ -72,12 +81,13 @@ type VM struct {
 	AnnotCost     int64
 	ReadStatsCost int64
 
-	arrays    map[uint32]int64 // base address -> element count
-	globals   []uint32         // base address per global index
-	heapTop   uint32
-	frameSeq  uint64
-	steps     int64
-	callLsnrs []CallListener
+	arrays      map[uint32]int64 // base address -> element count
+	globals     []uint32         // base address per global index
+	heapTop     uint32
+	frameSeq    uint64
+	steps       int64
+	callLsnrs   []CallListener
+	interrupted atomic.Bool
 
 	// Instruction mix counters for reports.
 	NHeapLoads   int64
@@ -188,6 +198,11 @@ func (vm *VM) GlobalFloats(name string) ([]float64, error) {
 	return out, nil
 }
 
+// Interrupt requests that a running Run return ErrInterrupted at its next
+// check point (every few thousand instructions). It is the only VM method
+// safe to call from another goroutine; all other state is single-owner.
+func (vm *VM) Interrupt() { vm.interrupted.Store(true) }
+
 // Run executes the named function (typically "main") with no arguments.
 func (vm *VM) Run(name string) error {
 	_, fi, ok := vm.Prog.Lookup(name)
@@ -228,6 +243,9 @@ func (vm *VM) call(fi int, args []uint64) (uint64, error) {
 			vm.steps++
 			if vm.steps > vm.MaxSteps {
 				return 0, ErrStepLimit
+			}
+			if vm.steps&interruptMask == 0 && vm.interrupted.Load() {
+				return 0, ErrInterrupted
 			}
 			now := vm.Cycles
 			vm.Cycles++

@@ -17,9 +17,18 @@
 //     simulation of the 4-CPU Hydra CMP.
 //
 // Profile covers steps 1–3; Speculate covers steps 4–5.
+//
+// The compile stage (step 1) and the run stages (steps 2–5) are split:
+// Compile produces a Compiled artifact that is immutable afterwards and
+// can be profiled many times, concurrently, against different inputs.
+// internal/service builds its content-addressed artifact cache on this
+// split, so a daemon re-profiling the same source skips lexing, parsing,
+// code generation and annotation entirely.
 package jrpm
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"jrpm/internal/annotate"
@@ -38,8 +47,8 @@ type Input struct {
 	Floats map[string][]float64
 }
 
-// Options configures the pipeline. The zero value is replaced by
-// DefaultOptions.
+// Options configures the pipeline. The zero value of any field is
+// replaced by the corresponding DefaultOptions field (see Normalize).
 type Options struct {
 	Cfg    hydra.Config
 	Annot  annotate.Options
@@ -61,6 +70,85 @@ func DefaultOptions() Options {
 		Tracer: core.DefaultOptions(),
 		Select: profile.DefaultSelectOptions(),
 	}
+}
+
+// Normalize substitutes defaults for each unset Options field
+// independently: a caller who sets Cfg but leaves Annot, Tracer or Select
+// zero gets the default policies for the fields they left out, not
+// zero-valued ones. A zero-valued field means "unset" — callers who need
+// a policy whose meaningful configuration happens to equal the zero value
+// must set at least one other field of that policy struct.
+func Normalize(opts Options) Options {
+	d := DefaultOptions()
+	if opts.Cfg.CPUs == 0 {
+		opts.Cfg = d.Cfg
+	}
+	if opts.Annot == (annotate.Options{}) {
+		opts.Annot = d.Annot
+	}
+	if opts.Tracer == (core.Options{}) {
+		opts.Tracer = d.Tracer
+	}
+	if opts.Select == (profile.SelectOptions{}) {
+		opts.Select = d.Select
+	}
+	return opts
+}
+
+// Compiled holds the compile-stage artifacts for one source program: the
+// clean program (loop table filled, no instrumentation) and the annotated
+// program traced by TEST. Both programs are read-only once Compile
+// returns — see the tir.Program documentation — so a Compiled may be
+// shared freely across goroutines and profiled concurrently; each Profile
+// call builds its own VM and Tracer.
+type Compiled struct {
+	Clean     *tir.Program
+	Annotated *tir.Program
+	// AnnotationCount is the number of annotation instructions inserted
+	// into Annotated.
+	AnnotationCount int
+	// Annot and Optimize record the compile-stage options the artifact
+	// was built with (the run-stage options are free to vary per Profile
+	// call).
+	Annot    annotate.Options
+	Optimize bool
+}
+
+// Compile runs the compile stage (step 1) once: lex, parse, generate TIR,
+// optionally run the scalar optimizer, discover loops, and insert
+// annotations per opts.Annot. Only opts.Annot and opts.Optimize affect
+// the artifact; the remaining fields configure the run stages.
+func Compile(src string, opts Options) (*Compiled, error) {
+	opts = Normalize(opts)
+	clean, err := lang.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Optimize {
+		opt.Program(clean)
+	}
+	if _, err := annotate.Apply(clean, annotate.Options{}); err != nil {
+		return nil, fmt.Errorf("loop discovery: %w", err)
+	}
+
+	annotated, err := lang.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Optimize {
+		opt.Program(annotated)
+	}
+	nAnnot, err := annotate.Apply(annotated, opts.Annot)
+	if err != nil {
+		return nil, fmt.Errorf("annotate: %w", err)
+	}
+	return &Compiled{
+		Clean:           clean,
+		Annotated:       annotated,
+		AnnotationCount: nAnnot,
+		Annot:           opts.Annot,
+		Optimize:        opts.Optimize,
+	}, nil
 }
 
 // ProfileResult is the outcome of the profiling phase (steps 1-3).
@@ -111,19 +199,33 @@ func newVM(prog *tir.Program, in Input, cfg hydra.Config) (*vmsim.VM, error) {
 	return vm, nil
 }
 
+// runVM executes the VM's main function under ctx: when ctx is canceled
+// or times out the VM is interrupted at the next check point and the
+// context's cause is returned.
+func runVM(ctx context.Context, vm *vmsim.VM) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return context.Cause(ctx)
+	}
+	stop := context.AfterFunc(ctx, vm.Interrupt)
+	defer stop()
+	err := vm.Run("main")
+	if errors.Is(err, vmsim.ErrInterrupted) {
+		if cause := context.Cause(ctx); cause != nil {
+			return cause
+		}
+	}
+	return err
+}
+
 // RunClean compiles and runs src without any instrumentation, returning
 // the program and its sequential cycle count.
 func RunClean(src string, in Input, cfg hydra.Config) (*tir.Program, int64, error) {
-	return runClean(src, in, cfg, false)
-}
-
-func runClean(src string, in Input, cfg hydra.Config, optimize bool) (*tir.Program, int64, error) {
 	prog, err := lang.Compile(src)
 	if err != nil {
 		return nil, 0, err
-	}
-	if optimize {
-		opt.Program(prog)
 	}
 	if _, err := annotate.Apply(prog, annotate.Options{}); err != nil {
 		return nil, 0, fmt.Errorf("loop discovery: %w", err)
@@ -138,46 +240,63 @@ func runClean(src string, in Input, cfg hydra.Config, optimize bool) (*tir.Progr
 	return prog, vm.Cycles, nil
 }
 
+// RunClean executes the clean program sequentially and returns its cycle
+// count. Safe for concurrent use: each call builds a fresh VM.
+func (c *Compiled) RunClean(ctx context.Context, in Input, cfg hydra.Config) (int64, error) {
+	vm, err := newVM(c.Clean, in, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if err := runVM(ctx, vm); err != nil {
+		return 0, err
+	}
+	return vm.Cycles, nil
+}
+
 // Profile runs the full profiling phase on a JR source program.
 func Profile(src string, in Input, opts Options) (*ProfileResult, error) {
-	if opts.Cfg.CPUs == 0 {
-		defaults := DefaultOptions()
-		defaults.Optimize = opts.Optimize
-		opts = defaults
+	opts = Normalize(opts)
+	c, err := Compile(src, opts)
+	if err != nil {
+		return nil, err
 	}
-	clean, cleanCycles, err := runClean(src, in, opts.Cfg, opts.Optimize)
+	return c.Profile(context.Background(), in, opts)
+}
+
+// Profile runs the run stages of the profiling phase (steps 2-3) on a
+// pre-compiled artifact: a clean sequential run for the baseline cycle
+// count, a traced run with the TEST model attached, then tree building,
+// Equation 1 estimation and Equation 2 selection.
+//
+// Only the run-stage fields of opts (Cfg, Tracer, Select) are consulted;
+// the compile-stage fields were fixed when c was built. Safe for
+// concurrent use on a shared c: every call builds its own VMs and Tracer.
+func (c *Compiled) Profile(ctx context.Context, in Input, opts Options) (*ProfileResult, error) {
+	opts = Normalize(opts)
+	opts.Annot = c.Annot
+	opts.Optimize = c.Optimize
+
+	cleanCycles, err := c.RunClean(ctx, in, opts.Cfg)
 	if err != nil {
 		return nil, err
 	}
 
-	annotated, err := lang.Compile(src)
+	vm, err := newVM(c.Annotated, in, opts.Cfg)
 	if err != nil {
 		return nil, err
 	}
-	if opts.Optimize {
-		opt.Program(annotated)
-	}
-	nAnnot, err := annotate.Apply(annotated, opts.Annot)
-	if err != nil {
-		return nil, fmt.Errorf("annotate: %w", err)
-	}
-
-	vm, err := newVM(annotated, in, opts.Cfg)
-	if err != nil {
-		return nil, err
-	}
-	tracer := core.NewTracer(annotated, opts.Cfg, opts.Tracer)
+	tracer := core.NewTracer(c.Annotated, opts.Cfg, opts.Tracer)
 	vm.Listeners = append(vm.Listeners, tracer)
-	if err := vm.Run("main"); err != nil {
+	if err := runVM(ctx, vm); err != nil {
 		return nil, err
 	}
 
-	analysis := profile.BuildTree(annotated, tracer, vm.Cycles, cleanCycles, opts.Cfg)
+	analysis := profile.BuildTree(c.Annotated, tracer, vm.Cycles, cleanCycles, opts.Cfg)
 	analysis.Select(opts.Select)
 
 	return &ProfileResult{
-		Clean:           clean,
-		Annotated:       annotated,
+		Clean:           c.Clean,
+		Annotated:       c.Annotated,
 		CleanCycles:     cleanCycles,
 		TracedCycles:    vm.Cycles,
 		Tracer:          tracer,
@@ -187,7 +306,7 @@ func Profile(src string, in Input, opts Options) (*ProfileResult, error) {
 		LocalAnnots:     vm.NLocalAnnot,
 		LoopAnnots:      vm.NLoopAnnot,
 		ReadStats:       vm.NReadStats,
-		AnnotationCount: nAnnot,
+		AnnotationCount: c.AnnotationCount,
 		Opts:            opts,
 	}, nil
 }

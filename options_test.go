@@ -1,0 +1,73 @@
+package jrpm_test
+
+import (
+	"testing"
+
+	"jrpm"
+	"jrpm/internal/hydra"
+	"jrpm/internal/workloads"
+)
+
+// TestNormalizePartialOptions pins the fix for the partial-options bug:
+// setting only Cfg used to leave Tracer/Select/Annot at their zero values
+// (no annotations inserted, zero selection thresholds). Each field must
+// be defaulted independently.
+func TestNormalizePartialOptions(t *testing.T) {
+	d := jrpm.DefaultOptions()
+
+	got := jrpm.Normalize(jrpm.Options{Cfg: hydra.DefaultConfig()})
+	if got.Annot != d.Annot {
+		t.Errorf("Annot not defaulted: %+v", got.Annot)
+	}
+	if got.Tracer != d.Tracer {
+		t.Errorf("Tracer not defaulted: %+v", got.Tracer)
+	}
+	if got.Select != d.Select {
+		t.Errorf("Select not defaulted: %+v", got.Select)
+	}
+
+	// Set fields survive; only zero fields are replaced.
+	custom := jrpm.Options{Cfg: hydra.DefaultConfig()}
+	custom.Cfg.CPUs = 8
+	custom.Select.MinSpeedup = 2.5
+	got = jrpm.Normalize(custom)
+	if got.Cfg.CPUs != 8 {
+		t.Errorf("Cfg overwritten: CPUs=%d", got.Cfg.CPUs)
+	}
+	if got.Select.MinSpeedup != 2.5 {
+		t.Errorf("Select overwritten: %+v", got.Select)
+	}
+	if got.Tracer != d.Tracer {
+		t.Errorf("Tracer not defaulted alongside set fields: %+v", got.Tracer)
+	}
+}
+
+// TestProfilePartialOptionsMatchesDefaults: profiling with only Cfg set
+// now behaves exactly like DefaultOptions — previously it silently ran
+// with zero-valued policies and produced no annotations at all.
+func TestProfilePartialOptionsMatchesDefaults(t *testing.T) {
+	w, err := workloads.ByName("Huffman")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := w.NewInput(0.3)
+
+	partial, err := jrpm.Profile(w.Source, in, jrpm.Options{Cfg: hydra.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := jrpm.Profile(w.Source, in, jrpm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.AnnotationCount == 0 {
+		t.Fatal("partial options produced no annotations: the old bug is back")
+	}
+	if partial.AnnotationCount != full.AnnotationCount ||
+		partial.TracedCycles != full.TracedCycles ||
+		partial.CleanCycles != full.CleanCycles {
+		t.Errorf("partial-options run diverged from defaults: partial{ann=%d clean=%d traced=%d} full{ann=%d clean=%d traced=%d}",
+			partial.AnnotationCount, partial.CleanCycles, partial.TracedCycles,
+			full.AnnotationCount, full.CleanCycles, full.TracedCycles)
+	}
+}

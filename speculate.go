@@ -1,6 +1,7 @@
 package jrpm
 
 import (
+	"context"
 	"sort"
 
 	"jrpm/internal/jit"
@@ -26,6 +27,13 @@ type SpeculateResult struct {
 // traces of the selected loops, then runs the trace-driven TLS timing
 // simulation of the 4-CPU Hydra.
 func Speculate(in Input, pr *ProfileResult) (*SpeculateResult, error) {
+	return SpeculateContext(context.Background(), in, pr)
+}
+
+// SpeculateContext is Speculate under a context: canceling ctx interrupts
+// the recording run. Safe for concurrent use across jobs sharing pr's
+// programs — the recorder, VM and simulation state are all per-call.
+func SpeculateContext(ctx context.Context, in Input, pr *ProfileResult) (*SpeculateResult, error) {
 	selected := pr.Analysis.SelectedLoopIDs()
 	plan, err := jit.Build(pr.Annotated, selected, pr.Opts.Cfg)
 	if err != nil {
@@ -38,7 +46,7 @@ func Speculate(in Input, pr *ProfileResult) (*SpeculateResult, error) {
 		return nil, err
 	}
 	vm.Listeners = append(vm.Listeners, rec)
-	if err := vm.Run("main"); err != nil {
+	if err := runVM(ctx, vm); err != nil {
 		return nil, err
 	}
 

@@ -7,6 +7,7 @@
 package jrpm_test
 
 import (
+	"bytes"
 	"context"
 	"strings"
 	"testing"
@@ -340,4 +341,104 @@ func BenchmarkAblations(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkTraceRecordOverhead measures what attaching the trace writer
+// costs on top of plain profiling: the `live` and `record` sub-benchmarks
+// run the identical pipeline, the latter with the event stream serialized
+// to io.Discard. The delta is the recording tax; bytes/op reports the
+// encoded trace size per run.
+func BenchmarkTraceRecordOverhead(b *testing.B) {
+	w, err := workloads.ByName("Huffman")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := jrpm.DefaultOptions()
+	c, err := jrpm.Compile(w.Source, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := w.NewInput(benchScale)
+
+	b.Run("live", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Profile(context.Background(), in, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("record", func(b *testing.B) {
+		var n countingWriter
+		for i := 0; i < b.N; i++ {
+			if _, err := c.ProfileRecord(context.Background(), in, opts, &n); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(n)/float64(b.N), "trace-bytes/op")
+	})
+}
+
+// countingWriter discards while counting, so the benchmark can report
+// encoded trace size without buffering it.
+type countingWriter int64
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	*c += countingWriter(len(p))
+	return len(p), nil
+}
+
+// BenchmarkReplayVsLiveProfile compares re-running the VM against
+// replaying a recorded trace into a fresh comparator-bank model — the
+// speedup that makes multi-configuration sweeps cheap.
+func BenchmarkReplayVsLiveProfile(b *testing.B) {
+	w, err := workloads.ByName("Huffman")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := jrpm.DefaultOptions()
+	c, err := jrpm.Compile(w.Source, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := w.NewInput(benchScale)
+	var buf bytes.Buffer
+	if _, err := c.ProfileRecord(context.Background(), in, opts, &buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	b.Run("live", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Profile(context.Background(), in, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("replay", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := c.ReplayProfile(data, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sweep-8-configs", func(b *testing.B) {
+		base := hydra.DefaultConfig()
+		var cfgs []hydra.Config
+		for _, banks := range []int{1, 2, 4, 8} {
+			for _, hist := range []int{32, 192} {
+				cfg := base
+				cfg.Tracer.Banks = banks
+				cfg.Tracer.HeapStoreLines = hist
+				cfgs = append(cfgs, cfg)
+			}
+		}
+		for i := 0; i < b.N; i++ {
+			for ci, o := range c.SweepTrace(context.Background(), data, cfgs, opts, 0) {
+				if o.Err != nil {
+					b.Fatalf("config %d: %v", ci, o.Err)
+				}
+			}
+		}
+	})
 }

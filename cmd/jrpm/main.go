@@ -9,24 +9,41 @@
 //	jrpm -src prog.jr            # standalone program
 //	jrpm -w LuFactor -scale 0.5  # smaller input
 //	jrpm -w Huffman -daemon localhost:8077   # submit to a jrpmd instead
+//
+// Trace verbs (see README "Recording and replaying traces"):
+//
+//	jrpm trace record -w Huffman -o huffman.jrt    # profile once, capture the event stream
+//	jrpm trace info huffman.jrt                    # inspect a recording
+//	jrpm trace analyze -w Huffman -trace huffman.jrt -banks 1,2,4,8
 package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"jrpm"
+	"jrpm/internal/hydra"
 	"jrpm/internal/service"
+	"jrpm/internal/trace"
 	"jrpm/internal/workloads"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		traceMain(os.Args[2:])
+		return
+	}
 	var (
 		wname   = flag.String("w", "", "built-in workload name")
 		srcPath = flag.String("src", "", "path to a .jr source file")
@@ -166,6 +183,216 @@ func decodeBody(resp *http.Response, v any) {
 	if err := json.Unmarshal(b, v); err != nil {
 		fatal(fmt.Errorf("bad daemon response (HTTP %d): %s", resp.StatusCode, b))
 	}
+}
+
+// traceMain dispatches the `jrpm trace <verb>` subcommands.
+func traceMain(args []string) {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: jrpm trace record|analyze|info ...")
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "record":
+		traceRecord(args[1:])
+	case "analyze":
+		traceAnalyze(args[1:])
+	case "info":
+		traceInfo(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "jrpm trace: unknown verb %q (want record, analyze or info)\n", args[0])
+		os.Exit(2)
+	}
+}
+
+// resolveProgram is the shared -w / -src / -scale resolution for trace
+// verbs.
+func resolveProgram(fs *flag.FlagSet, wname, srcPath string, scale float64) (string, jrpm.Input) {
+	switch {
+	case wname != "":
+		w, err := workloads.ByName(wname)
+		if err != nil {
+			fatal(err)
+		}
+		return w.Source, w.NewInput(scale)
+	case srcPath != "":
+		b, err := os.ReadFile(srcPath)
+		if err != nil {
+			fatal(err)
+		}
+		return string(b), jrpm.Input{}
+	default:
+		fs.Usage()
+		os.Exit(2)
+		panic("unreachable")
+	}
+}
+
+// traceRecord profiles once and captures the traced run's event stream.
+func traceRecord(args []string) {
+	fs := flag.NewFlagSet("jrpm trace record", flag.ExitOnError)
+	wname := fs.String("w", "", "built-in workload name")
+	srcPath := fs.String("src", "", "path to a .jr source file")
+	scale := fs.Float64("scale", 1, "input scale factor for -w")
+	out := fs.String("o", "", "output trace file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		fatal(errors.New("trace record: -o <file> is required"))
+	}
+	src, in := resolveProgram(fs, *wname, *srcPath, *scale)
+
+	c, err := jrpm.Compile(src, jrpm.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	pr, err := c.ProfileRecord(context.Background(), in, jrpm.DefaultOptions(), f)
+	if err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		fatal(err)
+	}
+	hash := c.TraceHash()
+	fmt.Printf("recorded %s: %d bytes, program %s\n", *out, st.Size(), hex.EncodeToString(hash[:8]))
+	fmt.Printf("sequential cycles: %d, traced cycles: %d (slowdown %.2fx)\n",
+		pr.CleanCycles, pr.TracedCycles, pr.Slowdown())
+	fmt.Printf("selected STLs: %v (predicted %.2fx)\n",
+		pr.Analysis.SelectedLoopIDs(), pr.Analysis.PredictedSpeedup())
+}
+
+// traceInfo prints a recording's header, per-kind record counts, and
+// summary trailer without needing the source program.
+func traceInfo(args []string) {
+	fs := flag.NewFlagSet("jrpm trace info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(errors.New("trace info: exactly one trace file expected"))
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	hdr := r.Header()
+	counts := map[trace.Kind]uint64{}
+	var lastTime int64
+	for {
+		ev, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		counts[ev.Kind]++
+		lastTime = ev.Time
+	}
+	sum, _ := r.Summary()
+	fmt.Printf("format version:  %d\n", hdr.Version)
+	fmt.Printf("program hash:    %s\n", hex.EncodeToString(hdr.ProgramHash[:]))
+	fmt.Printf("records:         %d (last event at cycle %d)\n", sum.Records, lastTime)
+	for k := trace.KindHeapLoad; k < trace.KindSummary; k++ {
+		if counts[k] > 0 {
+			fmt.Printf("  %-12s %d\n", k.String(), counts[k])
+		}
+	}
+	fmt.Printf("clean cycles:    %d\n", sum.CleanCycles)
+	fmt.Printf("traced cycles:   %d\n", sum.TracedCycles)
+	fmt.Printf("annotations:     %d\n", sum.Annotations)
+}
+
+// traceAnalyze replays one recording under the cross product of the
+// -banks and -history lists, concurrently, with zero VM executions.
+func traceAnalyze(args []string) {
+	fs := flag.NewFlagSet("jrpm trace analyze", flag.ExitOnError)
+	wname := fs.String("w", "", "built-in workload name (must match the recording)")
+	srcPath := fs.String("src", "", "path to the recorded program's .jr source")
+	scale := fs.Float64("scale", 1, "input scale factor for -w (unused during replay)")
+	tracePath := fs.String("trace", "", "recorded trace file (required)")
+	banksList := fs.String("banks", "", "comma-separated comparator bank counts to sweep")
+	histList := fs.String("history", "", "comma-separated heap-store history depths to sweep")
+	fs.Parse(args)
+	if *tracePath == "" {
+		fatal(errors.New("trace analyze: -trace <file> is required"))
+	}
+	src, _ := resolveProgram(fs, *wname, *srcPath, *scale)
+
+	c, err := jrpm.Compile(src, jrpm.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	data, err := os.ReadFile(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+
+	base := hydra.DefaultConfig()
+	banks, err := intList(*banksList, base.Tracer.Banks)
+	if err != nil {
+		fatal(fmt.Errorf("trace analyze: -banks: %w", err))
+	}
+	hists, err := intList(*histList, base.Tracer.HeapStoreLines)
+	if err != nil {
+		fatal(fmt.Errorf("trace analyze: -history: %w", err))
+	}
+	var cfgs []hydra.Config
+	for _, b := range banks {
+		for _, h := range hists {
+			cfg := base
+			cfg.Tracer.Banks = b
+			cfg.Tracer.HeapStoreLines = h
+			cfgs = append(cfgs, cfg)
+		}
+	}
+
+	outs := c.SweepTrace(context.Background(), data, cfgs, jrpm.DefaultOptions(), 0)
+	fmt.Printf("%-6s %-8s %-10s %s\n", "banks", "history", "predicted", "selected STLs")
+	for i, o := range outs {
+		if o.Err != nil {
+			fatal(fmt.Errorf("config %d (banks=%d history=%d): %w",
+				i, cfgs[i].Tracer.Banks, cfgs[i].Tracer.HeapStoreLines, o.Err))
+		}
+		names := make([]string, 0, len(o.Analysis.Selected))
+		for _, id := range o.Analysis.SelectedLoopIDs() {
+			names = append(names, o.Analysis.LoopName(id))
+		}
+		fmt.Printf("%-6d %-8d %-10.2f %s\n",
+			cfgs[i].Tracer.Banks, cfgs[i].Tracer.HeapStoreLines,
+			o.Analysis.PredictedSpeedup(), strings.Join(names, " "))
+	}
+}
+
+// intList parses a comma-separated list of positive ints; an empty list
+// yields the single fallback value.
+func intList(s string, fallback int) ([]int, error) {
+	if s == "" {
+		return []int{fallback}, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		if n <= 0 {
+			return nil, fmt.Errorf("value %d out of range", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

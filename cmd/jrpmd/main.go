@@ -34,17 +34,19 @@ func main() {
 		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		queue   = flag.Int("queue", 64, "max queued jobs before 429")
 		cache   = flag.Int("cache", 128, "artifact cache capacity (compiled programs)")
+		trcMB   = flag.Int64("trace-cache-mb", 256, "recorded-trace cache capacity, in MiB")
 		timeout = flag.Duration("timeout", 60*time.Second, "default per-job timeout")
 		maxTO   = flag.Duration("max-timeout", 10*time.Minute, "hard cap on per-job timeout")
 	)
 	flag.Parse()
 
 	pool := service.NewPool(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheSize:      *cache,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTO,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheSize:       *cache,
+		TraceCacheBytes: *trcMB << 20,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTO,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

@@ -166,8 +166,12 @@ func applyFunc(prog *tir.Program, fi int, f *tir.Function, opts Options) (int, e
 	// trampoline block carrying eloop/eoi/readstats/sloop instructions.
 	type edge struct{ from, to int }
 	plans := map[edge][]tir.Instr{}
+	var planOrder []edge // splice order must not depend on map iteration
 	addPlan := func(u, v int, ins ...tir.Instr) {
 		e := edge{u, v}
+		if _, ok := plans[e]; !ok {
+			planOrder = append(planOrder, e)
+		}
 		plans[e] = append(plans[e], ins...)
 		inserted += len(ins)
 	}
@@ -212,7 +216,8 @@ func applyFunc(prog *tir.Program, fi int, f *tir.Function, opts Options) (int, e
 	// Apply the planned splices. Each distinct (u,v) pair gets one
 	// trampoline; parallel identical edges (u->v twice, e.g. a BrIf with
 	// equal targets) share it, which is semantically identical.
-	for e, chain := range plans {
+	for _, e := range planOrder {
+		chain := plans[e]
 		nb := len(f.Blocks)
 		chain = append(chain, tir.Instr{Op: tir.OpBr, Line: chain[len(chain)-1].Line})
 		f.Blocks = append(f.Blocks, tir.Block{Instrs: chain, Targets: []int{e.to}})

@@ -1,14 +1,18 @@
 package experiments
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"jrpm"
 	"jrpm/internal/core"
+	"jrpm/internal/hydra"
 	"jrpm/internal/profile"
 	"jrpm/internal/tir"
+	"jrpm/internal/trace"
 	"jrpm/internal/vmsim"
 	"jrpm/internal/workloads"
 )
@@ -43,30 +47,40 @@ type BankRow struct {
 	MeanPredicted float64
 }
 
-// AblateBanks sweeps the comparator bank count.
+// AblateBanks sweeps the comparator bank count. Record once, replay many:
+// each workload is executed exactly once (one clean + one traced run,
+// captured by internal/trace); every bank configuration is then a cheap
+// parallel replay of the recording — the tracer is a pure function of the
+// event stream, so the results are bit-identical to re-running the VM
+// per configuration, at a fraction of the cost.
 func AblateBanks(scale float64, bankCounts []int) ([]BankRow, string, error) {
-	var rows []BankRow
-	for _, banks := range bankCounts {
-		s := NewSuite(scale)
-		s.Opts.Cfg.Tracer.Banks = banks
-		results, err := s.RunAll()
-		if err != nil {
-			return nil, "", err
+	rows := make([]BankRow, len(bankCounts))
+	opts := jrpm.DefaultOptions()
+	cfgs := make([]hydra.Config, len(bankCounts))
+	for i, banks := range bankCounts {
+		rows[i].Banks = banks
+		cfgs[i] = opts.Cfg
+		cfgs[i].Tracer.Banks = banks
+	}
+	n := 0
+	err := sweepSuite(scale, opts, cfgs, func(ci int, o trace.SweepOutcome) {
+		for _, st := range o.Tracer.Results() {
+			rows[ci].TracedEntries += st.Entries
+			rows[ci].SkippedEntries += st.SkippedEntries
 		}
-		row := BankRow{Banks: banks}
-		var predSum float64
-		for _, r := range results {
-			for _, st := range r.Profile.Tracer.Results() {
-				row.TracedEntries += st.Entries
-				row.SkippedEntries += st.SkippedEntries
-			}
-			predSum += r.Profile.Analysis.PredictedSpeedup()
+		rows[ci].MeanPredicted += o.Analysis.PredictedSpeedup()
+		if ci == 0 {
+			n++
 		}
-		if t := row.TracedEntries + row.SkippedEntries; t > 0 {
-			row.SkippedFrac = float64(row.SkippedEntries) / float64(t)
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	for i := range rows {
+		if t := rows[i].TracedEntries + rows[i].SkippedEntries; t > 0 {
+			rows[i].SkippedFrac = float64(rows[i].SkippedEntries) / float64(t)
 		}
-		row.MeanPredicted = predSum / float64(len(results))
-		rows = append(rows, row)
+		rows[i].MeanPredicted /= float64(n)
 	}
 	var sb strings.Builder
 	sb.WriteString("Ablation: comparator bank count (paper: 8 banks suffice)\n")
@@ -88,32 +102,35 @@ type HistoryRow struct {
 	MeanSelectedEst float64
 }
 
-// AblateHistory sweeps the heap store-timestamp FIFO depth.
+// AblateHistory sweeps the heap store-timestamp FIFO depth, with the same
+// record-once / replay-many structure as AblateBanks.
 func AblateHistory(scale float64, depths []int) ([]HistoryRow, string, error) {
-	var rows []HistoryRow
-	for _, d := range depths {
-		s := NewSuite(scale)
-		s.Opts.Cfg.Tracer.HeapStoreLines = d
-		results, err := s.RunAll()
-		if err != nil {
-			return nil, "", err
+	rows := make([]HistoryRow, len(depths))
+	opts := jrpm.DefaultOptions()
+	cfgs := make([]hydra.Config, len(depths))
+	estSum := make([]float64, len(depths))
+	estN := make([]int, len(depths))
+	for i, d := range depths {
+		rows[i].Lines = d
+		cfgs[i] = opts.Cfg
+		cfgs[i].Tracer.HeapStoreLines = d
+	}
+	err := sweepSuite(scale, opts, cfgs, func(ci int, o trace.SweepOutcome) {
+		for _, st := range o.Tracer.Results() {
+			rows[ci].ArcCount += st.ArcCount[core.BinPrev] + st.ArcCount[core.BinEarlier]
 		}
-		row := HistoryRow{Lines: d}
-		var estSum float64
-		var estN int
-		for _, r := range results {
-			for _, st := range r.Profile.Tracer.Results() {
-				row.ArcCount += st.ArcCount[core.BinPrev] + st.ArcCount[core.BinEarlier]
-			}
-			for _, n := range r.Profile.Analysis.Selected {
-				estSum += n.Est.Speedup
-				estN++
-			}
+		for _, n := range o.Analysis.Selected {
+			estSum[ci] += n.Est.Speedup
+			estN[ci]++
 		}
-		if estN > 0 {
-			row.MeanSelectedEst = estSum / float64(estN)
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	for i := range rows {
+		if estN[i] > 0 {
+			rows[i].MeanSelectedEst = estSum[i] / float64(estN[i])
 		}
-		rows = append(rows, row)
 	}
 	var sb strings.Builder
 	sb.WriteString("Ablation: store-timestamp FIFO depth (paper: 192 lines = 6kB history)\n")
@@ -122,6 +139,44 @@ func AblateHistory(scale float64, depths []int) ([]HistoryRow, string, error) {
 		fmt.Fprintf(&sb, "%8d %14d %17.2fx\n", r.Lines, r.ArcCount, r.MeanSelectedEst)
 	}
 	return rows, sb.String(), nil
+}
+
+// sweepSuite records every workload once and replays the recording under
+// each machine configuration (in parallel), calling visit(configIndex,
+// outcome) for every (workload, config) pair. This is the 1-run + N-replay
+// core shared by the ablation sweeps; TestSweepNoExtraExecutions pins the
+// execution count.
+func sweepSuite(scale float64, opts jrpm.Options, cfgs []hydra.Config, visit func(ci int, o trace.SweepOutcome)) error {
+	ctx := context.Background()
+	for _, w := range workloads.All() {
+		in := w.NewInput(scale)
+		c, err := jrpm.Compile(w.Source, opts)
+		if err != nil {
+			return fmt.Errorf("%s: compile: %w", w.Meta.Name, err)
+		}
+		var buf bytes.Buffer
+		if _, err := c.ProfileRecord(ctx, in, opts, &buf); err != nil {
+			return fmt.Errorf("%s: record: %w", w.Meta.Name, err)
+		}
+		for ci, o := range c.SweepTrace(ctx, buf.Bytes(), cfgs, opts, 0) {
+			if o.Err != nil {
+				return fmt.Errorf("%s: replay config %d: %w", w.Meta.Name, ci, o.Err)
+			}
+			visit(ci, o)
+		}
+	}
+	return nil
+}
+
+// replayInto replays a recorded trace into an arbitrary VM listener.
+func replayInto(c *jrpm.Compiled, data []byte, l vmsim.Listener) error {
+	r, err := trace.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	r.NumLoops = len(c.Annotated.Loops)
+	_, err = r.Replay(l)
+	return err
 }
 
 // ---------------------------------------------------------------------------
@@ -370,13 +425,19 @@ func AblateBins(scale float64) ([]BinsRow, string, error) {
 		in := w.NewInput(scale)
 		opts := jrpm.DefaultOptions()
 
-		pr, err := jrpm.Profile(w.Source, in, opts)
+		c, err := jrpm.Compile(w.Source, opts)
 		if err != nil {
 			return nil, "", err
 		}
-		// Second instrumented run with the oracle listener attached.
+		var buf bytes.Buffer
+		pr, err := c.ProfileRecord(context.Background(), in, opts, &buf)
+		if err != nil {
+			return nil, "", err
+		}
+		// The oracle consumes the same event stream the hardware model
+		// saw; replay it from the recording instead of re-running the VM.
 		oracle := NewOracleTracer(pr.Annotated)
-		if err := runWithListener(pr, in, opts, oracle); err != nil {
+		if err := replayInto(c, buf.Bytes(), oracle); err != nil {
 			return nil, "", err
 		}
 		spec, err := jrpm.Speculate(in, pr)

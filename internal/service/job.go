@@ -7,11 +7,18 @@ import (
 	"time"
 
 	"jrpm"
+	"jrpm/internal/hydra"
 	"jrpm/internal/workloads"
 )
 
-// Request is the body of POST /v1/jobs: a JR program (inline source or a
-// built-in workload name), its input arrays, and pipeline knobs.
+// Request is the body of POST /v1/jobs. It describes one of two job
+// kinds:
+//
+//   - a pipeline job: a JR program (inline source or a built-in workload
+//     name), its input arrays, and pipeline knobs — optionally recording
+//     the traced run's event stream into the daemon's trace cache;
+//   - a trace-analysis job (AnalyzeTrace set): replay a cached trace
+//     under one or more machine configurations, with zero VM executions.
 type Request struct {
 	// Exactly one of Source / Workload must be set. Workload names a
 	// built-in benchmark whose deterministic inputs are generated
@@ -33,6 +40,64 @@ type Request struct {
 	// TimeoutMs bounds the job's run time; 0 uses the pool default. The
 	// pool's MaxTimeout caps it either way.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+
+	// Record also captures the traced run's event stream (internal/trace)
+	// and stores it in the daemon's content-addressed trace cache; the
+	// result carries the trace key for later analyze_trace jobs.
+	Record bool `json:"record,omitempty"`
+
+	// AnalyzeTrace selects the trace-analysis job kind: the key of a
+	// cached trace to replay. Mutually exclusive with Source/Workload,
+	// Record and Speculate.
+	AnalyzeTrace string `json:"analyze_trace,omitempty"`
+	// Configs lists the machine variations an analyze_trace job evaluates
+	// (concurrently, from the single recording); empty means one analysis
+	// under the default Hydra configuration.
+	Configs []TraceConfig `json:"configs,omitempty"`
+}
+
+// TraceConfig is one machine variation for an analyze_trace job. Each
+// field overrides the corresponding default Hydra parameter when > 0.
+type TraceConfig struct {
+	Banks          int `json:"banks,omitempty"`            // comparator banks (§5.2)
+	HeapStoreLines int `json:"heap_store_lines,omitempty"` // store-timestamp FIFO depth (§5.3)
+	LoadLines      int `json:"load_lines,omitempty"`       // speculative load buffer lines (Table 1)
+	StoreLines     int `json:"store_lines,omitempty"`      // speculative store buffer lines (Table 1)
+}
+
+func (tc TraceConfig) apply(cfg hydra.Config) hydra.Config {
+	if tc.Banks > 0 {
+		cfg.Tracer.Banks = tc.Banks
+	}
+	if tc.HeapStoreLines > 0 {
+		cfg.Tracer.HeapStoreLines = tc.HeapStoreLines
+	}
+	if tc.LoadLines > 0 {
+		cfg.Buffers.LoadLines = tc.LoadLines
+	}
+	if tc.StoreLines > 0 {
+		cfg.Buffers.StoreLines = tc.StoreLines
+	}
+	return cfg
+}
+
+// validate fail-fast checks a request at submit time, for either job
+// kind.
+func (r *Request) validate() error {
+	if r.AnalyzeTrace != "" {
+		if r.Source != "" || r.Workload != "" {
+			return fmt.Errorf("analyze_trace jobs take no source or workload")
+		}
+		if r.Record || r.Speculate {
+			return fmt.Errorf("analyze_trace jobs cannot record or speculate")
+		}
+		return nil
+	}
+	if len(r.Configs) > 0 {
+		return fmt.Errorf("configs requires analyze_trace")
+	}
+	_, _, err := r.resolve()
+	return err
 }
 
 // resolve turns a Request into runnable source + inputs.
@@ -108,6 +173,23 @@ type Result struct {
 	// when the job speculated.
 	ActualSpeedup float64 `json:"actual_speedup,omitempty"`
 	CacheHit      bool    `json:"cache_hit"`
+
+	// TraceKey and TraceBytes are set when the job recorded a trace (the
+	// content address it was cached under) or analyzed one.
+	TraceKey   string `json:"trace_key,omitempty"`
+	TraceBytes int64  `json:"trace_bytes,omitempty"`
+	// Sweep holds the per-configuration outcomes of an analyze_trace job.
+	Sweep []SweepRow `json:"sweep,omitempty"`
+}
+
+// SweepRow is one configuration's outcome within an analyze_trace job.
+type SweepRow struct {
+	Banks            int     `json:"banks"`
+	HeapStoreLines   int     `json:"heap_store_lines"`
+	LoadLines        int     `json:"load_lines"`
+	StoreLines       int     `json:"store_lines"`
+	SelectedLoops    []int   `json:"selected_loops"`
+	PredictedSpeedup float64 `json:"predicted_speedup"`
 }
 
 // Job is one queued unit of pipeline work. All mutable state is behind

@@ -105,6 +105,10 @@ type MetricsSnapshot struct {
 	QueueLength     int               `json:"queue_length"`
 	QueueWait       HistogramSnapshot `json:"queue_wait"`
 	RunTime         HistogramSnapshot `json:"run_time"`
+
+	// TraceCache reports the recorded-trace cache: artifact count, resident
+	// bytes, and replay hit ratio.
+	TraceCache TraceCacheSnapshot `json:"trace_cache"`
 }
 
 func (m *Metrics) snapshot() MetricsSnapshot {

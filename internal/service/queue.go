@@ -5,6 +5,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -14,6 +15,8 @@ import (
 	"time"
 
 	"jrpm"
+	"jrpm/internal/hydra"
+	"jrpm/internal/trace"
 )
 
 // ErrQueueFull is returned by Submit when the bounded queue is at
@@ -33,6 +36,9 @@ type Config struct {
 	// CacheSize bounds the artifact cache, in compiled programs; <= 0
 	// means 128.
 	CacheSize int
+	// TraceCacheBytes bounds the recorded-trace cache, in bytes of trace
+	// data; <= 0 means 256 MiB.
+	TraceCacheBytes int64
 	// DefaultTimeout applies to jobs that do not set timeout_ms; <= 0
 	// means 60s. MaxTimeout caps every job; <= 0 means 10m.
 	DefaultTimeout time.Duration
@@ -48,6 +54,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize <= 0 {
 		c.CacheSize = 128
+	}
+	if c.TraceCacheBytes <= 0 {
+		c.TraceCacheBytes = 256 << 20
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 60 * time.Second
@@ -66,6 +75,7 @@ type Pool struct {
 	cfg     Config
 	metrics *Metrics
 	cache   *Cache
+	traces  *TraceCache
 
 	queue   chan *Job
 	jobs    sync.Map // id -> *Job
@@ -87,6 +97,7 @@ func NewPool(cfg Config) *Pool {
 		cfg:     cfg,
 		metrics: &Metrics{},
 		cache:   NewCache(cfg.CacheSize),
+		traces:  NewTraceCache(cfg.TraceCacheBytes),
 		queue:   make(chan *Job, cfg.QueueDepth),
 	}
 	p.ctx, p.cancel = context.WithCancel(context.Background())
@@ -104,6 +115,9 @@ func (p *Pool) Metrics() *Metrics { return p.metrics }
 // size).
 func (p *Pool) Cache() *Cache { return p.cache }
 
+// Traces exposes the recorded-trace cache.
+func (p *Pool) Traces() *TraceCache { return p.traces }
+
 // Config returns the effective (defaulted) configuration.
 func (p *Pool) Config() Config { return p.cfg }
 
@@ -111,13 +125,14 @@ func (p *Pool) Config() Config { return p.cfg }
 func (p *Pool) QueueLength() int { return len(p.queue) }
 
 // Submit validates and enqueues a job. It fails fast: an unresolvable
-// request (unknown workload, both/neither of source+workload) is rejected
-// here with an error rather than becoming a failed job.
+// request (unknown workload, both/neither of source+workload, malformed
+// analyze_trace combinations) is rejected here with an error rather than
+// becoming a failed job.
 func (p *Pool) Submit(req Request) (*Job, error) {
 	if p.stopped.Load() {
 		return nil, ErrStopped
 	}
-	if _, _, err := req.resolve(); err != nil {
+	if err := req.validate(); err != nil {
 		return nil, err
 	}
 	job := &Job{
@@ -243,11 +258,16 @@ func (p *Pool) run(j *Job) {
 	}
 }
 
-// execute runs the pipeline for one job: resolve, hit or fill the
-// artifact cache, profile, optionally speculate.
+// execute runs one job. Pipeline jobs resolve, hit or fill the artifact
+// cache, profile (optionally recording a trace), and optionally
+// speculate; analyze_trace jobs replay a cached recording under each
+// requested machine configuration without touching the VM.
 func (p *Pool) execute(ctx context.Context, j *Job) (*Result, error) {
 	if p.testHook != nil {
 		p.testHook(j)
+	}
+	if j.Req.AnalyzeTrace != "" {
+		return p.analyzeTrace(ctx, j.Req)
 	}
 	src, in, err := j.Req.resolve()
 	if err != nil {
@@ -268,13 +288,35 @@ func (p *Pool) execute(ctx context.Context, j *Job) (*Result, error) {
 		p.cache.Put(key, compiled)
 	}
 
-	pr, err := compiled.Profile(ctx, in, opts)
-	if err != nil {
-		return nil, err
+	var pr *jrpm.ProfileResult
+	var traceKey string
+	var traceBytes int64
+	if j.Req.Record {
+		var buf bytes.Buffer
+		pr, err = compiled.ProfileRecord(ctx, in, opts, &buf)
+		if err != nil {
+			return nil, err
+		}
+		traceBytes = int64(buf.Len())
+		traceKey = p.traces.Put(&TraceArtifact{
+			Data:     buf.Bytes(),
+			Compiled: compiled,
+			Summary: trace.Summary{
+				CleanCycles:  pr.CleanCycles,
+				TracedCycles: pr.TracedCycles,
+			},
+		})
+	} else {
+		pr, err = compiled.Profile(ctx, in, opts)
+		if err != nil {
+			return nil, err
+		}
 	}
 	p.metrics.CyclesSimulated.Add(pr.CleanCycles + pr.TracedCycles)
 
 	res := buildResult(pr, hit)
+	res.TraceKey = traceKey
+	res.TraceBytes = traceBytes
 	if j.Req.Speculate {
 		sr, err := jrpm.SpeculateContext(ctx, in, pr)
 		if err != nil {
@@ -282,6 +324,51 @@ func (p *Pool) execute(ctx context.Context, j *Job) (*Result, error) {
 		}
 		p.metrics.CyclesSimulated.Add(pr.TracedCycles) // recording run replays the annotated program
 		mergeSpeculation(res, sr)
+	}
+	return res, nil
+}
+
+// analyzeTrace executes the trace-analysis job kind: look up the cached
+// recording and fan its replay across the requested machine
+// configurations. No VM execution happens here — the whole job is
+// replays of the stored event stream.
+func (p *Pool) analyzeTrace(ctx context.Context, req Request) (*Result, error) {
+	art, ok := p.traces.Get(req.AnalyzeTrace)
+	if !ok {
+		return nil, fmt.Errorf("no cached trace %q (record one with \"record\": true)", req.AnalyzeTrace)
+	}
+	base := hydra.DefaultConfig()
+	tcs := req.Configs
+	if len(tcs) == 0 {
+		tcs = []TraceConfig{{}}
+	}
+	cfgs := make([]hydra.Config, len(tcs))
+	for i, tc := range tcs {
+		cfgs[i] = tc.apply(base)
+	}
+	res := &Result{
+		TraceKey:     art.Key,
+		TraceBytes:   int64(len(art.Data)),
+		CleanCycles:  art.Summary.CleanCycles,
+		TracedCycles: art.Summary.TracedCycles,
+		CacheHit:     true,
+		Sweep:        make([]SweepRow, 0, len(cfgs)),
+	}
+	if res.CleanCycles > 0 {
+		res.Slowdown = float64(res.TracedCycles) / float64(res.CleanCycles)
+	}
+	for i, o := range art.Compiled.SweepTrace(ctx, art.Data, cfgs, jrpm.DefaultOptions(), 0) {
+		if o.Err != nil {
+			return nil, fmt.Errorf("replay config %d: %w", i, o.Err)
+		}
+		res.Sweep = append(res.Sweep, SweepRow{
+			Banks:            cfgs[i].Tracer.Banks,
+			HeapStoreLines:   cfgs[i].Tracer.HeapStoreLines,
+			LoadLines:        cfgs[i].Buffers.LoadLines,
+			StoreLines:       cfgs[i].Buffers.StoreLines,
+			SelectedLoops:    o.Analysis.SelectedLoopIDs(),
+			PredictedSpeedup: o.Analysis.PredictedSpeedup(),
+		})
 	}
 	return res, nil
 }

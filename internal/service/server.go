@@ -109,6 +109,7 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	m.Workers = s.pool.Config().Workers
 	m.QueueDepth = s.pool.Config().QueueDepth
 	m.QueueLength = s.pool.QueueLength()
+	m.TraceCache = s.pool.Traces().Snapshot()
 	writeJSON(w, http.StatusOK, m)
 }
 

@@ -473,3 +473,150 @@ func TestHistogram(t *testing.T) {
 		t.Errorf("max_ms=%.1f", s.MaxMS)
 	}
 }
+
+// TestTraceJobs drives the record/analyze job kinds over HTTP: record a
+// workload's trace, fan an analyze_trace job over several machine
+// configurations, and check the default-configuration row agrees with
+// the recording job's own selection. Also covers the trace-cache section
+// of /v1/metrics.
+func TestTraceJobs(t *testing.T) {
+	pool := NewPool(Config{Workers: 2})
+	defer pool.Stop()
+	ts := httptest.NewServer(NewServer(pool).Handler())
+	defer ts.Close()
+
+	rec, err := runJob(ts.URL, Request{Workload: "Huffman", Scale: 0.25, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != StateDone {
+		t.Fatalf("record job %s: %s", rec.State, rec.Error)
+	}
+	if rec.Result.TraceKey == "" || rec.Result.TraceBytes <= 0 {
+		t.Fatalf("record result lacks trace artifact: key=%q bytes=%d",
+			rec.Result.TraceKey, rec.Result.TraceBytes)
+	}
+
+	configs := []TraceConfig{
+		{}, // default hydra config — must match the recording job's own analysis
+		{Banks: 1},
+		{Banks: 2},
+		{HeapStoreLines: 1},
+		{Banks: 8, HeapStoreLines: 64},
+	}
+	ana, err := runJob(ts.URL, Request{AnalyzeTrace: rec.Result.TraceKey, Configs: configs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ana.State != StateDone {
+		t.Fatalf("analyze job %s: %s", ana.State, ana.Error)
+	}
+	r := ana.Result
+	if r.TraceKey != rec.Result.TraceKey || r.TraceBytes != rec.Result.TraceBytes {
+		t.Errorf("analyze echoes wrong artifact: key=%q bytes=%d", r.TraceKey, r.TraceBytes)
+	}
+	if r.CleanCycles != rec.Result.CleanCycles || r.TracedCycles != rec.Result.TracedCycles {
+		t.Errorf("cycle totals drifted: clean %d vs %d, traced %d vs %d",
+			r.CleanCycles, rec.Result.CleanCycles, r.TracedCycles, rec.Result.TracedCycles)
+	}
+	if len(r.Sweep) != len(configs) {
+		t.Fatalf("sweep rows=%d, want %d", len(r.Sweep), len(configs))
+	}
+	def := r.Sweep[0]
+	if fmt.Sprint(def.SelectedLoops) != fmt.Sprint(rec.Result.SelectedLoops) {
+		t.Errorf("default-config replay selected %v, live run selected %v",
+			def.SelectedLoops, rec.Result.SelectedLoops)
+	}
+	if def.PredictedSpeedup != rec.Result.PredictedSpeedup {
+		t.Errorf("default-config replay predicted %v, live run %v",
+			def.PredictedSpeedup, rec.Result.PredictedSpeedup)
+	}
+	for i, row := range r.Sweep {
+		if row.Banks <= 0 || row.HeapStoreLines <= 0 {
+			t.Errorf("row %d: unresolved config %+v", i, row)
+		}
+		if row.PredictedSpeedup < 1 {
+			t.Errorf("row %d: predicted speedup %v < 1", i, row.PredictedSpeedup)
+		}
+	}
+
+	m := getMetrics(t, ts.URL)
+	if m.TraceCache.Count != 1 {
+		t.Errorf("trace_cache.count=%d, want 1", m.TraceCache.Count)
+	}
+	if m.TraceCache.Bytes != rec.Result.TraceBytes {
+		t.Errorf("trace_cache.bytes=%d, want %d", m.TraceCache.Bytes, rec.Result.TraceBytes)
+	}
+	if m.TraceCache.Hits < 1 || m.TraceCache.HitRatio <= 0 {
+		t.Errorf("trace_cache hit accounting: hits=%d ratio=%v",
+			m.TraceCache.Hits, m.TraceCache.HitRatio)
+	}
+
+	// Unknown key: the job runs but fails (the submit-time validator can't
+	// know cache contents).
+	miss, err := runJob(ts.URL, Request{AnalyzeTrace: "deadbeef"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss.State != StateFailed || !strings.Contains(miss.Error, "no cached trace") {
+		t.Errorf("unknown trace key: state=%s err=%q", miss.State, miss.Error)
+	}
+}
+
+// TestTraceRequestValidation: malformed analyze_trace combinations are
+// rejected at submit time.
+func TestTraceRequestValidation(t *testing.T) {
+	pool := NewPool(Config{Workers: 1})
+	defer pool.Stop()
+	bad := []Request{
+		{AnalyzeTrace: "k", Workload: "Huffman"},
+		{AnalyzeTrace: "k", Source: "int main() { return 0; }"},
+		{AnalyzeTrace: "k", Record: true},
+		{AnalyzeTrace: "k", Speculate: true},
+		{Workload: "Huffman", Configs: []TraceConfig{{Banks: 4}}},
+	}
+	for i, req := range bad {
+		if _, err := pool.Submit(req); err == nil {
+			t.Errorf("request %d accepted, want validation error", i)
+		}
+	}
+	if _, err := pool.Submit(Request{AnalyzeTrace: "k"}); err != nil {
+		t.Errorf("bare analyze_trace rejected at submit: %v", err)
+	}
+}
+
+// TestTraceCacheEviction: the byte-bounded LRU evicts oldest-first and
+// keeps its byte accounting exact.
+func TestTraceCacheEviction(t *testing.T) {
+	c := NewTraceCache(100)
+	mk := func(fill byte, n int) *TraceArtifact {
+		return &TraceArtifact{Data: bytes.Repeat([]byte{fill}, n)}
+	}
+	k1 := c.Put(mk(1, 40))
+	k2 := c.Put(mk(2, 40))
+	if _, ok := c.Get(k1); !ok { // refresh k1; k2 becomes LRU
+		t.Fatal("k1 missing")
+	}
+	k3 := c.Put(mk(3, 40))
+	if _, ok := c.Get(k2); ok {
+		t.Error("k2 should have been evicted")
+	}
+	if _, ok := c.Get(k1); !ok {
+		t.Error("k1 lost")
+	}
+	if _, ok := c.Get(k3); !ok {
+		t.Error("k3 lost")
+	}
+	s := c.Snapshot()
+	if s.Count != 2 || s.Bytes != 80 {
+		t.Errorf("count=%d bytes=%d, want 2/80", s.Count, s.Bytes)
+	}
+	// Oversized artifacts are content-addressed but not stored.
+	big := c.Put(mk(4, 200))
+	if _, ok := c.Get(big); ok {
+		t.Error("oversized artifact should not be cached")
+	}
+	if c.Snapshot().Bytes != 80 {
+		t.Errorf("bytes=%d after oversized put, want 80", c.Snapshot().Bytes)
+	}
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"jrpm/internal/vmsim"
+)
+
+// FuzzReader feeds arbitrary bytes through the full decode path. The
+// contract under fuzzing is the reader's safety property: corrupt input
+// must surface as an error (or a clean EOF for a coincidentally valid
+// stream) — never a panic, and never unbounded allocation, which the
+// format's caps and the reader's zero-per-record-allocation design
+// guarantee structurally.
+func FuzzReader(f *testing.F) {
+	// Seed with a well-formed trace and targeted corruptions of it so the
+	// fuzzer starts inside the interesting part of the input space.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, [32]byte{0xaa})
+	if err != nil {
+		f.Fatal(err)
+	}
+	w.LoopStart(1, 0, 2, 64)
+	w.HeapLoad(2, 0x1000, 3)
+	w.HeapStore(3, 0x1004, 4)
+	w.LocalLoad(4, vmsim.SlotID{Frame: 64, Slot: 1}, 5)
+	w.LocalStore(5, vmsim.SlotID{Frame: 64, Slot: 0}, 6)
+	w.LoopIter(6, 0)
+	w.LoopEnd(7, 0)
+	w.ReadStats(7, 0)
+	if err := w.Finish(Summary{CleanCycles: 5, TracedCycles: 7}); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])                        // truncated body
+	f.Add(valid[:10])                                  // truncated header
+	f.Add(append([]byte{}, bytes.Repeat(valid, 2)...)) // trailing data
+	bad := append([]byte{}, valid...)
+	bad[40] ^= 0xff // corrupt a record tag
+	f.Add(bad)
+	f.Add([]byte("JRTR"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		r.NumLoops = 4
+		n := 0
+		for {
+			_, err := r.Next()
+			if errors.Is(err, io.EOF) {
+				if _, ok := r.Summary(); !ok {
+					t.Fatal("EOF without summary")
+				}
+				return
+			}
+			if err != nil {
+				return
+			}
+			n++
+			if n > len(data) {
+				// Every record consumes at least its kind byte, so a valid
+				// stream can never yield more records than input bytes.
+				t.Fatalf("decoded %d records from %d bytes", n, len(data))
+			}
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"io"
+	"math"
+
+	"jrpm/internal/tir"
+)
+
+// ProgramHash computes a structural SHA-256 of a compiled program:
+// every instruction field that affects execution or event emission, the
+// block graph, the globals, and the loop table. Two programs hash equal
+// iff they publish identical event streams on identical inputs, so the
+// hash in a trace header pins the exact artifact a recording belongs to.
+func ProgramHash(p *tir.Program) [32]byte {
+	h := sha256.New()
+	io.WriteString(h, "jrpm-trace-prog-v1\x00")
+	putInt(h, len(p.Funcs))
+	for _, f := range p.Funcs {
+		io.WriteString(h, f.Name)
+		putInt(h, f.Params, len(f.Locals), f.NumRegs, len(f.Blocks))
+		for _, l := range f.Locals {
+			io.WriteString(h, l.Name)
+			putInt(h, int(l.Kind), b2i(l.Param))
+		}
+		for bi := range f.Blocks {
+			b := &f.Blocks[bi]
+			putInt(h, len(b.Instrs), len(b.Targets))
+			putInt(h, b.Targets...)
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				putInt(h, int(in.Op), int(in.Dst), int(in.A), int(in.B),
+					in.Slot, in.Func, in.Loop, b2i(in.HasVal), b2i(in.IsF), len(in.Args))
+				put64(h, uint64(in.Imm), math.Float64bits(in.FImm))
+				for _, a := range in.Args {
+					putInt(h, int(a))
+				}
+			}
+		}
+	}
+	putInt(h, len(p.Globals))
+	for _, g := range p.Globals {
+		io.WriteString(h, g.Name)
+		putInt(h, int(g.Kind))
+	}
+	putInt(h, len(p.Loops))
+	for i := range p.Loops {
+		l := &p.Loops[i]
+		io.WriteString(h, l.Name)
+		putInt(h, l.ID, l.Func, l.Header, l.NumLocals, b2i(l.Candidate), len(l.AnnLocals))
+		putInt(h, l.AnnLocals...)
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func putInt(h hash.Hash, vs ...int) {
+	var buf [binary.MaxVarintLen64]byte
+	for _, v := range vs {
+		n := binary.PutVarint(buf[:], int64(v))
+		h.Write(buf[:n])
+	}
+}
+
+func put64(h hash.Hash, vs ...uint64) {
+	var buf [8]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

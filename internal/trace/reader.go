@@ -1,0 +1,300 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"jrpm/internal/vmsim"
+)
+
+// Decode errors. Any malformed input yields one of these (or an I/O
+// error) — never a panic: every field is bounds-checked against the
+// format caps before use, and a stream that ends before its summary
+// trailer reports io.ErrUnexpectedEOF.
+var (
+	ErrBadMagic     = errors.New("trace: bad magic (not a jrpm trace)")
+	ErrBadVersion   = errors.New("trace: unsupported format version")
+	ErrCorrupt      = errors.New("trace: corrupt record")
+	ErrHashMismatch = errors.New("trace: program hash mismatch (trace was recorded from a different program)")
+)
+
+// Reader streams events back out of a recorded trace. Decoding is strict:
+// record fields are validated against the format caps (and, when NumLoops
+// is set, against the program's loop table) so a corrupt or adversarial
+// byte stream errors out instead of panicking or allocating unboundedly —
+// the Reader itself performs no per-record allocation at all.
+type Reader struct {
+	br  *bufio.Reader
+	hdr Header
+
+	// NumLoops, when > 0, bounds loop ids to the replay target's loop
+	// table; out-of-range ids fail decoding instead of indexing panics
+	// inside a listener.
+	NumLoops int
+
+	prevTime  int64
+	prevAddr  uint32
+	prevPC    int
+	prevFrame uint64
+
+	records uint64
+	sum     Summary
+	done    bool
+}
+
+// NewReader parses the header from r.
+func NewReader(r io.Reader) (*Reader, error) {
+	tr := &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+	var magic [4]byte
+	if _, err := io.ReadFull(tr.br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", noEOF(err))
+	}
+	if magic != Magic {
+		return nil, ErrBadMagic
+	}
+	ver, err := tr.br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading version: %w", noEOF(err))
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("%w: %d (reader supports %d)", ErrBadVersion, ver, Version)
+	}
+	tr.hdr.Version = ver
+	if _, err := io.ReadFull(tr.br, tr.hdr.ProgramHash[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading program hash: %w", noEOF(err))
+	}
+	return tr, nil
+}
+
+// noEOF turns a bare io.EOF into io.ErrUnexpectedEOF: inside a structure
+// (header or record) a clean EOF still means truncation.
+func noEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Header returns the parsed trace header.
+func (r *Reader) Header() Header { return r.hdr }
+
+// Summary returns the trailer totals; ok is false until the summary
+// record has been reached (Next returned io.EOF or Replay succeeded).
+func (r *Reader) Summary() (Summary, bool) { return r.sum, r.done }
+
+// uvarint reads one bounded uvarint.
+func (r *Reader) uvarint() (uint64, error) {
+	u, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, noEOF(err)
+		}
+		// binary.ReadUvarint's overflow error is unexported.
+		return 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return u, nil
+}
+
+// svarint reads one zigzag-encoded signed delta.
+func (r *Reader) svarint() (int64, error) {
+	u, err := r.uvarint()
+	return unzigzag(u), err
+}
+
+// Next decodes the next event record. It returns io.EOF after the
+// summary trailer has been consumed (Summary then reports the totals);
+// a stream that ends anywhere else is reported as corrupt or truncated.
+func (r *Reader) Next() (Event, error) {
+	var ev Event
+	if r.done {
+		return ev, io.EOF
+	}
+	kindByte, err := r.br.ReadByte()
+	if err != nil {
+		// No trailer: the recording was cut off.
+		return ev, noEOF(err)
+	}
+	kind := Kind(kindByte)
+	if kind == KindSummary {
+		if err := r.readSummary(); err != nil {
+			return ev, err
+		}
+		return ev, io.EOF
+	}
+
+	dt, err := r.uvarint()
+	if err != nil {
+		return ev, err
+	}
+	if dt > maxTime || r.prevTime > maxTime-int64(dt) {
+		return ev, fmt.Errorf("%w: time delta out of range", ErrCorrupt)
+	}
+	r.prevTime += int64(dt)
+	ev.Time = r.prevTime
+	ev.Kind = kind
+
+	switch kind {
+	case KindHeapLoad, KindHeapStore:
+		ad, err := r.svarint()
+		if err != nil {
+			return ev, err
+		}
+		addr := int64(r.prevAddr) + ad
+		if addr < 0 || addr > 0xffffffff {
+			return ev, fmt.Errorf("%w: address out of range", ErrCorrupt)
+		}
+		r.prevAddr = uint32(addr)
+		ev.Addr = r.prevAddr
+		if ev.PC, err = r.pc(); err != nil {
+			return ev, err
+		}
+	case KindLocalLoad, KindLocalStore:
+		fd, err := r.svarint()
+		if err != nil {
+			return ev, err
+		}
+		r.prevFrame += uint64(fd)
+		ev.Frame = r.prevFrame
+		slot, err := r.uvarint()
+		if err != nil {
+			return ev, err
+		}
+		if slot > maxSlot {
+			return ev, fmt.Errorf("%w: slot out of range", ErrCorrupt)
+		}
+		ev.Slot = int(slot)
+		if ev.PC, err = r.pc(); err != nil {
+			return ev, err
+		}
+	case KindLoopStart:
+		if ev.Loop, err = r.loop(); err != nil {
+			return ev, err
+		}
+		n, err := r.uvarint()
+		if err != nil {
+			return ev, err
+		}
+		if n > maxNumLocals {
+			return ev, fmt.Errorf("%w: numLocals out of range", ErrCorrupt)
+		}
+		ev.NumLocals = int(n)
+		fd, err := r.svarint()
+		if err != nil {
+			return ev, err
+		}
+		r.prevFrame += uint64(fd)
+		ev.Frame = r.prevFrame
+	case KindLoopIter, KindLoopEnd, KindReadStats:
+		if ev.Loop, err = r.loop(); err != nil {
+			return ev, err
+		}
+	default:
+		return ev, fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, kindByte)
+	}
+	r.records++
+	return ev, nil
+}
+
+func (r *Reader) pc() (int, error) {
+	pd, err := r.svarint()
+	if err != nil {
+		return 0, err
+	}
+	pc := int64(r.prevPC) + pd
+	if pc < 0 || pc > maxPC {
+		return 0, fmt.Errorf("%w: pc out of range", ErrCorrupt)
+	}
+	r.prevPC = int(pc)
+	return r.prevPC, nil
+}
+
+func (r *Reader) loop() (int, error) {
+	u, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	limit := uint64(maxLoopID)
+	if r.NumLoops > 0 {
+		limit = uint64(r.NumLoops) - 1
+	}
+	if u > limit {
+		return 0, fmt.Errorf("%w: loop id %d out of range", ErrCorrupt, u)
+	}
+	return int(u), nil
+}
+
+func (r *Reader) readSummary() error {
+	fields := []*int64{
+		&r.sum.CleanCycles, &r.sum.TracedCycles,
+		&r.sum.HeapLoads, &r.sum.HeapStores,
+		&r.sum.LocalAnnots, &r.sum.LoopAnnots,
+		&r.sum.ReadStats, &r.sum.Annotations,
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if n != r.records {
+		return fmt.Errorf("%w: trailer records %d, decoded %d", ErrCorrupt, n, r.records)
+	}
+	r.sum.Records = n
+	for _, f := range fields {
+		u, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if u > maxTime {
+			return fmt.Errorf("%w: summary counter out of range", ErrCorrupt)
+		}
+		*f = int64(u)
+	}
+	// Nothing may follow the trailer.
+	if _, err := r.br.ReadByte(); err == nil {
+		return fmt.Errorf("%w: trailing data after summary", ErrCorrupt)
+	} else if !errors.Is(err, io.EOF) {
+		return err
+	}
+	r.done = true
+	return nil
+}
+
+// Replay streams every event into the listeners (in order, like the VM
+// would) and returns the trace summary. The listeners see exactly the
+// sequence the recorded run produced.
+func (r *Reader) Replay(listeners ...vmsim.Listener) (Summary, error) {
+	for {
+		ev, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			if !r.done {
+				return Summary{}, io.ErrUnexpectedEOF
+			}
+			return r.sum, nil
+		}
+		if err != nil {
+			return Summary{}, err
+		}
+		for _, l := range listeners {
+			switch ev.Kind {
+			case KindHeapLoad:
+				l.HeapLoad(ev.Time, ev.Addr, ev.PC)
+			case KindHeapStore:
+				l.HeapStore(ev.Time, ev.Addr, ev.PC)
+			case KindLocalLoad:
+				l.LocalLoad(ev.Time, vmsim.SlotID{Frame: ev.Frame, Slot: ev.Slot}, ev.PC)
+			case KindLocalStore:
+				l.LocalStore(ev.Time, vmsim.SlotID{Frame: ev.Frame, Slot: ev.Slot}, ev.PC)
+			case KindLoopStart:
+				l.LoopStart(ev.Time, ev.Loop, ev.NumLocals, ev.Frame)
+			case KindLoopIter:
+				l.LoopIter(ev.Time, ev.Loop)
+			case KindLoopEnd:
+				l.LoopEnd(ev.Time, ev.Loop)
+			case KindReadStats:
+				l.ReadStats(ev.Time, ev.Loop)
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"sync"
+
+	"jrpm/internal/core"
+	"jrpm/internal/hydra"
+	"jrpm/internal/profile"
+	"jrpm/internal/tir"
+)
+
+// SweepJob is one offline analysis configuration: replay the recorded
+// event stream through a fresh comparator-bank model with this machine
+// config and these runtime policies, then run selection.
+type SweepJob struct {
+	Cfg    hydra.Config
+	Tracer core.Options
+	Select profile.SelectOptions
+}
+
+// SweepOutcome is one job's result: the replayed tracer (its Results()
+// table carries the raw per-loop counters) and the full profile analysis.
+type SweepOutcome struct {
+	Job      SweepJob
+	Tracer   *core.Tracer
+	Analysis *profile.Analysis
+	Err      error
+}
+
+// Sweep analyzes one recorded trace under every job concurrently: each
+// worker replays the shared byte stream into its own comparator-bank
+// model — no VM execution, no shared mutable state — so N hydra
+// configurations cost N cheap replays of a single recording. prog must be
+// the annotated program the trace was recorded from (enforced via the
+// header hash). workers <= 0 uses GOMAXPROCS; ctx cancellation abandons
+// jobs not yet started.
+//
+// This is the record-once / analyze-many primitive behind the
+// internal/experiments ablations and the jrpmd trace-analysis job kind.
+func Sweep(ctx context.Context, prog *tir.Program, data []byte, jobs []SweepJob, workers int) []SweepOutcome {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	out := make([]SweepOutcome, len(jobs))
+	want := ProgramHash(prog)
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = runSweepJob(prog, want, data, jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			out[i] = SweepOutcome{Job: jobs[i], Err: context.Cause(ctx)}
+		}
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// runSweepJob replays data through one configuration.
+func runSweepJob(prog *tir.Program, want [32]byte, data []byte, job SweepJob) SweepOutcome {
+	o := SweepOutcome{Job: job}
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	if r.Header().ProgramHash != want {
+		o.Err = ErrHashMismatch
+		return o
+	}
+	r.NumLoops = len(prog.Loops)
+	tracer := core.NewTracer(prog, job.Cfg, job.Tracer)
+	sum, err := r.Replay(tracer)
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	o.Tracer = tracer
+	o.Analysis = profile.BuildTree(prog, tracer, sum.TracedCycles, sum.CleanCycles, job.Cfg)
+	o.Analysis.Select(job.Select)
+	return o
+}

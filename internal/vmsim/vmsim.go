@@ -203,8 +203,19 @@ func (vm *VM) GlobalFloats(name string) ([]float64, error) {
 // safe to call from another goroutine; all other state is single-owner.
 func (vm *VM) Interrupt() { vm.interrupted.Store(true) }
 
+// runCount counts VM.Run invocations process-wide: one atomic add per
+// program execution, nothing per instruction. The record-once /
+// replay-many guarantees of internal/trace are asserted against it —
+// analyzing N configurations from one recorded trace must not move it.
+var runCount atomic.Int64
+
+// RunCount returns the total number of VM.Run invocations in this
+// process.
+func RunCount() int64 { return runCount.Load() }
+
 // Run executes the named function (typically "main") with no arguments.
 func (vm *VM) Run(name string) error {
+	runCount.Add(1)
 	_, fi, ok := vm.Prog.Lookup(name)
 	if !ok {
 		return fmt.Errorf("vmsim: no function %q", name)

@@ -30,6 +30,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"jrpm/internal/annotate"
 	"jrpm/internal/core"
@@ -186,17 +187,30 @@ func newVM(prog *tir.Program, in Input, cfg hydra.Config) (*vmsim.VM, error) {
 	vm := vmsim.New(prog)
 	vm.AnnotCost = cfg.Tracer.AnnotCost
 	vm.ReadStatsCost = cfg.Tracer.ReadStatsCost
-	for name, vals := range in.Ints {
-		if err := vm.BindGlobalInts(name, vals); err != nil {
+	// Bind in sorted order: heap addresses are assigned at bind time, so
+	// map-iteration order would make the address stream — and anything
+	// derived from it, like buffer-line high-water marks or a recorded
+	// trace — differ from run to run.
+	for _, name := range sortedKeys(in.Ints) {
+		if err := vm.BindGlobalInts(name, in.Ints[name]); err != nil {
 			return nil, err
 		}
 	}
-	for name, vals := range in.Floats {
-		if err := vm.BindGlobalFloats(name, vals); err != nil {
+	for _, name := range sortedKeys(in.Floats) {
+		if err := vm.BindGlobalFloats(name, in.Floats[name]); err != nil {
 			return nil, err
 		}
 	}
 	return vm, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // runVM executes the VM's main function under ctx: when ctx is canceled
@@ -272,6 +286,14 @@ func Profile(src string, in Input, opts Options) (*ProfileResult, error) {
 // the compile-stage fields were fixed when c was built. Safe for
 // concurrent use on a shared c: every call builds its own VMs and Tracer.
 func (c *Compiled) Profile(ctx context.Context, in Input, opts Options) (*ProfileResult, error) {
+	return c.profileWith(ctx, in, opts)
+}
+
+// profileWith is Profile with extra listeners attached to the traced run
+// after the TEST tracer. ProfileRecord passes the trace writer here, so
+// the recorded event stream is — by construction — the exact sequence the
+// live comparator-bank model consumed.
+func (c *Compiled) profileWith(ctx context.Context, in Input, opts Options, extra ...vmsim.Listener) (*ProfileResult, error) {
 	opts = Normalize(opts)
 	opts.Annot = c.Annot
 	opts.Optimize = c.Optimize
@@ -287,6 +309,7 @@ func (c *Compiled) Profile(ctx context.Context, in Input, opts Options) (*Profil
 	}
 	tracer := core.NewTracer(c.Annotated, opts.Cfg, opts.Tracer)
 	vm.Listeners = append(vm.Listeners, tracer)
+	vm.Listeners = append(vm.Listeners, extra...)
 	if err := runVM(ctx, vm); err != nil {
 		return nil, err
 	}

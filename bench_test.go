@@ -9,14 +9,20 @@ package jrpm_test
 import (
 	"bytes"
 	"context"
+	"io"
+	"sort"
 	"strings"
 	"testing"
 	"time"
 
 	"jrpm"
+	"jrpm/internal/core"
 	"jrpm/internal/experiments"
 	"jrpm/internal/hydra"
 	"jrpm/internal/service"
+	"jrpm/internal/tir"
+	"jrpm/internal/vmsim"
+	"jrpm/internal/vmsim/refvm"
 	"jrpm/internal/workloads"
 )
 
@@ -340,6 +346,91 @@ func BenchmarkAblations(b *testing.B) {
 		if _, _, err := experiments.AblateBins(benchScale); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkVMDispatch isolates the interpreter hot path: the pre-decoded
+// fast engine (vmsim) against the reference block-at-a-time oracle
+// (refvm), on identical programs and inputs. The untraced pair runs the
+// clean program with no listeners — pure dispatch; the traced pair runs
+// the annotated program with the full comparator-bank tracer attached,
+// measuring what the batched emission layer buys when every heap access
+// emits an event.
+func BenchmarkVMDispatch(b *testing.B) {
+	w, err := workloads.ByName("Huffman")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := jrpm.DefaultOptions()
+	c, err := jrpm.Compile(w.Source, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := w.NewInput(benchScale)
+	names := make([]string, 0, len(in.Ints))
+	for name := range in.Ints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	type engine struct {
+		name string
+		run  func(prog *tir.Program, traced bool) int64
+	}
+	engines := []engine{
+		{"fast", func(prog *tir.Program, traced bool) int64 {
+			vm := vmsim.New(prog)
+			vm.Out = io.Discard
+			if traced {
+				vm.Listeners = []vmsim.Listener{core.NewTracer(prog, opts.Cfg, core.DefaultOptions())}
+			}
+			for _, name := range names {
+				if err := vm.BindGlobalInts(name, in.Ints[name]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := vm.Run("main"); err != nil {
+				b.Fatal(err)
+			}
+			return vm.Cycles
+		}},
+		{"ref", func(prog *tir.Program, traced bool) int64 {
+			vm := refvm.New(prog)
+			vm.Out = io.Discard
+			if traced {
+				vm.Listeners = []vmsim.Listener{core.NewTracer(prog, opts.Cfg, core.DefaultOptions())}
+			}
+			for _, name := range names {
+				if err := vm.BindGlobalInts(name, in.Ints[name]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := vm.Run("main"); err != nil {
+				b.Fatal(err)
+			}
+			return vm.Cycles
+		}},
+	}
+
+	for _, eng := range engines {
+		eng := eng
+		b.Run("untraced/"+eng.name, func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				cycles = eng.run(c.Clean, false)
+			}
+			b.ReportMetric(float64(cycles)/float64(b.Elapsed().Nanoseconds())*float64(b.N)*1e3, "Mcycles/s")
+		})
+	}
+	for _, eng := range engines {
+		eng := eng
+		b.Run("traced/"+eng.name, func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				cycles = eng.run(c.Annotated, true)
+			}
+			b.ReportMetric(float64(cycles)/float64(b.Elapsed().Nanoseconds())*float64(b.N)*1e3, "Mcycles/s")
+		})
 	}
 }
 

@@ -12,6 +12,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
@@ -21,41 +22,11 @@ import (
 	"jrpm/internal/vmsim"
 )
 
-const standalone = `
-global a: int[];
-global out: int[];
-func expensive(x: int): int {
-	var s: int = 0;
-	var i: int = 0;
-	while (i < 200) { s = (s + x*i) & 0xffff; i++; }
-	return s;
-}
-func main() {
-	var v: int = expensive(a[0]);  // the continuation below is independent
-	var c: int = 0;
-	var j: int = 0;
-	while (j < 200) { c = (c + a[1]*j) & 0xffff; j++; }
-	out[0] = v + c;
-}`
+//go:embed standalone.jr
+var standalone string
 
-const insideLoop = `
-global a: int[];
-global out: int[];
-func expensive(x: int): int {
-	var s: int = 0;
-	var i: int = 0;
-	while (i < 60) { s = (s + x*i) & 0xffff; i++; }
-	return s;
-}
-func main() {
-	var t: int = 0;
-	var k: int = 0;
-	while (k < len(a)) {
-		t = t + expensive(a[k]);   // the loop STL already parallelizes this
-		k++;
-	}
-	out[0] = t;
-}`
+//go:embed insideloop.jr
+var insideLoop string
 
 func analyze(label, src string) {
 	prog, err := lang.Compile(src)

@@ -14,6 +14,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
@@ -21,25 +22,8 @@ import (
 	"jrpm/internal/profile"
 )
 
-const src = `
-global grid: int[];
-global dims: int[]; // [0]=rows, [1]=cols
-
-func main() {
-	var rows: int = dims[0];
-	var cols: int = dims[1];
-	var r: int = 0;
-	while (r < rows) {           // outer STL candidate
-		var c: int = 0;
-		while (c < cols) {       // inner STL candidate
-			var v: int = grid[r*cols + c];
-			grid[r*cols + c] = (v*v + r + c) & 0xffff;
-			c++;
-		}
-		r++;
-	}
-}
-`
+//go:embed datasize.jr
+var src string
 
 func main() {
 	fmt.Println("grid size -> selected STL (overflow frequency of the outer loop)")

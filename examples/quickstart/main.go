@@ -6,6 +6,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
@@ -14,27 +15,9 @@ import (
 
 // A vector-scale kernel with an obviously parallel outer loop and a serial
 // prefix-sum loop, so both outcomes of the analysis show up.
-const src = `
-global a: int[];
-global b: int[];
-global prefix: int[];
-
-func main() {
-	// parallel: independent iterations
-	var i: int = 0;
-	while (i < len(a)) {
-		b[i] = a[i]*3 + 7;
-		i++;
-	}
-	// serial: loop-carried dependency through prefix[i-1]
-	prefix[0] = b[0];
-	i = 1;
-	while (i < len(prefix)) {
-		prefix[i] = prefix[i-1] + b[i];
-		i++;
-	}
-}
-`
+//
+//go:embed quickstart.jr
+var src string
 
 func main() {
 	n := 2000

@@ -15,6 +15,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 	"sort"
@@ -22,61 +23,11 @@ import (
 	"jrpm"
 )
 
-const srcMemoized = `
-global keys: int[];
-global cache: int[];  // [0] = last key, [1] = last value
-global out: int[];
+//go:embed memoized.jr
+var srcMemoized string
 
-func hash(x: int): int {
-	var v: int = x;
-	var r: int = 0;
-	while (r < 10) {
-		v = (v * 1103515245 + 12345) & 0xffffff;
-		r++;
-	}
-	return v;
-}
-
-func main() {
-	var i: int = 0;
-	while (i < len(keys)) {
-		var v: int = 0;
-		if (keys[i] == cache[0]) {
-			v = cache[1];            // <- the serializing cache read
-		} else {
-			v = hash(keys[i]);
-			cache[0] = keys[i];
-			cache[1] = v;
-		}
-		out[i] = v;
-		i++;
-	}
-}
-`
-
-const srcRecompute = `
-global keys: int[];
-global cache: int[]; // unused after the restructuring
-global out: int[];
-
-func hash(x: int): int {
-	var v: int = x;
-	var r: int = 0;
-	while (r < 10) {
-		v = (v * 1103515245 + 12345) & 0xffffff;
-		r++;
-	}
-	return v;
-}
-
-func main() {
-	var i: int = 0;
-	while (i < len(keys)) {
-		out[i] = hash(keys[i]);   // always recompute: iterations independent
-		i++;
-	}
-}
-`
+//go:embed recompute.jr
+var srcRecompute string
 
 func run(label, src string) {
 	n := 1500

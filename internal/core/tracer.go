@@ -236,7 +236,40 @@ type Tracer struct {
 }
 
 // Compile-time check that Tracer is a VM listener.
-var _ vmsim.Listener = (*Tracer)(nil)
+var (
+	_ vmsim.Listener      = (*Tracer)(nil)
+	_ vmsim.BatchConsumer = (*Tracer)(nil)
+)
+
+// ConsumeEvents implements vmsim.BatchConsumer: the fast engine hands the
+// tracer whole event batches — one interface dispatch per batch instead
+// of one per event — and the demultiplexing below resolves to direct
+// method calls on the concrete Tracer. Events arrive in execution order
+// and are processed in order, so the comparator-bank state evolves
+// exactly as it would under per-event delivery.
+func (t *Tracer) ConsumeEvents(evs []vmsim.Event) {
+	for i := range evs {
+		ev := &evs[i]
+		switch ev.Kind {
+		case vmsim.EvHeapLoad:
+			t.HeapLoad(ev.Now, ev.Addr, int(ev.PC))
+		case vmsim.EvHeapStore:
+			t.HeapStore(ev.Now, ev.Addr, int(ev.PC))
+		case vmsim.EvLocalLoad:
+			t.LocalLoad(ev.Now, vmsim.SlotID{Frame: ev.Frame, Slot: int(ev.Slot)}, int(ev.PC))
+		case vmsim.EvLocalStore:
+			t.LocalStore(ev.Now, vmsim.SlotID{Frame: ev.Frame, Slot: int(ev.Slot)}, int(ev.PC))
+		case vmsim.EvLoopStart:
+			t.LoopStart(ev.Now, int(ev.Loop), int(ev.NumLocals), ev.Frame)
+		case vmsim.EvLoopIter:
+			t.LoopIter(ev.Now, int(ev.Loop))
+		case vmsim.EvLoopEnd:
+			t.LoopEnd(ev.Now, int(ev.Loop))
+		case vmsim.EvReadStats:
+			t.ReadStats(ev.Now, int(ev.Loop))
+		}
+	}
+}
 
 // NewTracer builds a tracer for prog with the given machine config.
 func NewTracer(prog *tir.Program, cfg hydra.Config, opts Options) *Tracer {

@@ -287,9 +287,18 @@ func (p *Program) FindPC(pc int) (fn string, line int, ok bool) {
 func (p *Program) NumInstrs() int {
 	n := 0
 	for _, f := range p.Funcs {
-		for bi := range f.Blocks {
-			n += len(f.Blocks[bi].Instrs)
-		}
+		n += f.NumInstrs()
+	}
+	return n
+}
+
+// NumInstrs counts the function's instructions across all blocks. The
+// VM's decode stage uses it to size the flat pre-decoded instruction
+// stream before lowering.
+func (f *Function) NumInstrs() int {
+	n := 0
+	for bi := range f.Blocks {
+		n += len(f.Blocks[bi].Instrs)
 	}
 	return n
 }

@@ -32,7 +32,38 @@ type Writer struct {
 	scratch [2 + 4*binary.MaxVarintLen64]byte
 }
 
-var _ vmsim.Listener = (*Writer)(nil)
+var (
+	_ vmsim.Listener      = (*Writer)(nil)
+	_ vmsim.BatchConsumer = (*Writer)(nil)
+)
+
+// ConsumeEvents implements vmsim.BatchConsumer: the fast engine delivers
+// whole event batches with one interface dispatch, and the writer
+// serializes them in order. Record layouts are identical to per-event
+// delivery — batching changes dispatch, never bytes (FORMAT.md).
+func (w *Writer) ConsumeEvents(evs []vmsim.Event) {
+	for i := range evs {
+		ev := &evs[i]
+		switch ev.Kind {
+		case vmsim.EvHeapLoad:
+			w.HeapLoad(ev.Now, ev.Addr, int(ev.PC))
+		case vmsim.EvHeapStore:
+			w.HeapStore(ev.Now, ev.Addr, int(ev.PC))
+		case vmsim.EvLocalLoad:
+			w.LocalLoad(ev.Now, vmsim.SlotID{Frame: ev.Frame, Slot: int(ev.Slot)}, int(ev.PC))
+		case vmsim.EvLocalStore:
+			w.LocalStore(ev.Now, vmsim.SlotID{Frame: ev.Frame, Slot: int(ev.Slot)}, int(ev.PC))
+		case vmsim.EvLoopStart:
+			w.LoopStart(ev.Now, int(ev.Loop), int(ev.NumLocals), ev.Frame)
+		case vmsim.EvLoopIter:
+			w.LoopIter(ev.Now, int(ev.Loop))
+		case vmsim.EvLoopEnd:
+			w.LoopEnd(ev.Now, int(ev.Loop))
+		case vmsim.EvReadStats:
+			w.ReadStats(ev.Now, int(ev.Loop))
+		}
+	}
+}
 
 // NewWriter opens a trace on w for a program with the given structural
 // hash (see ProgramHash) and writes the header.

@@ -4,6 +4,19 @@
 // heap loads/stores are communicated automatically while tracing is
 // enabled, and the annotating instructions (Table 4) produce the local
 // variable and loop boundary events.
+//
+// The package contains two engines with identical observable behaviour:
+//
+//   - the fast engine (decode.go, exec.go, emit.go) interprets a
+//     pre-decoded instruction stream with batched, devirtualized event
+//     emission — this is what VM.Run executes;
+//   - the reference oracle in internal/vmsim/refvm keeps the original
+//     block-at-a-time interpreter, always compiled, as the semantic
+//     ground truth.
+//
+// TestVMDifferential and FuzzVMDiff hold the two bit-identical — events,
+// cycles, heap, output, counters and errors — across the workload suite,
+// the example programs and a fuzz corpus.
 package vmsim
 
 import (
@@ -54,7 +67,12 @@ var ErrInterrupted = errors.New("vmsim: interrupted")
 
 // interruptMask throttles the interrupt-flag poll to one atomic load per
 // 8192 executed instructions, keeping the hot interpreter loop cheap.
-const interruptMask = 1<<13 - 1
+// Call instructions additionally poll unthrottled, so call-heavy
+// straight-line programs cancel promptly.
+const (
+	interruptShift = 13
+	interruptMask  = 1<<interruptShift - 1
+)
 
 // RuntimeError is a positioned execution fault.
 type RuntimeError struct {
@@ -81,6 +99,7 @@ type VM struct {
 	AnnotCost     int64
 	ReadStatsCost int64
 
+	code        *Code            // pre-decoded instruction stream
 	arrays      map[uint32]int64 // base address -> element count
 	globals     []uint32         // base address per global index
 	heapTop     uint32
@@ -99,11 +118,14 @@ type VM struct {
 	NReadStats   int64
 }
 
-// New creates a VM for prog.
+// New creates a VM for prog. The decoded instruction stream comes from
+// the package-level cache, so constructing many VMs for one program —
+// the service's per-job pattern — decodes it once.
 func New(prog *tir.Program) *VM {
 	t := hydra.DefaultConfig().Tracer
 	return &VM{
 		Prog:          prog,
+		code:          Predecode(prog),
 		arrays:        map[uint32]int64{},
 		globals:       make([]uint32, len(prog.Globals)),
 		heapTop:       hydra.LineSize, // keep address 0 unused
@@ -199,8 +221,9 @@ func (vm *VM) GlobalFloats(name string) ([]float64, error) {
 }
 
 // Interrupt requests that a running Run return ErrInterrupted at its next
-// check point (every few thousand instructions). It is the only VM method
-// safe to call from another goroutine; all other state is single-owner.
+// check point (every few thousand instructions, and at every call). It is
+// the only VM method safe to call from another goroutine; all other state
+// is single-owner.
 func (vm *VM) Interrupt() { vm.interrupted.Store(true) }
 
 // runCount counts VM.Run invocations process-wide: one atomic add per
@@ -229,261 +252,14 @@ func (vm *VM) Run(name string) error {
 			vm.callLsnrs = append(vm.callLsnrs, cl)
 		}
 	}
-	_, err := vm.call(fi, nil)
-	return err
-}
-
-func (vm *VM) fault(f *tir.Function, in *tir.Instr, format string, args ...any) error {
-	return &RuntimeError{Msg: fmt.Sprintf(format, args...), Func: f.Name, Line: in.Line}
-}
-
-func (vm *VM) call(fi int, args []uint64) (uint64, error) {
-	f := vm.Prog.Funcs[fi]
-	regs := make([]uint64, f.NumRegs)
-	slots := make([]uint64, len(f.Locals))
-	copy(slots, args)
-	vm.frameSeq++
-	frame := vm.frameSeq
-
-	traced := len(vm.Listeners) > 0
-	bi := 0
-	for {
-		b := &f.Blocks[bi]
-		for ii := range b.Instrs {
-			in := &b.Instrs[ii]
-			vm.steps++
-			if vm.steps > vm.MaxSteps {
-				return 0, ErrStepLimit
-			}
-			if vm.steps&interruptMask == 0 && vm.interrupted.Load() {
-				return 0, ErrInterrupted
-			}
-			now := vm.Cycles
-			vm.Cycles++
-
-			switch in.Op {
-			case tir.OpNop:
-			case tir.OpConstI:
-				regs[in.Dst] = uint64(in.Imm)
-			case tir.OpConstF:
-				regs[in.Dst] = math.Float64bits(in.FImm)
-			case tir.OpMov:
-				regs[in.Dst] = regs[in.A]
-			case tir.OpAdd:
-				regs[in.Dst] = uint64(int64(regs[in.A]) + int64(regs[in.B]))
-			case tir.OpSub:
-				regs[in.Dst] = uint64(int64(regs[in.A]) - int64(regs[in.B]))
-			case tir.OpMul:
-				regs[in.Dst] = uint64(int64(regs[in.A]) * int64(regs[in.B]))
-			case tir.OpDiv:
-				d := int64(regs[in.B])
-				if d == 0 {
-					return 0, vm.fault(f, in, "integer division by zero")
-				}
-				regs[in.Dst] = uint64(int64(regs[in.A]) / d)
-			case tir.OpMod:
-				d := int64(regs[in.B])
-				if d == 0 {
-					return 0, vm.fault(f, in, "integer modulo by zero")
-				}
-				regs[in.Dst] = uint64(int64(regs[in.A]) % d)
-			case tir.OpAnd:
-				regs[in.Dst] = regs[in.A] & regs[in.B]
-			case tir.OpOr:
-				regs[in.Dst] = regs[in.A] | regs[in.B]
-			case tir.OpXor:
-				regs[in.Dst] = regs[in.A] ^ regs[in.B]
-			case tir.OpShl:
-				regs[in.Dst] = uint64(int64(regs[in.A]) << (regs[in.B] & 63))
-			case tir.OpShr:
-				regs[in.Dst] = uint64(int64(regs[in.A]) >> (regs[in.B] & 63))
-			case tir.OpNeg:
-				regs[in.Dst] = uint64(-int64(regs[in.A]))
-			case tir.OpNot:
-				if regs[in.A] == 0 {
-					regs[in.Dst] = 1
-				} else {
-					regs[in.Dst] = 0
-				}
-			case tir.OpFAdd:
-				regs[in.Dst] = math.Float64bits(math.Float64frombits(regs[in.A]) + math.Float64frombits(regs[in.B]))
-			case tir.OpFSub:
-				regs[in.Dst] = math.Float64bits(math.Float64frombits(regs[in.A]) - math.Float64frombits(regs[in.B]))
-			case tir.OpFMul:
-				regs[in.Dst] = math.Float64bits(math.Float64frombits(regs[in.A]) * math.Float64frombits(regs[in.B]))
-			case tir.OpFDiv:
-				regs[in.Dst] = math.Float64bits(math.Float64frombits(regs[in.A]) / math.Float64frombits(regs[in.B]))
-			case tir.OpFNeg:
-				regs[in.Dst] = math.Float64bits(-math.Float64frombits(regs[in.A]))
-			case tir.OpEq:
-				regs[in.Dst] = b2u(regs[in.A] == regs[in.B])
-			case tir.OpNe:
-				regs[in.Dst] = b2u(regs[in.A] != regs[in.B])
-			case tir.OpLt:
-				regs[in.Dst] = b2u(int64(regs[in.A]) < int64(regs[in.B]))
-			case tir.OpLe:
-				regs[in.Dst] = b2u(int64(regs[in.A]) <= int64(regs[in.B]))
-			case tir.OpGt:
-				regs[in.Dst] = b2u(int64(regs[in.A]) > int64(regs[in.B]))
-			case tir.OpGe:
-				regs[in.Dst] = b2u(int64(regs[in.A]) >= int64(regs[in.B]))
-			case tir.OpFEq:
-				regs[in.Dst] = b2u(math.Float64frombits(regs[in.A]) == math.Float64frombits(regs[in.B]))
-			case tir.OpFNe:
-				regs[in.Dst] = b2u(math.Float64frombits(regs[in.A]) != math.Float64frombits(regs[in.B]))
-			case tir.OpFLt:
-				regs[in.Dst] = b2u(math.Float64frombits(regs[in.A]) < math.Float64frombits(regs[in.B]))
-			case tir.OpFLe:
-				regs[in.Dst] = b2u(math.Float64frombits(regs[in.A]) <= math.Float64frombits(regs[in.B]))
-			case tir.OpFGt:
-				regs[in.Dst] = b2u(math.Float64frombits(regs[in.A]) > math.Float64frombits(regs[in.B]))
-			case tir.OpFGe:
-				regs[in.Dst] = b2u(math.Float64frombits(regs[in.A]) >= math.Float64frombits(regs[in.B]))
-			case tir.OpI2F:
-				regs[in.Dst] = math.Float64bits(float64(int64(regs[in.A])))
-			case tir.OpF2I:
-				regs[in.Dst] = uint64(int64(math.Float64frombits(regs[in.A])))
-			case tir.OpLdLoc:
-				regs[in.Dst] = slots[in.Slot]
-				vm.NLocalLoads++
-			case tir.OpStLoc:
-				slots[in.Slot] = regs[in.A]
-				vm.NLocalStores++
-			case tir.OpLdGlob:
-				regs[in.Dst] = uint64(vm.globals[in.Imm])
-			case tir.OpLoad:
-				addr := uint32(regs[in.A])
-				w := addr / hydra.WordSize
-				if addr%hydra.WordSize != 0 || int(w) >= len(vm.Mem) || addr >= vm.heapTop {
-					return 0, vm.fault(f, in, "bad load address 0x%x", addr)
-				}
-				regs[in.Dst] = vm.Mem[w]
-				vm.NHeapLoads++
-				if traced {
-					for _, l := range vm.Listeners {
-						l.HeapLoad(now, addr, in.PC)
-					}
-				}
-			case tir.OpStore:
-				addr := uint32(regs[in.A])
-				w := addr / hydra.WordSize
-				if addr%hydra.WordSize != 0 || int(w) >= len(vm.Mem) || addr >= vm.heapTop {
-					return 0, vm.fault(f, in, "bad store address 0x%x", addr)
-				}
-				vm.Mem[w] = regs[in.B]
-				vm.NHeapStores++
-				if traced {
-					for _, l := range vm.Listeners {
-						l.HeapStore(now, addr, in.PC)
-					}
-				}
-			case tir.OpArrLen:
-				base := uint32(regs[in.A])
-				n, ok := vm.arrays[base]
-				if !ok {
-					return 0, vm.fault(f, in, "len of non-array address 0x%x", base)
-				}
-				regs[in.Dst] = uint64(n)
-			case tir.OpNewArr:
-				base, err := vm.Alloc(int64(regs[in.A]))
-				if err != nil {
-					return 0, vm.fault(f, in, "%v", err)
-				}
-				regs[in.Dst] = uint64(base)
-			case tir.OpBr:
-				bi = b.Targets[0]
-			case tir.OpBrIf:
-				if regs[in.A] != 0 {
-					bi = b.Targets[0]
-				} else {
-					bi = b.Targets[1]
-				}
-			case tir.OpRet:
-				if in.HasVal {
-					return regs[in.A], nil
-				}
-				return 0, nil
-			case tir.OpCall:
-				callArgs := make([]uint64, len(in.Args))
-				for i, a := range in.Args {
-					callArgs[i] = regs[a]
-				}
-				for _, cl := range vm.callLsnrs {
-					cl.CallEnter(now, in.Func, in.PC, frame)
-				}
-				v, err := vm.call(in.Func, callArgs)
-				if err != nil {
-					return 0, err
-				}
-				if in.Dst != tir.NoReg {
-					regs[in.Dst] = v
-				}
-				for _, cl := range vm.callLsnrs {
-					cl.CallExit(vm.Cycles, in.Func, in.PC, frame)
-				}
-			case tir.OpPrint:
-				if in.IsF {
-					fmt.Fprintf(vm.Out, "%g\n", math.Float64frombits(regs[in.A]))
-				} else {
-					fmt.Fprintf(vm.Out, "%d\n", int64(regs[in.A]))
-				}
-			case tir.OpSLoop:
-				vm.Cycles += vm.AnnotCost - 1
-				vm.NLoopAnnot++
-				if traced {
-					for _, l := range vm.Listeners {
-						l.LoopStart(now, in.Loop, int(in.Imm), frame)
-					}
-				}
-			case tir.OpELoop:
-				vm.Cycles += vm.AnnotCost - 1
-				vm.NLoopAnnot++
-				if traced {
-					for _, l := range vm.Listeners {
-						l.LoopEnd(now, in.Loop)
-					}
-				}
-			case tir.OpEOI:
-				vm.Cycles += vm.AnnotCost - 1
-				vm.NLoopAnnot++
-				if traced {
-					for _, l := range vm.Listeners {
-						l.LoopIter(now, in.Loop)
-					}
-				}
-			case tir.OpLWL:
-				vm.Cycles += vm.AnnotCost - 1
-				vm.NLocalAnnot++
-				if traced {
-					for _, l := range vm.Listeners {
-						l.LocalLoad(now, SlotID{Frame: frame, Slot: in.Slot}, in.PC)
-					}
-				}
-			case tir.OpSWL:
-				vm.Cycles += vm.AnnotCost - 1
-				vm.NLocalAnnot++
-				if traced {
-					for _, l := range vm.Listeners {
-						l.LocalStore(now, SlotID{Frame: frame, Slot: in.Slot}, in.PC)
-					}
-				}
-			case tir.OpReadStats:
-				vm.Cycles += vm.ReadStatsCost - 1
-				vm.NReadStats++
-				if traced {
-					for _, l := range vm.Listeners {
-						l.ReadStats(now, in.Loop)
-					}
-				}
-			default:
-				return 0, vm.fault(f, in, "unknown opcode %d", uint8(in.Op))
-			}
-
-			if tir.IsTerminator(in.Op) && in.Op != tir.OpRet {
-				break
-			}
-		}
+	em := newBatchEmitter(vm.Listeners)
+	_, err := vm.exec(vm.code, fi, nil, em)
+	// Drain pending events even on error: the reference engine delivers
+	// every event produced before the fault, so the fast engine must too.
+	if em != nil {
+		em.flush()
 	}
+	return err
 }
 
 func b2u(b bool) uint64 {

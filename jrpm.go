@@ -143,6 +143,12 @@ func Compile(src string, opts Options) (*Compiled, error) {
 	if err != nil {
 		return nil, fmt.Errorf("annotate: %w", err)
 	}
+	// Lower both programs to the VM's pre-decoded instruction stream now,
+	// while this is still the compile stage: every later Profile/RunClean
+	// (and every jrpmd worker sharing this artifact) hits the decode
+	// cache instead of paying the lowering on its first run.
+	vmsim.Predecode(clean)
+	vmsim.Predecode(annotated)
 	return &Compiled{
 		Clean:           clean,
 		Annotated:       annotated,

@@ -15,6 +15,11 @@
 //	jrpm trace record -w Huffman -o huffman.jrt    # profile once, capture the event stream
 //	jrpm trace info huffman.jrt                    # inspect a recording
 //	jrpm trace analyze -w Huffman -trace huffman.jrt -banks 1,2,4,8
+//
+// Distributed sweeps (see README "Distributed sweeps"):
+//
+//	jrpm sweep -w Huffman -trace huffman.jrt -banks 1,2,4,8 -history 2,4,8 \
+//	    -workers host1:8077,host2:8077
 package main
 
 import (
@@ -33,6 +38,7 @@ import (
 	"time"
 
 	"jrpm"
+	"jrpm/internal/cluster"
 	"jrpm/internal/hydra"
 	"jrpm/internal/service"
 	"jrpm/internal/trace"
@@ -42,6 +48,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		traceMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		sweepMain(os.Args[2:])
 		return
 	}
 	var (
@@ -371,6 +381,93 @@ func traceAnalyze(args []string) {
 		fmt.Printf("%-6d %-8d %-10.2f %s\n",
 			cfgs[i].Tracer.Banks, cfgs[i].Tracer.HeapStoreLines,
 			o.Analysis.PredictedSpeedup(), strings.Join(names, " "))
+	}
+}
+
+// sweepMain runs `jrpm sweep`: replay one recording under a bank ×
+// history config grid, either locally or sharded across a fleet of
+// jrpmd -worker daemons.
+func sweepMain(args []string) {
+	fs := flag.NewFlagSet("jrpm sweep", flag.ExitOnError)
+	wname := fs.String("w", "", "built-in workload name (must match the recording)")
+	srcPath := fs.String("src", "", "path to the recorded program's .jr source")
+	scale := fs.Float64("scale", 1, "input scale factor for -w (unused during replay)")
+	tracePath := fs.String("trace", "", "recorded trace file (required)")
+	banksList := fs.String("banks", "", "comma-separated comparator bank counts to sweep")
+	histList := fs.String("history", "", "comma-separated heap-store history depths to sweep")
+	workerList := fs.String("workers", "", "comma-separated jrpmd worker addresses (empty = run locally)")
+	shard := fs.Int("shard", 0, "configs per shard (0 = default)")
+	showMetrics := fs.Bool("metrics", false, "print coordinator scheduling metrics")
+	fs.Parse(args)
+	if *tracePath == "" {
+		fatal(errors.New("sweep: -trace <file> is required"))
+	}
+	src, _ := resolveProgram(fs, *wname, *srcPath, *scale)
+	data, err := os.ReadFile(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+
+	base := hydra.DefaultConfig()
+	banks, err := intList(*banksList, base.Tracer.Banks)
+	if err != nil {
+		fatal(fmt.Errorf("sweep: -banks: %w", err))
+	}
+	hists, err := intList(*histList, base.Tracer.HeapStoreLines)
+	if err != nil {
+		fatal(fmt.Errorf("sweep: -history: %w", err))
+	}
+	var cfgs []hydra.Config
+	for _, b := range banks {
+		for _, h := range hists {
+			cfg := base
+			cfg.Tracer.Banks = b
+			cfg.Tracer.HeapStoreLines = h
+			cfgs = append(cfgs, cfg)
+		}
+	}
+
+	var addrs []string
+	if *workerList != "" {
+		for _, a := range strings.Split(*workerList, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+	}
+	coord := cluster.New(cluster.Options{Workers: addrs, ShardConfigs: *shard})
+	name := *wname
+	if name == "" {
+		name = *srcPath
+	}
+	res, err := coord.Sweep(context.Background(), cluster.Grid{
+		Traces:  []cluster.GridTrace{{Name: name, Source: src, Data: data}},
+		Configs: cfgs,
+		Opts:    jrpm.DefaultOptions(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if res.Degraded {
+		fmt.Fprintln(os.Stderr, "sweep: no workers reachable; ran locally")
+	}
+
+	fmt.Printf("%-6s %-8s %-10s %s\n", "banks", "history", "predicted", "selected STLs")
+	for i, row := range res.Outcomes[0] {
+		if row.Err != "" {
+			fatal(fmt.Errorf("config %d (banks=%d history=%d): %s",
+				i, cfgs[i].Tracer.Banks, cfgs[i].Tracer.HeapStoreLines, row.Err))
+		}
+		fmt.Printf("%-6d %-8d %-10.2f %v\n",
+			cfgs[i].Tracer.Banks, cfgs[i].Tracer.HeapStoreLines,
+			row.PredictedSpeedup(), row.Selected)
+	}
+	if *showMetrics {
+		b, err := json.MarshalIndent(res.Metrics, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nscheduling metrics:\n%s\n", b)
 	}
 }
 

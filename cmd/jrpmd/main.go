@@ -7,14 +7,22 @@
 //
 //	jrpmd                          # serve on :8077 with GOMAXPROCS workers
 //	jrpmd -addr :9000 -workers 8 -queue 256 -cache 512 -timeout 30s
+//	jrpmd -worker                  # also serve cluster shard endpoints
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs/{id}[?wait=1],
-// DELETE /v1/jobs/{id}, GET /v1/metrics, GET /v1/healthz. See the README
-// section "Running as a service" for request and response shapes.
+// DELETE /v1/jobs/{id}, GET /v1/metrics, GET /v1/healthz,
+// GET /v1/version; with -worker additionally POST /v1/shards and
+// GET/PUT /v1/traces/{hash}. See the README sections "Running as a
+// service" and "Distributed sweeps" for request and response shapes.
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: it stops accepting
+// new work, drains queued and running jobs until -drain elapses, flushes
+// a final metrics snapshot to the log, and exits 0.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -25,18 +33,22 @@ import (
 	"syscall"
 	"time"
 
+	"jrpm/internal/cluster"
 	"jrpm/internal/service"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8077", "listen address")
-		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 64, "max queued jobs before 429")
-		cache   = flag.Int("cache", 128, "artifact cache capacity (compiled programs)")
-		trcMB   = flag.Int64("trace-cache-mb", 256, "recorded-trace cache capacity, in MiB")
-		timeout = flag.Duration("timeout", 60*time.Second, "default per-job timeout")
-		maxTO   = flag.Duration("max-timeout", 10*time.Minute, "hard cap on per-job timeout")
+		addr     = flag.String("addr", ":8077", "listen address")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "max queued jobs before 429")
+		cache    = flag.Int("cache", 128, "artifact cache capacity (compiled programs)")
+		trcMB    = flag.Int64("trace-cache-mb", 256, "recorded-trace cache capacity, in MiB")
+		timeout  = flag.Duration("timeout", 60*time.Second, "default per-job timeout")
+		maxTO    = flag.Duration("max-timeout", 10*time.Minute, "hard cap on per-job timeout")
+		longPoll = flag.Duration("longpoll", 30*time.Second, "max ?wait=1 long-poll before 202 + retry hint")
+		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline for in-flight jobs")
+		worker   = flag.Bool("worker", false, "serve cluster worker endpoints (POST /v1/shards, GET/PUT /v1/traces)")
 	)
 	flag.Parse()
 
@@ -47,10 +59,19 @@ func main() {
 		TraceCacheBytes: *trcMB << 20,
 		DefaultTimeout:  *timeout,
 		MaxTimeout:      *maxTO,
+		LongPoll:        *longPoll,
 	})
+	api := service.NewServer(pool)
+	mux := http.NewServeMux()
+	mux.Handle("/", api.Handler())
+	if *worker {
+		cw := cluster.NewWorker(pool, 0, 0)
+		cw.Register(mux)
+		api.ExtraMetrics = func() any { return cw.Snapshot() }
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewServer(pool).Handler(),
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -59,8 +80,12 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("jrpmd: serving on %s (%d workers, queue %d, cache %d)",
-		*addr, pool.Config().Workers, pool.Config().QueueDepth, pool.Config().CacheSize)
+	mode := "service"
+	if *worker {
+		mode = "service+worker"
+	}
+	log.Printf("jrpmd: serving on %s (%s, %d workers, queue %d, cache %d)",
+		*addr, mode, pool.Config().Workers, pool.Config().QueueDepth, pool.Config().CacheSize)
 
 	select {
 	case err := <-errc:
@@ -69,12 +94,42 @@ func main() {
 			os.Exit(1)
 		}
 	case <-ctx.Done():
-		log.Print("jrpmd: shutting down")
-		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		log.Printf("jrpmd: signal received, draining (deadline %s)", *drain)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		if err := srv.Shutdown(shutCtx); err != nil {
-			log.Printf("jrpmd: shutdown: %v", err)
+		// Order matters: the pool first (stop accepting, let in-flight jobs
+		// finish), then the HTTP server, so a client long-polling its job's
+		// completion still gets the answer.
+		if pool.Drain(drainCtx) {
+			log.Print("jrpmd: queue drained cleanly")
+		} else {
+			log.Print("jrpmd: drain deadline hit; interrupting remaining jobs")
 		}
-		pool.Stop()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			srv.Close() //nolint:errcheck // best effort after deadline
+		}
+		flushMetrics(pool)
 	}
+}
+
+// flushMetrics logs a final metrics snapshot so operators keep the
+// run's totals even when the scrape endpoint has gone away.
+func flushMetrics(pool *service.Pool) {
+	m := pool.Metrics()
+	final := map[string]int64{
+		"jobs_submitted":   m.JobsSubmitted.Load(),
+		"jobs_completed":   m.JobsCompleted.Load(),
+		"jobs_failed":      m.JobsFailed.Load(),
+		"jobs_canceled":    m.JobsCanceled.Load(),
+		"jobs_rejected":    m.JobsRejected.Load(),
+		"cache_hits":       m.CacheHits.Load(),
+		"cache_misses":     m.CacheMisses.Load(),
+		"cycles_simulated": m.CyclesSimulated.Load(),
+	}
+	b, err := json.Marshal(final)
+	if err != nil {
+		log.Printf("jrpmd: final metrics: %v", err)
+		return
+	}
+	log.Printf("jrpmd: final metrics %s", b)
 }

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// errTraceMissing marks a shard rejection because the worker no longer
+// holds the recording (LRU eviction between push and dispatch); the
+// dispatcher re-pushes and retries once within the same attempt.
+var errTraceMissing = errors.New("cluster: worker does not hold the trace")
+
+// workerClient is the coordinator's HTTP face of one worker.
+type workerClient struct {
+	name string // as configured (display + metrics key)
+	base string // http://host:port
+	hc   *http.Client
+
+	mu       sync.Mutex
+	hasTrace map[string]bool // content addresses known to be worker-resident
+}
+
+func newWorkerClient(addr string, timeout time.Duration) *workerClient {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	return &workerClient{
+		name:     addr,
+		base:     base,
+		hc:       &http.Client{Timeout: timeout},
+		hasTrace: map[string]bool{},
+	}
+}
+
+// apiError decodes a worker's JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func decodeError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var ae apiError
+	if json.Unmarshal(body, &ae) == nil && ae.Error != "" {
+		if ae.Code == "trace_missing" {
+			return errTraceMissing
+		}
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, ae.Error)
+	}
+	return fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+}
+
+// version fetches GET /v1/version.
+func (wc *workerClient) version(ctx context.Context) (VersionInfo, error) {
+	var vi VersionInfo
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, wc.base+"/v1/version", nil)
+	if err != nil {
+		return vi, err
+	}
+	resp, err := wc.hc.Do(req)
+	if err != nil {
+		return vi, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return vi, decodeError(resp)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&vi); err != nil {
+		return vi, fmt.Errorf("bad version body: %w", err)
+	}
+	return vi, nil
+}
+
+// forget drops the resident marker for a trace (after a trace_missing
+// rejection).
+func (wc *workerClient) forget(key string) {
+	wc.mu.Lock()
+	delete(wc.hasTrace, key)
+	wc.mu.Unlock()
+}
+
+// ensureTrace makes the recording resident on the worker, shipping bytes
+// only when the worker's content-addressed cache misses. It reports
+// whether a push happened.
+func (wc *workerClient) ensureTrace(ctx context.Context, key string, data []byte) (bool, error) {
+	wc.mu.Lock()
+	known := wc.hasTrace[key]
+	wc.mu.Unlock()
+	if known {
+		return false, nil
+	}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, wc.base+"/v1/traces/"+key+"?stat=1", nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := wc.hc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent, http.StatusOK:
+		wc.mu.Lock()
+		wc.hasTrace[key] = true
+		wc.mu.Unlock()
+		return false, nil
+	case http.StatusNotFound:
+		// fall through to push
+	default:
+		return false, fmt.Errorf("trace stat: HTTP %d", resp.StatusCode)
+	}
+
+	put, err := http.NewRequestWithContext(ctx, http.MethodPut, wc.base+"/v1/traces/"+key, bytes.NewReader(data))
+	if err != nil {
+		return false, err
+	}
+	put.Header.Set("Content-Type", "application/octet-stream")
+	put.ContentLength = int64(len(data))
+	resp, err = wc.hc.Do(put)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("trace push: %w", decodeError(resp))
+	}
+	wc.mu.Lock()
+	wc.hasTrace[key] = true
+	wc.mu.Unlock()
+	return true, nil
+}
+
+// runShard executes POST /v1/shards.
+func (wc *workerClient) runShard(ctx context.Context, sr ShardRequest) ([]OutcomeRow, error) {
+	body, err := json.Marshal(sr)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, wc.base+"/v1/shards", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := wc.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out ShardResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("bad shard response: %w", err)
+	}
+	if len(out.Outcomes) != len(sr.Configs) {
+		return nil, fmt.Errorf("shard returned %d outcomes for %d configs", len(out.Outcomes), len(sr.Configs))
+	}
+	return out.Outcomes, nil
+}

@@ -1,0 +1,532 @@
+// Acceptance suite for the distributed sweep cluster. The load-bearing
+// property is byte-identity: for every workload, a sweep sharded across
+// in-process workers — including under injected mid-sweep worker death —
+// must merge into exactly the canonical bytes a local trace.Sweep
+// produces, with zero lost or duplicated configurations.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jrpm"
+	"jrpm/internal/hydra"
+	"jrpm/internal/service"
+	"jrpm/internal/workloads"
+)
+
+const testScale = 0.2
+
+// newTestWorker starts an in-process jrpmd-in-worker-mode: the cluster
+// endpoints plus the service API (whose /v1/version the coordinator
+// preflights), optionally wrapped in a fault-injection middleware.
+func newTestWorker(t testing.TB, mw func(http.Handler) http.Handler) (*httptest.Server, *Worker) {
+	t.Helper()
+	pool := service.NewPool(service.Config{Workers: 2})
+	t.Cleanup(pool.Stop)
+	w := NewWorker(pool, 0, 2)
+	mux := http.NewServeMux()
+	w.Register(mux)
+	mux.Handle("/", service.NewServer(pool).Handler())
+	var h http.Handler = mux
+	if mw != nil {
+		h = mw(mux)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv, w
+}
+
+func recordWorkload(t testing.TB, name string) (src string, data []byte) {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := jrpm.DefaultOptions()
+	c, err := jrpm.Compile(w.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := c.ProfileRecord(context.Background(), w.NewInput(testScale), opts, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return w.Source, buf.Bytes()
+}
+
+// gridConfigs builds n distinct machine configurations (bank count and
+// store-history depth varied together).
+func gridConfigs(n int) []hydra.Config {
+	banks := []int{1, 2, 4, 8}
+	hists := []int{8, 48, 192}
+	cfgs := make([]hydra.Config, n)
+	for i := range cfgs {
+		cfgs[i] = hydra.DefaultConfig()
+		cfgs[i].Tracer.Banks = banks[i%len(banks)]
+		cfgs[i].Tracer.HeapStoreLines = hists[i%len(hists)]
+	}
+	return cfgs
+}
+
+func localRows(t testing.TB, src string, data []byte, cfgs []hydra.Config) []OutcomeRow {
+	t.Helper()
+	rows, err := Local{}.SweepRecording(context.Background(), "local", src, data, cfgs, jrpm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func canonical(t testing.TB, rows []OutcomeRow) []byte {
+	t.Helper()
+	b, err := Canonical(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// killAfter aborts every shard request past the first n, simulating a
+// worker process dying mid-sweep (clients see a torn connection).
+func killAfter(n int32) func(http.Handler) http.Handler {
+	var count int32
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/v1/shards") {
+				if atomic.AddInt32(&count, 1) > n {
+					panic(http.ErrAbortHandler)
+				}
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// TestClusterEquivalence: for every workload, a two-worker distributed
+// sweep merges into byte-identical canonical rows — selections,
+// estimates, and per-loop tracer tables — both on a healthy fleet and
+// with one worker killed mid-sweep.
+func TestClusterEquivalence(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Meta.Name, func(t *testing.T) {
+			t.Parallel()
+			src, data := recordWorkload(t, w.Meta.Name)
+			cfgs := gridConfigs(9) // uneven shard split on purpose
+			want := canonical(t, localRows(t, src, data, cfgs))
+			grid := Grid{
+				Traces:  []GridTrace{{Name: w.Meta.Name, Source: src, Data: data}},
+				Configs: cfgs,
+				Opts:    jrpm.DefaultOptions(),
+			}
+
+			t.Run("healthy", func(t *testing.T) {
+				s1, _ := newTestWorker(t, nil)
+				s2, _ := newTestWorker(t, nil)
+				coord := New(Options{
+					Workers:      []string{s1.URL, s2.URL},
+					ShardConfigs: 2,
+					HedgeAfter:   -1,
+					Seed:         7,
+				})
+				res, err := coord.Sweep(context.Background(), grid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Degraded {
+					t.Error("healthy fleet reported Degraded")
+				}
+				if got := canonical(t, res.Outcomes[0]); !bytes.Equal(got, want) {
+					t.Error("distributed sweep differs from local trace.Sweep")
+				}
+				if res.Metrics.SentinelChecks < 1 {
+					t.Errorf("sentinel checks = %d, want >= 1", res.Metrics.SentinelChecks)
+				}
+				if res.Metrics.Dispatched < 5 {
+					t.Errorf("dispatched = %d shards, want >= 5", res.Metrics.Dispatched)
+				}
+			})
+
+			t.Run("worker-killed", func(t *testing.T) {
+				dying, _ := newTestWorker(t, killAfter(1))
+				healthy, _ := newTestWorker(t, nil)
+				coord := New(Options{
+					Workers:          []string{dying.URL, healthy.URL},
+					ShardConfigs:     2,
+					MaxAttempts:      4,
+					RetryBase:        time.Millisecond,
+					BreakerThreshold: 2,
+					BreakerCooldown:  50 * time.Millisecond,
+					HedgeAfter:       -1,
+					Seed:             7,
+				})
+				res, err := coord.Sweep(context.Background(), grid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := canonical(t, res.Outcomes[0]); !bytes.Equal(got, want) {
+					t.Error("sweep with mid-sweep worker death differs from local trace.Sweep")
+				}
+				if res.Metrics.Failures < 1 {
+					t.Errorf("failures = %d, want >= 1 (worker did die, right?)", res.Metrics.Failures)
+				}
+			})
+		})
+	}
+}
+
+// tamperShards rewrites every successful shard response on its way out,
+// corrupting one counter — the model of a worker computing wrong answers
+// while speaking the protocol perfectly.
+func tamperShards() func(http.Handler) http.Handler {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if !(r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/v1/shards")) {
+				next.ServeHTTP(w, r)
+				return
+			}
+			rec := httptest.NewRecorder()
+			next.ServeHTTP(rec, r)
+			body := rec.Body.Bytes()
+			if rec.Code == http.StatusOK {
+				var sr ShardResponse
+				if json.Unmarshal(body, &sr) == nil && len(sr.Outcomes) > 0 {
+					sr.Outcomes[0].TracedCycles++
+					body, _ = json.Marshal(sr)
+				}
+			}
+			for k, vs := range rec.Header() {
+				if k == "Content-Length" {
+					continue
+				}
+				for _, v := range vs {
+					w.Header().Add(k, v)
+				}
+			}
+			w.WriteHeader(rec.Code)
+			w.Write(body) //nolint:errcheck
+		})
+	}
+}
+
+// TestClusterSentinelMismatch: a worker returning subtly wrong numbers
+// is caught by the sentinel re-execution, and the sweep fails with
+// ErrDeterminism instead of merging corrupt rows.
+func TestClusterSentinelMismatch(t *testing.T) {
+	src, data := recordWorkload(t, "Huffman")
+	good, _ := newTestWorker(t, nil)
+	evil, _ := newTestWorker(t, tamperShards())
+	coord := New(Options{
+		Workers:      []string{good.URL, evil.URL},
+		ShardConfigs: 2,
+		HedgeAfter:   -1,
+		Seed:         3,
+	})
+	_, err := coord.Sweep(context.Background(), Grid{
+		Traces:  []GridTrace{{Name: "Huffman", Source: src, Data: data}},
+		Configs: gridConfigs(6),
+		Opts:    jrpm.DefaultOptions(),
+	})
+	if !errors.Is(err, ErrDeterminism) {
+		t.Fatalf("err = %v, want ErrDeterminism", err)
+	}
+}
+
+// TestClusterVersionRefusal: a reachable worker speaking a different
+// trace-format version poisons the whole fleet — the coordinator refuses
+// loudly rather than mixing formats.
+func TestClusterVersionRefusal(t *testing.T) {
+	healthy, _ := newTestWorker(t, nil)
+	alien := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(VersionInfo{Module: "jrpm-future", TraceFormat: 999}) //nolint:errcheck
+	}))
+	defer alien.Close()
+
+	src, data := recordWorkload(t, "Huffman")
+	coord := New(Options{Workers: []string{healthy.URL, alien.URL}})
+	_, err := coord.Sweep(context.Background(), Grid{
+		Traces:  []GridTrace{{Name: "Huffman", Source: src, Data: data}},
+		Configs: gridConfigs(2),
+		Opts:    jrpm.DefaultOptions(),
+	})
+	if err == nil || !strings.Contains(err.Error(), "trace format") {
+		t.Fatalf("err = %v, want trace-format refusal", err)
+	}
+}
+
+// TestClusterLocalDegradation: with every worker unreachable the grid
+// runs locally, flagged Degraded, still byte-identical; with the
+// fallback disabled it fails with ErrNoWorkers.
+func TestClusterLocalDegradation(t *testing.T) {
+	src, data := recordWorkload(t, "Huffman")
+	cfgs := gridConfigs(4)
+	want := canonical(t, localRows(t, src, data, cfgs))
+	grid := Grid{
+		Traces:  []GridTrace{{Name: "Huffman", Source: src, Data: data}},
+		Configs: cfgs,
+		Opts:    jrpm.DefaultOptions(),
+	}
+	// A listener that is closed immediately: connection refused, fast.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	addr := dead.URL
+	dead.Close()
+
+	coord := New(Options{Workers: []string{addr}, PingTimeout: 500 * time.Millisecond})
+	res, err := coord.Sweep(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Error("unreachable fleet did not set Degraded")
+	}
+	if got := canonical(t, res.Outcomes[0]); !bytes.Equal(got, want) {
+		t.Error("degraded local sweep differs from trace.Sweep")
+	}
+
+	strict := New(Options{Workers: []string{addr}, PingTimeout: 500 * time.Millisecond, DisableLocalFallback: true})
+	if _, err := strict.Sweep(context.Background(), grid); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+}
+
+// TestClusterStealing: trace affinity parks every shard on worker 0; the
+// idle worker 1 must rebalance by stealing.
+func TestClusterStealing(t *testing.T) {
+	src, data := recordWorkload(t, "Huffman")
+	s1, _ := newTestWorker(t, nil)
+	s2, _ := newTestWorker(t, nil)
+	coord := New(Options{
+		Workers:      []string{s1.URL, s2.URL},
+		ShardConfigs: 1,
+		Sentinels:    -1,
+		HedgeAfter:   -1,
+	})
+	cfgs := gridConfigs(12)
+	res, err := coord.Sweep(context.Background(), Grid{
+		Traces:  []GridTrace{{Name: "Huffman", Source: src, Data: data}},
+		Configs: cfgs,
+		Opts:    jrpm.DefaultOptions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Stolen < 1 {
+		t.Errorf("stolen = %d, want >= 1", res.Metrics.Stolen)
+	}
+	if got := canonical(t, res.Outcomes[0]); !bytes.Equal(got, canonical(t, localRows(t, src, data, cfgs))) {
+		t.Error("stolen-shard sweep differs from local")
+	}
+}
+
+// slowShards delays every shard execution on a worker, making it a
+// straggler without making it wrong.
+func slowShards(d time.Duration) func(http.Handler) http.Handler {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/v1/shards") {
+				// Drain the body before sleeping: the server only notices a
+				// client disconnect (canceling r.Context) once the request
+				// body is consumed, and a hedged winner cancels this request.
+				body, _ := io.ReadAll(r.Body)
+				r.Body = io.NopCloser(bytes.NewReader(body))
+				select {
+				case <-time.After(d):
+				case <-r.Context().Done():
+					return
+				}
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// TestClusterHedging: a straggling shard is re-dispatched to the idle
+// worker; the fast copy's result wins and the merge stays correct.
+func TestClusterHedging(t *testing.T) {
+	src, data := recordWorkload(t, "Huffman")
+	slow, _ := newTestWorker(t, slowShards(2*time.Second))
+	fast, _ := newTestWorker(t, nil)
+	coord := New(Options{
+		Workers:         []string{slow.URL, fast.URL}, // affinity: trace 0 -> slow worker
+		ShardConfigs:    4,
+		Sentinels:       -1,
+		HedgeAfter:      30 * time.Millisecond,
+		HedgeInterval:   5 * time.Millisecond,
+		DisableStealing: true, // the fast worker must hedge, not steal
+	})
+	cfgs := gridConfigs(4) // one shard total
+	sweepStart := time.Now()
+	res, err := coord.Sweep(context.Background(), Grid{
+		Traces:  []GridTrace{{Name: "Huffman", Source: src, Data: data}},
+		Configs: cfgs,
+		Opts:    jrpm.DefaultOptions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(sweepStart); d > time.Second {
+		t.Errorf("sweep took %v; the hedged result should win long before the straggler's 2s delay", d)
+	} else {
+		t.Logf("sweep: %v", d)
+	}
+	if res.Metrics.Hedged < 1 {
+		t.Errorf("hedged = %d, want >= 1", res.Metrics.Hedged)
+	}
+	if got := canonical(t, res.Outcomes[0]); !bytes.Equal(got, canonical(t, localRows(t, src, data, cfgs))) {
+		t.Error("hedged sweep differs from local")
+	}
+}
+
+// failShards rejects every shard execution with a 500.
+func failShards() func(http.Handler) http.Handler {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/v1/shards") {
+				http.Error(w, `{"error":"injected"}`, http.StatusInternalServerError)
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// TestClusterBreaker: a worker failing every shard trips its circuit
+// breaker; the sweep completes on the healthy worker, byte-identical.
+func TestClusterBreaker(t *testing.T) {
+	src, data := recordWorkload(t, "Huffman")
+	broken, _ := newTestWorker(t, failShards())
+	healthy, _ := newTestWorker(t, nil)
+	coord := New(Options{
+		Workers:          []string{broken.URL, healthy.URL},
+		ShardConfigs:     1,
+		Sentinels:        -1,
+		HedgeAfter:       -1,
+		RetryBase:        time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  100 * time.Millisecond,
+	})
+	cfgs := gridConfigs(8)
+	res, err := coord.Sweep(context.Background(), Grid{
+		Traces:  []GridTrace{{Name: "Huffman", Source: src, Data: data}},
+		Configs: cfgs,
+		Opts:    jrpm.DefaultOptions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.BreakerOpens < 1 {
+		t.Errorf("breaker opens = %d, want >= 1", res.Metrics.BreakerOpens)
+	}
+	if got := canonical(t, res.Outcomes[0]); !bytes.Equal(got, canonical(t, localRows(t, src, data, cfgs))) {
+		t.Error("breaker-path sweep differs from local")
+	}
+}
+
+// TestClusterMultiTraceTransfers: two distinct recordings swept in one
+// grid; every recording's bytes reach a given worker at most once, even
+// across repeated sweeps through the same coordinator.
+func TestClusterMultiTraceTransfers(t *testing.T) {
+	srcA, dataA := recordWorkload(t, "Huffman")
+	srcB, dataB := recordWorkload(t, "LuFactor")
+	s1, w1 := newTestWorker(t, nil)
+	s2, w2 := newTestWorker(t, nil)
+	coord := New(Options{
+		Workers:      []string{s1.URL, s2.URL},
+		ShardConfigs: 2,
+		Sentinels:    -1,
+		HedgeAfter:   -1,
+	})
+	cfgs := gridConfigs(6)
+	grid := Grid{
+		Traces: []GridTrace{
+			{Name: "Huffman", Source: srcA, Data: dataA},
+			{Name: "LuFactor", Source: srcB, Data: dataB},
+		},
+		Configs: cfgs,
+		Opts:    jrpm.DefaultOptions(),
+	}
+	for round := 0; round < 2; round++ {
+		res, err := coord.Sweep(context.Background(), grid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ti, tr := range grid.Traces {
+			want := canonical(t, localRows(t, tr.Source, tr.Data, cfgs))
+			if got := canonical(t, res.Outcomes[ti]); !bytes.Equal(got, want) {
+				t.Errorf("round %d trace %d: distributed rows differ from local", round, ti)
+			}
+		}
+	}
+	for i, w := range []*Worker{w1, w2} {
+		for _, tr := range w.Snapshot().Traces {
+			if tr.Pushes > 1 {
+				t.Errorf("worker %d: trace %s pushed %d times, want <= 1", i, tr.Key[:12], tr.Pushes)
+			}
+		}
+	}
+}
+
+// TestWorkerEndpoints exercises the worker HTTP surface directly:
+// content-address verification, garbage rejection, presence stats, and
+// trace-missing shard rejection.
+func TestWorkerEndpoints(t *testing.T) {
+	srv, _ := newTestWorker(t, nil)
+	_, data := recordWorkload(t, "Huffman")
+	key := service.TraceKeyOf(data)
+	client := srv.Client()
+
+	put := func(path string, body []byte) *http.Response {
+		req, _ := http.NewRequest(http.MethodPut, srv.URL+path, bytes.NewReader(body))
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	if resp := put("/v1/traces/"+key, []byte("garbage")); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("mismatched content address: HTTP %d, want 400", resp.StatusCode)
+	}
+	if resp := put("/v1/traces/"+service.TraceKeyOf([]byte("garbage")), []byte("garbage")); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("non-trace bytes: HTTP %d, want 422", resp.StatusCode)
+	}
+	if resp := put("/v1/traces/"+key, data); resp.StatusCode != http.StatusNoContent {
+		t.Errorf("valid push: HTTP %d, want 204", resp.StatusCode)
+	}
+	resp, err := client.Get(srv.URL + "/v1/traces/" + key + "?stat=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("stat after push: HTTP %d, want 204", resp.StatusCode)
+	}
+
+	// A shard against a key the worker does not hold must come back as
+	// the typed trace_missing rejection the dispatcher re-pushes on.
+	sr := ShardRequest{TraceKey: strings.Repeat("0", 64), Source: "func main() {}", Configs: gridConfigs(1)}
+	body, _ := json.Marshal(sr)
+	resp, err = client.Post(srv.URL+"/v1/shards", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing trace shard: HTTP %d, want 404", resp.StatusCode)
+	}
+	var ae struct {
+		Code string `json:"code"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ae); err != nil || ae.Code != "trace_missing" {
+		t.Errorf("missing trace shard: code=%q err=%v, want trace_missing", ae.Code, err)
+	}
+}

@@ -1,0 +1,824 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"jrpm"
+	"jrpm/internal/hydra"
+	"jrpm/internal/service"
+	"jrpm/internal/trace"
+)
+
+// Options tunes the coordinator. The zero value of every field is
+// replaced by a sane default; fields documented as "< 0 disables" use
+// the negative range as the explicit off switch.
+type Options struct {
+	// Workers lists jrpmd worker addresses (host:port or full URLs).
+	// Empty means every sweep runs locally.
+	Workers []string
+	// ShardConfigs is the number of grid configs per shard; <= 0 means 4.
+	ShardConfigs int
+	// MaxAttempts bounds dispatch attempts per shard before giving up on
+	// the cluster (local fallback, unless disabled); <= 0 means 4.
+	MaxAttempts int
+	// RetryBase/RetryMax shape the exponential backoff between attempts
+	// (base*2^n with ±50% jitter, capped); defaults 50ms / 2s.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// BreakerThreshold consecutive failures open a worker's circuit
+	// breaker for BreakerCooldown; defaults 3 / 2s.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// HedgeAfter re-dispatches a still-running shard to a second worker
+	// after this long; <= 0 means 500ms, < 0 disables hedging.
+	HedgeAfter time.Duration
+	// HedgeInterval is the straggler scan period; <= 0 means 25ms.
+	HedgeInterval time.Duration
+	// Sentinels is the number of leading shards re-executed on a second
+	// worker for the determinism check; 0 means 1, < 0 disables.
+	Sentinels int
+	// ShardTimeout bounds one shard round trip; <= 0 means 60s.
+	ShardTimeout time.Duration
+	// PingTimeout bounds the version preflight; <= 0 means 2s.
+	PingTimeout time.Duration
+	// DisableLocalFallback turns exhausted-shard and no-worker local
+	// execution into hard errors.
+	DisableLocalFallback bool
+	// DisableStealing pins every shard to its affinity worker (plus
+	// retries and hedges); idle workers wait instead of stealing.
+	DisableStealing bool
+	// Seed fixes the jitter RNG (tests); 0 means 1.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.ShardConfigs <= 0 {
+		o.ShardConfigs = 4
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 50 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 2 * time.Second
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 2 * time.Second
+	}
+	if o.HedgeAfter == 0 {
+		o.HedgeAfter = 500 * time.Millisecond
+	}
+	if o.HedgeInterval <= 0 {
+		o.HedgeInterval = 25 * time.Millisecond
+	}
+	if o.Sentinels == 0 {
+		o.Sentinels = 1
+	}
+	if o.ShardTimeout <= 0 {
+		o.ShardTimeout = 60 * time.Second
+	}
+	if o.PingTimeout <= 0 {
+		o.PingTimeout = 2 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Coordinator drives distributed sweeps. It is stateless between Sweep
+// calls except for the worker trace-residency bookkeeping, so one
+// coordinator can run many grids against the same fleet and ship each
+// recording to each worker at most once.
+type Coordinator struct {
+	opts    Options
+	clients []*workerClient
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// New builds a coordinator for a fixed worker fleet.
+func New(opts Options) *Coordinator {
+	opts = opts.withDefaults()
+	c := &Coordinator{opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+	for _, addr := range opts.Workers {
+		c.clients = append(c.clients, newWorkerClient(addr, 0))
+	}
+	return c
+}
+
+func (c *Coordinator) jitter(d time.Duration) time.Duration {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return d/2 + time.Duration(c.rng.Int63n(int64(d)))
+}
+
+func (c *Coordinator) backoff(attempt int) time.Duration {
+	d := c.opts.RetryBase
+	for i := 1; i < attempt && d < c.opts.RetryMax; i++ {
+		d *= 2
+	}
+	if d > c.opts.RetryMax {
+		d = c.opts.RetryMax
+	}
+	return c.jitter(d)
+}
+
+// preflight version-checks every worker. Unreachable workers are
+// excluded silently (they may come back; the breaker would exclude them
+// anyway); reachable workers with a different trace-format version are
+// refusals — mixing formats corrupts results, so they are reported as
+// hard errors.
+func (c *Coordinator) preflight(ctx context.Context) (healthy []*workerClient, refusals []error) {
+	pctx, cancel := context.WithTimeout(ctx, c.opts.PingTimeout)
+	defer cancel()
+	vis := make([]VersionInfo, len(c.clients))
+	errs := make([]error, len(c.clients))
+	var wg sync.WaitGroup
+	for i, wc := range c.clients {
+		wg.Add(1)
+		go func(i int, wc *workerClient) {
+			defer wg.Done()
+			vis[i], errs[i] = wc.version(pctx)
+		}(i, wc)
+	}
+	wg.Wait()
+	// Iterate in configured order so worker indices (and therefore trace
+	// affinity and shard placement) are deterministic.
+	for i, wc := range c.clients {
+		switch {
+		case errs[i] != nil:
+			// unreachable: excluded
+		case vis[i].TraceFormat != trace.Version:
+			refusals = append(refusals, fmt.Errorf(
+				"worker %s: trace format v%d, coordinator speaks v%d (module %q) — refusing mixed-format worker",
+				wc.name, vis[i].TraceFormat, trace.Version, vis[i].Module))
+		default:
+			healthy = append(healthy, wc)
+		}
+	}
+	return healthy, refusals
+}
+
+// Sweep runs the grid: shard, dispatch, retry, hedge, steal, verify,
+// merge. The returned outcomes are byte-identical (under Canonical) to
+// EncodeOutcomes of a local trace.Sweep of every (trace, config) cell.
+func (c *Coordinator) Sweep(ctx context.Context, grid Grid) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(grid.Traces) == 0 {
+		return nil, errors.New("cluster: grid has no traces")
+	}
+	if len(grid.Configs) == 0 {
+		return nil, errors.New("cluster: grid has no configs")
+	}
+	for i, gt := range grid.Traces {
+		if len(gt.Data) == 0 {
+			return nil, fmt.Errorf("cluster: trace %d (%s) has no recording bytes", i, gt.Name)
+		}
+	}
+	grid.Opts = jrpm.Normalize(grid.Opts)
+	keys := make([]string, len(grid.Traces))
+	for i := range grid.Traces {
+		keys[i] = service.TraceKeyOf(grid.Traces[i].Data)
+	}
+
+	metrics := newMetrics()
+	if len(c.clients) == 0 {
+		return c.localGrid(ctx, &grid, metrics, false)
+	}
+	healthy, refusals := c.preflight(ctx)
+	if len(healthy) == 0 {
+		if len(refusals) > 0 {
+			return nil, errors.Join(refusals...)
+		}
+		if c.opts.DisableLocalFallback {
+			return nil, fmt.Errorf("%w: all %d workers unreachable", ErrNoWorkers, len(c.clients))
+		}
+		return c.localGrid(ctx, &grid, metrics, true)
+	}
+	if len(refusals) > 0 {
+		// Some workers are usable but others speak a different trace
+		// format: refuse loudly rather than silently shrinking the fleet.
+		return nil, errors.Join(refusals...)
+	}
+
+	s := newSched(c, &grid, keys, healthy, metrics)
+	if err := s.run(ctx); err != nil {
+		return nil, err
+	}
+	out, err := s.merge()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Outcomes: out, Metrics: metrics.Snapshot()}, nil
+}
+
+// localGrid executes the whole grid in-process (no workers configured,
+// or none reachable).
+func (c *Coordinator) localGrid(ctx context.Context, grid *Grid, metrics *Metrics, degraded bool) (*Result, error) {
+	out := make([][]OutcomeRow, len(grid.Traces))
+	for ti, gt := range grid.Traces {
+		compiled, err := jrpm.Compile(gt.Source, grid.Opts)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: local compile %s: %w", gt.Name, err)
+		}
+		outs := compiled.SweepTrace(ctx, gt.Data, grid.Configs, grid.Opts, 0)
+		out[ti] = EncodeOutcomes(outs)
+		metrics.onLocalShard()
+	}
+	if err := context.Cause(ctx); err != nil && ctx.Err() != nil {
+		return nil, err
+	}
+	return &Result{Outcomes: out, Degraded: degraded, Metrics: metrics.Snapshot()}, nil
+}
+
+// SweepRecording adapts Sweep to the one-recording signature used by the
+// internal/experiments ablation grids (experiments.GridSweeper).
+func (c *Coordinator) SweepRecording(ctx context.Context, name, source string, data []byte, cfgs []hydra.Config, opts jrpm.Options) ([]OutcomeRow, error) {
+	res, err := c.Sweep(ctx, Grid{
+		Traces:  []GridTrace{{Name: name, Source: source, Data: data}},
+		Configs: cfgs,
+		Opts:    opts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Outcomes[0], nil
+}
+
+// Local runs sweep grids in-process with trace.Sweep; it satisfies the
+// same GridSweeper shape as a Coordinator, so callers switch between
+// local and distributed execution with one value.
+type Local struct {
+	// Workers bounds replay parallelism; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// SweepRecording compiles the program and replays the recording under
+// every configuration locally.
+func (l Local) SweepRecording(ctx context.Context, name, source string, data []byte, cfgs []hydra.Config, opts jrpm.Options) ([]OutcomeRow, error) {
+	opts = jrpm.Normalize(opts)
+	compiled, err := jrpm.Compile(source, opts)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: compile %s: %w", name, err)
+	}
+	return EncodeOutcomes(compiled.SweepTrace(ctx, data, cfgs, opts, l.Workers)), nil
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+
+// task is one dispatchable shard: a contiguous config range of one grid
+// trace. A sentinel task re-executes its target's range for the
+// determinism check and never merges.
+type task struct {
+	trace  int
+	lo, hi int
+
+	sentinelOf *task   // non-nil on sentinel copies
+	sentinels  []*task // on primaries: attached sentinel copies
+
+	attempts int // finished (failed) attempts
+	queued   int // copies sitting in worker queues
+	inflight int // active attempts
+	hedged   bool
+	done     bool
+	rows     []OutcomeRow
+	by       string // worker that produced rows
+}
+
+type flight struct {
+	t      *task
+	worker int
+	start  time.Time
+	cancel context.CancelFunc
+}
+
+type sched struct {
+	c       *Coordinator
+	grid    *Grid
+	keys    []string
+	clients []*workerClient
+	metrics *Metrics
+
+	mu            sync.Mutex
+	cond          *sync.Cond
+	ctx           context.Context
+	queues        [][]*task
+	flights       map[*flight]struct{}
+	primaries     []*task
+	remaining     int
+	sentinelsLeft int
+	consecFail    []int
+	breakerUntil  []time.Time
+	err           error
+	closed        bool
+	timers        []*time.Timer
+
+	compileOnce []sync.Once
+	compiled    []*jrpm.Compiled
+	compileErr  []error
+}
+
+func newSched(c *Coordinator, grid *Grid, keys []string, clients []*workerClient, metrics *Metrics) *sched {
+	s := &sched{
+		c:            c,
+		grid:         grid,
+		keys:         keys,
+		clients:      clients,
+		metrics:      metrics,
+		queues:       make([][]*task, len(clients)),
+		flights:      map[*flight]struct{}{},
+		consecFail:   make([]int, len(clients)),
+		breakerUntil: make([]time.Time, len(clients)),
+		compileOnce:  make([]sync.Once, len(grid.Traces)),
+		compiled:     make([]*jrpm.Compiled, len(grid.Traces)),
+		compileErr:   make([]error, len(grid.Traces)),
+	}
+	s.cond = sync.NewCond(&s.mu)
+
+	size := c.opts.ShardConfigs
+	w := len(clients)
+	for ti := range grid.Traces {
+		for lo := 0; lo < len(grid.Configs); lo += size {
+			hi := lo + size
+			if hi > len(grid.Configs) {
+				hi = len(grid.Configs)
+			}
+			t := &task{trace: ti, lo: lo, hi: hi}
+			s.primaries = append(s.primaries, t)
+			// Trace affinity: all of a trace's shards start on one worker,
+			// so each recording ships once; idle workers rebalance by
+			// stealing (and then pull the recording themselves, once).
+			s.enqueueLocked(ti%w, t)
+		}
+	}
+	s.remaining = len(s.primaries)
+
+	if w >= 2 && c.opts.Sentinels > 0 {
+		n := c.opts.Sentinels
+		if n > len(s.primaries) {
+			n = len(s.primaries)
+		}
+		for i := 0; i < n; i++ {
+			p := s.primaries[i]
+			sent := &task{trace: p.trace, lo: p.lo, hi: p.hi, sentinelOf: p}
+			p.sentinels = append(p.sentinels, sent)
+			s.enqueueLocked((p.trace+1)%w, sent)
+			s.sentinelsLeft++
+		}
+	}
+	return s
+}
+
+func (s *sched) enqueueLocked(w int, t *task) {
+	t.queued++
+	s.queues[w] = append(s.queues[w], t)
+}
+
+// terminalLocked reports whether worker loops should exit.
+func (s *sched) terminalLocked() bool {
+	return s.err != nil || s.ctx.Err() != nil || (s.remaining == 0 && s.sentinelsLeft == 0)
+}
+
+// next blocks until worker w has a shard to run (its own queue first,
+// then stealing from the longest other queue) or the sweep is over.
+func (s *sched) next(w int) (*task, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.terminalLocked() {
+			return nil, false
+		}
+		// Circuit breaker: while open, this worker takes no new work. The
+		// sleep is chunked so a completed sweep never waits out a cooldown.
+		if wait := time.Until(s.breakerUntil[w]); wait > 0 {
+			if wait > 10*time.Millisecond {
+				wait = 10 * time.Millisecond
+			}
+			s.mu.Unlock()
+			select {
+			case <-time.After(wait):
+			case <-s.ctx.Done():
+			}
+			s.mu.Lock()
+			continue
+		}
+		if t := s.popLocked(w); t != nil {
+			return t, false
+		}
+		// Work stealing: this worker drained early; take the oldest
+		// queued shard from the most loaded peer.
+		best, bestLen := -1, 0
+		if !s.c.opts.DisableStealing {
+			for i := range s.queues {
+				if i != w && len(s.queues[i]) > bestLen {
+					best, bestLen = i, len(s.queues[i])
+				}
+			}
+		}
+		if best >= 0 {
+			if t := s.popLocked(best); t != nil {
+				return t, true
+			}
+			continue
+		}
+		s.cond.Wait()
+	}
+}
+
+// popLocked pops the front of queue w, skipping tasks already completed
+// by another copy.
+func (s *sched) popLocked(w int) *task {
+	for len(s.queues[w]) > 0 {
+		t := s.queues[w][0]
+		s.queues[w] = s.queues[w][1:]
+		t.queued--
+		if !t.done {
+			return t
+		}
+	}
+	return nil
+}
+
+// run executes the scheduler until the grid is merged or failed.
+func (s *sched) run(ctx context.Context) error {
+	s.mu.Lock()
+	s.ctx = ctx
+	s.mu.Unlock()
+
+	stop := make(chan struct{})
+	go func() { // wake sleepers on cancellation
+		select {
+		case <-ctx.Done():
+			s.cond.Broadcast()
+		case <-stop:
+		}
+	}()
+	if s.c.opts.HedgeAfter > 0 && len(s.clients) >= 2 {
+		go s.hedgeMonitor(stop)
+	}
+
+	var wg sync.WaitGroup
+	for w := range s.clients {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				t, stolen := s.next(w)
+				if t == nil {
+					return
+				}
+				s.metrics.onDispatch(s.clients[w].name, stolen)
+				s.attempt(w, t)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+
+	s.mu.Lock()
+	s.closed = true
+	for _, tm := range s.timers {
+		tm.Stop()
+	}
+	err := s.err
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if ctx.Err() != nil {
+		return context.Cause(ctx)
+	}
+	return nil
+}
+
+// attempt runs one dispatch of t on worker w and routes the outcome
+// through the completion / retry / breaker machinery.
+func (s *sched) attempt(w int, t *task) {
+	s.mu.Lock()
+	if t.done || s.terminalLocked() {
+		s.mu.Unlock()
+		return
+	}
+	actx, cancel := context.WithTimeout(s.ctx, s.c.opts.ShardTimeout)
+	fl := &flight{t: t, worker: w, start: time.Now(), cancel: cancel}
+	t.inflight++
+	s.flights[fl] = struct{}{}
+	s.mu.Unlock()
+
+	rows, err := s.execute(actx, w, t)
+	cancel()
+
+	s.mu.Lock()
+	delete(s.flights, fl)
+	t.inflight--
+	if t.done { // hedge loser: a peer already completed this shard
+		s.mu.Unlock()
+		return
+	}
+	name := s.clients[w].name
+	if err == nil {
+		s.consecFail[w] = 0
+		s.completeLocked(t, rows, name)
+		s.mu.Unlock()
+		s.metrics.onComplete(name, time.Since(fl.start))
+		return
+	}
+
+	// Failure path.
+	var breakerOpened, retried, localRun bool
+	s.consecFail[w]++
+	if s.consecFail[w] >= s.c.opts.BreakerThreshold && time.Now().After(s.breakerUntil[w]) {
+		s.breakerUntil[w] = time.Now().Add(s.c.opts.BreakerCooldown)
+		s.consecFail[w] = 0 // half-open after cooldown: one probe re-trips it after Threshold more
+		breakerOpened = true
+	}
+	if s.ctx.Err() != nil {
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		s.metrics.onFailure(name)
+		return
+	}
+	t.attempts++
+	switch {
+	case t.inflight > 0 || t.queued > 0:
+		// Another copy of this shard is still in play; let it decide.
+	case t.attempts >= s.c.opts.MaxAttempts:
+		if t.sentinelOf != nil {
+			// A sentinel that cannot run is a skipped check, not a failure.
+			s.sentinelsLeft--
+			s.cond.Broadcast()
+		} else if !s.c.opts.DisableLocalFallback {
+			localRun = true
+		} else {
+			s.err = fmt.Errorf("cluster: shard (trace %d, configs [%d,%d)) failed %d attempts, last: %w",
+				t.trace, t.lo, t.hi, t.attempts, err)
+			s.cond.Broadcast()
+		}
+	default:
+		retried = true
+		t.queued++ // reserved until the timer requeues it
+		delay := s.c.backoff(t.attempts)
+		avoid := w
+		tm := time.AfterFunc(delay, func() { s.requeue(t, avoid) })
+		s.timers = append(s.timers, tm)
+	}
+	s.mu.Unlock()
+
+	s.metrics.onFailure(name)
+	if breakerOpened {
+		s.metrics.onBreakerOpen()
+	}
+	if retried {
+		s.metrics.onRetry()
+	}
+	if localRun {
+		s.localShard(t)
+	}
+}
+
+// completeLocked records a shard's rows, cancels competing attempts, and
+// fires the sentinel comparison when both sides are in.
+func (s *sched) completeLocked(t *task, rows []OutcomeRow, by string) {
+	t.done = true
+	t.rows = rows
+	t.by = by
+	for fl := range s.flights {
+		if fl.t == t {
+			fl.cancel()
+		}
+	}
+	if t.sentinelOf != nil {
+		s.sentinelsLeft--
+		if t.sentinelOf.done {
+			s.checkSentinelLocked(t.sentinelOf, t)
+		}
+	} else {
+		s.remaining--
+		for _, sent := range t.sentinels {
+			if sent.done {
+				s.checkSentinelLocked(t, sent)
+			}
+		}
+	}
+	s.cond.Broadcast()
+}
+
+// checkSentinelLocked compares a primary shard's canonical bytes with
+// its sentinel re-execution.
+func (s *sched) checkSentinelLocked(primary, sent *task) {
+	s.metrics.onSentinel()
+	pb, perr := Canonical(primary.rows)
+	sb, serr := Canonical(sent.rows)
+	if perr != nil || serr != nil {
+		s.err = fmt.Errorf("%w: encoding failed (%v, %v)", ErrDeterminism, perr, serr)
+	} else if !bytes.Equal(pb, sb) {
+		s.err = fmt.Errorf("%w: shard (trace %d, configs [%d,%d)) differs between %s and %s",
+			ErrDeterminism, primary.trace, primary.lo, primary.hi, primary.by, sent.by)
+	}
+	if s.err != nil {
+		s.cond.Broadcast()
+	}
+}
+
+// requeue puts a retried shard back on the least-loaded worker, avoiding
+// the one that just failed it when there is a choice.
+func (s *sched) requeue(t *task, avoid int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || t.done || s.terminalLocked() {
+		t.queued--
+		s.cond.Broadcast()
+		return
+	}
+	best := -1
+	for i := range s.queues {
+		if i == avoid && len(s.clients) > 1 {
+			continue
+		}
+		if best < 0 || len(s.queues[i]) < len(s.queues[best]) {
+			best = i
+		}
+	}
+	s.queues[best] = append(s.queues[best], t)
+	s.cond.Broadcast()
+}
+
+// hedgeMonitor scans in-flight shards and re-dispatches stragglers to a
+// second worker; the first result wins and the loser is canceled.
+func (s *sched) hedgeMonitor(stop <-chan struct{}) {
+	tick := time.NewTicker(s.c.opts.HedgeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		var hedges int
+		s.mu.Lock()
+		if s.terminalLocked() {
+			s.mu.Unlock()
+			return
+		}
+		for fl := range s.flights {
+			t := fl.t
+			if t.done || t.hedged || t.queued > 0 || time.Since(fl.start) < s.c.opts.HedgeAfter {
+				continue
+			}
+			best := -1
+			for i := range s.queues {
+				if i == fl.worker {
+					continue
+				}
+				if best < 0 || len(s.queues[i]) < len(s.queues[best]) {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			t.hedged = true
+			s.enqueueLocked(best, t)
+			hedges++
+		}
+		if hedges > 0 {
+			s.cond.Broadcast()
+		}
+		s.mu.Unlock()
+		for i := 0; i < hedges; i++ {
+			s.metrics.onHedge()
+		}
+	}
+}
+
+// execute is one network attempt: make the recording resident (shipping
+// bytes only on cache miss), then run the shard; a worker that evicted
+// the trace between push and dispatch gets exactly one re-push.
+func (s *sched) execute(ctx context.Context, w int, t *task) ([]OutcomeRow, error) {
+	wc := s.clients[w]
+	key := s.keys[t.trace]
+	data := s.grid.Traces[t.trace].Data
+	pushed, err := wc.ensureTrace(ctx, key, data)
+	if pushed {
+		s.metrics.onPush(wc.name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rows, err := wc.runShard(ctx, s.shardReq(t))
+	if errors.Is(err, errTraceMissing) {
+		wc.forget(key)
+		pushed, perr := wc.ensureTrace(ctx, key, data)
+		if pushed {
+			s.metrics.onPush(wc.name)
+		}
+		if perr != nil {
+			return nil, perr
+		}
+		rows, err = wc.runShard(ctx, s.shardReq(t))
+	}
+	return rows, err
+}
+
+func (s *sched) shardReq(t *task) ShardRequest {
+	gt := s.grid.Traces[t.trace]
+	return ShardRequest{
+		TraceKey: s.keys[t.trace],
+		Source:   gt.Source,
+		Optimize: s.grid.Opts.Optimize,
+		Annot:    s.grid.Opts.Annot,
+		Tracer:   s.grid.Opts.Tracer,
+		Select:   s.grid.Opts.Select,
+		Configs:  s.grid.Configs[t.lo:t.hi],
+	}
+}
+
+// localShard executes one exhausted shard in-process — the graceful
+// degradation path when the fleet cannot run it.
+func (s *sched) localShard(t *task) {
+	ti := t.trace
+	s.compileOnce[ti].Do(func() {
+		s.compiled[ti], s.compileErr[ti] = jrpm.Compile(s.grid.Traces[ti].Source, s.grid.Opts)
+	})
+	var rows []OutcomeRow
+	err := s.compileErr[ti]
+	if err == nil {
+		outs := s.compiled[ti].SweepTrace(s.ctx, s.grid.Traces[ti].Data, s.grid.Configs[t.lo:t.hi], s.grid.Opts, 0)
+		rows = EncodeOutcomes(outs)
+		for _, o := range outs {
+			if o.Err != nil && (errors.Is(o.Err, context.Canceled) || errors.Is(o.Err, context.DeadlineExceeded)) {
+				err = o.Err
+				break
+			}
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.done {
+		return
+	}
+	if err != nil {
+		if s.err == nil && s.ctx.Err() == nil {
+			s.err = fmt.Errorf("cluster: local fallback for shard (trace %d, configs [%d,%d)): %w", t.trace, t.lo, t.hi, err)
+		}
+		s.cond.Broadcast()
+		return
+	}
+	s.metrics.onLocalShard()
+	s.completeLocked(t, rows, "local")
+}
+
+// merge assembles the [trace][config] outcome matrix; every cell must be
+// produced by exactly one completed primary shard.
+func (s *sched) merge() ([][]OutcomeRow, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([][]OutcomeRow, len(s.grid.Traces))
+	for ti := range out {
+		out[ti] = make([]OutcomeRow, len(s.grid.Configs))
+	}
+	filled := make([][]bool, len(s.grid.Traces))
+	for ti := range filled {
+		filled[ti] = make([]bool, len(s.grid.Configs))
+	}
+	for _, t := range s.primaries {
+		if !t.done {
+			return nil, fmt.Errorf("cluster: internal: shard (trace %d, configs [%d,%d)) never completed", t.trace, t.lo, t.hi)
+		}
+		if len(t.rows) != t.hi-t.lo {
+			return nil, fmt.Errorf("cluster: internal: shard (trace %d, configs [%d,%d)) has %d rows", t.trace, t.lo, t.hi, len(t.rows))
+		}
+		for i, row := range t.rows {
+			ci := t.lo + i
+			if filled[t.trace][ci] {
+				return nil, fmt.Errorf("cluster: internal: config (trace %d, config %d) merged twice", t.trace, ci)
+			}
+			filled[t.trace][ci] = true
+			out[t.trace][ci] = row
+		}
+	}
+	for ti := range filled {
+		for ci, ok := range filled[ti] {
+			if !ok {
+				return nil, fmt.Errorf("cluster: internal: config (trace %d, config %d) lost", ti, ci)
+			}
+		}
+	}
+	return out, nil
+}

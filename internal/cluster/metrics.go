@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics accumulates one sweep's scheduling counters. All updates
+// happen under the scheduler lock except latency observation, which has
+// its own mutex so slow shards never serialize against dispatch.
+type Metrics struct {
+	mu sync.Mutex
+
+	dispatched int64
+	retried    int64
+	hedged     int64
+	stolen     int64
+	failures   int64
+	breaker    int64
+	local      int64
+	sentinels  int64
+	pushes     int64
+
+	latencies []time.Duration // completed shard round-trip times
+	perWorker map[string]*workerCounters
+}
+
+type workerCounters struct {
+	dispatched int64
+	completed  int64
+	failures   int64
+	stolen     int64
+	pushes     int64
+	latencies  []time.Duration
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{perWorker: map[string]*workerCounters{}}
+}
+
+func (m *Metrics) worker(name string) *workerCounters {
+	w := m.perWorker[name]
+	if w == nil {
+		w = &workerCounters{}
+		m.perWorker[name] = w
+	}
+	return w
+}
+
+func (m *Metrics) onDispatch(worker string, stolen bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dispatched++
+	w := m.worker(worker)
+	w.dispatched++
+	if stolen {
+		m.stolen++
+		w.stolen++
+	}
+}
+
+func (m *Metrics) onComplete(worker string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := m.worker(worker)
+	w.completed++
+	w.latencies = append(w.latencies, d)
+	m.latencies = append(m.latencies, d)
+}
+
+func (m *Metrics) onFailure(worker string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failures++
+	m.worker(worker).failures++
+}
+
+func (m *Metrics) onRetry()        { m.mu.Lock(); m.retried++; m.mu.Unlock() }
+func (m *Metrics) onHedge()        { m.mu.Lock(); m.hedged++; m.mu.Unlock() }
+func (m *Metrics) onBreakerOpen()  { m.mu.Lock(); m.breaker++; m.mu.Unlock() }
+func (m *Metrics) onLocalShard()   { m.mu.Lock(); m.local++; m.mu.Unlock() }
+func (m *Metrics) onSentinel()     { m.mu.Lock(); m.sentinels++; m.mu.Unlock() }
+func (m *Metrics) onPush(w string) { m.mu.Lock(); m.pushes++; m.worker(w).pushes++; m.mu.Unlock() }
+
+// WorkerStats is the per-worker section of a metrics snapshot.
+type WorkerStats struct {
+	Worker     string  `json:"worker"`
+	Dispatched int64   `json:"dispatched"`
+	Completed  int64   `json:"completed"`
+	Failures   int64   `json:"failures"`
+	Stolen     int64   `json:"stolen"`
+	TracePush  int64   `json:"trace_pushes"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+}
+
+// Snapshot is the JSON-ready summary of one sweep's scheduling: shard
+// dispatch/retry/hedge/steal counters, circuit-breaker trips, local
+// fallbacks, sentinel checks, content-address pushes, and shard latency
+// quantiles, overall and per worker.
+type Snapshot struct {
+	Dispatched     int64         `json:"dispatched"`
+	Retried        int64         `json:"retried"`
+	Hedged         int64         `json:"hedged"`
+	Stolen         int64         `json:"stolen"`
+	Failures       int64         `json:"failures"`
+	BreakerOpens   int64         `json:"breaker_opens"`
+	LocalShards    int64         `json:"local_shards"`
+	SentinelChecks int64         `json:"sentinel_checks"`
+	TracePushes    int64         `json:"trace_pushes"`
+	ShardP50Ms     float64       `json:"shard_p50_ms"`
+	ShardP99Ms     float64       `json:"shard_p99_ms"`
+	Workers        []WorkerStats `json:"workers"`
+}
+
+// quantile returns the q-th latency quantile in milliseconds; ds is
+// copied and sorted.
+func quantile(ds []time.Duration, q float64) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q * float64(len(s)-1))
+	return float64(s[i].Microseconds()) / 1e3
+}
+
+// Snapshot copies the counters out. Worker rows are sorted by name.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Dispatched:     m.dispatched,
+		Retried:        m.retried,
+		Hedged:         m.hedged,
+		Stolen:         m.stolen,
+		Failures:       m.failures,
+		BreakerOpens:   m.breaker,
+		LocalShards:    m.local,
+		SentinelChecks: m.sentinels,
+		TracePushes:    m.pushes,
+		ShardP50Ms:     quantile(m.latencies, 0.50),
+		ShardP99Ms:     quantile(m.latencies, 0.99),
+	}
+	names := make([]string, 0, len(m.perWorker))
+	for n := range m.perWorker {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		w := m.perWorker[n]
+		s.Workers = append(s.Workers, WorkerStats{
+			Worker:     n,
+			Dispatched: w.dispatched,
+			Completed:  w.completed,
+			Failures:   w.failures,
+			Stolen:     w.stolen,
+			TracePush:  w.pushes,
+			P50Ms:      quantile(w.latencies, 0.50),
+			P99Ms:      quantile(w.latencies, 0.99),
+		})
+	}
+	return s
+}

@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+
+	"jrpm"
+	"jrpm/internal/service"
+	"jrpm/internal/trace"
+)
+
+// maxTraceBody bounds PUT /v1/traces uploads and POST /v1/shards bodies.
+const maxTraceBody = 512 << 20
+
+// Worker serves the cluster's worker-side endpoints on top of a service
+// pool, reusing its content-addressed caches:
+//
+//	POST /v1/shards          replay a cached recording under N configs
+//	GET  /v1/traces/{hash}   fetch cached trace bytes (?stat=1: presence only)
+//	PUT  /v1/traces/{hash}   store trace bytes under their content address
+//
+// Shard execution is bounded by a semaphore independent of the pool's
+// job queue, so a busy profiling daemon still answers shard traffic
+// predictably (and vice versa). Every trace transfer is counted per
+// content address; BenchmarkClusterSweep asserts each recording reaches
+// a worker at most once.
+type Worker struct {
+	pool *service.Pool
+	sem  chan struct{}
+	// replayWorkers bounds intra-shard replay parallelism (trace.Sweep's
+	// worker count); <= 0 means GOMAXPROCS.
+	replayWorkers int
+
+	mu        sync.Mutex
+	shards    int64
+	configs   int64
+	pulls     map[string]int64 // trace key -> GET (bytes served) count
+	pushes    map[string]int64 // trace key -> PUT (bytes received) count
+	rejected  int64
+	shardErrs int64
+}
+
+// NewWorker wraps a pool. maxConcurrent bounds simultaneous shard
+// executions (<= 0 means GOMAXPROCS); replayWorkers bounds each shard's
+// internal replay fan-out (<= 0 means GOMAXPROCS).
+func NewWorker(pool *service.Pool, maxConcurrent, replayWorkers int) *Worker {
+	if maxConcurrent <= 0 {
+		maxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	return &Worker{
+		pool:          pool,
+		sem:           make(chan struct{}, maxConcurrent),
+		replayWorkers: replayWorkers,
+		pulls:         map[string]int64{},
+		pushes:        map[string]int64{},
+	}
+}
+
+// Handler returns the worker routes.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	w.Register(mux)
+	return mux
+}
+
+// Register mounts the worker routes on an existing mux (jrpmd mounts
+// them next to the service API).
+func (w *Worker) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/shards", w.runShard)
+	mux.HandleFunc("GET /v1/traces/{hash}", w.getTrace)
+	mux.HandleFunc("PUT /v1/traces/{hash}", w.putTrace)
+}
+
+func (w *Worker) getTrace(rw http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("hash")
+	art, ok := w.pool.Traces().Get(key)
+	if !ok {
+		writeJSON(rw, http.StatusNotFound, map[string]string{"error": "no cached trace", "code": "trace_missing"})
+		return
+	}
+	if r.URL.Query().Get("stat") != "" {
+		rw.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.mu.Lock()
+	w.pulls[key]++
+	w.mu.Unlock()
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.Write(art.Data) //nolint:errcheck // client gone; nothing to do
+}
+
+func (w *Worker) putTrace(rw http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("hash")
+	data, err := io.ReadAll(http.MaxBytesReader(rw, r.Body, maxTraceBody))
+	if err != nil {
+		writeJSON(rw, http.StatusBadRequest, map[string]string{"error": "read body: " + err.Error()})
+		return
+	}
+	if got := service.TraceKeyOf(data); got != key {
+		writeJSON(rw, http.StatusBadRequest, map[string]string{
+			"error": fmt.Sprintf("content address mismatch: body hashes to %s", got)})
+		return
+	}
+	// Reject bytes that do not even parse as a trace header; a corrupt
+	// recording would otherwise poison every shard dispatched against it.
+	if _, err := trace.NewReader(bytes.NewReader(data)); err != nil {
+		writeJSON(rw, http.StatusUnprocessableEntity, map[string]string{"error": "not a trace: " + err.Error()})
+		return
+	}
+	w.mu.Lock()
+	w.pushes[key]++
+	w.mu.Unlock()
+	w.pool.Traces().Put(&service.TraceArtifact{Key: key, Data: data})
+	rw.WriteHeader(http.StatusNoContent)
+}
+
+func (w *Worker) runShard(rw http.ResponseWriter, r *http.Request) {
+	var req ShardRequest
+	dec := json.NewDecoder(http.MaxBytesReader(rw, r.Body, maxTraceBody))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(rw, http.StatusBadRequest, map[string]string{"error": "bad shard request: " + err.Error()})
+		return
+	}
+	if len(req.Configs) == 0 {
+		writeJSON(rw, http.StatusBadRequest, map[string]string{"error": "shard has no configs"})
+		return
+	}
+	select {
+	case w.sem <- struct{}{}:
+		defer func() { <-w.sem }()
+	case <-r.Context().Done():
+		return
+	}
+
+	art, ok := w.pool.Traces().Get(req.TraceKey)
+	if !ok {
+		writeJSON(rw, http.StatusNotFound, map[string]string{"error": "no cached trace " + req.TraceKey, "code": "trace_missing"})
+		return
+	}
+
+	compiled, err := w.compiled(req)
+	if err != nil {
+		w.fail(rw, http.StatusUnprocessableEntity, "compile: "+err.Error())
+		return
+	}
+	tr, err := trace.NewReader(bytes.NewReader(art.Data))
+	if err != nil {
+		w.fail(rw, http.StatusUnprocessableEntity, "trace header: "+err.Error())
+		return
+	}
+	if tr.Header().ProgramHash != compiled.TraceHash() {
+		w.fail(rw, http.StatusConflict, "trace was not recorded from the shard's program (hash mismatch)")
+		return
+	}
+
+	opts := jrpm.Options{Annot: req.Annot, Tracer: req.Tracer, Select: req.Select, Optimize: req.Optimize}
+	outs := compiled.SweepTrace(r.Context(), art.Data, req.Configs, opts, w.replayWorkers)
+	for _, o := range outs {
+		// A cancellation mid-replay is an infrastructure failure, not an
+		// analysis result: the coordinator must re-dispatch, not merge it.
+		if o.Err != nil && (errors.Is(o.Err, context.Canceled) || errors.Is(o.Err, context.DeadlineExceeded)) {
+			writeJSON(rw, http.StatusServiceUnavailable, map[string]string{"error": "shard interrupted: " + o.Err.Error()})
+			return
+		}
+	}
+
+	w.mu.Lock()
+	w.shards++
+	w.configs += int64(len(req.Configs))
+	w.mu.Unlock()
+	writeJSON(rw, http.StatusOK, ShardResponse{Outcomes: EncodeOutcomes(outs)})
+}
+
+// compiled resolves the shard's program through the pool's artifact
+// cache; compilation is deterministic so every worker converges on the
+// same artifact.
+func (w *Worker) compiled(req ShardRequest) (*jrpm.Compiled, error) {
+	opts := jrpm.Options{Annot: req.Annot, Optimize: req.Optimize}
+	key := service.CacheKey(req.Source, opts)
+	if c, ok := w.pool.Cache().Get(key); ok {
+		return c, nil
+	}
+	c, err := jrpm.Compile(req.Source, opts)
+	if err != nil {
+		return nil, err
+	}
+	w.pool.Cache().Put(key, c)
+	return c, nil
+}
+
+func (w *Worker) fail(rw http.ResponseWriter, code int, msg string) {
+	w.mu.Lock()
+	w.shardErrs++
+	w.mu.Unlock()
+	writeJSON(rw, code, map[string]string{"error": msg})
+}
+
+// TraceTransfer is one content address's transfer counters on a worker.
+type TraceTransfer struct {
+	Key    string `json:"key"`
+	Pulls  int64  `json:"pulls"`
+	Pushes int64  `json:"pushes"`
+}
+
+// WorkerSnapshot is the worker-side cluster section of GET /v1/metrics.
+type WorkerSnapshot struct {
+	ShardsExecuted int64           `json:"shards_executed"`
+	ConfigsSwept   int64           `json:"configs_swept"`
+	ShardErrors    int64           `json:"shard_errors"`
+	TracePulls     int64           `json:"trace_pulls"`
+	TracePushes    int64           `json:"trace_pushes"`
+	Traces         []TraceTransfer `json:"traces,omitempty"`
+}
+
+// Snapshot reports shard and transfer counters, traces sorted by key.
+func (w *Worker) Snapshot() WorkerSnapshot {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := WorkerSnapshot{
+		ShardsExecuted: w.shards,
+		ConfigsSwept:   w.configs,
+		ShardErrors:    w.shardErrs,
+	}
+	keys := map[string]bool{}
+	for k := range w.pulls {
+		keys[k] = true
+	}
+	for k := range w.pushes {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		s.TracePulls += w.pulls[k]
+		s.TracePushes += w.pushes[k]
+		s.Traces = append(s.Traces, TraceTransfer{Key: k, Pulls: w.pulls[k], Pushes: w.pushes[k]})
+	}
+	return s
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"jrpm"
+	"jrpm/internal/cluster"
 	"jrpm/internal/core"
 	"jrpm/internal/hydra"
 	"jrpm/internal/profile"
@@ -16,6 +17,15 @@ import (
 	"jrpm/internal/vmsim"
 	"jrpm/internal/workloads"
 )
+
+// GridSweeper replays one recording under a configuration grid and
+// returns the canonical outcome rows. cluster.Local runs the grid
+// in-process; *cluster.Coordinator shards it across jrpmd workers — the
+// canonical encoding is byte-identical either way, so the ablations
+// produce the same tables no matter where the replays ran.
+type GridSweeper interface {
+	SweepRecording(ctx context.Context, name, source string, data []byte, cfgs []hydra.Config, opts jrpm.Options) ([]cluster.OutcomeRow, error)
+}
 
 // This file holds ablations of TEST's design choices, each tied to a claim
 // in the paper:
@@ -54,6 +64,12 @@ type BankRow struct {
 // event stream, so the results are bit-identical to re-running the VM
 // per configuration, at a fraction of the cost.
 func AblateBanks(scale float64, bankCounts []int) ([]BankRow, string, error) {
+	return AblateBanksOn(context.Background(), cluster.Local{}, scale, bankCounts)
+}
+
+// AblateBanksOn is AblateBanks with the replay engine pluggable: pass a
+// *cluster.Coordinator to run the bank grid across a worker fleet.
+func AblateBanksOn(ctx context.Context, sw GridSweeper, scale float64, bankCounts []int) ([]BankRow, string, error) {
 	rows := make([]BankRow, len(bankCounts))
 	opts := jrpm.DefaultOptions()
 	cfgs := make([]hydra.Config, len(bankCounts))
@@ -63,12 +79,12 @@ func AblateBanks(scale float64, bankCounts []int) ([]BankRow, string, error) {
 		cfgs[i].Tracer.Banks = banks
 	}
 	n := 0
-	err := sweepSuite(scale, opts, cfgs, func(ci int, o trace.SweepOutcome) {
-		for _, st := range o.Tracer.Results() {
+	err := sweepSuite(ctx, sw, scale, opts, cfgs, func(ci int, row cluster.OutcomeRow) {
+		for _, st := range row.Loops {
 			rows[ci].TracedEntries += st.Entries
 			rows[ci].SkippedEntries += st.SkippedEntries
 		}
-		rows[ci].MeanPredicted += o.Analysis.PredictedSpeedup()
+		rows[ci].MeanPredicted += row.PredictedSpeedup()
 		if ci == 0 {
 			n++
 		}
@@ -105,6 +121,11 @@ type HistoryRow struct {
 // AblateHistory sweeps the heap store-timestamp FIFO depth, with the same
 // record-once / replay-many structure as AblateBanks.
 func AblateHistory(scale float64, depths []int) ([]HistoryRow, string, error) {
+	return AblateHistoryOn(context.Background(), cluster.Local{}, scale, depths)
+}
+
+// AblateHistoryOn is AblateHistory with the replay engine pluggable.
+func AblateHistoryOn(ctx context.Context, sw GridSweeper, scale float64, depths []int) ([]HistoryRow, string, error) {
 	rows := make([]HistoryRow, len(depths))
 	opts := jrpm.DefaultOptions()
 	cfgs := make([]hydra.Config, len(depths))
@@ -115,12 +136,12 @@ func AblateHistory(scale float64, depths []int) ([]HistoryRow, string, error) {
 		cfgs[i] = opts.Cfg
 		cfgs[i].Tracer.HeapStoreLines = d
 	}
-	err := sweepSuite(scale, opts, cfgs, func(ci int, o trace.SweepOutcome) {
-		for _, st := range o.Tracer.Results() {
+	err := sweepSuite(ctx, sw, scale, opts, cfgs, func(ci int, row cluster.OutcomeRow) {
+		for _, st := range row.Loops {
 			rows[ci].ArcCount += st.ArcCount[core.BinPrev] + st.ArcCount[core.BinEarlier]
 		}
-		for _, n := range o.Analysis.Selected {
-			estSum[ci] += n.Est.Speedup
+		for _, est := range row.SelectedEsts() {
+			estSum[ci] += est.Speedup
 			estN[ci]++
 		}
 	})
@@ -142,12 +163,13 @@ func AblateHistory(scale float64, depths []int) ([]HistoryRow, string, error) {
 }
 
 // sweepSuite records every workload once and replays the recording under
-// each machine configuration (in parallel), calling visit(configIndex,
-// outcome) for every (workload, config) pair. This is the 1-run + N-replay
-// core shared by the ablation sweeps; TestSweepNoExtraExecutions pins the
-// execution count.
-func sweepSuite(scale float64, opts jrpm.Options, cfgs []hydra.Config, visit func(ci int, o trace.SweepOutcome)) error {
-	ctx := context.Background()
+// each machine configuration through the given sweeper — in-process
+// goroutines (cluster.Local) or a jrpmd worker fleet
+// (*cluster.Coordinator) — calling visit(configIndex, row) for every
+// (workload, config) pair. This is the 1-run + N-replay core shared by
+// the ablation sweeps; TestSweepNoExtraExecutions pins the execution
+// count.
+func sweepSuite(ctx context.Context, sw GridSweeper, scale float64, opts jrpm.Options, cfgs []hydra.Config, visit func(ci int, row cluster.OutcomeRow)) error {
 	for _, w := range workloads.All() {
 		in := w.NewInput(scale)
 		c, err := jrpm.Compile(w.Source, opts)
@@ -158,11 +180,15 @@ func sweepSuite(scale float64, opts jrpm.Options, cfgs []hydra.Config, visit fun
 		if _, err := c.ProfileRecord(ctx, in, opts, &buf); err != nil {
 			return fmt.Errorf("%s: record: %w", w.Meta.Name, err)
 		}
-		for ci, o := range c.SweepTrace(ctx, buf.Bytes(), cfgs, opts, 0) {
-			if o.Err != nil {
-				return fmt.Errorf("%s: replay config %d: %w", w.Meta.Name, ci, o.Err)
+		rows, err := sw.SweepRecording(ctx, w.Meta.Name, w.Source, buf.Bytes(), cfgs, opts)
+		if err != nil {
+			return fmt.Errorf("%s: sweep: %w", w.Meta.Name, err)
+		}
+		for ci, row := range rows {
+			if row.Err != "" {
+				return fmt.Errorf("%s: replay config %d: %s", w.Meta.Name, ci, row.Err)
 			}
-			visit(ci, o)
+			visit(ci, row)
 		}
 	}
 	return nil

@@ -109,6 +109,11 @@ type MetricsSnapshot struct {
 	// TraceCache reports the recorded-trace cache: artifact count, resident
 	// bytes, and replay hit ratio.
 	TraceCache TraceCacheSnapshot `json:"trace_cache"`
+
+	// Cluster carries the worker-mode shard/transfer counters (a
+	// cluster.WorkerSnapshot) when jrpmd runs with -worker; absent
+	// otherwise.
+	Cluster any `json:"cluster,omitempty"`
 }
 
 func (m *Metrics) snapshot() MetricsSnapshot {

@@ -43,6 +43,10 @@ type Config struct {
 	// means 60s. MaxTimeout caps every job; <= 0 means 10m.
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// LongPoll bounds a GET /v1/jobs/{id}?wait=1 long-poll; past it the
+	// server answers 202 with a retry hint instead of holding the
+	// connection. <= 0 means 30s.
+	LongPoll time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +68,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 10 * time.Minute
 	}
+	if c.LongPoll <= 0 {
+		c.LongPoll = 30 * time.Second
+	}
 	return c
 }
 
@@ -77,13 +84,15 @@ type Pool struct {
 	cache   *Cache
 	traces  *TraceCache
 
-	queue   chan *Job
-	jobs    sync.Map // id -> *Job
-	seq     atomic.Int64
-	ctx     context.Context
-	cancel  context.CancelFunc
-	wg      sync.WaitGroup
-	stopped atomic.Bool
+	queue    chan *Job
+	jobs     sync.Map // id -> *Job
+	seq      atomic.Int64
+	live     atomic.Int64 // jobs accepted but not yet terminal
+	ctx      context.Context
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+	stopped  atomic.Bool // no new submissions
+	shutdown atomic.Bool // workers torn down
 
 	// testHook, when set, runs at the start of every job execution; tests
 	// use it to inject panics and stalls.
@@ -124,6 +133,10 @@ func (p *Pool) Config() Config { return p.cfg }
 // QueueLength is the number of jobs currently waiting for a worker.
 func (p *Pool) QueueLength() int { return len(p.queue) }
 
+// Active is the number of jobs accepted and not yet terminal (queued or
+// executing); Drain waits for it to reach zero.
+func (p *Pool) Active() int { return int(p.live.Load()) }
+
 // Submit validates and enqueues a job. It fails fast: an unresolvable
 // request (unknown workload, both/neither of source+workload, malformed
 // analyze_trace combinations) is rejected here with an error rather than
@@ -146,6 +159,7 @@ func (p *Pool) Submit(req Request) (*Job, error) {
 	case p.queue <- job:
 		p.jobs.Store(job.ID, job)
 		p.metrics.JobsSubmitted.Add(1)
+		p.live.Add(1)
 		return job, nil
 	default:
 		p.metrics.JobsRejected.Add(1)
@@ -171,6 +185,7 @@ func (p *Pool) Cancel(id string) (bool, error) {
 	switch j.Cancel() {
 	case cancelQueued:
 		p.metrics.JobsCanceled.Add(1)
+		p.live.Add(-1)
 		return true, nil
 	case cancelRequested:
 		return true, nil // the worker records the cancellation
@@ -179,11 +194,39 @@ func (p *Pool) Cancel(id string) (bool, error) {
 	}
 }
 
+// Drain gracefully shuts the pool down: new submissions are refused
+// immediately, but jobs already queued or running are allowed to finish
+// until ctx expires, at which point Drain falls back to Stop semantics
+// (interrupt and cancel whatever is left). It reports whether the drain
+// completed cleanly.
+func (p *Pool) Drain(ctx context.Context) bool {
+	p.stopped.Store(true) // refuse new submissions; workers keep consuming
+	clean := true
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for p.live.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			clean = false
+		case <-tick.C:
+			continue
+		}
+		break
+	}
+	p.stop()
+	return clean
+}
+
 // Stop drains the pool: no new submissions are accepted, queued jobs are
 // canceled, running jobs are interrupted via their contexts, and all
 // workers are joined.
 func (p *Pool) Stop() {
-	if p.stopped.Swap(true) {
+	p.stopped.Store(true)
+	p.stop()
+}
+
+func (p *Pool) stop() {
+	if p.shutdown.Swap(true) {
 		return
 	}
 	p.cancel()
@@ -194,6 +237,7 @@ func (p *Pool) Stop() {
 		case j := <-p.queue:
 			if j.Cancel() == cancelQueued {
 				p.metrics.JobsCanceled.Add(1)
+				p.live.Add(-1)
 			}
 		default:
 			return
@@ -228,8 +272,9 @@ func (p *Pool) run(j *Job) {
 
 	wait, ok := j.start(cancel)
 	if !ok {
-		return // canceled while queued
+		return // canceled while queued; Cancel dropped the live count
 	}
+	defer p.live.Add(-1)
 	p.metrics.QueueWait.Observe(wait)
 	began := time.Now()
 
@@ -336,6 +381,11 @@ func (p *Pool) analyzeTrace(ctx context.Context, req Request) (*Result, error) {
 	art, ok := p.traces.Get(req.AnalyzeTrace)
 	if !ok {
 		return nil, fmt.Errorf("no cached trace %q (record one with \"record\": true)", req.AnalyzeTrace)
+	}
+	if art.Compiled == nil {
+		// The trace was pushed raw over PUT /v1/traces (cluster shipping)
+		// rather than recorded here, so no compiled program rides with it.
+		return nil, fmt.Errorf("trace %q has no attached program (pushed, not recorded); use the cluster shard API", req.AnalyzeTrace)
 	}
 	base := hydra.DefaultConfig()
 	tcs := req.Configs

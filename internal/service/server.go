@@ -4,8 +4,12 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"runtime"
 	"strconv"
 	"time"
+
+	"jrpm"
+	"jrpm/internal/trace"
 )
 
 // maxRequestBody bounds POST bodies (sources plus inline input arrays).
@@ -14,13 +18,21 @@ const maxRequestBody = 16 << 20
 // Server is the HTTP face of a Pool.
 //
 //	POST   /v1/jobs           submit a job (202 + {"id": ...})
-//	GET    /v1/jobs/{id}      job status/result; ?wait=1 blocks until done
+//	GET    /v1/jobs/{id}      job status/result; ?wait=1 long-polls until
+//	                          done or the server-side bound elapses (202)
 //	DELETE /v1/jobs/{id}      cancel a job
 //	GET    /v1/metrics        operational counters and latency histograms
 //	GET    /v1/healthz        liveness + pool sizing
+//	GET    /v1/version        module version + trace-format version
 type Server struct {
 	pool  *Pool
 	start time.Time
+
+	// ExtraMetrics, when set, is invoked on every GET /v1/metrics and its
+	// result attached as the "cluster" section; jrpmd's worker mode plugs
+	// the cluster.Worker snapshot in here without service importing the
+	// cluster package.
+	ExtraMetrics func() any
 }
 
 // NewServer wraps a pool.
@@ -36,6 +48,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
 	mux.HandleFunc("GET /v1/metrics", s.metrics)
 	mux.HandleFunc("GET /v1/healthz", s.healthz)
+	mux.HandleFunc("GET /v1/version", s.version)
 	return mux
 }
 
@@ -85,9 +98,18 @@ func (s *Server) get(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if wait, _ := strconv.ParseBool(r.URL.Query().Get("wait")); wait {
+		// The long-poll is bounded server-side so a slow job cannot pin a
+		// connection forever; a timed-out poll gets 202 + a retry hint and
+		// the client simply polls again.
+		bound := time.NewTimer(s.pool.Config().LongPoll)
+		defer bound.Stop()
 		select {
 		case <-job.Done():
 		case <-r.Context().Done():
+			return
+		case <-bound.C:
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusAccepted, job.View())
 			return
 		}
 	}
@@ -110,7 +132,18 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	m.QueueDepth = s.pool.Config().QueueDepth
 	m.QueueLength = s.pool.QueueLength()
 	m.TraceCache = s.pool.Traces().Snapshot()
+	if s.ExtraMetrics != nil {
+		m.Cluster = s.ExtraMetrics()
+	}
 	writeJSON(w, http.StatusOK, m)
+}
+
+func (s *Server) version(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"module":       jrpm.Version,
+		"trace_format": trace.Version,
+		"go":           runtime.Version(),
+	})
 }
 
 func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {

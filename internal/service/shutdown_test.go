@@ -1,0 +1,143 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"jrpm/internal/trace"
+)
+
+// TestDrainGraceful: Drain refuses new work immediately but lets queued
+// and running jobs finish before tearing the workers down.
+func TestDrainGraceful(t *testing.T) {
+	pool := NewPool(Config{Workers: 1})
+	var jobs []*Job
+	for i := 0; i < 3; i++ {
+		j, err := pool.Submit(Request{Workload: "Huffman", Scale: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if !pool.Drain(ctx) {
+		t.Fatal("Drain reported an unclean shutdown with a generous deadline")
+	}
+	for i, j := range jobs {
+		if v := mustWait(t, j); v.State != StateDone {
+			t.Errorf("job %d: state=%s error=%q, want done", i, v.State, v.Error)
+		}
+	}
+	if _, err := pool.Submit(Request{Workload: "Huffman", Scale: 0.2}); !errors.Is(err, ErrStopped) {
+		t.Errorf("submit after Drain: err=%v, want ErrStopped", err)
+	}
+}
+
+// TestDrainDeadline: a job outliving the drain deadline is interrupted
+// and Drain reports the unclean exit.
+func TestDrainDeadline(t *testing.T) {
+	pool := NewPool(Config{Workers: 1})
+	started := make(chan struct{}, 1)
+	pool.testHook = func(*Job) { started <- struct{}{} }
+
+	// ~200M VM steps: many seconds of simulation, far past the drain
+	// deadline, so the fallback interruption must catch it mid-run.
+	slow := `
+global a: int[];
+func main() {
+    var i: int = 0;
+    var s: int = 0;
+    while (i < 200000000) {
+        s = s + i;
+        i++;
+    }
+    a[0] = s;
+}`
+	j, err := pool.Submit(Request{Source: slow, Ints: map[string][]int64{"a": {0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if pool.Drain(ctx) {
+		t.Error("Drain reported clean with a stuck job")
+	}
+	v := mustWait(t, j)
+	if v.State == StateDone {
+		t.Errorf("stuck job state=%s, want canceled or failed", v.State)
+	}
+}
+
+// TestLongPollBounded: ?wait=1 on a slow job returns 202 with a retry
+// hint once the server-side bound elapses, instead of holding the
+// connection.
+func TestLongPollBounded(t *testing.T) {
+	pool := NewPool(Config{Workers: 1, LongPoll: 30 * time.Millisecond})
+	defer pool.Stop()
+	release := make(chan struct{})
+	pool.testHook = func(*Job) { <-release }
+	defer close(release)
+
+	srv := httptest.NewServer(NewServer(pool).Handler())
+	defer srv.Close()
+
+	j, err := pool.Submit(Request{Workload: "Huffman", Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + j.ID + "?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("bounded long-poll: HTTP %d, want 202", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("202 long-poll response missing Retry-After hint")
+	}
+	var v JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.State != StateQueued && v.State != StateRunning {
+		t.Errorf("202 body state=%s, want queued or running", v.State)
+	}
+}
+
+// TestVersionEndpoint: GET /v1/version reports the module and
+// trace-format versions the cluster coordinator keys its preflight on.
+func TestVersionEndpoint(t *testing.T) {
+	pool := NewPool(Config{Workers: 1})
+	defer pool.Stop()
+	srv := httptest.NewServer(NewServer(pool).Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vi struct {
+		Module      string `json:"module"`
+		TraceFormat int    `json:"trace_format"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vi); err != nil {
+		t.Fatal(err)
+	}
+	if vi.Module == "" {
+		t.Error("version: empty module")
+	}
+	if vi.TraceFormat != trace.Version {
+		t.Errorf("version: trace_format=%d, want %d", vi.TraceFormat, trace.Version)
+	}
+}

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -76,9 +77,17 @@ func Sweep(ctx context.Context, prog *tir.Program, data []byte, jobs []SweepJob,
 	return out
 }
 
-// runSweepJob replays data through one configuration.
-func runSweepJob(prog *tir.Program, want [32]byte, data []byte, job SweepJob) SweepOutcome {
-	o := SweepOutcome{Job: job}
+// runSweepJob replays data through one configuration. A panic anywhere
+// in the replay (a pathological config blowing up tracer construction,
+// say) is recovered into that one job's Err, so a single bad
+// configuration cannot poison the rest of the sweep.
+func runSweepJob(prog *tir.Program, want [32]byte, data []byte, job SweepJob) (o SweepOutcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			o = SweepOutcome{Job: job, Err: fmt.Errorf("sweep job panicked: %v", r)}
+		}
+	}()
+	o = SweepOutcome{Job: job}
 	r, err := NewReader(bytes.NewReader(data))
 	if err != nil {
 		o.Err = err

@@ -1,0 +1,158 @@
+// Failure-path coverage for trace.Sweep: truncated and corrupted
+// recordings, a pathological configuration, and cancellation must each
+// fail cleanly — an error in the outcome, never a panic, and never
+// poisoning the other configurations of the same sweep.
+package trace_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"jrpm"
+	"jrpm/internal/hydra"
+	"jrpm/internal/trace"
+	"jrpm/internal/workloads"
+)
+
+// recordWorkload compiles a workload and captures one recording.
+func recordWorkload(t *testing.T, name string) (*jrpm.Compiled, []byte) {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := jrpm.DefaultOptions()
+	c, err := jrpm.Compile(w.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := c.ProfileRecord(context.Background(), w.NewInput(0.2), opts, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return c, buf.Bytes()
+}
+
+func defaultJobs(n int) []trace.SweepJob {
+	opts := jrpm.DefaultOptions()
+	jobs := make([]trace.SweepJob, n)
+	for i := range jobs {
+		cfg := hydra.DefaultConfig()
+		cfg.Tracer.Banks = 1 << i
+		jobs[i] = trace.SweepJob{Cfg: cfg, Tracer: opts.Tracer, Select: opts.Select}
+	}
+	return jobs
+}
+
+func TestSweepTruncatedRecording(t *testing.T) {
+	c, data := recordWorkload(t, "Huffman")
+	truncated := data[:len(data)/2]
+	outs := trace.Sweep(context.Background(), c.Annotated, truncated, defaultJobs(3), 2)
+	for i, o := range outs {
+		if o.Err == nil {
+			t.Errorf("config %d: truncated recording replayed without error", i)
+		}
+		if o.Analysis != nil {
+			t.Errorf("config %d: truncated recording produced an analysis", i)
+		}
+	}
+}
+
+func TestSweepCorruptedRecording(t *testing.T) {
+	c, data := recordWorkload(t, "Huffman")
+
+	t.Run("header", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		bad[0] ^= 0xff // magic
+		for i, o := range trace.Sweep(context.Background(), c.Annotated, bad, defaultJobs(2), 0) {
+			if o.Err == nil {
+				t.Errorf("config %d: corrupt header accepted", i)
+			}
+		}
+	})
+
+	t.Run("hash", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		bad[12] ^= 0x01 // inside the program hash
+		for i, o := range trace.Sweep(context.Background(), c.Annotated, bad, defaultJobs(2), 0) {
+			if !errors.Is(o.Err, trace.ErrHashMismatch) {
+				t.Errorf("config %d: err = %v, want ErrHashMismatch", i, o.Err)
+			}
+		}
+	})
+
+	t.Run("stream", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		for i := len(bad) * 3 / 4; i < len(bad)*3/4+64 && i < len(bad); i++ {
+			bad[i] ^= 0xa5 // scramble mid-stream records
+		}
+		for i, o := range trace.Sweep(context.Background(), c.Annotated, bad, defaultJobs(2), 0) {
+			if o.Err == nil {
+				t.Errorf("config %d: scrambled stream replayed without error", i)
+			}
+		}
+	})
+}
+
+// TestSweepBadConfigIsolation: a configuration that blows up tracer
+// construction (negative timestamp-cache size) must fail alone; its
+// neighbors' analyses must be identical to a sweep that never contained
+// the bad config.
+func TestSweepBadConfigIsolation(t *testing.T) {
+	c, data := recordWorkload(t, "Huffman")
+	jobs := defaultJobs(3)
+	bad := jobs[1]
+	bad.Cfg.Tracer.LoadLineTS = -1
+	mixed := []trace.SweepJob{jobs[0], bad, jobs[2]}
+
+	outs := trace.Sweep(context.Background(), c.Annotated, data, mixed, 2)
+	if outs[1].Err == nil || !strings.Contains(outs[1].Err.Error(), "panicked") {
+		t.Fatalf("bad config err = %v, want recovered panic", outs[1].Err)
+	}
+	clean := trace.Sweep(context.Background(), c.Annotated, data, []trace.SweepJob{jobs[0], jobs[2]}, 2)
+	for i, ci := range []int{0, 2} {
+		if outs[ci].Err != nil {
+			t.Fatalf("good config %d: %v", ci, outs[ci].Err)
+		}
+		if !reflect.DeepEqual(outs[ci].Tracer.Results(), clean[i].Tracer.Results()) {
+			t.Errorf("good config %d: tracer table perturbed by bad neighbor", ci)
+		}
+		if got, want := outs[ci].Analysis.PredictedSpeedup(), clean[i].Analysis.PredictedSpeedup(); got != want {
+			t.Errorf("good config %d: predicted speedup %v != %v", ci, got, want)
+		}
+	}
+}
+
+// TestSweepCancellation: a canceled context abandons jobs not yet
+// started; every outcome is either a complete analysis or a clean
+// cancellation error, never a half-built result.
+func TestSweepCancellation(t *testing.T) {
+	c, data := recordWorkload(t, "Huffman")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	outs := trace.Sweep(ctx, c.Annotated, data, defaultJobs(6), 1)
+	canceled := 0
+	for i, o := range outs {
+		switch {
+		case o.Err == nil:
+			if o.Analysis == nil || o.Tracer == nil {
+				t.Errorf("config %d: no error but incomplete outcome", i)
+			}
+		case errors.Is(o.Err, context.Canceled):
+			canceled++
+			if o.Analysis != nil || o.Tracer != nil {
+				t.Errorf("config %d: canceled outcome carries partial results", i)
+			}
+		default:
+			t.Errorf("config %d: unexpected error %v", i, o.Err)
+		}
+	}
+	if canceled == 0 {
+		t.Error("pre-canceled context canceled no jobs")
+	}
+}

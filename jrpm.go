@@ -42,6 +42,11 @@ import (
 	"jrpm/internal/vmsim"
 )
 
+// Version identifies the module build; jrpmd reports it on
+// GET /v1/version so a cluster coordinator can tell apart workers by
+// build as well as by trace-format version.
+const Version = "0.4.0"
+
 // Input binds harness data to a program's global arrays.
 type Input struct {
 	Ints   map[string][]int64

@@ -16,10 +16,16 @@
 //	jrpm trace info huffman.jrt                    # inspect a recording
 //	jrpm trace analyze -w Huffman -trace huffman.jrt -banks 1,2,4,8
 //
+// Sampling profiler (see README "Observability"):
+//
+//	jrpm profile -w Huffman -sample              # hot functions and loops
+//	jrpm profile -w Huffman -sample -period 65536
+//
 // Distributed sweeps (see README "Distributed sweeps"):
 //
 //	jrpm sweep -w Huffman -trace huffman.jrt -banks 1,2,4,8 -history 2,4,8 \
 //	    -workers host1:8077,host2:8077
+//	jrpm sweep ... -trace-out spans.json   # stitched distributed trace
 package main
 
 import (
@@ -41,6 +47,7 @@ import (
 	"jrpm/internal/cluster"
 	"jrpm/internal/hydra"
 	"jrpm/internal/service"
+	"jrpm/internal/telemetry"
 	"jrpm/internal/trace"
 	"jrpm/internal/workloads"
 )
@@ -52,6 +59,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "sweep" {
 		sweepMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "profile" {
+		profileMain(os.Args[2:])
 		return
 	}
 	var (
@@ -384,6 +395,60 @@ func traceAnalyze(args []string) {
 	}
 }
 
+// profileMain runs `jrpm profile`: one profiling pass with the VM
+// sampling profiler attached, printing hot functions and annotated
+// loops (flat = samples with the frame on top, cum = samples anywhere
+// on the annotated-loop stack).
+func profileMain(args []string) {
+	fs := flag.NewFlagSet("jrpm profile", flag.ExitOnError)
+	wname := fs.String("w", "", "built-in workload name")
+	srcPath := fs.String("src", "", "path to a .jr source file")
+	scale := fs.Float64("scale", 1, "input scale factor for -w")
+	sample := fs.Bool("sample", true, "attach the VM sampling profiler")
+	period := fs.Int64("period", 8192, "sampling period in VM steps (rounded up to the interpreter's poll window)")
+	topN := fs.Int("top", 10, "rows to print per table")
+	fs.Parse(args)
+	src, in := resolveProgram(fs, *wname, *srcPath, *scale)
+
+	opts := jrpm.DefaultOptions()
+	if *sample {
+		opts.SamplePeriod = *period
+	}
+	pr, err := jrpm.Profile(src, in, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("sequential cycles:  %d\n", pr.CleanCycles)
+	fmt.Printf("traced cycles:      %d (slowdown %.2fx)\n", pr.TracedCycles, pr.Slowdown())
+	fmt.Printf("selected STLs:      %v (predicted %.2fx)\n",
+		pr.Analysis.SelectedLoopIDs(), pr.Analysis.PredictedSpeedup())
+	sp := pr.Samples
+	if sp == nil {
+		return
+	}
+	fmt.Printf("\nsampling profile: %d samples, one per %d steps\n", sp.Samples, sp.PeriodSteps)
+	if sp.Samples == 0 {
+		fmt.Println("  (program too short for the sampling period; lower -period or raise -scale)")
+		return
+	}
+	fmt.Printf("\n%-24s %8s %6s\n", "function", "flat", "flat%")
+	for i, f := range sp.Funcs {
+		if i >= *topN {
+			break
+		}
+		fmt.Printf("%-24s %8d %5.1f%%\n", f.Name, f.Flat, 100*float64(f.Flat)/float64(sp.Samples))
+	}
+	if len(sp.Loops) > 0 {
+		fmt.Printf("\n%-24s %8s %8s %6s\n", "loop", "flat", "cum", "cum%")
+		for i, l := range sp.Loops {
+			if i >= *topN {
+				break
+			}
+			fmt.Printf("%-24s %8d %8d %5.1f%%\n", l.Name, l.Flat, l.Cum, 100*float64(l.Cum)/float64(sp.Samples))
+		}
+	}
+}
+
 // sweepMain runs `jrpm sweep`: replay one recording under a bank ×
 // history config grid, either locally or sharded across a fleet of
 // jrpmd -worker daemons.
@@ -398,6 +463,8 @@ func sweepMain(args []string) {
 	workerList := fs.String("workers", "", "comma-separated jrpmd worker addresses (empty = run locally)")
 	shard := fs.Int("shard", 0, "configs per shard (0 = default)")
 	showMetrics := fs.Bool("metrics", false, "print coordinator scheduling metrics")
+	traceOut := fs.String("trace-out", "", "write the sweep's stitched span trace (coordinator + worker spans) to this JSON file")
+	logLevel := fs.String("log-level", "warn", "minimum scheduler log level: debug, info, warn, error")
 	fs.Parse(args)
 	if *tracePath == "" {
 		fatal(errors.New("sweep: -trace <file> is required"))
@@ -435,21 +502,48 @@ func sweepMain(args []string) {
 			}
 		}
 	}
-	coord := cluster.New(cluster.Options{Workers: addrs, ShardConfigs: *shard})
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(fmt.Errorf("sweep: %w", err))
+	}
+	coord := cluster.New(cluster.Options{
+		Workers:      addrs,
+		ShardConfigs: *shard,
+		Logger:       telemetry.NewLogger(os.Stderr, level),
+	})
 	name := *wname
 	if name == "" {
 		name = *srcPath
 	}
-	res, err := coord.Sweep(context.Background(), cluster.Grid{
+
+	// With -trace-out the whole sweep runs under one client span; the
+	// workers' server-side spans join it over traceparent headers and are
+	// fetched back afterwards to stitch the full distributed trace.
+	ctx := context.Background()
+	var col *telemetry.Collector
+	var root *telemetry.Span
+	if *traceOut != "" {
+		col = telemetry.NewCollector(telemetry.DefaultCollectorCap)
+		ctx = telemetry.WithTracer(ctx, telemetry.NewTracer(col))
+		ctx, root = telemetry.StartSpan(ctx, "jrpm.sweep")
+	}
+
+	res, err := coord.Sweep(ctx, cluster.Grid{
 		Traces:  []cluster.GridTrace{{Name: name, Source: src, Data: data}},
 		Configs: cfgs,
 		Opts:    jrpm.DefaultOptions(),
 	})
+	root.End()
 	if err != nil {
 		fatal(err)
 	}
 	if res.Degraded {
 		fmt.Fprintln(os.Stderr, "sweep: no workers reachable; ran locally")
+	}
+	if *traceOut != "" {
+		if err := writeStitchedTrace(*traceOut, root.TraceID(), col, addrs); err != nil {
+			fatal(fmt.Errorf("sweep: -trace-out: %w", err))
+		}
 	}
 
 	fmt.Printf("%-6s %-8s %-10s %s\n", "banks", "history", "predicted", "selected STLs")
@@ -469,6 +563,52 @@ func sweepMain(args []string) {
 		}
 		fmt.Printf("\nscheduling metrics:\n%s\n", b)
 	}
+}
+
+// writeStitchedTrace merges the coordinator's local spans with each
+// worker's server-side spans for the sweep's trace ID and writes one
+// JSON document. Workers that cannot be reached (or predate the spans
+// endpoint) are skipped with a note rather than failing the sweep.
+func writeStitchedTrace(path, traceID string, col *telemetry.Collector, addrs []string) error {
+	type dump struct {
+		TraceID string               `json:"trace_id"`
+		Spans   []telemetry.SpanData `json:"spans"`
+		Dropped int64                `json:"dropped,omitempty"`
+	}
+	out := dump{TraceID: traceID, Spans: col.Snapshot(traceID), Dropped: col.Dropped()}
+	client := &http.Client{Timeout: 10 * time.Second}
+	for _, addr := range addrs {
+		base := addr
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		resp, err := client.Get(strings.TrimRight(base, "/") + "/v1/traces/spans?trace_id=" + traceID)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: spans from %s: %v (skipped)\n", addr, err)
+			continue
+		}
+		var wd struct {
+			Spans   []telemetry.SpanData `json:"spans"`
+			Dropped int64                `json:"dropped"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&wd)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "sweep: spans from %s: HTTP %d (skipped)\n", addr, resp.StatusCode)
+			continue
+		}
+		out.Spans = append(out.Spans, wd.Spans...)
+		out.Dropped += wd.Dropped
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sweep: wrote %d spans (trace %s) to %s\n", len(out.Spans), traceID, path)
+	return nil
 }
 
 // intList parses a comma-separated list of positive ints; an empty list

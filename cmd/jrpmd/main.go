@@ -8,12 +8,20 @@
 //	jrpmd                          # serve on :8077 with GOMAXPROCS workers
 //	jrpmd -addr :9000 -workers 8 -queue 256 -cache 512 -timeout 30s
 //	jrpmd -worker                  # also serve cluster shard endpoints
+//	jrpmd -pprof localhost:6060    # expose Go pprof on a second listener
+//	jrpmd -log-level debug         # structured key=value logs, debug up
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs/{id}[?wait=1],
-// DELETE /v1/jobs/{id}, GET /v1/metrics, GET /v1/healthz,
-// GET /v1/version; with -worker additionally POST /v1/shards and
+// DELETE /v1/jobs/{id}, GET /v1/metrics (?format=prom for Prometheus
+// text), GET /metrics, GET /v1/healthz, GET /v1/readyz, GET /v1/version,
+// GET /v1/traces/spans; with -worker additionally POST /v1/shards and
 // GET/PUT /v1/traces/{hash}. See the README sections "Running as a
-// service" and "Distributed sweeps" for request and response shapes.
+// service", "Observability" and "Distributed sweeps" for request and
+// response shapes.
+//
+// Every request runs under a telemetry span; requests carrying a W3C
+// traceparent header join the caller's distributed trace, and the
+// collected spans are served on GET /v1/traces/spans.
 //
 // On SIGINT/SIGTERM the daemon shuts down gracefully: it stops accepting
 // new work, drains queued and running jobs until -drain elapses, flushes
@@ -26,8 +34,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,6 +43,7 @@ import (
 
 	"jrpm/internal/cluster"
 	"jrpm/internal/service"
+	"jrpm/internal/telemetry"
 )
 
 func main() {
@@ -49,8 +58,18 @@ func main() {
 		longPoll = flag.Duration("longpoll", 30*time.Second, "max ?wait=1 long-poll before 202 + retry hint")
 		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline for in-flight jobs")
 		worker   = flag.Bool("worker", false, "serve cluster worker endpoints (POST /v1/shards, GET/PUT /v1/traces)")
+		pprofAt  = flag.String("pprof", "", "serve Go pprof on this extra address (e.g. localhost:6060); empty = off")
+		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		spanCap  = flag.Int("span-cap", telemetry.DefaultCollectorCap, "span collector ring capacity")
 	)
 	flag.Parse()
+
+	level, err := telemetry.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jrpmd:", err)
+		os.Exit(2)
+	}
+	logger := telemetry.NewLogger(os.Stderr, level)
 
 	pool := service.NewPool(service.Config{
 		Workers:         *workers,
@@ -61,17 +80,21 @@ func main() {
 		MaxTimeout:      *maxTO,
 		LongPoll:        *longPoll,
 	})
+	tracer := telemetry.NewTracer(telemetry.NewCollector(*spanCap))
+	pool.SetTracer(tracer)
 	api := service.NewServer(pool)
+	api.Tracer = tracer
 	mux := http.NewServeMux()
-	mux.Handle("/", api.Handler())
+	api.Register(mux)
 	if *worker {
 		cw := cluster.NewWorker(pool, 0, 0)
 		cw.Register(mux)
+		cw.RegisterProm(pool.Registry())
 		api.ExtraMetrics = func() any { return cw.Snapshot() }
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           telemetry.Middleware(tracer, mux),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -80,12 +103,18 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
+	if *pprofAt != "" {
+		go servePprof(*pprofAt, logger, errc)
+	}
 	mode := "service"
 	if *worker {
 		mode = "service+worker"
 	}
-	log.Printf("jrpmd: serving on %s (%s, %d workers, queue %d, cache %d)",
-		*addr, mode, pool.Config().Workers, pool.Config().QueueDepth, pool.Config().CacheSize)
+	logger.Info("jrpmd: serving",
+		"addr", *addr, "mode", mode,
+		"workers", pool.Config().Workers,
+		"queue", pool.Config().QueueDepth,
+		"cache", pool.Config().CacheSize)
 
 	select {
 	case err := <-errc:
@@ -94,27 +123,45 @@ func main() {
 			os.Exit(1)
 		}
 	case <-ctx.Done():
-		log.Printf("jrpmd: signal received, draining (deadline %s)", *drain)
+		logger.Info("jrpmd: signal received, draining", "deadline", *drain)
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		// Order matters: the pool first (stop accepting, let in-flight jobs
 		// finish), then the HTTP server, so a client long-polling its job's
 		// completion still gets the answer.
 		if pool.Drain(drainCtx) {
-			log.Print("jrpmd: queue drained cleanly")
+			logger.Info("jrpmd: queue drained cleanly")
 		} else {
-			log.Print("jrpmd: drain deadline hit; interrupting remaining jobs")
+			logger.Warn("jrpmd: drain deadline hit; interrupting remaining jobs")
 		}
 		if err := srv.Shutdown(drainCtx); err != nil {
 			srv.Close() //nolint:errcheck // best effort after deadline
 		}
-		flushMetrics(pool)
+		flushMetrics(pool, logger)
+	}
+}
+
+// servePprof runs net/http/pprof on its own listener so profiling
+// traffic (and its security surface) stays off the service port. The
+// handlers are mounted explicitly rather than via the package's
+// DefaultServeMux side-effect import.
+func servePprof(addr string, logger *telemetry.Logger, errc chan<- error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	logger.Info("jrpmd: pprof listener up", "addr", addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		errc <- fmt.Errorf("pprof listener: %w", err)
 	}
 }
 
 // flushMetrics logs a final metrics snapshot so operators keep the
 // run's totals even when the scrape endpoint has gone away.
-func flushMetrics(pool *service.Pool) {
+func flushMetrics(pool *service.Pool, logger *telemetry.Logger) {
 	m := pool.Metrics()
 	final := map[string]int64{
 		"jobs_submitted":   m.JobsSubmitted.Load(),
@@ -128,8 +175,8 @@ func flushMetrics(pool *service.Pool) {
 	}
 	b, err := json.Marshal(final)
 	if err != nil {
-		log.Printf("jrpmd: final metrics: %v", err)
+		logger.Error("jrpmd: final metrics", "err", err)
 		return
 	}
-	log.Printf("jrpmd: final metrics %s", b)
+	logger.Info("jrpmd: final metrics", "snapshot", string(b))
 }

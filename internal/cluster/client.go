@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"jrpm/internal/telemetry"
 )
 
 // errTraceMissing marks a shard rejection because the worker no longer
@@ -81,6 +83,30 @@ func (wc *workerClient) version(ctx context.Context) (VersionInfo, error) {
 	return vi, nil
 }
 
+// ready probes GET /v1/readyz. Workers predating the endpoint answer
+// 404 and are treated as ready (the version preflight already vetted
+// them); 503 means the worker is draining and must not receive shards.
+func (wc *workerClient) ready(ctx context.Context) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, wc.base+"/v1/readyz", nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := wc.hc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusNotFound:
+		return true, nil
+	case http.StatusServiceUnavailable:
+		return false, nil
+	default:
+		return false, fmt.Errorf("readyz: HTTP %d", resp.StatusCode)
+	}
+}
+
 // forget drops the resident marker for a trace (after a trace_missing
 // rejection).
 func (wc *workerClient) forget(key string) {
@@ -122,19 +148,31 @@ func (wc *workerClient) ensureTrace(ctx context.Context, key string, data []byte
 		return false, fmt.Errorf("trace stat: HTTP %d", resp.StatusCode)
 	}
 
+	// The span covers the actual byte transfer only — the stat probe
+	// above is a cache hit, not a push.
+	ctx, sp := telemetry.StartSpan(ctx, "trace.push")
+	sp.SetAttr("worker", wc.name)
+	sp.SetAttr("trace.key", key)
+	sp.SetInt("trace.bytes", int64(len(data)))
+	defer sp.End()
 	put, err := http.NewRequestWithContext(ctx, http.MethodPut, wc.base+"/v1/traces/"+key, bytes.NewReader(data))
 	if err != nil {
+		sp.Fail(err)
 		return false, err
 	}
 	put.Header.Set("Content-Type", "application/octet-stream")
 	put.ContentLength = int64(len(data))
+	telemetry.Inject(ctx, put.Header)
 	resp, err = wc.hc.Do(put)
 	if err != nil {
+		sp.Fail(err)
 		return false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
-		return false, fmt.Errorf("trace push: %w", decodeError(resp))
+		err = fmt.Errorf("trace push: %w", decodeError(resp))
+		sp.Fail(err)
+		return false, err
 	}
 	wc.mu.Lock()
 	wc.hasTrace[key] = true
@@ -153,6 +191,7 @@ func (wc *workerClient) runShard(ctx context.Context, sr ShardRequest) ([]Outcom
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	telemetry.Inject(ctx, req.Header)
 	resp, err := wc.hc.Do(req)
 	if err != nil {
 		return nil, err

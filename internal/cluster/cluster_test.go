@@ -36,7 +36,7 @@ func newTestWorker(t testing.TB, mw func(http.Handler) http.Handler) (*httptest.
 	w := NewWorker(pool, 0, 2)
 	mux := http.NewServeMux()
 	w.Register(mux)
-	mux.Handle("/", service.NewServer(pool).Handler())
+	service.NewServer(pool).Register(mux)
 	var h http.Handler = mux
 	if mw != nil {
 		h = mw(mux)

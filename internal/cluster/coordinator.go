@@ -12,6 +12,7 @@ import (
 	"jrpm"
 	"jrpm/internal/hydra"
 	"jrpm/internal/service"
+	"jrpm/internal/telemetry"
 	"jrpm/internal/trace"
 )
 
@@ -55,6 +56,10 @@ type Options struct {
 	DisableStealing bool
 	// Seed fixes the jitter RNG (tests); 0 means 1.
 	Seed int64
+	// Logger receives scheduling events (worker exclusions, shard
+	// failures, breaker trips, fallbacks); nil is silent. All methods of
+	// a nil *telemetry.Logger are no-ops, so call sites don't guard.
+	Logger *telemetry.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -136,22 +141,27 @@ func (c *Coordinator) backoff(attempt int) time.Duration {
 	return c.jitter(d)
 }
 
-// preflight version-checks every worker. Unreachable workers are
-// excluded silently (they may come back; the breaker would exclude them
-// anyway); reachable workers with a different trace-format version are
-// refusals — mixing formats corrupts results, so they are reported as
-// hard errors.
+// preflight version- and readiness-checks every worker. Unreachable or
+// draining workers are excluded (they may come back; the breaker would
+// exclude them anyway); reachable workers with a different trace-format
+// version are refusals — mixing formats corrupts results, so they are
+// reported as hard errors.
 func (c *Coordinator) preflight(ctx context.Context) (healthy []*workerClient, refusals []error) {
 	pctx, cancel := context.WithTimeout(ctx, c.opts.PingTimeout)
 	defer cancel()
 	vis := make([]VersionInfo, len(c.clients))
 	errs := make([]error, len(c.clients))
+	ready := make([]bool, len(c.clients))
+	readyErrs := make([]error, len(c.clients))
 	var wg sync.WaitGroup
 	for i, wc := range c.clients {
 		wg.Add(1)
 		go func(i int, wc *workerClient) {
 			defer wg.Done()
 			vis[i], errs[i] = wc.version(pctx)
+			if errs[i] == nil {
+				ready[i], readyErrs[i] = wc.ready(pctx)
+			}
 		}(i, wc)
 	}
 	wg.Wait()
@@ -160,11 +170,18 @@ func (c *Coordinator) preflight(ctx context.Context) (healthy []*workerClient, r
 	for i, wc := range c.clients {
 		switch {
 		case errs[i] != nil:
-			// unreachable: excluded
+			c.opts.Logger.WarnCtx(ctx, "cluster: worker unreachable, excluded",
+				"worker", wc.name, "err", errs[i])
 		case vis[i].TraceFormat != trace.Version:
 			refusals = append(refusals, fmt.Errorf(
 				"worker %s: trace format v%d, coordinator speaks v%d (module %q) — refusing mixed-format worker",
 				wc.name, vis[i].TraceFormat, trace.Version, vis[i].Module))
+		case readyErrs[i] != nil:
+			c.opts.Logger.WarnCtx(ctx, "cluster: worker readiness probe failed, excluded",
+				"worker", wc.name, "err", readyErrs[i])
+		case !ready[i]:
+			c.opts.Logger.WarnCtx(ctx, "cluster: worker draining, excluded",
+				"worker", wc.name)
 		default:
 			healthy = append(healthy, wc)
 		}
@@ -175,10 +192,27 @@ func (c *Coordinator) preflight(ctx context.Context) (healthy []*workerClient, r
 // Sweep runs the grid: shard, dispatch, retry, hedge, steal, verify,
 // merge. The returned outcomes are byte-identical (under Canonical) to
 // EncodeOutcomes of a local trace.Sweep of every (trace, config) cell.
+//
+// When ctx carries a telemetry tracer (telemetry.WithTracer), the whole
+// sweep is recorded as one distributed trace: a cluster.sweep root span
+// with shard.dispatch / trace.push / shard.local children, propagated
+// to workers over traceparent headers so their server-side spans join
+// the same trace.
 func (c *Coordinator) Sweep(ctx context.Context, grid Grid) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx, sp := telemetry.StartSpan(ctx, "cluster.sweep")
+	sp.SetInt("sweep.traces", int64(len(grid.Traces)))
+	sp.SetInt("sweep.configs", int64(len(grid.Configs)))
+	sp.SetInt("sweep.workers", int64(len(c.clients)))
+	res, err := c.sweep(ctx, grid)
+	sp.Fail(err)
+	sp.End()
+	return res, err
+}
+
+func (c *Coordinator) sweep(ctx context.Context, grid Grid) (*Result, error) {
 	if len(grid.Traces) == 0 {
 		return nil, errors.New("cluster: grid has no traces")
 	}
@@ -220,7 +254,10 @@ func (c *Coordinator) Sweep(ctx context.Context, grid Grid) (*Result, error) {
 	if err := s.run(ctx); err != nil {
 		return nil, err
 	}
+	_, msp := telemetry.StartSpan(ctx, "sweep.merge")
 	out, err := s.merge()
+	msp.Fail(err)
+	msp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -230,6 +267,12 @@ func (c *Coordinator) Sweep(ctx context.Context, grid Grid) (*Result, error) {
 // localGrid executes the whole grid in-process (no workers configured,
 // or none reachable).
 func (c *Coordinator) localGrid(ctx context.Context, grid *Grid, metrics *Metrics, degraded bool) (*Result, error) {
+	if degraded {
+		c.opts.Logger.WarnCtx(ctx, "cluster: no usable workers, running grid locally",
+			"workers", len(c.clients))
+	}
+	ctx, sp := telemetry.StartSpan(ctx, "sweep.local_grid")
+	defer sp.End()
 	out := make([][]OutcomeRow, len(grid.Traces))
 	for ti, gt := range grid.Traces {
 		compiled, err := jrpm.Compile(gt.Source, grid.Opts)
@@ -578,16 +621,26 @@ func (s *sched) attempt(w int, t *task) {
 		tm := time.AfterFunc(delay, func() { s.requeue(t, avoid) })
 		s.timers = append(s.timers, tm)
 	}
+	attempts := t.attempts
+	sctx := s.ctx
 	s.mu.Unlock()
 
+	log := s.c.opts.Logger
+	log.WarnCtx(sctx, "cluster: shard attempt failed",
+		"worker", name, "trace", t.trace, "lo", t.lo, "hi", t.hi,
+		"attempt", attempts, "err", err)
 	s.metrics.onFailure(name)
 	if breakerOpened {
 		s.metrics.onBreakerOpen()
+		log.WarnCtx(sctx, "cluster: circuit breaker opened",
+			"worker", name, "cooldown", s.c.opts.BreakerCooldown)
 	}
 	if retried {
 		s.metrics.onRetry()
 	}
 	if localRun {
+		log.WarnCtx(sctx, "cluster: shard exhausted cluster attempts, running locally",
+			"trace", t.trace, "lo", t.lo, "hi", t.hi)
 		s.localShard(t)
 	}
 }
@@ -710,7 +763,14 @@ func (s *sched) hedgeMonitor(stop <-chan struct{}) {
 // execute is one network attempt: make the recording resident (shipping
 // bytes only on cache miss), then run the shard; a worker that evicted
 // the trace between push and dispatch gets exactly one re-push.
-func (s *sched) execute(ctx context.Context, w int, t *task) ([]OutcomeRow, error) {
+func (s *sched) execute(ctx context.Context, w int, t *task) (rows []OutcomeRow, err error) {
+	ctx, sp := telemetry.StartSpan(ctx, "shard.dispatch")
+	sp.SetAttr("worker", s.clients[w].name)
+	sp.SetInt("shard.trace", int64(t.trace))
+	sp.SetInt("shard.lo", int64(t.lo))
+	sp.SetInt("shard.hi", int64(t.hi))
+	defer func() { sp.Fail(err); sp.End() }()
+
 	wc := s.clients[w]
 	key := s.keys[t.trace]
 	data := s.grid.Traces[t.trace].Data
@@ -721,7 +781,7 @@ func (s *sched) execute(ctx context.Context, w int, t *task) ([]OutcomeRow, erro
 	if err != nil {
 		return nil, err
 	}
-	rows, err := wc.runShard(ctx, s.shardReq(t))
+	rows, err = wc.runShard(ctx, s.shardReq(t))
 	if errors.Is(err, errTraceMissing) {
 		wc.forget(key)
 		pushed, perr := wc.ensureTrace(ctx, key, data)
@@ -752,6 +812,10 @@ func (s *sched) shardReq(t *task) ShardRequest {
 // localShard executes one exhausted shard in-process — the graceful
 // degradation path when the fleet cannot run it.
 func (s *sched) localShard(t *task) {
+	ctx, sp := telemetry.StartSpan(s.ctx, "shard.local")
+	sp.SetInt("shard.trace", int64(t.trace))
+	sp.SetInt("shard.lo", int64(t.lo))
+	sp.SetInt("shard.hi", int64(t.hi))
 	ti := t.trace
 	s.compileOnce[ti].Do(func() {
 		s.compiled[ti], s.compileErr[ti] = jrpm.Compile(s.grid.Traces[ti].Source, s.grid.Opts)
@@ -759,7 +823,7 @@ func (s *sched) localShard(t *task) {
 	var rows []OutcomeRow
 	err := s.compileErr[ti]
 	if err == nil {
-		outs := s.compiled[ti].SweepTrace(s.ctx, s.grid.Traces[ti].Data, s.grid.Configs[t.lo:t.hi], s.grid.Opts, 0)
+		outs := s.compiled[ti].SweepTrace(ctx, s.grid.Traces[ti].Data, s.grid.Configs[t.lo:t.hi], s.grid.Opts, 0)
 		rows = EncodeOutcomes(outs)
 		for _, o := range outs {
 			if o.Err != nil && (errors.Is(o.Err, context.Canceled) || errors.Is(o.Err, context.DeadlineExceeded)) {
@@ -768,6 +832,8 @@ func (s *sched) localShard(t *task) {
 			}
 		}
 	}
+	sp.Fail(err)
+	sp.End()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if t.done {

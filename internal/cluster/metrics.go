@@ -4,24 +4,29 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"jrpm/internal/telemetry"
 )
 
-// Metrics accumulates one sweep's scheduling counters. All updates
-// happen under the scheduler lock except latency observation, which has
-// its own mutex so slow shards never serialize against dispatch.
+// Metrics accumulates one sweep's scheduling counters. The scalar
+// counters are lock-free telemetry counters in a sweep-private registry
+// (so a sweep can also be rendered as Prometheus text); latency samples
+// and per-worker rows keep their own mutex so slow shards never
+// serialize against dispatch.
 type Metrics struct {
-	mu sync.Mutex
+	reg *telemetry.Registry
 
-	dispatched int64
-	retried    int64
-	hedged     int64
-	stolen     int64
-	failures   int64
-	breaker    int64
-	local      int64
-	sentinels  int64
-	pushes     int64
+	dispatched *telemetry.Counter
+	retried    *telemetry.Counter
+	hedged     *telemetry.Counter
+	stolen     *telemetry.Counter
+	failures   *telemetry.Counter
+	breaker    *telemetry.Counter
+	local      *telemetry.Counter
+	sentinels  *telemetry.Counter
+	pushes     *telemetry.Counter
 
+	mu        sync.Mutex
 	latencies []time.Duration // completed shard round-trip times
 	perWorker map[string]*workerCounters
 }
@@ -36,8 +41,25 @@ type workerCounters struct {
 }
 
 func newMetrics() *Metrics {
-	return &Metrics{perWorker: map[string]*workerCounters{}}
+	reg := telemetry.NewRegistry()
+	return &Metrics{
+		reg:        reg,
+		dispatched: reg.Counter("jrpm_sweep_shards_dispatched_total", "Shard dispatch attempts (including retries and hedges)."),
+		retried:    reg.Counter("jrpm_sweep_shards_retried_total", "Shards requeued after a failed attempt."),
+		hedged:     reg.Counter("jrpm_sweep_shards_hedged_total", "Straggler shards re-dispatched to a second worker."),
+		stolen:     reg.Counter("jrpm_sweep_shards_stolen_total", "Shards taken off another worker's queue."),
+		failures:   reg.Counter("jrpm_sweep_shard_failures_total", "Failed shard attempts."),
+		breaker:    reg.Counter("jrpm_sweep_breaker_opens_total", "Circuit-breaker trips."),
+		local:      reg.Counter("jrpm_sweep_local_shards_total", "Shards executed in-process as graceful degradation."),
+		sentinels:  reg.Counter("jrpm_sweep_sentinel_checks_total", "Cross-worker determinism comparisons performed."),
+		pushes:     reg.Counter("jrpm_sweep_trace_pushes_total", "Recordings shipped to workers (content-address misses)."),
+		perWorker:  map[string]*workerCounters{},
+	}
 }
+
+// Registry exposes the sweep's counter registry (Prometheus-renderable
+// via WriteProm).
+func (m *Metrics) Registry() *telemetry.Registry { return m.reg }
 
 func (m *Metrics) worker(name string) *workerCounters {
 	w := m.perWorker[name]
@@ -49,13 +71,15 @@ func (m *Metrics) worker(name string) *workerCounters {
 }
 
 func (m *Metrics) onDispatch(worker string, stolen bool) {
+	m.dispatched.Inc()
+	if stolen {
+		m.stolen.Inc()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.dispatched++
 	w := m.worker(worker)
 	w.dispatched++
 	if stolen {
-		m.stolen++
 		w.stolen++
 	}
 }
@@ -70,18 +94,24 @@ func (m *Metrics) onComplete(worker string, d time.Duration) {
 }
 
 func (m *Metrics) onFailure(worker string) {
+	m.failures.Inc()
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.failures++
 	m.worker(worker).failures++
 }
 
-func (m *Metrics) onRetry()        { m.mu.Lock(); m.retried++; m.mu.Unlock() }
-func (m *Metrics) onHedge()        { m.mu.Lock(); m.hedged++; m.mu.Unlock() }
-func (m *Metrics) onBreakerOpen()  { m.mu.Lock(); m.breaker++; m.mu.Unlock() }
-func (m *Metrics) onLocalShard()   { m.mu.Lock(); m.local++; m.mu.Unlock() }
-func (m *Metrics) onSentinel()     { m.mu.Lock(); m.sentinels++; m.mu.Unlock() }
-func (m *Metrics) onPush(w string) { m.mu.Lock(); m.pushes++; m.worker(w).pushes++; m.mu.Unlock() }
+func (m *Metrics) onRetry()       { m.retried.Inc() }
+func (m *Metrics) onHedge()       { m.hedged.Inc() }
+func (m *Metrics) onBreakerOpen() { m.breaker.Inc() }
+func (m *Metrics) onLocalShard()  { m.local.Inc() }
+func (m *Metrics) onSentinel()    { m.sentinels.Inc() }
+
+func (m *Metrics) onPush(w string) {
+	m.pushes.Inc()
+	m.mu.Lock()
+	m.worker(w).pushes++
+	m.mu.Unlock()
+}
 
 // WorkerStats is the per-worker section of a metrics snapshot.
 type WorkerStats struct {
@@ -131,15 +161,15 @@ func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		Dispatched:     m.dispatched,
-		Retried:        m.retried,
-		Hedged:         m.hedged,
-		Stolen:         m.stolen,
-		Failures:       m.failures,
-		BreakerOpens:   m.breaker,
-		LocalShards:    m.local,
-		SentinelChecks: m.sentinels,
-		TracePushes:    m.pushes,
+		Dispatched:     m.dispatched.Load(),
+		Retried:        m.retried.Load(),
+		Hedged:         m.hedged.Load(),
+		Stolen:         m.stolen.Load(),
+		Failures:       m.failures.Load(),
+		BreakerOpens:   m.breaker.Load(),
+		LocalShards:    m.local.Load(),
+		SentinelChecks: m.sentinels.Load(),
+		TracePushes:    m.pushes.Load(),
 		ShardP50Ms:     quantile(m.latencies, 0.50),
 		ShardP99Ms:     quantile(m.latencies, 0.99),
 	}

@@ -14,6 +14,7 @@ import (
 
 	"jrpm"
 	"jrpm/internal/service"
+	"jrpm/internal/telemetry"
 	"jrpm/internal/trace"
 )
 
@@ -133,40 +134,53 @@ func (w *Worker) runShard(rw http.ResponseWriter, r *http.Request) {
 		writeJSON(rw, http.StatusBadRequest, map[string]string{"error": "shard has no configs"})
 		return
 	}
+	// When jrpmd wraps the worker routes in telemetry.Middleware, the
+	// request context carries the coordinator's trace; the replay span
+	// measures semaphore wait plus the sweep itself. Without a tracer
+	// this is the zero-cost disabled path.
+	ctx, sp := telemetry.StartSpan(r.Context(), "shard.replay")
+	defer sp.End()
+	sp.SetAttr("trace.key", req.TraceKey)
+	sp.SetInt("shard.configs", int64(len(req.Configs)))
 	select {
 	case w.sem <- struct{}{}:
 		defer func() { <-w.sem }()
-	case <-r.Context().Done():
+	case <-ctx.Done():
 		return
 	}
 
 	art, ok := w.pool.Traces().Get(req.TraceKey)
 	if !ok {
+		sp.SetAttr("error", "trace_missing")
 		writeJSON(rw, http.StatusNotFound, map[string]string{"error": "no cached trace " + req.TraceKey, "code": "trace_missing"})
 		return
 	}
 
 	compiled, err := w.compiled(req)
 	if err != nil {
+		sp.Fail(err)
 		w.fail(rw, http.StatusUnprocessableEntity, "compile: "+err.Error())
 		return
 	}
 	tr, err := trace.NewReader(bytes.NewReader(art.Data))
 	if err != nil {
+		sp.Fail(err)
 		w.fail(rw, http.StatusUnprocessableEntity, "trace header: "+err.Error())
 		return
 	}
 	if tr.Header().ProgramHash != compiled.TraceHash() {
+		sp.SetAttr("error", "hash_mismatch")
 		w.fail(rw, http.StatusConflict, "trace was not recorded from the shard's program (hash mismatch)")
 		return
 	}
 
 	opts := jrpm.Options{Annot: req.Annot, Tracer: req.Tracer, Select: req.Select, Optimize: req.Optimize}
-	outs := compiled.SweepTrace(r.Context(), art.Data, req.Configs, opts, w.replayWorkers)
+	outs := compiled.SweepTrace(ctx, art.Data, req.Configs, opts, w.replayWorkers)
 	for _, o := range outs {
 		// A cancellation mid-replay is an infrastructure failure, not an
 		// analysis result: the coordinator must re-dispatch, not merge it.
 		if o.Err != nil && (errors.Is(o.Err, context.Canceled) || errors.Is(o.Err, context.DeadlineExceeded)) {
+			sp.Fail(o.Err)
 			writeJSON(rw, http.StatusServiceUnavailable, map[string]string{"error": "shard interrupted: " + o.Err.Error()})
 			return
 		}
@@ -201,6 +215,47 @@ func (w *Worker) fail(rw http.ResponseWriter, code int, msg string) {
 	w.shardErrs++
 	w.mu.Unlock()
 	writeJSON(rw, code, map[string]string{"error": msg})
+}
+
+// RegisterProm exposes the worker's long-lived shard and transfer
+// counters on a metrics registry; jrpmd's worker mode passes the pool's
+// registry so /metrics covers cluster traffic alongside the queue,
+// cache and VM families.
+func (w *Worker) RegisterProm(reg *telemetry.Registry) {
+	locked := func(read func() int64) func() int64 {
+		return func() int64 {
+			w.mu.Lock()
+			defer w.mu.Unlock()
+			return read()
+		}
+	}
+	reg.CounterFunc("jrpmd_cluster_shards_executed_total",
+		"Shards replayed to completion by this worker.",
+		locked(func() int64 { return w.shards }))
+	reg.CounterFunc("jrpmd_cluster_configs_swept_total",
+		"Machine configurations evaluated across all shards.",
+		locked(func() int64 { return w.configs }))
+	reg.CounterFunc("jrpmd_cluster_shard_errors_total",
+		"Shard requests that failed (compile, trace header, hash mismatch).",
+		locked(func() int64 { return w.shardErrs }))
+	reg.CounterFunc("jrpmd_cluster_trace_pulls_total",
+		"Trace recordings served to peers (bytes-out transfers).",
+		locked(func() int64 {
+			var n int64
+			for _, c := range w.pulls {
+				n += c
+			}
+			return n
+		}))
+	reg.CounterFunc("jrpmd_cluster_trace_pushes_total",
+		"Trace recordings received from coordinators (bytes-in transfers).",
+		locked(func() int64 {
+			var n int64
+			for _, c := range w.pushes {
+				n += c
+			}
+			return n
+		}))
 }
 
 // TraceTransfer is one content address's transfer counters on a worker.

@@ -1,0 +1,61 @@
+package service
+
+import (
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestMetricsJSONGolden pins the exact bytes of GET /v1/metrics for a
+// freshly started pool. The JSON shape is a public monitoring contract
+// (scrapers and the jrpm client parse it); refactors of the metrics
+// plumbing must not change a byte of it.
+func TestMetricsJSONGolden(t *testing.T) {
+	pool := NewPool(Config{
+		Workers:         4,
+		QueueDepth:      64,
+		CacheSize:       128,
+		TraceCacheBytes: 256 << 20,
+	})
+	defer pool.Stop()
+	srv := httptest.NewServer(NewServer(pool).Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got := make([]byte, 0, 4096)
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+
+	path := filepath.Join("testdata", "metrics_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("GET /v1/metrics JSON changed from the golden shape\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"jrpm"
 	"jrpm/internal/hydra"
+	"jrpm/internal/vmsim"
 	"jrpm/internal/workloads"
 )
 
@@ -45,6 +46,12 @@ type Request struct {
 	// and stores it in the daemon's content-addressed trace cache; the
 	// result carries the trace key for later analyze_trace jobs.
 	Record bool `json:"record,omitempty"`
+
+	// SamplePeriod, when > 0, attaches the VM sampling profiler to the
+	// traced run (one sample per SamplePeriod steps, rounded up to the
+	// interpreter's poll window); the result carries the hot-loop
+	// profile. A run-stage option: it does not affect the cache key.
+	SamplePeriod int64 `json:"sample_period,omitempty"`
 
 	// AnalyzeTrace selects the trace-analysis job kind: the key of a
 	// cached trace to replay. Mutually exclusive with Source/Workload,
@@ -123,7 +130,7 @@ func (r *Request) resolve() (src string, in jrpm.Input, err error) {
 }
 
 func (r *Request) options() jrpm.Options {
-	return jrpm.Normalize(jrpm.Options{Optimize: r.Optimize})
+	return jrpm.Normalize(jrpm.Options{Optimize: r.Optimize, SamplePeriod: r.SamplePeriod})
 }
 
 // State is a job's lifecycle position.
@@ -178,6 +185,9 @@ type Result struct {
 	// content address it was cached under) or analyzed one.
 	TraceKey   string `json:"trace_key,omitempty"`
 	TraceBytes int64  `json:"trace_bytes,omitempty"`
+	// Samples is the VM sampling-profiler output, present when the job
+	// set sample_period.
+	Samples *vmsim.SampleProfile `json:"samples,omitempty"`
 	// Sweep holds the per-configuration outcomes of an analyze_trace job.
 	Sweep []SweepRow `json:"sweep,omitempty"`
 }
@@ -206,6 +216,11 @@ type Job struct {
 	started   time.Time
 	finished  time.Time
 	cancel    context.CancelFunc
+
+	// traceparent is the submitting request's span context (W3C header
+	// form, "" when the submitter was untraced); the worker re-attaches
+	// it so the job's execution span joins the submitter's trace.
+	traceparent string
 
 	done chan struct{}
 }

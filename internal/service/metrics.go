@@ -1,43 +1,29 @@
 package service
 
 import (
-	"sync/atomic"
 	"time"
+
+	"jrpm/internal/telemetry"
+	"jrpm/internal/vmsim"
 )
 
 // histBounds are the upper bounds (exclusive) of the latency histogram
 // buckets, in microseconds; the last bucket is unbounded. The spread
 // covers everything from a cache-hit no-op job to a full-suite profile.
-var histBounds = [numBounds]int64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000}
+var histBounds = []int64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000}
 
-const numBounds = 6
+// usToSeconds converts microsecond observations to the base unit
+// Prometheus expects for _seconds series.
+const usToSeconds = 1e-6
 
-// Histogram is a fixed-bucket latency histogram safe for concurrent
-// observation without locks.
+// Histogram adapts a telemetry histogram to the pool's
+// duration-observing call sites and the legacy JSON snapshot shape.
 type Histogram struct {
-	buckets [numBounds + 1]atomic.Int64
-	count   atomic.Int64
-	sumUS   atomic.Int64
-	maxUS   atomic.Int64
+	h *telemetry.Histogram
 }
 
 // Observe records one duration.
-func (h *Histogram) Observe(d time.Duration) {
-	us := d.Microseconds()
-	i := 0
-	for i < len(histBounds) && us >= histBounds[i] {
-		i++
-	}
-	h.buckets[i].Add(1)
-	h.count.Add(1)
-	h.sumUS.Add(us)
-	for {
-		old := h.maxUS.Load()
-		if us <= old || h.maxUS.CompareAndSwap(old, us) {
-			break
-		}
-	}
-}
+func (h *Histogram) Observe(d time.Duration) { h.h.Observe(d.Microseconds()) }
 
 // HistogramSnapshot is the JSON form of a Histogram. Bucket i counts
 // observations in [BoundsUS[i-1], BoundsUS[i]); the final bucket is
@@ -55,38 +41,85 @@ type HistogramSnapshot struct {
 // observations — fine for monitoring.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
-		Count:    h.count.Load(),
-		MaxMS:    float64(h.maxUS.Load()) / 1e3,
-		BoundsUS: histBounds[:],
-		Buckets:  make([]int64, len(h.buckets)),
-	}
-	for i := range h.buckets {
-		s.Buckets[i] = h.buckets[i].Load()
+		Count:    h.h.Count(),
+		MaxMS:    float64(h.h.Max()) / 1e3,
+		BoundsUS: h.h.Bounds(),
+		Buckets:  h.h.BucketCounts(),
 	}
 	if s.Count > 0 {
-		s.MeanMS = float64(h.sumUS.Load()) / float64(s.Count) / 1e3
+		s.MeanMS = float64(h.h.Sum()) / float64(s.Count) / 1e3
 	}
 	return s
 }
 
-// Metrics aggregates the daemon's operational counters. All fields are
-// atomics; the pool and server update them lock-free on the hot path.
+// Metrics aggregates the daemon's operational counters. Every
+// instrument lives in a telemetry.Registry — one source of truth behind
+// both the legacy JSON snapshot (GET /v1/metrics, shape pinned by
+// TestMetricsJSONGolden) and the Prometheus text exposition
+// (?format=prom). The pool and server update the typed handles
+// lock-free on the hot path.
 type Metrics struct {
-	JobsSubmitted atomic.Int64
-	JobsCompleted atomic.Int64
-	JobsFailed    atomic.Int64
-	JobsRejected  atomic.Int64 // queue-full rejections
-	JobsCanceled  atomic.Int64
+	JobsSubmitted *telemetry.Counter
+	JobsCompleted *telemetry.Counter
+	JobsFailed    *telemetry.Counter
+	JobsRejected  *telemetry.Counter // queue-full rejections
+	JobsCanceled  *telemetry.Counter
 
-	CacheHits   atomic.Int64
-	CacheMisses atomic.Int64
+	CacheHits   *telemetry.Counter
+	CacheMisses *telemetry.Counter
 
 	// CyclesSimulated totals VM cycles executed across clean, traced and
 	// recording runs — the daemon's unit of useful work.
-	CyclesSimulated atomic.Int64
+	CyclesSimulated *telemetry.Counter
 
 	QueueWait Histogram // submit -> worker pickup
 	RunTime   Histogram // worker pickup -> done
+}
+
+// newMetrics registers the daemon's instruments in reg.
+func newMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		JobsSubmitted:   reg.Counter("jrpmd_jobs_submitted_total", "Jobs accepted into the queue."),
+		JobsCompleted:   reg.Counter("jrpmd_jobs_completed_total", "Jobs finished successfully."),
+		JobsFailed:      reg.Counter("jrpmd_jobs_failed_total", "Jobs that ended in error."),
+		JobsRejected:    reg.Counter("jrpmd_jobs_rejected_total", "Submissions refused because the queue was full."),
+		JobsCanceled:    reg.Counter("jrpmd_jobs_canceled_total", "Jobs canceled before or during execution."),
+		CacheHits:       reg.Counter("jrpmd_artifact_cache_hits_total", "Compiled-artifact cache hits."),
+		CacheMisses:     reg.Counter("jrpmd_artifact_cache_misses_total", "Compiled-artifact cache misses."),
+		CyclesSimulated: reg.Counter("jrpmd_cycles_simulated_total", "VM cycles executed across clean, traced and recording runs."),
+		QueueWait: Histogram{reg.Histogram("jrpmd_queue_wait_seconds",
+			"Time from job submission to worker pickup.", histBounds, usToSeconds)},
+		RunTime: Histogram{reg.Histogram("jrpmd_run_time_seconds",
+			"Time from worker pickup to job completion.", histBounds, usToSeconds)},
+	}
+}
+
+// registerPoolGauges adds the callback-backed instruments that read pool
+// state at exposition time; split from newMetrics because they need the
+// constructed pool.
+func (p *Pool) registerPoolGauges(reg *telemetry.Registry) {
+	reg.GaugeFunc("jrpmd_workers", "Configured worker goroutines.",
+		func() float64 { return float64(p.cfg.Workers) })
+	reg.GaugeFunc("jrpmd_queue_depth", "Configured queue capacity.",
+		func() float64 { return float64(p.cfg.QueueDepth) })
+	reg.GaugeFunc("jrpmd_queue_length", "Jobs waiting for a worker.",
+		func() float64 { return float64(p.QueueLength()) })
+	reg.GaugeFunc("jrpmd_jobs_active", "Jobs accepted and not yet terminal.",
+		func() float64 { return float64(p.Active()) })
+	reg.GaugeFunc("jrpmd_artifact_cache_entries", "Compiled programs resident in the artifact cache.",
+		func() float64 { return float64(p.cache.Len()) })
+	reg.GaugeFunc("jrpmd_trace_cache_entries", "Recorded traces resident in the trace cache.",
+		func() float64 { return float64(p.traces.Snapshot().Count) })
+	reg.GaugeFunc("jrpmd_trace_cache_bytes", "Bytes of trace data resident in the trace cache.",
+		func() float64 { return float64(p.traces.Snapshot().Bytes) })
+	reg.GaugeFunc("jrpmd_draining", "1 while the pool refuses new submissions.",
+		func() float64 {
+			if p.Draining() {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("jrpmd_vm_runs_total", "Process-wide VM.Run invocations.", vmsim.RunCount)
 }
 
 // MetricsSnapshot is the JSON body of GET /v1/metrics.

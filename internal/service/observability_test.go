@@ -1,0 +1,171 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"jrpm/internal/telemetry"
+)
+
+// obsServer builds a pool + traced server the way cmd/jrpmd does.
+func obsServer(t *testing.T) (*Pool, *httptest.Server, *telemetry.Tracer) {
+	t.Helper()
+	pool := NewPool(Config{Workers: 2, QueueDepth: 8})
+	t.Cleanup(pool.Stop)
+	tracer := telemetry.NewTracer(telemetry.NewCollector(256))
+	pool.SetTracer(tracer)
+	srv := NewServer(pool)
+	srv.Tracer = tracer
+	ts := httptest.NewServer(telemetry.Middleware(tracer, srv.Handler()))
+	t.Cleanup(ts.Close)
+	return pool, ts, tracer
+}
+
+// TestPromEndpoint is the CI gate behind ".github/workflows/ci.yml":
+// the Prometheus exposition must parse and must cover the daemon's
+// queue, cache and VM metric families.
+func TestPromEndpoint(t *testing.T) {
+	_, ts, _ := obsServer(t)
+
+	if _, err := runJob(ts.URL, Request{Workload: "Huffman", Scale: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{"/metrics", "/v1/metrics?format=prom"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: HTTP %d", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("%s: content type %q", path, ct)
+		}
+		text := string(body)
+		if err := telemetry.ValidateProm(text); err != nil {
+			t.Fatalf("%s does not parse: %v\n%s", path, err, text)
+		}
+		for _, family := range []string{
+			"jrpmd_jobs_submitted_total",
+			"jrpmd_jobs_completed_total",
+			"jrpmd_artifact_cache_misses_total",
+			"jrpmd_queue_wait_seconds_bucket",
+			"jrpmd_queue_wait_seconds_count",
+			"jrpmd_run_time_seconds_sum",
+			"jrpmd_queue_length",
+			"jrpmd_trace_cache_bytes",
+			"jrpmd_cycles_simulated_total",
+			"jrpmd_vm_runs_total",
+		} {
+			if !strings.Contains(text, family) {
+				t.Errorf("%s missing family %s", path, family)
+			}
+		}
+	}
+}
+
+func TestReadyz(t *testing.T) {
+	pool, ts, _ := obsServer(t)
+
+	resp, err := http.Get(ts.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]any
+	json.NewDecoder(resp.Body).Decode(&body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("readyz = %d %v", resp.StatusCode, body)
+	}
+
+	// A draining pool must answer 503 so schedulers stop routing here,
+	// while healthz keeps reporting liveness.
+	pool.Stop()
+	resp, err = http.Get(ts.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = nil
+	json.NewDecoder(resp.Body).Decode(&body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || body["status"] != "draining" {
+		t.Fatalf("draining readyz = %d %v", resp.StatusCode, body)
+	}
+	resp, err = http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining = %d", resp.StatusCode)
+	}
+}
+
+// TestJobSpanJoinsSubmitterTrace submits a job under a client span and
+// asserts the asynchronous job.run span lands in the same trace as the
+// server's POST span.
+func TestJobSpanJoinsSubmitterTrace(t *testing.T) {
+	_, ts, tracer := obsServer(t)
+
+	client := telemetry.NewTracer(telemetry.NewCollector(64))
+	ctx, root := telemetry.StartSpan(
+		telemetry.WithTracer(t.Context(), client), "test.submit")
+
+	body := `{"workload": "Huffman", "scale": 0.2, "sample_period": 8192}`
+	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/jobs", strings.NewReader(body))
+	telemetry.Inject(ctx, req.Header)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	json.NewDecoder(resp.Body).Decode(&acc) //nolint:errcheck
+	resp.Body.Close()
+	root.End()
+
+	view, err := waitJob(ts.URL, acc.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.State != StateDone {
+		t.Fatalf("job %s: %s", view.State, view.Error)
+	}
+	if view.Result.Samples == nil || view.Result.Samples.Samples == 0 {
+		t.Fatalf("sample_period job returned no samples: %+v", view.Result.Samples)
+	}
+
+	// Fetch the server-side spans for the client's trace.
+	resp, err = http.Get(ts.URL + "/v1/traces/spans?trace_id=" + root.TraceID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Spans []telemetry.SpanData `json:"spans"`
+	}
+	json.NewDecoder(resp.Body).Decode(&dump) //nolint:errcheck
+	resp.Body.Close()
+
+	names := map[string]bool{}
+	for _, sd := range dump.Spans {
+		if sd.TraceID != root.TraceID() {
+			t.Fatalf("span %q in wrong trace %s", sd.Name, sd.TraceID)
+		}
+		names[sd.Name] = true
+	}
+	if !names["http POST /v1/jobs"] {
+		t.Errorf("missing server span for the submit: %v", names)
+	}
+	if !names["job.run"] {
+		t.Errorf("missing asynchronous job.run span: %v", names)
+	}
+	_ = tracer
+}

@@ -16,6 +16,7 @@ import (
 
 	"jrpm"
 	"jrpm/internal/hydra"
+	"jrpm/internal/telemetry"
 	"jrpm/internal/trace"
 )
 
@@ -80,9 +81,11 @@ func (c Config) withDefaults() Config {
 // pipeline is recovered into a failed job.
 type Pool struct {
 	cfg     Config
+	reg     *telemetry.Registry
 	metrics *Metrics
 	cache   *Cache
 	traces  *TraceCache
+	tracer  *telemetry.Tracer // nil = job spans disabled
 
 	queue    chan *Job
 	jobs     sync.Map // id -> *Job
@@ -102,13 +105,16 @@ type Pool struct {
 // NewPool creates and starts a pool.
 func NewPool(cfg Config) *Pool {
 	cfg = cfg.withDefaults()
+	reg := telemetry.NewRegistry()
 	p := &Pool{
 		cfg:     cfg,
-		metrics: &Metrics{},
+		reg:     reg,
+		metrics: newMetrics(reg),
 		cache:   NewCache(cfg.CacheSize),
 		traces:  NewTraceCache(cfg.TraceCacheBytes),
 		queue:   make(chan *Job, cfg.QueueDepth),
 	}
+	p.registerPoolGauges(reg)
 	p.ctx, p.cancel = context.WithCancel(context.Background())
 	p.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -119,6 +125,21 @@ func NewPool(cfg Config) *Pool {
 
 // Metrics exposes the pool's counters.
 func (p *Pool) Metrics() *Metrics { return p.metrics }
+
+// Registry exposes the pool's metrics registry — the Prometheus
+// exposition reads it, and co-resident subsystems (the cluster worker)
+// register their own instruments in it.
+func (p *Pool) Registry() *telemetry.Registry { return p.reg }
+
+// SetTracer enables per-job spans: each executed job gets a "job.run"
+// span parented to the trace that submitted it (captured from the
+// submit context). Set before serving traffic; a nil tracer keeps job
+// execution span-free.
+func (p *Pool) SetTracer(tr *telemetry.Tracer) { p.tracer = tr }
+
+// Draining reports whether the pool is refusing new submissions (Drain
+// or Stop has begun). GET /v1/readyz turns this into a 503.
+func (p *Pool) Draining() bool { return p.stopped.Load() }
 
 // Cache exposes the artifact cache (read-mostly; the server reports its
 // size).
@@ -142,6 +163,14 @@ func (p *Pool) Active() int { return int(p.live.Load()) }
 // analyze_trace combinations) is rejected here with an error rather than
 // becoming a failed job.
 func (p *Pool) Submit(req Request) (*Job, error) {
+	return p.SubmitCtx(context.Background(), req)
+}
+
+// SubmitCtx is Submit plus span propagation: if ctx carries an active
+// span (the HTTP server span of the submitting request), its identity
+// is captured on the job so the asynchronous execution joins the
+// submitter's distributed trace.
+func (p *Pool) SubmitCtx(ctx context.Context, req Request) (*Job, error) {
 	if p.stopped.Load() {
 		return nil, ErrStopped
 	}
@@ -149,11 +178,12 @@ func (p *Pool) Submit(req Request) (*Job, error) {
 		return nil, err
 	}
 	job := &Job{
-		ID:        fmt.Sprintf("j%08d", p.seq.Add(1)),
-		Req:       req,
-		state:     StateQueued,
-		submitted: time.Now(),
-		done:      make(chan struct{}),
+		ID:          fmt.Sprintf("j%08d", p.seq.Add(1)),
+		Req:         req,
+		state:       StateQueued,
+		submitted:   time.Now(),
+		traceparent: telemetry.ContextTraceparent(ctx),
+		done:        make(chan struct{}),
 	}
 	select {
 	case p.queue <- job:
@@ -276,6 +306,18 @@ func (p *Pool) run(j *Job) {
 	}
 	defer p.live.Add(-1)
 	p.metrics.QueueWait.Observe(wait)
+
+	var sp *telemetry.Span
+	if p.tracer != nil {
+		// The job runs asynchronously from its submission; re-attach
+		// the submitter's span context so this span lands in the same
+		// distributed trace as the POST that created the job.
+		ctx = telemetry.WithTracer(ctx, p.tracer)
+		ctx = telemetry.WithRemoteParentString(ctx, j.traceparent)
+		ctx, sp = telemetry.StartSpan(ctx, "job.run")
+		sp.SetAttr("job.id", j.ID)
+		sp.SetInt("job.queue_wait_us", wait.Microseconds())
+	}
 	began := time.Now()
 
 	var res *Result
@@ -300,6 +342,11 @@ func (p *Pool) run(j *Job) {
 	default:
 		p.metrics.JobsFailed.Add(1)
 		j.finish(StateFailed, nil, err.Error())
+	}
+	if sp != nil {
+		sp.SetAttr("job.state", string(j.View().State))
+		sp.Fail(err)
+		sp.End()
 	}
 }
 

@@ -18,6 +18,7 @@ func buildResult(pr *jrpm.ProfileResult, cacheHit bool) *Result {
 		SelectedLoops:    an.SelectedLoopIDs(),
 		PredictedSpeedup: an.PredictedSpeedup(),
 		CacheHit:         cacheHit,
+		Samples:          pr.Samples,
 	}
 	if res.SelectedLoops == nil {
 		res.SelectedLoops = []int{}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"jrpm"
+	"jrpm/internal/telemetry"
 	"jrpm/internal/trace"
 )
 
@@ -21,9 +22,14 @@ const maxRequestBody = 16 << 20
 //	GET    /v1/jobs/{id}      job status/result; ?wait=1 long-polls until
 //	                          done or the server-side bound elapses (202)
 //	DELETE /v1/jobs/{id}      cancel a job
-//	GET    /v1/metrics        operational counters and latency histograms
+//	GET    /v1/metrics        operational counters and latency histograms;
+//	                          ?format=prom switches to Prometheus text
+//	GET    /metrics           Prometheus text exposition (scraper default)
 //	GET    /v1/healthz        liveness + pool sizing
+//	GET    /v1/readyz         readiness: queue depth, live jobs, drain
+//	                          state; 503 while draining
 //	GET    /v1/version        module version + trace-format version
+//	GET    /v1/traces/spans   collected spans as JSON; ?trace_id= filters
 type Server struct {
 	pool  *Pool
 	start time.Time
@@ -33,6 +39,11 @@ type Server struct {
 	// the cluster.Worker snapshot in here without service importing the
 	// cluster package.
 	ExtraMetrics func() any
+
+	// Tracer, when set, is the daemon's span tracer; GET /v1/traces/spans
+	// serves its collector, and the pool's job spans feed it (the caller
+	// wires pool.SetTracer with the same tracer).
+	Tracer *telemetry.Tracer
 }
 
 // NewServer wraps a pool.
@@ -43,13 +54,25 @@ func NewServer(pool *Pool) *Server {
 // Handler returns the API routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	s.Register(mux)
+	return mux
+}
+
+// Register mounts the API routes on an existing mux. jrpmd composes
+// them with the cluster worker's routes on ONE mux so Go's pattern
+// precedence applies across both route sets — in particular the literal
+// GET /v1/traces/spans must win over the worker's GET /v1/traces/{hash},
+// which would shadow it if the API lived behind a catch-all "/" mount.
+func (s *Server) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.get)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
 	mux.HandleFunc("GET /v1/metrics", s.metrics)
+	mux.HandleFunc("GET /metrics", s.prom)
 	mux.HandleFunc("GET /v1/healthz", s.healthz)
+	mux.HandleFunc("GET /v1/readyz", s.readyz)
 	mux.HandleFunc("GET /v1/version", s.version)
-	return mux
+	mux.HandleFunc("GET /v1/traces/spans", s.spans)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -72,7 +95,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	job, err := s.pool.Submit(req)
+	job, err := s.pool.SubmitCtx(r.Context(), req)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -125,7 +148,11 @@ func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"canceled": live})
 }
 
-func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		s.prom(w, r)
+		return
+	}
 	m := s.pool.Metrics().snapshot()
 	m.CacheSize = s.pool.Cache().Len()
 	m.Workers = s.pool.Config().Workers
@@ -151,5 +178,50 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 		"status":    "ok",
 		"workers":   s.pool.Config().Workers,
 		"uptime_ms": time.Since(s.start).Milliseconds(),
+	})
+}
+
+// readyz is the load-balancer / coordinator preflight: distinct from
+// healthz (liveness), it answers 503 the moment a drain begins so
+// schedulers stop routing work here while in-flight jobs finish.
+func (s *Server) readyz(w http.ResponseWriter, _ *http.Request) {
+	body := map[string]any{
+		"queue_length": s.pool.QueueLength(),
+		"queue_depth":  s.pool.Config().QueueDepth,
+		"live_jobs":    s.pool.Active(),
+		"draining":     s.pool.Draining(),
+	}
+	if s.pool.Draining() {
+		body["status"] = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	body["status"] = "ready"
+	writeJSON(w, http.StatusOK, body)
+}
+
+// prom renders the pool's metrics registry as Prometheus text.
+func (s *Server) prom(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.pool.Registry().WriteProm(w) //nolint:errcheck // client gone; nothing to do
+}
+
+// spans serves the collected spans; ?trace_id= restricts the dump to
+// one distributed trace (what jrpm sweep -trace-out fetches from each
+// worker to stitch a sweep trace together).
+func (s *Server) spans(w http.ResponseWriter, r *http.Request) {
+	var sd []telemetry.SpanData
+	var dropped int64
+	if s.Tracer != nil {
+		col := s.Tracer.Collector()
+		sd = col.Snapshot(r.URL.Query().Get("trace_id"))
+		dropped = col.Dropped()
+	}
+	if sd == nil {
+		sd = []telemetry.SpanData{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"spans":   sd,
+		"dropped": dropped,
 	})
 }

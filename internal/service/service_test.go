@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"jrpm"
+	"jrpm/internal/telemetry"
 )
 
 func postJob(base string, req Request) (string, error) {
@@ -453,9 +454,10 @@ func TestCacheKey(t *testing.T) {
 	}
 }
 
-// TestHistogram: bucket boundaries and summary stats.
+// TestHistogram: bucket boundaries and summary stats, through the real
+// registry-backed construction path.
 func TestHistogram(t *testing.T) {
-	var h Histogram
+	h := newMetrics(telemetry.NewRegistry()).QueueWait
 	h.Observe(50 * time.Microsecond)  // bucket 0: < 100us
 	h.Observe(500 * time.Microsecond) // bucket 1: < 1ms
 	h.Observe(2 * time.Second)        // bucket 5: < 10s

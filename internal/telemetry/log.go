@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// ParseLevel maps a -log-level flag value to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	default:
+		return LevelInfo, fmt.Errorf("telemetry: unknown log level %q", s)
+	}
+}
+
+// Logger writes leveled key=value text lines. A nil *Logger is valid
+// and silently discards everything, so subsystems can take a logger
+// without nil checks. The context-suffixed methods stamp trace_id and
+// span_id from the context's active span, tying worker log lines to
+// distributed traces.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min Level
+}
+
+// NewLogger builds a logger writing lines at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{w: w, min: min}
+}
+
+// Enabled reports whether lvl would be written.
+func (l *Logger) Enabled(lvl Level) bool {
+	return l != nil && lvl >= l.min
+}
+
+// Log writes one line: time, level, message, then key=value pairs
+// (args as alternating key, value). Values are formatted with %v and
+// quoted when they contain spaces or quotes.
+func (l *Logger) Log(lvl Level, msg string, args ...any) {
+	l.log(nil, lvl, msg, args)
+}
+
+// LogCtx is Log plus trace_id/span_id from the context's active span.
+func (l *Logger) LogCtx(ctx context.Context, lvl Level, msg string, args ...any) {
+	if l == nil || lvl < l.min {
+		return
+	}
+	l.log(SpanFrom(ctx), lvl, msg, args)
+}
+
+func (l *Logger) Debug(msg string, args ...any) { l.Log(LevelDebug, msg, args...) }
+func (l *Logger) Info(msg string, args ...any)  { l.Log(LevelInfo, msg, args...) }
+func (l *Logger) Warn(msg string, args ...any)  { l.Log(LevelWarn, msg, args...) }
+func (l *Logger) Error(msg string, args ...any) { l.Log(LevelError, msg, args...) }
+
+func (l *Logger) DebugCtx(ctx context.Context, msg string, args ...any) {
+	l.LogCtx(ctx, LevelDebug, msg, args...)
+}
+
+func (l *Logger) InfoCtx(ctx context.Context, msg string, args ...any) {
+	l.LogCtx(ctx, LevelInfo, msg, args...)
+}
+
+func (l *Logger) WarnCtx(ctx context.Context, msg string, args ...any) {
+	l.LogCtx(ctx, LevelWarn, msg, args...)
+}
+
+func (l *Logger) ErrorCtx(ctx context.Context, msg string, args ...any) {
+	l.LogCtx(ctx, LevelError, msg, args...)
+}
+
+func (l *Logger) log(sp *Span, lvl Level, msg string, args []any) {
+	if l == nil || lvl < l.min {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(time.Now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteByte(' ')
+	b.WriteString(lvl.String())
+	b.WriteByte(' ')
+	b.WriteString("msg=")
+	writeValue(&b, msg)
+	for i := 0; i+1 < len(args); i += 2 {
+		b.WriteByte(' ')
+		if k, ok := args[i].(string); ok {
+			b.WriteString(k)
+		} else {
+			fmt.Fprintf(&b, "%v", args[i])
+		}
+		b.WriteByte('=')
+		writeValue(&b, fmt.Sprintf("%v", args[i+1]))
+	}
+	if len(args)%2 == 1 {
+		b.WriteString(" !BADKEY=")
+		writeValue(&b, fmt.Sprintf("%v", args[len(args)-1]))
+	}
+	if sp != nil {
+		b.WriteString(" trace_id=")
+		b.WriteString(sp.traceID.String())
+		b.WriteString(" span_id=")
+		b.WriteString(sp.spanID.String())
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+func writeValue(b *strings.Builder, v string) {
+	if v == "" || strings.ContainsAny(v, " \t\n\"=") {
+		fmt.Fprintf(b, "%q", v)
+		return
+	}
+	b.WriteString(v)
+}

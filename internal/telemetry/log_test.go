@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type syncBuf struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+func TestLoggerLevelsAndFormat(t *testing.T) {
+	var buf syncBuf
+	l := NewLogger(&buf, LevelInfo)
+	l.Debug("hidden")
+	l.Info("job done", "job", 42, "state", "completed")
+	l.Warn("spaced value", "msg2", "two words")
+	l.Error("broke", "err", "boom")
+
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatalf("debug line leaked below min level:\n%s", out)
+	}
+	for _, want := range []string{
+		" info msg=\"job done\" job=42 state=completed",
+		` warn msg="spaced value" msg2="two words"`,
+		" error msg=broke err=boom",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Info("into the void", "k", "v")
+	l.ErrorCtx(context.Background(), "also fine")
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger reports enabled")
+	}
+}
+
+func TestLoggerCtxStampsTrace(t *testing.T) {
+	var buf syncBuf
+	l := NewLogger(&buf, LevelDebug)
+	tr := NewTracer(NewCollector(8))
+	ctx, sp := StartSpan(WithTracer(context.Background(), tr), "op")
+	l.InfoCtx(ctx, "traced line")
+	sp.End()
+
+	out := buf.String()
+	if !strings.Contains(out, "trace_id="+sp.TraceID()) {
+		t.Fatalf("line missing trace id:\n%s", out)
+	}
+	if !strings.Contains(out, "span_id=") {
+		t.Fatalf("line missing span id:\n%s", out)
+	}
+
+	// Without a span in the context no IDs are stamped.
+	l.InfoCtx(context.Background(), "plain line")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if strings.Contains(lines[len(lines)-1], "trace_id=") {
+		t.Fatalf("untraced line has trace id: %s", lines[len(lines)-1])
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "": LevelInfo,
+		"WARN": LevelWarn, "warning": LevelWarn, "error": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted garbage")
+	}
+}

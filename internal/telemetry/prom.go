@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), hand-rolled — no dependencies.
+// Histograms emit cumulative _bucket series with le labels, plus _sum
+// and _count. Values are read live; the exposition is not a consistent
+// point-in-time snapshot across metrics, which matches Prometheus
+// client conventions.
+func (r *Registry) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range r.snapshotMetrics() {
+		d := m.describe()
+		s := m.sample()
+		bw.WriteString("# HELP ")
+		bw.WriteString(d.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(d.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(d.name)
+		bw.WriteByte(' ')
+		bw.WriteString(d.typ)
+		bw.WriteByte('\n')
+		if s.hist != nil {
+			writeHist(bw, d, s.hist)
+			continue
+		}
+		bw.WriteString(d.name)
+		writeLabels(bw, d.labels, "", 0)
+		bw.WriteByte(' ')
+		bw.WriteString(formatValue(s.value))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+func writeHist(bw *bufio.Writer, d desc, h *histSample) {
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		bw.WriteString(d.name)
+		bw.WriteString("_bucket")
+		writeLabels(bw, d.labels, "le", b)
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatInt(cum, 10))
+		bw.WriteByte('\n')
+	}
+	cum += h.counts[len(h.bounds)]
+	bw.WriteString(d.name)
+	bw.WriteString("_bucket")
+	writeLabelsInf(bw, d.labels)
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(cum, 10))
+	bw.WriteByte('\n')
+
+	bw.WriteString(d.name)
+	bw.WriteString("_sum")
+	writeLabels(bw, d.labels, "", 0)
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(h.sum))
+	bw.WriteByte('\n')
+	bw.WriteString(d.name)
+	bw.WriteString("_count")
+	writeLabels(bw, d.labels, "", 0)
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(h.count, 10))
+	bw.WriteByte('\n')
+}
+
+// writeLabels renders {k="v",...}; when le is non-empty a le bucket
+// label is appended. Nothing is written for zero labels and no le.
+func writeLabels(bw *bufio.Writer, ls []Label, leKey string, le float64) {
+	if len(ls) == 0 && leKey == "" {
+		return
+	}
+	bw.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(l.Key)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabel(l.Value))
+		bw.WriteByte('"')
+	}
+	if leKey != "" {
+		if len(ls) > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(`le="`)
+		bw.WriteString(formatLe(le))
+		bw.WriteByte('"')
+	}
+	bw.WriteByte('}')
+}
+
+func writeLabelsInf(bw *bufio.Writer, ls []Label) {
+	bw.WriteByte('{')
+	for _, l := range ls {
+		bw.WriteString(l.Key)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabel(l.Value))
+		bw.WriteString(`",`)
+	}
+	bw.WriteString(`le="+Inf"}`)
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatLe renders bucket bounds with 12 significant digits so scaled
+// integer bounds (100µs × 1e-6) print as 0.0001, not
+// 9.999999999999999e-05.
+func formatLe(v float64) string {
+	return strconv.FormatFloat(v, 'g', 12, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

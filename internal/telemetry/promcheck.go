@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidateProm checks a Prometheus text-format exposition for
+// structural correctness: HELP/TYPE comment shape, known metric types,
+// parseable sample lines whose metric family matches a preceding TYPE
+// declaration, numeric values, and balanced label quoting. It is the
+// validator behind the CI gate asserting the /v1/metrics?format=prom
+// output parses; it is deliberately strict about what this codebase
+// emits rather than a full implementation of the spec.
+func ValidateProm(text string) error {
+	types := map[string]string{}
+	sawSample := false
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			switch fields[1] {
+			case "HELP":
+				// free text after the name; nothing more to check
+			case "TYPE":
+				if len(fields) < 4 {
+					return fmt.Errorf("line %d: TYPE missing type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				types[fields[2]] = fields[3]
+			default:
+				return fmt.Errorf("line %d: unknown comment %q", lineNo, fields[1])
+			}
+			continue
+		}
+		name, rest, err := splitSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if _, ok := types[name]; !ok {
+			if _, ok := types[base]; !ok {
+				return fmt.Errorf("line %d: sample %q has no TYPE declaration", lineNo, name)
+			}
+		}
+		if _, err := strconv.ParseFloat(rest, 64); err != nil && rest != "+Inf" && rest != "-Inf" && rest != "NaN" {
+			return fmt.Errorf("line %d: bad value %q", lineNo, rest)
+		}
+		sawSample = true
+	}
+	if !sawSample {
+		return fmt.Errorf("no samples in exposition")
+	}
+	return nil
+}
+
+// splitSample parses `name{labels} value` or `name value`, returning
+// the metric name and value string after checking label syntax.
+func splitSample(line string) (name, value string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", "", fmt.Errorf("malformed sample %q", line)
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end, err := scanLabels(rest)
+		if err != nil {
+			return "", "", err
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	if rest == "" || strings.Contains(rest, " ") {
+		return "", "", fmt.Errorf("malformed value in %q", line)
+	}
+	return name, rest, nil
+}
+
+// scanLabels validates a {k="v",...} block starting at s[0]=='{' and
+// returns the index just past the closing brace.
+func scanLabels(s string) (int, error) {
+	i := 1
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		j := strings.IndexByte(s[i:], '=')
+		if j < 0 {
+			return 0, fmt.Errorf("label without =")
+		}
+		if !validLabelName(s[i:i+j]) && s[i:i+j] != "le" {
+			return 0, fmt.Errorf("invalid label name %q", s[i:i+j])
+		}
+		i += j + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label value not quoted")
+		}
+		i++
+		for {
+			if i >= len(s) {
+				return 0, fmt.Errorf("unterminated label value")
+			}
+			if s[i] == '\\' {
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				i++
+				break
+			}
+			i++
+		}
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// TraceparentHeader is the W3C trace-context header carrying the span
+// context across HTTP hops.
+const TraceparentHeader = "traceparent"
+
+// FormatTraceparent renders the 00-<trace-id>-<parent-id>-01 header
+// value.
+func FormatTraceparent(tid TraceID, sid SpanID) string {
+	return "00-" + tid.String() + "-" + sid.String() + "-01"
+}
+
+// ErrBadTraceparent reports an unparseable traceparent value.
+var ErrBadTraceparent = errors.New("telemetry: malformed traceparent")
+
+// ParseTraceparent parses a traceparent header value. Only version 00
+// is understood; the all-zero trace and span IDs are invalid per the
+// W3C spec.
+func ParseTraceparent(s string) (TraceID, SpanID, error) {
+	var tid TraceID
+	var sid SpanID
+	// 2 (version) + 1 + 32 (trace) + 1 + 16 (span) + 1 + 2 (flags)
+	if len(s) != 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tid, sid, ErrBadTraceparent
+	}
+	if s[0] != '0' || s[1] != '0' {
+		return tid, sid, fmt.Errorf("%w: unsupported version %q", ErrBadTraceparent, s[:2])
+	}
+	// hex.Decode accepts uppercase; the W3C header is lowercase-only.
+	for _, c := range []byte(s[3:52]) {
+		if c != '-' && !((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) {
+			return tid, sid, fmt.Errorf("%w: non-lowercase-hex id", ErrBadTraceparent)
+		}
+	}
+	if _, err := hex.Decode(tid[:], []byte(s[3:35])); err != nil {
+		return tid, sid, fmt.Errorf("%w: trace id: %v", ErrBadTraceparent, err)
+	}
+	if _, err := hex.Decode(sid[:], []byte(s[36:52])); err != nil {
+		return tid, sid, fmt.Errorf("%w: span id: %v", ErrBadTraceparent, err)
+	}
+	if !isHex2(s[53], s[54]) {
+		return tid, sid, fmt.Errorf("%w: flags", ErrBadTraceparent)
+	}
+	if tid.IsZero() || sid.IsZero() {
+		return tid, sid, fmt.Errorf("%w: zero id", ErrBadTraceparent)
+	}
+	return tid, sid, nil
+}
+
+func isHex2(a, b byte) bool {
+	isx := func(c byte) bool {
+		return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+	}
+	return isx(a) && isx(b)
+}
+
+// Inject writes the context's active span as a traceparent header; a
+// context without a span writes nothing.
+func Inject(ctx context.Context, h http.Header) {
+	if s := SpanFrom(ctx); s != nil {
+		h.Set(TraceparentHeader, FormatTraceparent(s.traceID, s.spanID))
+	}
+}
+
+// Extract parses the traceparent header of an incoming request.
+func Extract(h http.Header) (TraceID, SpanID, bool) {
+	v := h.Get(TraceparentHeader)
+	if v == "" {
+		return TraceID{}, SpanID{}, false
+	}
+	tid, sid, err := ParseTraceparent(v)
+	if err != nil {
+		return TraceID{}, SpanID{}, false
+	}
+	return tid, sid, true
+}
+
+// ContextTraceparent renders the context's active span as a
+// traceparent value, or "" when no span is active — the string form of
+// a span context, for carrying across non-HTTP boundaries (the job
+// queue stores it on each submitted job).
+func ContextTraceparent(ctx context.Context) string {
+	s := SpanFrom(ctx)
+	if s == nil {
+		return ""
+	}
+	return FormatTraceparent(s.traceID, s.spanID)
+}
+
+// WithRemoteParentString re-attaches a traceparent captured by
+// ContextTraceparent. Malformed values are ignored.
+func WithRemoteParentString(ctx context.Context, tp string) context.Context {
+	if tp == "" {
+		return ctx
+	}
+	tid, sid, err := ParseTraceparent(tp)
+	if err != nil {
+		return ctx
+	}
+	return WithRemoteParent(ctx, tid, sid)
+}
+
+// statusWriter records the response status for the server span.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Middleware wraps an HTTP handler with server-side tracing: it
+// extracts an incoming traceparent, opens one server span per request
+// (joined to the caller's trace when propagated), makes the tracer
+// available to handlers via the request context, and records the
+// response status. A nil tracer returns next unchanged.
+func Middleware(tr *Tracer, next http.Handler) http.Handler {
+	if tr == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx := WithTracer(r.Context(), tr)
+		if tid, sid, ok := Extract(r.Header); ok {
+			ctx = WithRemoteParent(ctx, tid, sid)
+		}
+		ctx, sp := StartSpan(ctx, "http "+r.Method+" "+r.URL.Path)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		sp.SetInt("http.status", int64(sw.status))
+		if sw.status >= http.StatusInternalServerError {
+			sp.Fail(fmt.Errorf("HTTP %d", sw.status))
+		}
+		sp.End()
+	})
+}

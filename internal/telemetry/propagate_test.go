@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	var tid TraceID
+	var sid SpanID
+	for i := range tid {
+		tid[i] = byte(i + 1)
+	}
+	for i := range sid {
+		sid[i] = byte(0xf0 + i)
+	}
+	tp := FormatTraceparent(tid, sid)
+	gtid, gsid, err := ParseTraceparent(tp)
+	if err != nil {
+		t.Fatalf("ParseTraceparent(%q): %v", tp, err)
+	}
+	if gtid != tid || gsid != sid {
+		t.Fatalf("round trip mismatch: %v/%v", gtid, gsid)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00-short",
+		"01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // unknown version
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-0g", // bad flags
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", // zero span
+		"00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01", // uppercase hex
+		"00-0af7651916cd43dd8448eb211c80319c+b7ad6b7169203331-01", // bad separator
+	}
+	for _, s := range bad {
+		if _, _, err := ParseTraceparent(s); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted", s)
+		}
+	}
+}
+
+func TestInjectExtract(t *testing.T) {
+	tr := NewTracer(NewCollector(8))
+	ctx := WithTracer(context.Background(), tr)
+	ctx, sp := StartSpan(ctx, "client")
+	defer sp.End()
+
+	h := http.Header{}
+	Inject(ctx, h)
+	tid, _, ok := Extract(h)
+	if !ok {
+		t.Fatalf("Extract failed on %q", h.Get(TraceparentHeader))
+	}
+	if tid.String() != sp.TraceID() {
+		t.Fatalf("extracted trace %s, want %s", tid, sp.TraceID())
+	}
+
+	// No span: nothing injected, nothing extracted.
+	h2 := http.Header{}
+	Inject(context.Background(), h2)
+	if h2.Get(TraceparentHeader) != "" {
+		t.Fatal("Inject wrote a header without an active span")
+	}
+	if _, _, ok := Extract(h2); ok {
+		t.Fatal("Extract succeeded on empty header")
+	}
+}
+
+func TestContextTraceparentString(t *testing.T) {
+	if got := ContextTraceparent(context.Background()); got != "" {
+		t.Fatalf("no-span context traceparent = %q", got)
+	}
+	tr := NewTracer(NewCollector(8))
+	ctx, sp := StartSpan(WithTracer(context.Background(), tr), "op")
+	tp := ContextTraceparent(ctx)
+	sp.End()
+
+	ctx2 := WithRemoteParentString(WithTracer(context.Background(), tr), tp)
+	_, child := StartSpan(ctx2, "resumed")
+	if child.TraceID() != sp.TraceID() {
+		t.Fatalf("resumed trace %s, want %s", child.TraceID(), sp.TraceID())
+	}
+	child.End()
+
+	if got := WithRemoteParentString(context.Background(), "garbage"); got != context.Background() {
+		t.Fatal("malformed traceparent must leave the context untouched")
+	}
+}
+
+func TestMiddlewarePropagation(t *testing.T) {
+	serverCol := NewCollector(16)
+	serverTr := NewTracer(serverCol)
+	var handlerTrace string
+	h := Middleware(serverTr, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handlerTrace = SpanFrom(r.Context()).TraceID()
+		if r.URL.Path == "/boom" {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	clientTr := NewTracer(NewCollector(16))
+	ctx, sp := StartSpan(WithTracer(context.Background(), clientTr), "client")
+	req, _ := http.NewRequest("GET", srv.URL+"/work", nil)
+	Inject(ctx, req.Header)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	sp.End()
+
+	if handlerTrace != sp.TraceID() {
+		t.Fatalf("server span trace %s, want client trace %s", handlerTrace, sp.TraceID())
+	}
+	spans := serverCol.Snapshot(sp.TraceID())
+	if len(spans) != 1 {
+		t.Fatalf("server collected %d spans for the trace, want 1", len(spans))
+	}
+	got := spans[0]
+	if got.Name != "http GET /work" {
+		t.Fatalf("server span name %q", got.Name)
+	}
+	if got.Attrs["http.status"] != "200" {
+		t.Fatalf("server span status attr %v", got.Attrs)
+	}
+
+	// 5xx responses mark the server span failed.
+	resp, err = http.Get(srv.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	all := serverCol.Snapshot("")
+	last := all[len(all)-1]
+	if last.Err == "" || last.Attrs["http.status"] != "500" {
+		t.Fatalf("5xx span not marked failed: %+v", last)
+	}
+
+	// Middleware with a nil tracer is the identity.
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := Middleware(nil, inner); got == nil {
+		t.Fatal("nil-tracer middleware returned nil")
+	}
+}
+
+func FuzzTraceparent(f *testing.F) {
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add("zz-ffffffffffffffffffffffffffffffff-ffffffffffffffff-ff")
+	f.Add(strings.Repeat("-", 55))
+	f.Fuzz(func(t *testing.T, s string) {
+		tid, sid, err := ParseTraceparent(s)
+		if err != nil {
+			return
+		}
+		// Anything accepted must survive a format/parse round trip and
+		// must not be the invalid zero IDs.
+		if tid.IsZero() || sid.IsZero() {
+			t.Fatalf("accepted zero ids from %q", s)
+		}
+		tid2, sid2, err := ParseTraceparent(FormatTraceparent(tid, sid))
+		if err != nil || tid2 != tid || sid2 != sid {
+			t.Fatalf("round trip failed for %q: %v", s, err)
+		}
+	})
+}

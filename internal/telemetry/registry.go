@@ -1,0 +1,315 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a central collection of named metrics. Registration is
+// cheap but not hot-path (do it at construction time); observation is
+// lock-free. A Registry renders itself as Prometheus text (prom.go) and
+// is otherwise just a directory — subsystems keep typed handles to
+// their own metrics and read them directly for JSON snapshots.
+type Registry struct {
+	mu      sync.RWMutex
+	ordered []metric
+	byName  map[string]metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]metric{}}
+}
+
+// metric is the renderer-facing side of every registered instrument.
+type metric interface {
+	describe() desc
+	// sample returns the current value(s). For histograms value is
+	// ignored and hist carries the data.
+	sample() sampleValue
+}
+
+type desc struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge", "histogram"
+	labels []Label
+}
+
+// Label is one constant name=value pair attached to a metric at
+// registration time.
+type Label struct {
+	Key, Value string
+}
+
+type sampleValue struct {
+	value float64
+	hist  *histSample
+}
+
+type histSample struct {
+	bounds []float64 // upper bounds in exposition units
+	counts []int64   // per-bucket (non-cumulative), len(bounds)+1
+	count  int64
+	sum    float64
+}
+
+// register adds m under its name, panicking on duplicates or invalid
+// names: both are programmer errors at construction time.
+func (r *Registry) register(m metric) {
+	d := m.describe()
+	if !validMetricName(d.name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", d.name))
+	}
+	for _, l := range d.labels {
+		if !validLabelName(l.Key) {
+			panic(fmt.Sprintf("telemetry: invalid label name %q on %q", l.Key, d.name))
+		}
+	}
+	key := d.name + labelKey(d.labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[key]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", key))
+	}
+	r.byName[key] = m
+	r.ordered = append(r.ordered, m)
+}
+
+func labelKey(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	sorted := append([]Label(nil), ls...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	s := "{"
+	for _, l := range sorted {
+		s += l.Key + "=" + l.Value + ","
+	}
+	return s + "}"
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+
+// Counter is a monotonically increasing integer, safe for lock-free
+// concurrent use.
+type Counter struct {
+	v    atomic.Int64
+	d    desc
+	self *Counter // guards against copying
+}
+
+// Counter registers and returns a new counter. By Prometheus
+// convention the name should end in _total.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{d: desc{name: name, help: help, typ: "counter", labels: labels}}
+	r.register(c)
+	return c
+}
+
+// Add increments the counter by n (n must be >= 0 for Prometheus
+// semantics; this is not checked on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+func (c *Counter) describe() desc      { return c.d }
+func (c *Counter) sample() sampleValue { return sampleValue{value: float64(c.v.Load())} }
+
+// CounterFunc is a counter whose value is read from a callback at
+// exposition time — for totals a subsystem already tracks elsewhere.
+type CounterFunc struct {
+	fn func() int64
+	d  desc
+}
+
+// CounterFunc registers a callback-backed counter.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) *CounterFunc {
+	c := &CounterFunc{fn: fn, d: desc{name: name, help: help, typ: "counter", labels: labels}}
+	r.register(c)
+	return c
+}
+
+func (c *CounterFunc) describe() desc      { return c.d }
+func (c *CounterFunc) sample() sampleValue { return sampleValue{value: float64(c.fn())} }
+
+// ---------------------------------------------------------------------------
+// Gauge
+
+// Gauge is a settable instantaneous integer value.
+type Gauge struct {
+	v atomic.Int64
+	d desc
+}
+
+// Gauge registers and returns a new settable gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{d: desc{name: name, help: help, typ: "gauge", labels: labels}}
+	r.register(g)
+	return g
+}
+
+// Set stores the value; Add adjusts it; Load reads it.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+func (g *Gauge) describe() desc      { return g.d }
+func (g *Gauge) sample() sampleValue { return sampleValue{value: float64(g.v.Load())} }
+
+// GaugeFunc is a gauge whose value is read from a callback at
+// exposition time — for state that already lives elsewhere (queue
+// lengths, cache sizes).
+type GaugeFunc struct {
+	fn func() float64
+	d  desc
+}
+
+// GaugeFunc registers a callback-backed gauge.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) *GaugeFunc {
+	g := &GaugeFunc{fn: fn, d: desc{name: name, help: help, typ: "gauge", labels: labels}}
+	r.register(g)
+	return g
+}
+
+func (g *GaugeFunc) describe() desc      { return g.d }
+func (g *GaugeFunc) sample() sampleValue { return sampleValue{value: g.fn()} }
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+// Histogram is a fixed-bucket distribution safe for concurrent
+// observation without locks. Bucket i counts observations in
+// [bounds[i-1], bounds[i]) — upper bounds are exclusive, matching the
+// service's historical latency histograms — and the final bucket is
+// unbounded above. Snapshots read each cell individually, so a snapshot
+// taken during heavy traffic may be off by in-flight observations;
+// that is fine for monitoring.
+type Histogram struct {
+	buckets []atomic.Int64 // len(bounds)+1
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+
+	bounds []int64
+	// scale converts raw int64 observations into the unit used for
+	// Prometheus exposition (e.g. 1e-6 for microseconds -> seconds).
+	scale float64
+	d     desc
+}
+
+// Histogram registers a fixed-bucket histogram. bounds are ascending
+// upper bounds (exclusive) in the raw observation unit; scale converts
+// raw values to the exposition unit (pass 1 when they already match).
+func (r *Registry) Histogram(name, help string, bounds []int64, scale float64, labels ...Label) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q bounds not ascending", name))
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	h := &Histogram{
+		buckets: make([]atomic.Int64, len(bounds)+1),
+		bounds:  append([]int64(nil), bounds...),
+		scale:   scale,
+		d:       desc{name: name, help: help, typ: "histogram", labels: labels},
+	}
+	r.register(h)
+	return h
+}
+
+// Observe records one raw-unit value.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v >= h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
+// Bounds returns the raw-unit bucket upper bounds.
+func (h *Histogram) Bounds() []int64 { return h.bounds }
+
+// Count, Sum and Max read the aggregate trackers (raw units).
+func (h *Histogram) Count() int64 { return h.count.Load() }
+func (h *Histogram) Sum() int64   { return h.sum.Load() }
+func (h *Histogram) Max() int64   { return h.max.Load() }
+
+// BucketCounts copies the per-bucket counts (non-cumulative,
+// len(Bounds())+1 entries).
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+func (h *Histogram) describe() desc { return h.d }
+
+func (h *Histogram) sample() sampleValue {
+	hs := &histSample{
+		bounds: make([]float64, len(h.bounds)),
+		counts: h.BucketCounts(),
+		count:  h.count.Load(),
+		sum:    float64(h.sum.Load()) * h.scale,
+	}
+	for i, b := range h.bounds {
+		hs.bounds[i] = float64(b) * h.scale
+	}
+	return sampleValue{hist: hs}
+}
+
+// snapshotMetrics copies the registration list for rendering.
+func (r *Registry) snapshotMetrics() []metric {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]metric(nil), r.ordered...)
+}

@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jrpm_test_total", "test counter")
+	g := r.Gauge("jrpm_test_gauge", "test gauge")
+	gf := r.GaugeFunc("jrpm_test_gauge_fn", "test gauge func", func() float64 { return 2.5 })
+	cf := r.CounterFunc("jrpm_test_fn_total", "test counter func", func() int64 { return 7 })
+	h := r.Histogram("jrpm_test_seconds", "test hist", []int64{100, 1000}, 1e-6)
+
+	c.Inc()
+	c.Add(4)
+	g.Set(10)
+	g.Add(-3)
+	h.Observe(50)
+	h.Observe(100) // exclusive upper bound: lands in the second bucket
+	h.Observe(5000)
+
+	if c.Load() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Load())
+	}
+	if g.Load() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Load())
+	}
+	if got := cf.sample().value; got != 7 {
+		t.Fatalf("counter func = %v, want 7", got)
+	}
+	if got := gf.sample().value; got != 2.5 {
+		t.Fatalf("gauge func = %v, want 2.5", got)
+	}
+	if h.Count() != 3 || h.Sum() != 5150 || h.Max() != 5000 {
+		t.Fatalf("hist count/sum/max = %d/%d/%d", h.Count(), h.Sum(), h.Max())
+	}
+	want := []int64{1, 1, 1}
+	for i, b := range h.BucketCounts() {
+		if b != want[i] {
+			t.Fatalf("bucket[%d] = %d, want %d", i, b, want[i])
+		}
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("jrpm_dup_total", "a")
+	mustPanic("duplicate", func() { r.Counter("jrpm_dup_total", "b") })
+	mustPanic("bad name", func() { r.Counter("9starts_with_digit", "x") })
+	mustPanic("bad label", func() { r.Gauge("jrpm_ok", "x", Label{Key: "bad-key", Value: "v"}) })
+	mustPanic("bad bounds", func() { r.Histogram("jrpm_h", "x", []int64{5, 5}, 1) })
+}
+
+func TestWriteProm(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jrpm_jobs_total", "Jobs processed.", Label{Key: "node", Value: `a"b\c`})
+	h := r.Histogram("jrpm_wait_seconds", "Queue wait.", []int64{100, 1000}, 1e-6)
+	c.Add(3)
+	h.Observe(50)
+	h.Observe(250)
+	h.Observe(99999)
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if err := ValidateProm(out); err != nil {
+		t.Fatalf("exposition does not validate: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE jrpm_jobs_total counter",
+		"jrpm_jobs_total{node=\"a\\\"b\\\\c\"} 3",
+		"# TYPE jrpm_wait_seconds histogram",
+		`jrpm_wait_seconds_bucket{le="0.0001"} 1`,
+		`jrpm_wait_seconds_bucket{le="0.001"} 2`,
+		`jrpm_wait_seconds_bucket{le="+Inf"} 3`,
+		"jrpm_wait_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// _sum = (50+250+99999) µs in seconds.
+	if !strings.Contains(out, "jrpm_wait_seconds_sum 0.100299") {
+		t.Errorf("exposition missing expected _sum:\n%s", out)
+	}
+}
+
+// TestRegistryConcurrent exercises writers and the Prometheus renderer
+// simultaneously; meaningful under -race.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jrpm_conc_total", "c")
+	g := r.Gauge("jrpm_conc_gauge", "g")
+	h := r.Histogram("jrpm_conc_us", "h", []int64{10, 100, 1000}, 1e-6)
+
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(int64(i % 2000))
+				if i%50 == 0 {
+					var sb strings.Builder
+					if err := r.WriteProm(&sb); err != nil {
+						t.Errorf("WriteProm: %v", err)
+						return
+					}
+					h.BucketCounts()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if c.Load() != workers*iters {
+		t.Fatalf("counter = %d, want %d", c.Load(), workers*iters)
+	}
+	if h.Count() != workers*iters {
+		t.Fatalf("hist count = %d, want %d", h.Count(), workers*iters)
+	}
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateProm(sb.String()); err != nil {
+		t.Fatalf("final exposition invalid: %v", err)
+	}
+}
+
+func TestHistogramMaxConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("jrpm_max_us", "h", []int64{10}, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Max() != 3999 {
+		t.Fatalf("max = %d, want 3999", h.Max())
+	}
+}

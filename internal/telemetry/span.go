@@ -1,0 +1,328 @@
+package telemetry
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// TraceID identifies one distributed trace (16 bytes, hex on the wire,
+// W3C trace-context shape).
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace (8 bytes).
+type SpanID [8]byte
+
+// IsZero reports whether the ID is unset (the W3C invalid value).
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is unset.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+func (s SpanID) String() string  { return hex.EncodeToString(s[:]) }
+
+// Tracer creates spans and delivers finished ones to a Collector. A nil
+// *Tracer is valid and means tracing is disabled.
+type Tracer struct {
+	col *Collector
+
+	// Span IDs come from a math/rand source seeded with crypto/rand
+	// entropy: unique enough across processes, and three orders of
+	// magnitude cheaper than crypto/rand per span.
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewTracer builds a tracer feeding col (which must be non-nil).
+func NewTracer(col *Collector) *Tracer {
+	var seed [8]byte
+	if _, err := crand.Read(seed[:]); err != nil {
+		// Fall back to the clock; span IDs only need local uniqueness.
+		binary.LittleEndian.PutUint64(seed[:], uint64(time.Now().UnixNano()))
+	}
+	return &Tracer{col: col, rng: rand.New(rand.NewSource(int64(binary.LittleEndian.Uint64(seed[:]))))}
+}
+
+// Collector returns the tracer's span sink.
+func (t *Tracer) Collector() *Collector { return t.col }
+
+func (t *Tracer) newIDs(withTrace bool) (tid TraceID, sid SpanID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if withTrace {
+		binary.LittleEndian.PutUint64(tid[:8], t.rng.Uint64())
+		binary.LittleEndian.PutUint64(tid[8:], t.rng.Uint64())
+	}
+	binary.LittleEndian.PutUint64(sid[:], t.rng.Uint64())
+	return tid, sid
+}
+
+// Attr is one key=value annotation on a span.
+type Attr struct {
+	K, V string
+}
+
+// Span is one timed operation within a trace. A nil *Span is the
+// disabled fast path: every method no-ops. Spans are owned by the
+// goroutine that started them; End must be called exactly once.
+type Span struct {
+	tr      *Tracer
+	traceID TraceID
+	spanID  SpanID
+	parent  SpanID
+	name    string
+	start   time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	err   string
+	ended bool
+}
+
+type spanKey struct{}
+type tracerKey struct{}
+type remoteKey struct{}
+
+type remoteParent struct {
+	traceID TraceID
+	spanID  SpanID
+}
+
+// WithTracer attaches a tracer to the context; StartSpan under this
+// context creates real spans. A nil tracer returns ctx unchanged.
+func WithTracer(ctx context.Context, tr *Tracer) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, tr)
+}
+
+// TracerFrom returns the context's tracer, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	tr, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return tr
+}
+
+// WithRemoteParent records an extracted upstream span context so the
+// next StartSpan joins the caller's trace instead of opening a new one.
+func WithRemoteParent(ctx context.Context, tid TraceID, sid SpanID) context.Context {
+	if tid.IsZero() {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteKey{}, remoteParent{traceID: tid, spanID: sid})
+}
+
+// SpanFrom returns the context's active span, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// StartSpan opens a span named name as a child of the context's active
+// span (or of a remote parent, or as a trace root). When the context
+// carries no span and no tracer, tracing is disabled: StartSpan returns
+// the context untouched and a nil span whose methods all no-op, without
+// allocating.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFrom(ctx)
+	var tr *Tracer
+	var tid TraceID
+	var pid SpanID
+	switch {
+	case parent != nil:
+		tr, tid, pid = parent.tr, parent.traceID, parent.spanID
+	default:
+		if tr = TracerFrom(ctx); tr == nil {
+			return ctx, nil
+		}
+		if rp, ok := ctx.Value(remoteKey{}).(remoteParent); ok {
+			tid, pid = rp.traceID, rp.spanID
+		}
+	}
+	s := &Span{tr: tr, traceID: tid, parent: pid, name: name, start: time.Now()}
+	if tid.IsZero() {
+		s.traceID, s.spanID = tr.newIDs(true)
+	} else {
+		_, s.spanID = tr.newIDs(false)
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// TraceID returns the span's trace ID as hex, or "" on a nil span.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID.String()
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{K: k, V: v})
+	s.mu.Unlock()
+}
+
+// SetInt annotates the span with an integer value.
+func (s *Span) SetInt(k string, v int64) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(k, itoa(v))
+}
+
+// Fail marks the span as errored.
+func (s *Span) Fail(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.err = err.Error()
+	s.mu.Unlock()
+}
+
+// End finishes the span and delivers it to the collector. Calls after
+// the first are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := time.Now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	sd := SpanData{
+		TraceID:    s.traceID.String(),
+		SpanID:     s.spanID.String(),
+		Name:       s.name,
+		Start:      s.start,
+		DurationUS: end.Sub(s.start).Microseconds(),
+		Err:        s.err,
+	}
+	if !s.parent.IsZero() {
+		sd.ParentID = s.parent.String()
+	}
+	if len(s.attrs) > 0 {
+		sd.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			sd.Attrs[a.K] = a.V
+		}
+	}
+	s.mu.Unlock()
+	s.tr.col.add(sd)
+}
+
+func itoa(v int64) string {
+	// Tiny wrapper so span call sites don't import strconv everywhere.
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	var buf [20]byte
+	i := len(buf)
+	u := uint64(v)
+	if neg {
+		u = uint64(-v)
+	}
+	for u > 0 {
+		i--
+		buf[i] = byte('0' + u%10)
+		u /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// SpanData is the JSON export form of a finished span.
+type SpanData struct {
+	TraceID    string            `json:"trace_id"`
+	SpanID     string            `json:"span_id"`
+	ParentID   string            `json:"parent_id,omitempty"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationUS int64             `json:"duration_us"`
+	Err        string            `json:"error,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// Collector is a bounded in-memory ring of finished spans. When full,
+// the oldest spans are overwritten; Dropped counts the overwrites so
+// operators can size the ring.
+type Collector struct {
+	mu      sync.Mutex
+	buf     []SpanData
+	next    int
+	full    bool
+	dropped int64
+}
+
+// DefaultCollectorCap bounds the span ring when NewCollector is given
+// a non-positive capacity.
+const DefaultCollectorCap = 4096
+
+// NewCollector builds a ring holding up to cap spans (<= 0 means
+// DefaultCollectorCap).
+func NewCollector(capacity int) *Collector {
+	if capacity <= 0 {
+		capacity = DefaultCollectorCap
+	}
+	return &Collector{buf: make([]SpanData, 0, capacity)}
+}
+
+func (c *Collector) add(sd SpanData) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.buf) < cap(c.buf) {
+		c.buf = append(c.buf, sd)
+		return
+	}
+	c.buf[c.next] = sd
+	c.next = (c.next + 1) % cap(c.buf)
+	c.full = true
+	c.dropped++
+}
+
+// Dropped reports how many spans were overwritten by ring wraparound.
+func (c *Collector) Dropped() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Snapshot copies out the collected spans in completion order. A
+// non-empty traceID filters to that trace.
+func (c *Collector) Snapshot(traceID string) []SpanData {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ordered := make([]SpanData, 0, len(c.buf))
+	if c.full {
+		ordered = append(ordered, c.buf[c.next:]...)
+		ordered = append(ordered, c.buf[:c.next]...)
+	} else {
+		ordered = append(ordered, c.buf...)
+	}
+	if traceID == "" {
+		return ordered
+	}
+	out := ordered[:0]
+	for _, sd := range ordered {
+		if sd.TraceID == traceID {
+			out = append(out, sd)
+		}
+	}
+	return out
+}

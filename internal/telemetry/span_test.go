@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSpanParentChild(t *testing.T) {
+	col := NewCollector(16)
+	tr := NewTracer(col)
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, root := StartSpan(ctx, "root")
+	if root == nil {
+		t.Fatal("expected a real span under a tracer context")
+	}
+	root.SetAttr("k", "v")
+	root.SetInt("n", -42)
+	_, child := StartSpan(ctx, "child")
+	child.End()
+	root.End()
+	root.End() // double End must be a no-op
+
+	spans := col.Snapshot("")
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	c, r := spans[0], spans[1]
+	if c.Name != "child" || r.Name != "root" {
+		t.Fatalf("unexpected order: %q then %q", c.Name, r.Name)
+	}
+	if c.TraceID != r.TraceID {
+		t.Fatalf("trace ids differ: %s vs %s", c.TraceID, r.TraceID)
+	}
+	if c.ParentID != r.SpanID {
+		t.Fatalf("child parent %q, want root span %q", c.ParentID, r.SpanID)
+	}
+	if r.ParentID != "" {
+		t.Fatalf("root has parent %q", r.ParentID)
+	}
+	if r.Attrs["k"] != "v" || r.Attrs["n"] != "-42" {
+		t.Fatalf("root attrs = %v", r.Attrs)
+	}
+}
+
+func TestSpanRemoteParent(t *testing.T) {
+	col := NewCollector(16)
+	tr := NewTracer(col)
+	var tid TraceID
+	var sid SpanID
+	tid[0], sid[0] = 0xab, 0xcd
+
+	ctx := WithRemoteParent(WithTracer(context.Background(), tr), tid, sid)
+	_, sp := StartSpan(ctx, "server")
+	sp.End()
+
+	spans := col.Snapshot(tid.String())
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans for remote trace, want 1", len(spans))
+	}
+	if spans[0].TraceID != tid.String() || spans[0].ParentID != sid.String() {
+		t.Fatalf("span did not join remote parent: %+v", spans[0])
+	}
+}
+
+func TestSpanDisabledNilSafe(t *testing.T) {
+	ctx, sp := StartSpan(context.Background(), "off")
+	if sp != nil {
+		t.Fatal("expected nil span without tracer")
+	}
+	if SpanFrom(ctx) != nil {
+		t.Fatal("disabled StartSpan must not attach a span")
+	}
+	// All methods must no-op on nil.
+	sp.SetAttr("k", "v")
+	sp.SetInt("n", 1)
+	sp.Fail(fmt.Errorf("x"))
+	sp.End()
+	if got := sp.TraceID(); got != "" {
+		t.Fatalf("nil span TraceID = %q", got)
+	}
+}
+
+func TestSpanDisabledZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c, sp := StartSpan(ctx, "off")
+		sp.SetInt("n", 1)
+		sp.End()
+		_ = c
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled StartSpan allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestSpanConcurrent hammers one tracer and one collector from many
+// goroutines while another goroutine snapshots mid-write; run with
+// -race this checks the locking story end to end.
+func TestSpanConcurrent(t *testing.T) {
+	col := NewCollector(64) // small ring to force wraparound
+	tr := NewTracer(col)
+	root := WithTracer(context.Background(), tr)
+
+	const workers = 8
+	const perWorker = 200
+	stop := make(chan struct{})
+	var observers sync.WaitGroup
+	observers.Add(1)
+	go func() {
+		defer observers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				col.Snapshot("")
+				col.Dropped()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ctx, sp := StartSpan(root, "op")
+				sp.SetInt("i", int64(i))
+				_, inner := StartSpan(ctx, "inner")
+				inner.End()
+				if i%7 == 0 {
+					sp.Fail(fmt.Errorf("worker %d", w))
+				}
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	observers.Wait()
+
+	total := workers * perWorker * 2
+	if got := len(col.Snapshot("")); got != 64 {
+		t.Fatalf("ring holds %d spans, want cap 64", got)
+	}
+	if d := col.Dropped(); d != int64(total-64) {
+		t.Fatalf("dropped = %d, want %d", d, total-64)
+	}
+}
+
+func TestCollectorSnapshotOrder(t *testing.T) {
+	col := NewCollector(4)
+	for i := 0; i < 6; i++ {
+		col.add(SpanData{Name: fmt.Sprintf("s%d", i)})
+	}
+	got := col.Snapshot("")
+	want := []string{"s2", "s3", "s4", "s5"}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Name != w {
+			t.Fatalf("snapshot[%d] = %q, want %q", i, got[i].Name, w)
+		}
+	}
+}
+
+// BenchmarkSpanDisabledOverhead is the CI smoke gate: span calls with
+// tracing disabled must not allocate.
+func BenchmarkSpanDisabledOverhead(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, sp := StartSpan(ctx, "off")
+		sp.SetInt("n", int64(i))
+		sp.End()
+		_ = c
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := NewTracer(NewCollector(1024))
+	ctx := WithTracer(context.Background(), tr)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "on")
+		sp.End()
+	}
+}

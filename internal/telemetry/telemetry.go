@@ -1,0 +1,20 @@
+// Package telemetry is the unified observability layer for the jrpm
+// production stack: lightweight distributed spans with W3C-traceparent
+// context propagation over HTTP, a central metrics registry (counters,
+// gauges, fixed-bucket histograms) with hand-rolled Prometheus text
+// exposition, and a leveled key=value logger that stamps trace and span
+// IDs into log lines.
+//
+// Everything is stdlib-only and built for the hot paths it instruments:
+//
+//   - span creation with no tracer attached to the context is a nil
+//     fast path — zero allocations, two context lookups, nothing else
+//     (BenchmarkSpanDisabledOverhead holds it to 0 allocs/op);
+//   - counters and histograms are lock-free atomics, snapshots are
+//     consistent enough for monitoring (documented per type);
+//   - the Prometheus renderer walks the registry without stopping
+//     writers.
+//
+// The span model and propagation format are documented in DESIGN.md
+// ("Observability"); README.md shows the Prometheus scrape quick-start.
+package telemetry

@@ -82,9 +82,14 @@ func (vm *VM) exec(c *Code, fi int, args []uint64, em *batchEmitter) (uint64, er
 			vm.sync(steps, cycles)
 			return 0, ErrStepLimit
 		}
-		if steps&interruptMask == 0 && vm.interrupted.Load() {
-			vm.sync(steps, cycles)
-			return 0, ErrInterrupted
+		if steps&interruptMask == 0 {
+			if vm.interrupted.Load() {
+				vm.sync(steps, cycles)
+				return 0, ErrInterrupted
+			}
+			if sm := vm.sampler; sm != nil {
+				sm.tick(fi)
+			}
 		}
 		now := cycles
 		cycles++
@@ -259,6 +264,10 @@ func (vm *VM) exec(c *Code, fi int, args []uint64, em *batchEmitter) (uint64, er
 					cl.CallEnter(now, int(ins.t0), int(ins.pc), frame)
 				}
 			}
+			loopBase := 0
+			if sm := vm.sampler; sm != nil {
+				loopBase = len(sm.stack)
+			}
 			vm.sync(steps, cycles)
 			v, err := vm.exec(c, int(ins.t0), callArgs, em)
 			steps = vm.steps
@@ -267,6 +276,11 @@ func (vm *VM) exec(c *Code, fi int, args []uint64, em *batchEmitter) (uint64, er
 			heapTop = vm.heapTop
 			if err != nil {
 				return 0, err
+			}
+			if sm := vm.sampler; sm != nil {
+				// Loop annotations the callee left unclosed (early
+				// returns) must not leak into this frame's stack.
+				sm.truncate(loopBase)
 			}
 			if ins.dst >= 0 {
 				regs[ins.dst] = v
@@ -289,11 +303,17 @@ func (vm *VM) exec(c *Code, fi int, args []uint64, em *batchEmitter) (uint64, er
 			if em != nil {
 				em.loopStart(now, ins.x0, ins.x1, frame)
 			}
+			if sm := vm.sampler; sm != nil {
+				sm.push(ins.x0)
+			}
 		case dELoop:
 			cycles += annotCost - 1
 			vm.NLoopAnnot++
 			if em != nil {
 				em.loopEnd(now, ins.x0)
+			}
+			if sm := vm.sampler; sm != nil {
+				sm.pop(ins.x0)
 			}
 		case dEOI:
 			cycles += annotCost - 1

@@ -1,0 +1,176 @@
+package vmsim
+
+import (
+	"sort"
+
+	"jrpm/internal/tir"
+)
+
+// Sampler is a statistical profiler for the predecoded interpreter. It
+// piggybacks on the existing interrupt poll in the dispatch loop — the
+// one branch already taken every 2^interruptShift steps — so with no
+// sampler attached the hot loop is unchanged, and with one attached the
+// marginal cost is a nil check inside that rare branch. Each sample
+// attributes the current step to the executing function and to the
+// stack of active annotated loops (dSLoop/dELoop markers), giving flat
+// and cumulative hot-loop counts.
+//
+// Accuracy caveats (also in DESIGN.md): samples land only on poll
+// windows, so the effective period is rounded up to a multiple of
+// 2^interruptShift steps, and fused superinstructions that batch their
+// step accounting can straddle a window boundary, skipping a poll.
+// Profiles are statistical — good for ranking hot loops, not for exact
+// step counts.
+//
+// A Sampler is owned by one VM at a time and is not safe for concurrent
+// use; read the Profile only after Run returns.
+type Sampler struct {
+	windows int64 // sample every this many poll windows
+	ticks   int64 // polls since the last sample
+	samples int64
+
+	funcFlat []int64 // sample counts by function index
+	loopFlat map[int32]int64
+	loopCum  map[int32]int64
+	stack    []int32 // active loop IDs, innermost last, across frames
+}
+
+// NewSampler creates a sampler taking one sample every periodSteps VM
+// steps, rounded up to a whole poll window (2^interruptShift steps).
+func NewSampler(periodSteps int64) *Sampler {
+	w := periodSteps >> interruptShift
+	if w < 1 {
+		w = 1
+	}
+	return &Sampler{
+		windows:  w,
+		loopFlat: map[int32]int64{},
+		loopCum:  map[int32]int64{},
+	}
+}
+
+// PeriodSteps reports the effective sampling period in VM steps after
+// rounding to poll windows.
+func (s *Sampler) PeriodSteps() int64 { return s.windows << interruptShift }
+
+// Samples reports how many samples have been taken.
+func (s *Sampler) Samples() int64 { return s.samples }
+
+// tick is called from the dispatch loop's interrupt-poll branch, i.e.
+// once per poll window while a sampler is attached.
+func (s *Sampler) tick(fi int) {
+	s.ticks++
+	if s.ticks < s.windows {
+		return
+	}
+	s.ticks = 0
+	s.samples++
+	for fi >= len(s.funcFlat) {
+		s.funcFlat = append(s.funcFlat, 0)
+	}
+	s.funcFlat[fi]++
+	n := len(s.stack)
+	if n == 0 {
+		return
+	}
+	s.loopFlat[s.stack[n-1]]++
+	for i, id := range s.stack {
+		dup := false
+		for _, prev := range s.stack[:i] {
+			if prev == id {
+				// The same program-wide loop ID can repeat on the
+				// stack under recursion; count it once per sample.
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			s.loopCum[id]++
+		}
+	}
+}
+
+func (s *Sampler) push(id int32) { s.stack = append(s.stack, id) }
+
+// pop removes the most recent entry for id, discarding any inner loops
+// still above it — annotations can be left unclosed by early exits.
+func (s *Sampler) pop(id int32) {
+	for i := len(s.stack) - 1; i >= 0; i-- {
+		if s.stack[i] == id {
+			s.stack = s.stack[:i]
+			return
+		}
+	}
+}
+
+// truncate restores the loop stack to depth base; exec defers it so a
+// frame that returns out of unclosed loops cannot leak entries.
+func (s *Sampler) truncate(base int) {
+	if len(s.stack) > base {
+		s.stack = s.stack[:base]
+	}
+}
+
+// SampleProfile is the exported result of a sampling run.
+type SampleProfile struct {
+	PeriodSteps int64         `json:"period_steps"`
+	Samples     int64         `json:"samples"`
+	Funcs       []FuncSamples `json:"funcs,omitempty"`
+	Loops       []LoopSamples `json:"loops,omitempty"`
+}
+
+// FuncSamples is the flat sample count of one function.
+type FuncSamples struct {
+	Name string `json:"name"`
+	Flat int64  `json:"flat"`
+}
+
+// LoopSamples is the sample count of one annotated loop. Flat counts
+// samples with this loop innermost; Cum counts samples taken anywhere
+// inside it, including nested loops and callees that start loops of
+// their own.
+type LoopSamples struct {
+	Loop int    `json:"loop"`
+	Name string `json:"name,omitempty"`
+	Flat int64  `json:"flat"`
+	Cum  int64  `json:"cum"`
+}
+
+// Profile resolves the counters against prog's function and loop
+// tables, hottest first.
+func (s *Sampler) Profile(prog *tir.Program) *SampleProfile {
+	p := &SampleProfile{PeriodSteps: s.PeriodSteps(), Samples: s.samples}
+	for fi, flat := range s.funcFlat {
+		if flat == 0 {
+			continue
+		}
+		name := "?"
+		if fi < len(prog.Funcs) {
+			name = prog.Funcs[fi].Name
+		}
+		p.Funcs = append(p.Funcs, FuncSamples{Name: name, Flat: flat})
+	}
+	sort.Slice(p.Funcs, func(i, j int) bool {
+		if p.Funcs[i].Flat != p.Funcs[j].Flat {
+			return p.Funcs[i].Flat > p.Funcs[j].Flat
+		}
+		return p.Funcs[i].Name < p.Funcs[j].Name
+	})
+	for id, cum := range s.loopCum {
+		ls := LoopSamples{Loop: int(id), Flat: s.loopFlat[id], Cum: cum}
+		if int(id) < len(prog.Loops) {
+			ls.Name = prog.Loops[id].Name
+		}
+		p.Loops = append(p.Loops, ls)
+	}
+	sort.Slice(p.Loops, func(i, j int) bool {
+		if p.Loops[i].Cum != p.Loops[j].Cum {
+			return p.Loops[i].Cum > p.Loops[j].Cum
+		}
+		if p.Loops[i].Flat != p.Loops[j].Flat {
+			return p.Loops[i].Flat > p.Loops[j].Flat
+		}
+		return p.Loops[i].Loop < p.Loops[j].Loop
+	})
+	return p
+}

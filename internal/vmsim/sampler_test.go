@@ -1,0 +1,132 @@
+package vmsim_test
+
+import (
+	"testing"
+
+	"jrpm/internal/annotate"
+	"jrpm/internal/lang"
+	"jrpm/internal/vmsim"
+)
+
+// samplerSrc spends nearly all of its steps inside the inner loop of a
+// nested pair, so any statistically sane profile must rank that loop
+// hottest (flat) and credit the outer loop cumulatively.
+const samplerSrc = `
+global out: int[];
+func work(n: int): int {
+	var acc: int = 0;
+	var i: int = 0;
+	while (i < n) {
+		var j: int = 0;
+		while (j < 1000) {
+			acc = acc + j;
+			j = j + 1;
+		}
+		i = i + 1;
+	}
+	return acc;
+}
+func main() {
+	out[0] = work(2000);
+}`
+
+func runSampled(t *testing.T, periodSteps int64) (*vmsim.Sampler, *vmsim.VM) {
+	t.Helper()
+	prog, err := lang.Compile(samplerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := annotate.Apply(prog, annotate.Base()); err != nil {
+		t.Fatal(err)
+	}
+	vm := vmsim.New(prog)
+	if err := vm.BindGlobalInts("out", make([]int64, 1)); err != nil {
+		t.Fatal(err)
+	}
+	s := vmsim.NewSampler(periodSteps)
+	vm.SetSampler(s)
+	if err := vm.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	return s, vm
+}
+
+func TestSamplerHotLoopAttribution(t *testing.T) {
+	s, vm := runSampled(t, 1) // every poll window
+	prog := vm.Prog
+	p := s.Profile(prog)
+
+	if p.Samples < 100 {
+		t.Fatalf("only %d samples; workload too small for the test to mean anything", p.Samples)
+	}
+	if p.PeriodSteps != 1<<13 {
+		t.Fatalf("period %d steps, want one poll window (8192)", p.PeriodSteps)
+	}
+	if len(p.Funcs) == 0 || p.Funcs[0].Name != "work" {
+		t.Fatalf("hottest function = %+v, want work", p.Funcs)
+	}
+	if len(p.Loops) < 2 {
+		t.Fatalf("profile found %d loops, want the nested pair: %+v", len(p.Loops), p.Loops)
+	}
+	// Loops come sorted by cumulative count; the outer loop encloses the
+	// inner one, so it must rank first with cum >= the inner's cum, and
+	// the inner loop must dominate flat counts.
+	outer, inner := p.Loops[0], p.Loops[1]
+	if outer.Cum < inner.Cum {
+		t.Fatalf("loops not sorted by cum: %+v", p.Loops)
+	}
+	if inner.Flat <= outer.Flat {
+		t.Fatalf("inner loop flat %d not dominant over outer %d", inner.Flat, outer.Flat)
+	}
+	// ~2M inner-loop iterations at ~4+ steps each vs 8192-step windows:
+	// the inner loop must own the overwhelming majority of samples.
+	if inner.Flat*10 < p.Samples*9 {
+		t.Fatalf("inner loop flat %d of %d samples; expected >= 90%%", inner.Flat, p.Samples)
+	}
+}
+
+func TestSamplerPeriodRounding(t *testing.T) {
+	if got := vmsim.NewSampler(0).PeriodSteps(); got != 1<<13 {
+		t.Fatalf("period(0) = %d, want 8192", got)
+	}
+	if got := vmsim.NewSampler(100_000).PeriodSteps(); got != (100_000>>13)<<13 {
+		t.Fatalf("period(100k) = %d", got)
+	}
+
+	sparse, vm := runSampled(t, 1<<16) // every 8th window
+	dense := vmsim.NewSampler(1)
+	vm2 := vmsim.New(vm.Prog)
+	if err := vm2.BindGlobalInts("out", make([]int64, 1)); err != nil {
+		t.Fatal(err)
+	}
+	vm2.SetSampler(dense)
+	if err := vm2.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if sparse.Samples() == 0 || dense.Samples() == 0 {
+		t.Fatal("both samplers should have fired")
+	}
+	ratio := float64(dense.Samples()) / float64(sparse.Samples())
+	if ratio < 6 || ratio > 10 {
+		t.Fatalf("dense/sparse sample ratio = %.1f, want ~8", ratio)
+	}
+}
+
+func TestSamplerDetached(t *testing.T) {
+	prog, err := lang.Compile(samplerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := vmsim.New(prog)
+	if err := vm.BindGlobalInts("out", make([]int64, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	// No sampler: Profile on a fresh sampler is empty but well-formed.
+	p := vmsim.NewSampler(1).Profile(prog)
+	if p.Samples != 0 || len(p.Funcs) != 0 || len(p.Loops) != 0 {
+		t.Fatalf("fresh sampler profile not empty: %+v", p)
+	}
+}

@@ -107,6 +107,7 @@ type VM struct {
 	steps       int64
 	callLsnrs   []CallListener
 	interrupted atomic.Bool
+	sampler     *Sampler
 
 	// Instruction mix counters for reports.
 	NHeapLoads   int64
@@ -225,6 +226,12 @@ func (vm *VM) GlobalFloats(name string) ([]float64, error) {
 // the only VM method safe to call from another goroutine; all other state
 // is single-owner.
 func (vm *VM) Interrupt() { vm.interrupted.Store(true) }
+
+// SetSampler attaches a sampling profiler (nil detaches). The sampler
+// piggybacks on the interrupt poll, so with none attached the dispatch
+// loop pays nothing. Must be set before Run; the VM owns the sampler
+// until Run returns.
+func (vm *VM) SetSampler(s *Sampler) { vm.sampler = s }
 
 // runCount counts VM.Run invocations process-wide: one atomic add per
 // program execution, nothing per instruction. The record-once /

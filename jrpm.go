@@ -65,6 +65,12 @@ type Options struct {
 	// paper's dynamic compiler does. Off by default so the published
 	// experiment numbers stay stable; see BenchmarkOptimizerEffect.
 	Optimize bool
+	// SamplePeriod, when > 0, attaches a sampling profiler to the traced
+	// run: one sample every SamplePeriod VM steps (rounded up to the
+	// interpreter's poll window), attributed to the executing function
+	// and the active annotated-loop stack. 0 leaves the dispatch loop
+	// untouched. See ProfileResult.Samples.
+	SamplePeriod int64
 }
 
 // DefaultOptions returns the paper's setup: the Hydra configuration,
@@ -181,6 +187,9 @@ type ProfileResult struct {
 	Analysis *profile.Analysis
 	// Event counters from the traced run.
 	HeapLoads, HeapStores, LocalAnnots, LoopAnnots, ReadStats int64
+	// Samples is the sampling-profiler result for the traced run; nil
+	// unless Options.SamplePeriod was set.
+	Samples *vmsim.SampleProfile
 	// AnnotationCount is the number of annotation instructions inserted.
 	AnnotationCount int
 	Opts            Options
@@ -321,6 +330,11 @@ func (c *Compiled) profileWith(ctx context.Context, in Input, opts Options, extr
 	tracer := core.NewTracer(c.Annotated, opts.Cfg, opts.Tracer)
 	vm.Listeners = append(vm.Listeners, tracer)
 	vm.Listeners = append(vm.Listeners, extra...)
+	var sampler *vmsim.Sampler
+	if opts.SamplePeriod > 0 {
+		sampler = vmsim.NewSampler(opts.SamplePeriod)
+		vm.SetSampler(sampler)
+	}
 	if err := runVM(ctx, vm); err != nil {
 		return nil, err
 	}
@@ -328,7 +342,7 @@ func (c *Compiled) profileWith(ctx context.Context, in Input, opts Options, extr
 	analysis := profile.BuildTree(c.Annotated, tracer, vm.Cycles, cleanCycles, opts.Cfg)
 	analysis.Select(opts.Select)
 
-	return &ProfileResult{
+	res := &ProfileResult{
 		Clean:           c.Clean,
 		Annotated:       c.Annotated,
 		CleanCycles:     cleanCycles,
@@ -342,5 +356,9 @@ func (c *Compiled) profileWith(ctx context.Context, in Input, opts Options, extr
 		ReadStats:       vm.NReadStats,
 		AnnotationCount: c.AnnotationCount,
 		Opts:            opts,
-	}, nil
+	}
+	if sampler != nil {
+		res.Samples = sampler.Profile(c.Annotated)
+	}
+	return res, nil
 }

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchRow is one benchmark's figures in the -benchjson output.
+type BenchRow struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchLine matches the start of one `go test -bench -benchmem` result
+// line; custom metrics (Mcycles/s, MB/s, ...) may follow ns/op before
+// the -benchmem pair, so allocs/op is matched separately.
+//
+//	BenchmarkSessionEpoch/epoch-8   62   18406625 ns/op   5697712 B/op   25676 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([\d.]+) ns/op`)
+
+// allocsField extracts the -benchmem allocations figure wherever it sits
+// on the line.
+var allocsField = regexp.MustCompile(`\s([\d.]+) allocs/op`)
+
+// gomaxprocsSuffix is the trailing -N goroutine count `go test` appends
+// to benchmark names; stripped so the JSON keys stay stable across
+// machines with different core counts.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// benchJSON parses `go test -bench -benchmem` text from r and writes the
+// name -> {ns/op, allocs/op} map as JSON to out. Non-benchmark lines
+// (ok/PASS/goos headers) are skipped; duplicate names (e.g. -count>1)
+// keep the last run.
+func benchJSON(r io.Reader, out string) error {
+	rows := map[string]BenchRow{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return fmt.Errorf("benchjson: %q: %w", line, err)
+		}
+		row := BenchRow{NsPerOp: ns}
+		if a := allocsField.FindStringSubmatch(line); a != nil {
+			if row.AllocsPerOp, err = strconv.ParseFloat(a[1], 64); err != nil {
+				return fmt.Errorf("benchjson: %q: %w", line, err)
+			}
+		}
+		rows[name] = row
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines on stdin")
+	}
+	b, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(rows))
+	for n := range rows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(os.Stderr, "benchtab: wrote %d benchmarks to %s: %s\n",
+		len(rows), out, strings.Join(names, ", "))
+	return nil
+}

@@ -9,6 +9,7 @@
 //	benchtab -fig 11         # one figure
 //	benchtab -fig softslow   # the >100x software-profiling comparison
 //	benchtab -scale 0.5      # smaller inputs
+//	go test -bench . -benchmem | benchtab -benchjson BENCH_session.json
 package main
 
 import (
@@ -27,8 +28,17 @@ func main() {
 		ablate = flag.String("ablate", "", "ablation/extension to run: banks, history, bins, mcr, optimizer, scalesweep, all")
 		scale  = flag.Float64("scale", 1, "input scale factor")
 		asJSON = flag.Bool("json", false, "emit all experiment data as JSON instead of text")
+		bjson  = flag.String("benchjson", "", "parse `go test -bench -benchmem` output from stdin and write a name -> ns/op + allocs/op JSON map to this file")
 	)
 	flag.Parse()
+
+	if *bjson != "" {
+		if err := benchJSON(os.Stdin, *bjson); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := jrpm.DefaultOptions().Cfg
 	suite := experiments.NewSuite(*scale)

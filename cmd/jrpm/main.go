@@ -26,6 +26,12 @@
 //	jrpm sweep -w Huffman -trace huffman.jrt -banks 1,2,4,8 -history 2,4,8 \
 //	    -workers host1:8077,host2:8077
 //	jrpm sweep ... -trace-out spans.json   # stitched distributed trace
+//
+// Adaptive sessions (see README "Closing the loop"):
+//
+//	jrpm session -w BitOps -scale 0.35 -epochs 8       # promote, observe, demote
+//	jrpm session -w BitOps -jitter -seed 7 -budget 5000000
+//	jrpm session -w BitOps -daemon localhost:8077      # run it on a jrpmd
 package main
 
 import (
@@ -63,6 +69,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "profile" {
 		profileMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "session" {
+		sessionMain(os.Args[2:])
 		return
 	}
 	var (

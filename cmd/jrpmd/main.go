@@ -8,16 +8,18 @@
 //	jrpmd                          # serve on :8077 with GOMAXPROCS workers
 //	jrpmd -addr :9000 -workers 8 -queue 256 -cache 512 -timeout 30s
 //	jrpmd -worker                  # also serve cluster shard endpoints
+//	jrpmd -sessions 8              # allow 8 concurrent adaptive sessions
 //	jrpmd -pprof localhost:6060    # expose Go pprof on a second listener
 //	jrpmd -log-level debug         # structured key=value logs, debug up
 //
 // Endpoints: POST /v1/jobs, GET /v1/jobs/{id}[?wait=1],
-// DELETE /v1/jobs/{id}, GET /v1/metrics (?format=prom for Prometheus
-// text), GET /metrics, GET /v1/healthz, GET /v1/readyz, GET /v1/version,
-// GET /v1/traces/spans; with -worker additionally POST /v1/shards and
-// GET/PUT /v1/traces/{hash}. See the README sections "Running as a
-// service", "Observability" and "Distributed sweeps" for request and
-// response shapes.
+// DELETE /v1/jobs/{id}, POST/GET /v1/sessions,
+// GET/DELETE /v1/sessions/{id}, GET /v1/metrics (?format=prom for
+// Prometheus text), GET /metrics, GET /v1/healthz, GET /v1/readyz,
+// GET /v1/version, GET /v1/traces/spans; with -worker additionally
+// POST /v1/shards and GET/PUT /v1/traces/{hash}. See the README sections
+// "Running as a service", "Observability", "Distributed sweeps" and
+// "Closing the loop" for request and response shapes.
 //
 // Every request runs under a telemetry span; requests carrying a W3C
 // traceparent header join the caller's distributed trace, and the
@@ -58,6 +60,7 @@ func main() {
 		longPoll = flag.Duration("longpoll", 30*time.Second, "max ?wait=1 long-poll before 202 + retry hint")
 		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline for in-flight jobs")
 		worker   = flag.Bool("worker", false, "serve cluster worker endpoints (POST /v1/shards, GET/PUT /v1/traces)")
+		sessions = flag.Int("sessions", 0, "max concurrently running adaptive sessions (0 = default)")
 		pprofAt  = flag.String("pprof", "", "serve Go pprof on this extra address (e.g. localhost:6060); empty = off")
 		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		spanCap  = flag.Int("span-cap", telemetry.DefaultCollectorCap, "span collector ring capacity")
@@ -79,9 +82,11 @@ func main() {
 		DefaultTimeout:  *timeout,
 		MaxTimeout:      *maxTO,
 		LongPoll:        *longPoll,
+		MaxSessions:     *sessions,
 	})
 	tracer := telemetry.NewTracer(telemetry.NewCollector(*spanCap))
 	pool.SetTracer(tracer)
+	pool.SetLogger(logger)
 	api := service.NewServer(pool)
 	api.Tracer = tracer
 	mux := http.NewServeMux()

@@ -113,6 +113,39 @@ func planLoop(f *tir.Function, info *tir.LoopInfo, cfg_ hydra.Config) (*LoopPlan
 	return lp, nil
 }
 
+// ByLoop returns the plan for one loop id, or nil when the loop is not
+// part of this plan.
+func (p *Plan) ByLoop(id int) *LoopPlan {
+	for i := range p.Loops {
+		if p.Loops[i].Loop == id {
+			return &p.Loops[i]
+		}
+	}
+	return nil
+}
+
+// Summary renders one loop plan as a single line — the transformation
+// classes with their variable counts, in the order the recompiler applies
+// them. Adaptive callers stamp this on promotion records so every tier
+// transition names the code transformation it bought.
+func (lp *LoopPlan) Summary() string {
+	parts := make([]string, 0, 5)
+	add := func(label string, vars []string) {
+		if len(vars) > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", len(vars), label))
+		}
+	}
+	add("globalized", lp.Globalized)
+	add("inductors", lp.Inductors)
+	add("reductions", lp.Reductions)
+	add("invariants", lp.Invariants)
+	add("privatized", lp.Privatized)
+	if len(parts) == 0 {
+		return "no scalar rewrites"
+	}
+	return strings.Join(parts, ", ")
+}
+
 // String renders the plan as a report.
 func (p *Plan) String() string {
 	var sb strings.Builder

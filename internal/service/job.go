@@ -88,9 +88,30 @@ func (tc TraceConfig) apply(cfg hydra.Config) hydra.Config {
 	return cfg
 }
 
+// MinSamplePeriod is the smallest accepted sample_period, in VM steps.
+// The sampler rounds periods up to the interpreter's poll window anyway,
+// and a tiny period asks for a profile with more samples than work —
+// pure overhead, almost certainly a units mistake on the client's side.
+const MinSamplePeriod = 256
+
+// validateSamplePeriod screens sample_period for job and session
+// submissions; failures map to HTTP 400.
+func validateSamplePeriod(p int64) error {
+	if p < 0 {
+		return fmt.Errorf("sample_period must not be negative (got %d)", p)
+	}
+	if p > 0 && p < MinSamplePeriod {
+		return fmt.Errorf("sample_period %d is too small: use >= %d VM steps, or 0 to disable sampling", p, MinSamplePeriod)
+	}
+	return nil
+}
+
 // validate fail-fast checks a request at submit time, for either job
 // kind.
 func (r *Request) validate() error {
+	if err := validateSamplePeriod(r.SamplePeriod); err != nil {
+		return err
+	}
 	if r.AnalyzeTrace != "" {
 		if r.Source != "" || r.Workload != "" {
 			return fmt.Errorf("analyze_trace jobs take no source or workload")

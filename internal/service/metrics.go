@@ -112,6 +112,10 @@ func (p *Pool) registerPoolGauges(reg *telemetry.Registry) {
 		func() float64 { return float64(p.traces.Snapshot().Count) })
 	reg.GaugeFunc("jrpmd_trace_cache_bytes", "Bytes of trace data resident in the trace cache.",
 		func() float64 { return float64(p.traces.Snapshot().Bytes) })
+	reg.GaugeFunc("jrpmd_sessions_active", "Adaptive sessions currently running.",
+		func() float64 { return float64(p.sessions.Counts().Active) })
+	reg.CounterFunc("jrpmd_sessions_started_total", "Adaptive sessions started over the daemon's lifetime.",
+		func() int64 { return int64(p.sessions.Counts().Started) })
 	reg.GaugeFunc("jrpmd_draining", "1 while the pool refuses new submissions.",
 		func() float64 {
 			if p.Draining() {
@@ -143,10 +147,36 @@ type MetricsSnapshot struct {
 	// bytes, and replay hit ratio.
 	TraceCache TraceCacheSnapshot `json:"trace_cache"`
 
+	// Sessions reports the adaptive-session subsystem: lifetime starts,
+	// currently running sessions, and the epoch/retier totals.
+	Sessions SessionsSnapshot `json:"sessions"`
+
 	// Cluster carries the worker-mode shard/transfer counters (a
 	// cluster.WorkerSnapshot) when jrpmd runs with -worker; absent
 	// otherwise.
 	Cluster any `json:"cluster,omitempty"`
+}
+
+// SessionsSnapshot is the "sessions" section of GET /v1/metrics.
+type SessionsSnapshot struct {
+	Started  int   `json:"started"`
+	Active   int   `json:"active"`
+	Epochs   int64 `json:"epochs"`
+	Promoted int64 `json:"promoted"`
+	Demoted  int64 `json:"demoted"`
+}
+
+// sessionsSnapshot assembles the session section from the manager's
+// counts and the session metrics handles.
+func (p *Pool) sessionsSnapshot() SessionsSnapshot {
+	c := p.sessions.Counts()
+	return SessionsSnapshot{
+		Started:  c.Started,
+		Active:   c.Active,
+		Epochs:   p.smetrics.Epochs.Load(),
+		Promoted: p.smetrics.Promoted.Load(),
+		Demoted:  p.smetrics.Demoted.Load(),
+	}
 }
 
 func (m *Metrics) snapshot() MetricsSnapshot {

@@ -16,6 +16,7 @@ import (
 
 	"jrpm"
 	"jrpm/internal/hydra"
+	"jrpm/internal/session"
 	"jrpm/internal/telemetry"
 	"jrpm/internal/trace"
 )
@@ -48,6 +49,9 @@ type Config struct {
 	// server answers 202 with a retry hint instead of holding the
 	// connection. <= 0 means 30s.
 	LongPoll time.Duration
+	// MaxSessions bounds concurrently running adaptive sessions
+	// (POST /v1/sessions); <= 0 means session.DefaultMaxSessions.
+	MaxSessions int
 }
 
 func (c Config) withDefaults() Config {
@@ -80,12 +84,14 @@ func (c Config) withDefaults() Config {
 // under its own context (timeout + cancellation) and a panic inside the
 // pipeline is recovered into a failed job.
 type Pool struct {
-	cfg     Config
-	reg     *telemetry.Registry
-	metrics *Metrics
-	cache   *Cache
-	traces  *TraceCache
-	tracer  *telemetry.Tracer // nil = job spans disabled
+	cfg      Config
+	reg      *telemetry.Registry
+	metrics  *Metrics
+	cache    *Cache
+	traces   *TraceCache
+	sessions *session.Manager
+	smetrics *session.Metrics
+	tracer   *telemetry.Tracer // nil = job spans disabled
 
 	queue    chan *Job
 	jobs     sync.Map // id -> *Job
@@ -106,13 +112,16 @@ type Pool struct {
 func NewPool(cfg Config) *Pool {
 	cfg = cfg.withDefaults()
 	reg := telemetry.NewRegistry()
+	smetrics := session.NewMetrics(reg)
 	p := &Pool{
-		cfg:     cfg,
-		reg:     reg,
-		metrics: newMetrics(reg),
-		cache:   NewCache(cfg.CacheSize),
-		traces:  NewTraceCache(cfg.TraceCacheBytes),
-		queue:   make(chan *Job, cfg.QueueDepth),
+		cfg:      cfg,
+		reg:      reg,
+		metrics:  newMetrics(reg),
+		cache:    NewCache(cfg.CacheSize),
+		traces:   NewTraceCache(cfg.TraceCacheBytes),
+		sessions: session.NewManager(cfg.MaxSessions, smetrics, nil),
+		smetrics: smetrics,
+		queue:    make(chan *Job, cfg.QueueDepth),
 	}
 	p.registerPoolGauges(reg)
 	p.ctx, p.cancel = context.WithCancel(context.Background())
@@ -134,8 +143,19 @@ func (p *Pool) Registry() *telemetry.Registry { return p.reg }
 // SetTracer enables per-job spans: each executed job gets a "job.run"
 // span parented to the trace that submitted it (captured from the
 // submit context). Set before serving traffic; a nil tracer keeps job
-// execution span-free.
-func (p *Pool) SetTracer(tr *telemetry.Tracer) { p.tracer = tr }
+// execution span-free. Sessions started afterwards trace their epochs
+// with the same tracer.
+func (p *Pool) SetTracer(tr *telemetry.Tracer) {
+	p.tracer = tr
+	p.sessions.SetTracer(tr)
+}
+
+// SetLogger routes the session subsystem's decision logs (promotions,
+// demotions, epoch summaries) to l. Set before serving traffic.
+func (p *Pool) SetLogger(l *telemetry.Logger) { p.sessions.SetLogger(l) }
+
+// Sessions exposes the adaptive-session manager.
+func (p *Pool) Sessions() *session.Manager { return p.sessions }
 
 // Draining reports whether the pool is refusing new submissions (Drain
 // or Stop has begun). GET /v1/readyz turns this into a 503.
@@ -259,6 +279,11 @@ func (p *Pool) stop() {
 	if p.shutdown.Swap(true) {
 		return
 	}
+	// Sessions interrupt at the VM's next poll window, so a generous
+	// bound only matters if one wedges.
+	stopCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	p.sessions.StopAll(stopCtx)
+	cancel()
 	p.cancel()
 	p.wg.Wait()
 	// Workers are gone; fail anything still sitting in the queue.

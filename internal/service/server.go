@@ -30,6 +30,11 @@ const maxRequestBody = 16 << 20
 //	                          state; 503 while draining
 //	GET    /v1/version        module version + trace-format version
 //	GET    /v1/traces/spans   collected spans as JSON; ?trace_id= filters
+//	POST   /v1/sessions       start an adaptive session (202 + {"id": ...})
+//	GET    /v1/sessions       list sessions with epoch + tier summary
+//	GET    /v1/sessions/{id}  full session view: per-loop tier records
+//	                          plus the transition history
+//	DELETE /v1/sessions/{id}  stop a session (it keeps its final state)
 type Server struct {
 	pool  *Pool
 	start time.Time
@@ -67,6 +72,10 @@ func (s *Server) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.get)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	mux.HandleFunc("POST /v1/sessions", s.submitSession)
+	mux.HandleFunc("GET /v1/sessions", s.listSessions)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.getSession)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.stopSession)
 	mux.HandleFunc("GET /v1/metrics", s.metrics)
 	mux.HandleFunc("GET /metrics", s.prom)
 	mux.HandleFunc("GET /v1/healthz", s.healthz)
@@ -159,6 +168,7 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	m.QueueDepth = s.pool.Config().QueueDepth
 	m.QueueLength = s.pool.QueueLength()
 	m.TraceCache = s.pool.Traces().Snapshot()
+	m.Sessions = s.pool.sessionsSnapshot()
 	if s.ExtraMetrics != nil {
 		m.Cluster = s.ExtraMetrics()
 	}

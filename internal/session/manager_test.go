@@ -1,0 +1,129 @@
+package session
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"jrpm"
+	"jrpm/internal/telemetry"
+	"jrpm/internal/workloads"
+)
+
+// TestManagerLifecycleRace exercises a session under -race: start it,
+// poll views and Prometheus exposition concurrently while epochs run,
+// then stop it mid-flight and wait for a clean exit.
+func TestManagerLifecycleRace(t *testing.T) {
+	w, err := workloads.ByName("BitOps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := jrpm.Compile(w.Source, jrpm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	m := NewManager(2, NewMetrics(reg), nil)
+	s, err := m.Start(Config{
+		Compiled: c,
+		Name:     "BitOps",
+		Traffic:  FixedTraffic(w.NewInput(0.2)),
+		Epochs:   10_000, // far more than we let it run
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stopPolling := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopPolling:
+					return
+				default:
+				}
+				_ = s.View().Report()
+				_ = m.List()
+				_ = m.Counts()
+			}
+		}()
+	}
+
+	// Let at least one epoch land, then stop mid-run.
+	deadline := time.After(30 * time.Second)
+	for s.View().Epoch == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("no epoch completed within 30s")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if !m.Stop(s.ID) {
+		t.Fatalf("Stop(%q) found no session", s.ID)
+	}
+	select {
+	case <-s.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("session did not stop within 30s")
+	}
+	close(stopPolling)
+	wg.Wait()
+
+	v := s.View()
+	if v.State != string(StateStopped) {
+		t.Errorf("state = %s, want stopped", v.State)
+	}
+	if got, ok := m.Get(s.ID); !ok || got != s {
+		t.Error("stopped session no longer retrievable")
+	}
+	if c := m.Counts(); c.Started != 1 || c.Active != 0 {
+		t.Errorf("counts = %+v, want started 1, active 0", c)
+	}
+}
+
+func TestManagerLimit(t *testing.T) {
+	w, err := workloads.ByName("BitOps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := jrpm.Compile(w.Source, jrpm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(1, nil, nil)
+	cfg := Config{Compiled: c, Traffic: FixedTraffic(w.NewInput(0.2)), Epochs: 10_000}
+	s, err := m.Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Start(cfg); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Errorf("second Start under limit 1: err = %v, want limit error", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	m.StopAll(ctx)
+	if st := s.State(); st != StateStopped && st != StateDone {
+		t.Errorf("after StopAll: state = %s", st)
+	}
+	// With the slot free, a new session starts.
+	if _, err := m.Start(cfg); err != nil {
+		t.Errorf("Start after StopAll: %v", err)
+	}
+	m.StopAll(ctx)
+}
+
+func TestManagerStopUnknown(t *testing.T) {
+	m := NewManager(0, nil, nil)
+	if m.Stop("s00000042") {
+		t.Error("Stop on unknown id reported success")
+	}
+	if len(m.List()) != 0 {
+		t.Error("empty manager lists sessions")
+	}
+}

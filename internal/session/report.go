@@ -1,0 +1,174 @@
+package session
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LoopTier is the JSON/report view of one loop's tier record.
+type LoopTier struct {
+	Loop            int     `json:"loop"`
+	Name            string  `json:"name,omitempty"`
+	Tier            string  `json:"tier"`
+	EstSpeedup      float64 `json:"est_speedup"`
+	Coverage        float64 `json:"coverage"`
+	Samples         int64   `json:"samples"`
+	ObservedSpeedup float64 `json:"observed_speedup,omitempty"`
+	RatioEWMA       float64 `json:"ratio_ewma,omitempty"`
+	ViolationEWMA   float64 `json:"violation_ewma,omitempty"`
+	SpecEpochs      int     `json:"spec_epochs,omitempty"`
+	Plan            string  `json:"plan,omitempty"`
+	SelectedStreak  int     `json:"selected_streak,omitempty"`
+	Dwell           int     `json:"dwell,omitempty"`
+	Cooldown        int     `json:"cooldown,omitempty"`
+	Promotions      int     `json:"promotions,omitempty"`
+	Demotions       int     `json:"demotions,omitempty"`
+}
+
+// View is a consistent snapshot of a session, JSON-ready for the daemon
+// API and renderable as a text report for the CLI.
+type View struct {
+	ID               string       `json:"id"`
+	Name             string       `json:"name,omitempty"`
+	State            string       `json:"state"`
+	Error            string       `json:"error,omitempty"`
+	Reason           string       `json:"reason,omitempty"`
+	Epoch            int          `json:"epoch"`
+	Epochs           int          `json:"epochs,omitempty"`
+	CycleBudget      int64        `json:"cycle_budget,omitempty"`
+	CyclesUsed       int64        `json:"cycles_used"`
+	Thresholds       Thresholds   `json:"thresholds"`
+	PredictedSpeedup float64      `json:"predicted_speedup,omitempty"`
+	ActualSpeedup    float64      `json:"actual_speedup,omitempty"`
+	Loops            []LoopTier   `json:"loops,omitempty"`
+	Transitions      []Transition `json:"transitions,omitempty"`
+}
+
+// View snapshots the session's state, loops in ascending id order.
+func (s *Session) View() View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := View{
+		ID:               s.ID,
+		Name:             s.cfg.Name,
+		State:            string(s.state),
+		Reason:           s.reason,
+		Epoch:            s.epoch,
+		Epochs:           s.cfg.Epochs,
+		CycleBudget:      s.cfg.CycleBudget,
+		CyclesUsed:       s.cyclesUsed,
+		Thresholds:       s.th,
+		PredictedSpeedup: s.lastPredicted,
+		ActualSpeedup:    s.lastActual,
+		Transitions:      append([]Transition(nil), s.transitions...),
+	}
+	if s.err != nil {
+		v.Error = s.err.Error()
+	}
+	ids := make([]int, 0, len(s.records))
+	for id := range s.records {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		r := s.records[id]
+		v.Loops = append(v.Loops, LoopTier{
+			Loop:            r.Loop,
+			Name:            r.Name,
+			Tier:            r.Tier.String(),
+			EstSpeedup:      r.EstSpeedup,
+			Coverage:        r.Coverage,
+			Samples:         r.Samples,
+			ObservedSpeedup: r.ObservedSpeedup,
+			RatioEWMA:       r.RatioEWMA,
+			ViolationEWMA:   r.ViolationEWMA,
+			SpecEpochs:      r.SpecEpochs,
+			Plan:            r.PlanSummary,
+			SelectedStreak:  r.SelectedStreak,
+			Dwell:           r.Dwell,
+			Cooldown:        r.Cooldown,
+			Promotions:      r.Promotions,
+			Demotions:       r.Demotions,
+		})
+	}
+	return v
+}
+
+// Transitions snapshots the transition log.
+func (s *Session) Transitions() []Transition {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Transition(nil), s.transitions...)
+}
+
+// TransitionLog renders the transitions one per line in the stable form
+// the golden tests pin (see Transition.String). Empty when no loop ever
+// changed tier.
+func (v View) TransitionLog() string {
+	var sb strings.Builder
+	for _, tr := range v.Transitions {
+		sb.WriteString(tr.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Report renders the tier-transition report the jrpm session verb
+// prints: session header, per-loop tier table, then the transition log.
+func (v View) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "session %s", v.ID)
+	if v.Name != "" {
+		fmt.Fprintf(&sb, " (%s)", v.Name)
+	}
+	fmt.Fprintf(&sb, ": %s after %d epochs", v.State, v.Epoch)
+	if v.Reason != "" {
+		fmt.Fprintf(&sb, " — %s", v.Reason)
+	}
+	sb.WriteByte('\n')
+	if v.Error != "" {
+		fmt.Fprintf(&sb, "  error: %s\n", v.Error)
+	}
+	fmt.Fprintf(&sb, "  cycles used %d", v.CyclesUsed)
+	if v.CycleBudget > 0 {
+		fmt.Fprintf(&sb, " / budget %d", v.CycleBudget)
+	}
+	sb.WriteByte('\n')
+	if v.PredictedSpeedup > 0 {
+		fmt.Fprintf(&sb, "  program speedup: predicted %.3fx", v.PredictedSpeedup)
+		if v.ActualSpeedup > 0 {
+			fmt.Fprintf(&sb, ", actual %.3fx", v.ActualSpeedup)
+		}
+		sb.WriteByte('\n')
+	}
+	if len(v.Loops) > 0 {
+		sb.WriteString("  tiers:\n")
+		for _, lt := range v.Loops {
+			fmt.Fprintf(&sb, "    L%-3d %-22s %-11s est %.3fx cov %4.1f%%",
+				lt.Loop, lt.Name, lt.Tier, lt.EstSpeedup, 100*lt.Coverage)
+			if lt.SpecEpochs > 0 {
+				fmt.Fprintf(&sb, " obs %.3fx ratio %.3f viol %.3f", lt.ObservedSpeedup, lt.RatioEWMA, lt.ViolationEWMA)
+			}
+			if lt.Cooldown > 0 {
+				fmt.Fprintf(&sb, " cooldown %d", lt.Cooldown)
+			}
+			if lt.Promotions > 0 || lt.Demotions > 0 {
+				fmt.Fprintf(&sb, " [%d up, %d down]", lt.Promotions, lt.Demotions)
+			}
+			if lt.Plan != "" {
+				fmt.Fprintf(&sb, " (%s)", lt.Plan)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	if len(v.Transitions) > 0 {
+		sb.WriteString("  transitions:\n")
+		for _, tr := range v.Transitions {
+			fmt.Fprintf(&sb, "    %s\n", tr.String())
+		}
+	} else {
+		sb.WriteString("  transitions: none\n")
+	}
+	return sb.String()
+}

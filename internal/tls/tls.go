@@ -75,6 +75,26 @@ type Result struct {
 	Speedup        float64
 }
 
+// ViolationRate reports RAW violations per speculative thread — the
+// restart frequency an adaptive runtime watches to decide whether a
+// decomposition is worth keeping (Prophet-style re-tiering: a loop whose
+// threads restart constantly wastes the CPUs it occupies even when it
+// still nets a speedup on paper).
+func (r *Result) ViolationRate() float64 {
+	if r.Threads == 0 {
+		return 0
+	}
+	return float64(r.Violations) / float64(r.Threads)
+}
+
+// OverflowRate reports buffer-overflow stalls per speculative thread.
+func (r *Result) OverflowRate() float64 {
+	if r.Threads == 0 {
+		return 0
+	}
+	return float64(r.OverflowStalls) / float64(r.Threads)
+}
+
 // syncThreshold is how many violations a static load instruction causes
 // before the recompiler synchronizes it ("inserting synchronization
 // locks", section 3.2): afterwards that load waits for the producing store

@@ -136,6 +136,39 @@ type LoopSamples struct {
 	Cum  int64  `json:"cum"`
 }
 
+// Loop is the read-out API for one annotated loop: its sample counts in
+// this profile, or ok=false when the loop took no samples. Adaptive
+// callers (internal/session) use this to fold per-epoch sampler evidence
+// into long-lived per-loop tier records without re-sorting the profile.
+func (p *SampleProfile) Loop(id int) (LoopSamples, bool) {
+	for _, ls := range p.Loops {
+		if ls.Loop == id {
+			return ls, true
+		}
+	}
+	return LoopSamples{}, false
+}
+
+// HotLoops returns the loop ids responsible for the top share fraction of
+// cumulative samples (hottest first) — the always-on profiler's shortlist
+// of where recompilation attention should go.
+func (p *SampleProfile) HotLoops(share float64) []int {
+	if p.Samples == 0 || len(p.Loops) == 0 {
+		return nil
+	}
+	want := share * float64(p.Samples)
+	var got float64
+	out := make([]int, 0, len(p.Loops))
+	for _, ls := range p.Loops {
+		if got >= want {
+			break
+		}
+		out = append(out, ls.Loop)
+		got += float64(ls.Flat)
+	}
+	return out
+}
+
 // Profile resolves the counters against prog's function and loop
 // tables, hottest first.
 func (s *Sampler) Profile(prog *tir.Program) *SampleProfile {

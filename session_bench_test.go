@@ -1,0 +1,79 @@
+// Session-loop overhead benchmarks: the adaptive loop's bookkeeping
+// (tier records, hysteresis, transition log, spans) must stay in the
+// noise next to the profiling and TLS simulation it schedules. CI pins
+// the epoch/bare ratio at <= 1.05 and `cmd/benchtab -benchjson` turns
+// the output into BENCH_session.json.
+package jrpm_test
+
+import (
+	"context"
+	"testing"
+
+	"jrpm"
+	"jrpm/internal/session"
+	"jrpm/internal/workloads"
+)
+
+// BenchmarkSessionEpoch compares one bare pipeline round (profile +
+// speculate on the selected loops) against the same round driven by an
+// adaptive session epoch, on a prewarmed Compiled. PromoteStreak 1 makes
+// the single session epoch promote and speculate immediately, so both
+// sub-benchmarks execute the same VM work and the difference is the
+// session machinery itself.
+func BenchmarkSessionEpoch(b *testing.B) {
+	w, err := workloads.ByName("Huffman")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := w.NewInput(benchScale)
+	compiled, err := jrpm.Compile(w.Source, jrpm.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// The session attaches the sampling profiler at its default period;
+	// the bare round gets the same options so both sides run identical VM
+	// configurations.
+	opts := jrpm.DefaultOptions()
+	opts.SamplePeriod = session.DefaultSamplePeriod
+
+	b.Run("bare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pr, err := compiled.Profile(ctx, in, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sel := pr.Analysis.SelectedLoopIDs()
+			if len(sel) == 0 {
+				b.Fatal("no loops selected")
+			}
+			if _, err := jrpm.SpeculateLoops(ctx, in, pr, sel); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("epoch", func(b *testing.B) {
+		th := session.DefaultThresholds()
+		th.PromoteStreak = 1
+		for i := 0; i < b.N; i++ {
+			s, err := session.New(session.Config{
+				Compiled:   compiled,
+				Name:       "bench",
+				Traffic:    session.FixedTraffic(in),
+				Epochs:     1,
+				Thresholds: th,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Run(ctx); err != nil {
+				b.Fatal(err)
+			}
+			if v := s.View(); len(v.Transitions) == 0 {
+				b.Fatal("session epoch promoted nothing")
+			}
+		}
+	})
+}

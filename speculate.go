@@ -34,7 +34,17 @@ func Speculate(in Input, pr *ProfileResult) (*SpeculateResult, error) {
 // the recording run. Safe for concurrent use across jobs sharing pr's
 // programs — the recorder, VM and simulation state are all per-call.
 func SpeculateContext(ctx context.Context, in Input, pr *ProfileResult) (*SpeculateResult, error) {
-	selected := pr.Analysis.SelectedLoopIDs()
+	return SpeculateLoops(ctx, in, pr, pr.Analysis.SelectedLoopIDs())
+}
+
+// SpeculateLoops is SpeculateContext over an explicit decomposition set
+// instead of the Equation 2 selection: the given loops are recompiled and
+// executed speculatively regardless of what the estimator chose. Every
+// loop must have passed the scalar screen (jit.Build rejects the set
+// otherwise). This is the entry point for adaptive callers — a session
+// that promotes and demotes loops over time owns its own speculative set,
+// which drifts away from the per-epoch Equation 2 answer.
+func SpeculateLoops(ctx context.Context, in Input, pr *ProfileResult, selected []int) (*SpeculateResult, error) {
 	plan, err := jit.Build(pr.Annotated, selected, pr.Opts.Cfg)
 	if err != nil {
 		return nil, err

@@ -43,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"os"
 	"strconv"
@@ -210,6 +211,12 @@ func decodeBody(resp *http.Response, v any) {
 	b, err := io.ReadAll(resp.Body)
 	if err != nil {
 		fatal(err)
+	}
+	// A proxy or load balancer answering for a dead daemon sends HTML;
+	// surface that as what it is instead of a JSON parse error.
+	if mt, _, _ := mime.ParseMediaType(resp.Header.Get("Content-Type")); mt != "application/json" {
+		fatal(fmt.Errorf("daemon answered %q, not JSON (HTTP %d): %.200s",
+			resp.Header.Get("Content-Type"), resp.StatusCode, b))
 	}
 	if err := json.Unmarshal(b, v); err != nil {
 		fatal(fmt.Errorf("bad daemon response (HTTP %d): %s", resp.StatusCode, b))

@@ -1,0 +1,52 @@
+package loadgen
+
+import (
+	"context"
+	"strings"
+	"time"
+)
+
+// Outcome is one request's classified result.
+type Outcome struct {
+	Class ErrClass
+	Err   error // detail when Class != ErrOK
+}
+
+// Platform is the adapter seam: the same schedule drives an in-process
+// service.Pool, a remote jrpmd over HTTP, or a cluster coordinator
+// fronting one — anything that can execute the four op classes.
+type Platform interface {
+	// Name labels the platform in reports ("inproc", "remote").
+	Name() string
+	// Prepare runs once before the open-loop phase: prewarm the
+	// artifact cache and record one replay trace for each kernel the
+	// schedule touches, returning kernel -> trace key. Prepare paces
+	// itself (it retries quota sheds) — it is setup, not measurement.
+	Prepare(ctx context.Context, sched *Schedule) (map[string]string, error)
+	// Do synchronously executes one op, classifying the result.
+	// traceKey is the kernel's setup recording (replay ops).
+	Do(ctx context.Context, sched *Schedule, op Op, traceKey string) Outcome
+	// Close releases the platform (the in-process adapter stops its
+	// pool unless it was borrowed).
+	Close() error
+}
+
+// classifyMsg maps a terminal job error message to an error class —
+// shared by both adapters, which see the same messages through
+// different transports.
+func classifyMsg(msg string) ErrClass {
+	switch {
+	case strings.Contains(msg, "deadline") || strings.Contains(msg, "timeout"):
+		return ErrDeadline
+	default:
+		return ErrInternal
+	}
+}
+
+// prepareBackoff paces Prepare's retry loop when setup submissions are
+// shed (e.g. tenant quotas configured on the pool under test).
+const prepareBackoff = 50 * time.Millisecond
+
+// prepareAttempts bounds how long Prepare keeps retrying one shed
+// kernel before giving up on the run.
+const prepareAttempts = 100

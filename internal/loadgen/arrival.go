@@ -1,0 +1,93 @@
+package loadgen
+
+import (
+	"math"
+	"time"
+)
+
+// rng is xorshift64* — the same tiny deterministic generator the
+// session subsystem uses for traffic jitter. The schedule must not
+// depend on math/rand's algorithm staying put across Go releases: a
+// seed printed in a committed BENCH_load.json has to regenerate the
+// identical schedule years later.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15 // zero state would stick at zero
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// float64 returns a uniform in [0, 1) with 53 bits of precision.
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform integer in [0, n).
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// exp returns an exponential variate with the given rate (events per
+// second), as a duration.
+func (r *rng) exp(rate float64) time.Duration {
+	// Guard the log: float64() can return exactly 0.
+	u := r.float64()
+	for u == 0 {
+		u = r.float64()
+	}
+	return time.Duration(-math.Log(u) / rate * float64(time.Second))
+}
+
+// offsets generates the arrival instants for the spec's process, as
+// durations from the run's start, strictly ordered. It consumes from
+// rng only for poisson (constant and ramp are deterministic in shape
+// regardless of seed; the seed still drives the per-request mix
+// choices).
+func (a ArrivalSpec) offsets(r *rng) []time.Duration {
+	switch a.Process {
+	case "constant":
+		return constantOffsets(a.RatePerSec, time.Duration(a.DurationMs)*time.Millisecond, 0)
+	case "poisson":
+		var out []time.Duration
+		limit := time.Duration(a.DurationMs) * time.Millisecond
+		t := time.Duration(0)
+		for {
+			t += r.exp(a.RatePerSec)
+			if t >= limit {
+				return out
+			}
+			out = append(out, t)
+		}
+	case "ramp":
+		var out []time.Duration
+		base := time.Duration(0)
+		for _, st := range a.Steps {
+			d := time.Duration(st.DurationMs) * time.Millisecond
+			out = append(out, constantOffsets(st.RatePerSec, d, base)...)
+			base += d
+		}
+		return out
+	}
+	return nil
+}
+
+// constantOffsets spaces floor(rate*duration) arrivals 1/rate apart,
+// starting at base.
+func constantOffsets(rate float64, duration, base time.Duration) []time.Duration {
+	n := int(rate * duration.Seconds())
+	gap := time.Duration(float64(time.Second) / rate)
+	out := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, base+time.Duration(i)*gap)
+	}
+	return out
+}

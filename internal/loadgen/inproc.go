@@ -1,0 +1,136 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"jrpm/internal/service"
+	"jrpm/internal/session"
+)
+
+// InProcess drives a service.Pool directly — no HTTP, no serialization:
+// the harness measures the queue, cache, and pipeline themselves.
+type InProcess struct {
+	pool     *service.Pool
+	borrowed bool // caller owns the pool's lifecycle
+}
+
+// NewInProcess wraps an existing pool (borrowed: Close leaves it
+// running).
+func NewInProcess(pool *service.Pool) *InProcess {
+	return &InProcess{pool: pool, borrowed: true}
+}
+
+// NewInProcessPool builds a pool from cfg and owns it.
+func NewInProcessPool(cfg service.Config) *InProcess {
+	return &InProcess{pool: service.NewPool(cfg)}
+}
+
+// Pool exposes the pool under test (metrics inspection after a run).
+func (a *InProcess) Pool() *service.Pool { return a.pool }
+
+func (a *InProcess) Name() string { return "inproc" }
+
+func (a *InProcess) Close() error {
+	if !a.borrowed {
+		a.pool.Stop()
+	}
+	return nil
+}
+
+// Prepare records one trace per kernel; the recording job also fills
+// the artifact cache, so warm ops hit from the first request.
+func (a *InProcess) Prepare(ctx context.Context, sched *Schedule) (map[string]string, error) {
+	keys := make(map[string]string, len(sched.Kernels))
+	for _, kernel := range sched.Kernels {
+		req := service.Request{Workload: kernel, Scale: sched.Spec.Scale, Record: true}
+		var v service.JobView
+		for attempt := 0; ; attempt++ {
+			j, err := a.pool.Submit(req)
+			if err != nil {
+				if isShedErr(err) && attempt < prepareAttempts {
+					select {
+					case <-time.After(prepareBackoff):
+						continue
+					case <-ctx.Done():
+						return nil, ctx.Err()
+					}
+				}
+				return nil, fmt.Errorf("loadgen: prepare %s: %w", kernel, err)
+			}
+			if v, err = j.Wait(ctx); err != nil {
+				return nil, err
+			}
+			break
+		}
+		if v.State != service.StateDone || v.Result == nil || v.Result.TraceKey == "" {
+			return nil, fmt.Errorf("loadgen: prepare %s: state=%s error=%q", kernel, v.State, v.Error)
+		}
+		keys[kernel] = v.Result.TraceKey
+	}
+	return keys, nil
+}
+
+func (a *InProcess) Do(ctx context.Context, sched *Schedule, op Op, traceKey string) Outcome {
+	if op.Class == OpSession {
+		return a.doSession(ctx, sched, op)
+	}
+	req, err := sched.JobRequest(op, traceKey)
+	if err != nil {
+		return Outcome{Class: ErrReject, Err: err}
+	}
+	j, err := a.pool.Submit(req)
+	switch {
+	case isShedErr(err):
+		return Outcome{Class: ErrShed, Err: err}
+	case errors.Is(err, service.ErrStopped):
+		return Outcome{Class: ErrInternal, Err: err}
+	case err != nil:
+		return Outcome{Class: ErrReject, Err: err}
+	}
+	v, err := j.Wait(ctx)
+	if err != nil {
+		return Outcome{Class: ErrInternal, Err: err}
+	}
+	switch v.State {
+	case service.StateDone:
+		return Outcome{Class: ErrOK}
+	case service.StateFailed:
+		return Outcome{Class: classifyMsg(v.Error), Err: errors.New(v.Error)}
+	default: // canceled
+		return Outcome{Class: ErrInternal, Err: fmt.Errorf("job %s", v.State)}
+	}
+}
+
+func (a *InProcess) doSession(ctx context.Context, sched *Schedule, op Op) Outcome {
+	sess, err := a.pool.StartSession(sched.SessionRequest(op))
+	switch {
+	case errors.Is(err, session.ErrLimit):
+		return Outcome{Class: ErrShed, Err: err}
+	case errors.Is(err, service.ErrStopped):
+		return Outcome{Class: ErrInternal, Err: err}
+	case err != nil:
+		return Outcome{Class: ErrReject, Err: err}
+	}
+	select {
+	case <-sess.Done():
+	case <-ctx.Done():
+		sess.Stop()
+		return Outcome{Class: ErrInternal, Err: ctx.Err()}
+	}
+	if st := sess.State(); st != session.StateDone {
+		return Outcome{Class: ErrInternal, Err: fmt.Errorf("session %s", st)}
+	}
+	return Outcome{Class: ErrOK}
+}
+
+// isShedErr reports whether err is one of the pool's load-shedding
+// rejections (mapped to 429 over HTTP).
+func isShedErr(err error) bool {
+	var quota *service.QuotaError
+	return errors.Is(err, service.ErrQueueFull) ||
+		errors.Is(err, service.ErrAdmission) ||
+		errors.As(err, &quota)
+}

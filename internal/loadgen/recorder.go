@@ -1,0 +1,229 @@
+package loadgen
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrClass buckets request outcomes for the error-class counts; "ok"
+// is success, everything else is a degradation the report breaks out.
+type ErrClass string
+
+const (
+	ErrOK       ErrClass = "ok"
+	ErrShed     ErrClass = "shed"     // 429: admission, quota, or queue full
+	ErrDeadline ErrClass = "deadline" // request deadline or timeout expired
+	ErrReject   ErrClass = "reject"   // other 4xx: the harness built a bad request
+	ErrInternal ErrClass = "internal" // 5xx / transport / pipeline failure
+	ErrDropped  ErrClass = "dropped"  // never launched: open-loop outstanding cap
+)
+
+// errClasses is the stable reporting order.
+var errClasses = []ErrClass{ErrOK, ErrShed, ErrDeadline, ErrReject, ErrInternal, ErrDropped}
+
+// hdrHist is an HDR-style latency histogram: geometric buckets from
+// minTrack to maxTrack with ~9% relative width (8 sub-buckets per
+// power of two), so percentile error stays bounded across six decades
+// without storing raw samples.
+type hdrHist struct {
+	counts []int64
+	count  int64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+const (
+	hdrMinTrack   = 10 * time.Microsecond
+	hdrMaxTrack   = 300 * time.Second
+	hdrSubBuckets = 8 // per power of two: 2^(1/8) ≈ 9% bucket width
+)
+
+var hdrBucketCount = hdrIndex(hdrMaxTrack) + 2
+
+// hdrIndex maps a latency to its bucket: floor(log2(d/min) * sub).
+func hdrIndex(d time.Duration) int {
+	if d < hdrMinTrack {
+		return 0
+	}
+	return int(math.Log2(float64(d)/float64(hdrMinTrack)) * hdrSubBuckets)
+}
+
+// hdrUpper is the bucket's upper latency bound (the value percentiles
+// report).
+func hdrUpper(i int) time.Duration {
+	return time.Duration(float64(hdrMinTrack) * math.Pow(2, float64(i+1)/hdrSubBuckets))
+}
+
+func newHdrHist() *hdrHist {
+	return &hdrHist{counts: make([]int64, hdrBucketCount), min: math.MaxInt64}
+}
+
+func (h *hdrHist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := hdrIndex(d)
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+	h.count++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// quantile returns the latency at quantile q in [0, 1], by cumulative
+// walk; the exact min/max are substituted at the extremes so the report
+// never claims a bucket bound tighter than an actually observed value.
+func (h *hdrHist) quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			u := hdrUpper(i)
+			if u > h.max {
+				u = h.max
+			}
+			if u < h.min {
+				u = h.min
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// Recorder aggregates outcomes per op class, concurrency-safe: every
+// in-flight request reports exactly once.
+type Recorder struct {
+	mu      sync.Mutex
+	byClass map[OpClass]*classStats
+}
+
+type classStats struct {
+	hist   *hdrHist
+	errors map[ErrClass]int64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{byClass: map[OpClass]*classStats{}}
+}
+
+// Record logs one finished (or dropped) request. Latency is measured by
+// the caller from the intended send instant; it is recorded only for
+// successful requests so shed/error responses cannot drag percentiles
+// either way (their counts are reported separately).
+func (r *Recorder) Record(class OpClass, ec ErrClass, latency time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cs, ok := r.byClass[class]
+	if !ok {
+		cs = &classStats{hist: newHdrHist(), errors: map[ErrClass]int64{}}
+		r.byClass[class] = cs
+	}
+	cs.errors[ec]++
+	if ec == ErrOK {
+		cs.hist.observe(latency)
+	}
+}
+
+// ClassReport is one op class's aggregate in a Report.
+type ClassReport struct {
+	Class   OpClass            `json:"class"`
+	Total   int64              `json:"total"`
+	Errors  map[ErrClass]int64 `json:"errors"`
+	P50Ms   float64            `json:"p50_ms"`
+	P90Ms   float64            `json:"p90_ms"`
+	P99Ms   float64            `json:"p99_ms"`
+	P999Ms  float64            `json:"p999_ms"`
+	MaxMs   float64            `json:"max_ms"`
+	MeanMs  float64            `json:"mean_ms"`
+	OKCount int64              `json:"ok"`
+}
+
+// Report is the recorder's final aggregate: per-class rows plus an
+// overall row (class "all").
+type Report struct {
+	Classes []ClassReport `json:"classes"`
+	Overall ClassReport   `json:"overall"`
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+func (cs *classStats) report(class OpClass) ClassReport {
+	rep := ClassReport{
+		Class:   class,
+		Errors:  map[ErrClass]int64{},
+		OKCount: cs.hist.count,
+	}
+	for _, ec := range errClasses {
+		if n := cs.errors[ec]; n > 0 {
+			rep.Errors[ec] = n
+			rep.Total += n
+		}
+	}
+	if cs.hist.count > 0 {
+		rep.P50Ms = ms(cs.hist.quantile(0.50))
+		rep.P90Ms = ms(cs.hist.quantile(0.90))
+		rep.P99Ms = ms(cs.hist.quantile(0.99))
+		rep.P999Ms = ms(cs.hist.quantile(0.999))
+		rep.MaxMs = ms(cs.hist.max)
+		rep.MeanMs = ms(cs.hist.sum / time.Duration(cs.hist.count))
+	}
+	return rep
+}
+
+// Report assembles the final aggregate.
+func (r *Recorder) Report() Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	all := &classStats{hist: newHdrHist(), errors: map[ErrClass]int64{}}
+	var classes []OpClass
+	for c := range r.byClass {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	var out Report
+	for _, c := range classes {
+		cs := r.byClass[c]
+		out.Classes = append(out.Classes, cs.report(c))
+		for ec, n := range cs.errors {
+			all.errors[ec] += n
+		}
+		// Merge histograms bucket-wise for the overall percentiles.
+		for i, n := range cs.hist.counts {
+			all.hist.counts[i] += n
+		}
+		all.hist.count += cs.hist.count
+		all.hist.sum += cs.hist.sum
+		if cs.hist.count > 0 {
+			if cs.hist.min < all.hist.min {
+				all.hist.min = cs.hist.min
+			}
+			if cs.hist.max > all.hist.max {
+				all.hist.max = cs.hist.max
+			}
+		}
+	}
+	out.Overall = all.report("all")
+	return out
+}

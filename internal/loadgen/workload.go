@@ -1,0 +1,204 @@
+package loadgen
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"jrpm"
+	"jrpm/internal/service"
+	"jrpm/internal/workloads"
+)
+
+// OpClass is the operation kind of one scheduled request.
+type OpClass string
+
+const (
+	OpCold    OpClass = "cold"    // unique source, full compile
+	OpWarm    OpClass = "warm"    // named kernel, artifact-cache hit
+	OpReplay  OpClass = "replay"  // analyze_trace of a setup recording
+	OpSession OpClass = "session" // short adaptive session
+)
+
+// Classes lists the op classes in stable reporting order.
+var Classes = []OpClass{OpCold, OpWarm, OpReplay, OpSession}
+
+// Op is one scheduled request: fire at Offset from the run's start.
+type Op struct {
+	Index  int           `json:"index"`
+	Offset time.Duration `json:"offset"`
+	Class  OpClass       `json:"class"`
+	Kernel string        `json:"kernel"`
+	Tenant string        `json:"tenant,omitempty"`
+}
+
+// Schedule is the fully materialized open-loop request plan — a pure
+// function of the Spec.
+type Schedule struct {
+	Spec *Spec
+	Ops  []Op
+	// Kernels lists the distinct kernels the schedule touches, in first
+	// use order: the setup pass prewarms the artifact cache and records
+	// one replay trace for each.
+	Kernels []string
+}
+
+// replayConfigs is the fixed machine-variation set every replay op
+// sweeps; part of the schedule contract, so changing it changes what a
+// committed BENCH_load.json measured.
+var replayConfigs = []service.TraceConfig{
+	{},
+	{Banks: 8},
+	{LoadLines: 64, StoreLines: 64},
+}
+
+// Build materializes the spec's schedule: arrival offsets first, then
+// the per-request class/kernel/tenant picks, all from one seeded PRNG
+// so every choice is reproducible.
+func Build(spec *Spec) (*Schedule, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	r := newRNG(spec.Seed)
+	offsets := spec.Arrival.offsets(r)
+	kernels := spec.kernels()
+
+	m := spec.Mix
+	total := m.Cold + m.Warm + m.Replay + m.Session
+	if total == 0 {
+		m.Warm, total = 1, 1
+	}
+	ops := make([]Op, len(offsets))
+	seen := map[string]bool{}
+	var used []string
+	for i, off := range offsets {
+		op := Op{Index: i, Offset: off, Kernel: kernels[r.intn(len(kernels))]}
+		switch u := r.float64() * total; {
+		case u < m.Cold:
+			op.Class = OpCold
+		case u < m.Cold+m.Warm:
+			op.Class = OpWarm
+		case u < m.Cold+m.Warm+m.Replay:
+			op.Class = OpReplay
+		default:
+			op.Class = OpSession
+		}
+		if len(spec.Tenants) > 0 {
+			op.Tenant = pickTenant(spec.Tenants, r.float64())
+		}
+		if !seen[op.Kernel] {
+			seen[op.Kernel] = true
+			used = append(used, op.Kernel)
+		}
+		ops[i] = op
+	}
+	return &Schedule{Spec: spec, Ops: ops, Kernels: used}, nil
+}
+
+func pickTenant(tw []TenantWeight, u float64) string {
+	var total float64
+	for _, t := range tw {
+		total += t.Weight
+	}
+	u *= total
+	for _, t := range tw {
+		if u < t.Weight {
+			return t.Name
+		}
+		u -= t.Weight
+	}
+	return tw[len(tw)-1].Name
+}
+
+// Fingerprint hashes the schedule — every op's offset, class, kernel
+// and tenant — so two runs can prove they fired the identical request
+// sequence (the determinism acceptance check for jrpmbench).
+func (s *Schedule) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, op := range s.Ops {
+		binary.LittleEndian.PutUint64(buf[:], uint64(op.Offset))
+		h.Write(buf[:])
+		h.Write([]byte(op.Class))
+		h.Write([]byte{0})
+		h.Write([]byte(op.Kernel))
+		h.Write([]byte{0})
+		h.Write([]byte(op.Tenant))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// JobRequest renders a cold/warm/replay op as the service request the
+// platform should submit. traceKey is the setup recording for the op's
+// kernel (replay only). Cold requests append a unique trailing comment:
+// same semantics, different content address, so the artifact cache
+// cannot help and the daemon pays a full compile.
+func (s *Schedule) JobRequest(op Op, traceKey string) (service.Request, error) {
+	req := service.Request{
+		Tenant:     op.Tenant,
+		DeadlineMs: s.Spec.DeadlineMs,
+		TimeoutMs:  s.Spec.TimeoutMs,
+	}
+	switch op.Class {
+	case OpWarm:
+		req.Workload = op.Kernel
+		req.Scale = s.Spec.Scale
+	case OpCold:
+		src, err := coldSource(op.Kernel, s.Spec.Seed, op.Index)
+		if err != nil {
+			return req, err
+		}
+		req.Source = src
+		in, err := kernelInput(op.Kernel, s.Spec.Scale)
+		if err != nil {
+			return req, err
+		}
+		req.Ints, req.Floats = in.Ints, in.Floats
+	case OpReplay:
+		if traceKey == "" {
+			return req, fmt.Errorf("loadgen: replay op %d (%s) has no setup trace", op.Index, op.Kernel)
+		}
+		req.AnalyzeTrace = traceKey
+		req.Configs = replayConfigs
+	default:
+		return req, fmt.Errorf("loadgen: op class %q is not a job", op.Class)
+	}
+	return req, nil
+}
+
+// SessionRequest renders a session op: a short two-epoch adaptive
+// session over the op's kernel.
+func (s *Schedule) SessionRequest(op Op) service.SessionRequest {
+	return service.SessionRequest{
+		Workload: op.Kernel,
+		Scale:    s.Spec.Scale,
+		Epochs:   2,
+	}
+}
+
+// coldSource returns the kernel's source with a unique trailing comment
+// — semantically identical, but a different content address, so every
+// cold op pays a full compile.
+func coldSource(kernel string, seed uint64, index int) (string, error) {
+	w, err := workloads.ByName(kernel)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s\n// loadgen cold %d/%d\n", w.Source, seed, index), nil
+}
+
+// kernelInput regenerates the kernel's deterministic inputs for inline
+// (cold) submission.
+func kernelInput(kernel string, scale float64) (jrpm.Input, error) {
+	w, err := workloads.ByName(kernel)
+	if err != nil {
+		return jrpm.Input{}, err
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	return w.NewInput(scale), nil
+}

@@ -41,6 +41,17 @@ type Request struct {
 	// TimeoutMs bounds the job's run time; 0 uses the pool default. The
 	// pool's MaxTimeout caps it either way.
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// DeadlineMs bounds the job's whole life from submission, queue wait
+	// included: a job whose deadline passes while queued is failed
+	// without running, and a running job is interrupted at the deadline.
+	// 0 means no request-level deadline (the timeout still applies).
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+
+	// Tenant is the quota/fairness lane this job is charged to. It is
+	// not part of the JSON body: the HTTP layer fills it from the
+	// X-JRPM-Tenant request header (empty = DefaultTenant), and
+	// in-process callers set it directly.
+	Tenant string `json:"-"`
 
 	// Record also captures the traced run's event stream (internal/trace)
 	// and stores it in the daemon's content-addressed trace cache; the
@@ -111,6 +122,9 @@ func validateSamplePeriod(p int64) error {
 func (r *Request) validate() error {
 	if err := validateSamplePeriod(r.SamplePeriod); err != nil {
 		return err
+	}
+	if r.DeadlineMs < 0 || r.TimeoutMs < 0 {
+		return fmt.Errorf("deadline_ms and timeout_ms must not be negative")
 	}
 	if r.AnalyzeTrace != "" {
 		if r.Source != "" || r.Workload != "" {
@@ -226,8 +240,9 @@ type SweepRow struct {
 // Job is one queued unit of pipeline work. All mutable state is behind
 // mu; Done is closed exactly once on reaching a terminal state.
 type Job struct {
-	ID  string
-	Req Request
+	ID     string
+	Req    Request
+	Tenant string // quota/fairness lane (defaulted copy of Req.Tenant)
 
 	mu        sync.Mutex
 	state     State
@@ -250,6 +265,7 @@ type Job struct {
 type JobView struct {
 	ID          string  `json:"id"`
 	State       State   `json:"state"`
+	Tenant      string  `json:"tenant,omitempty"`
 	Error       string  `json:"error,omitempty"`
 	Result      *Result `json:"result,omitempty"`
 	QueueWaitMs float64 `json:"queue_wait_ms"`
@@ -260,7 +276,7 @@ type JobView struct {
 func (j *Job) View() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	v := JobView{ID: j.ID, State: j.state, Error: j.errMsg, Result: j.result}
+	v := JobView{ID: j.ID, State: j.state, Tenant: j.Tenant, Error: j.errMsg, Result: j.result}
 	if !j.started.IsZero() {
 		v.QueueWaitMs = float64(j.started.Sub(j.submitted).Microseconds()) / 1e3
 		end := j.finished
@@ -313,25 +329,26 @@ func (j *Job) finish(state State, res *Result, errMsg string) {
 	close(j.done)
 }
 
-// cancelOutcome says what Job.Cancel did: nothing (terminal already),
-// marked a queued job canceled on the spot, or requested cancellation of
-// a running job (the worker records the terminal state).
-type cancelOutcome int
+// CancelOutcome says what Job.Cancel did: nothing (terminal already —
+// the HTTP layer turns that into 409), marked a queued job canceled on
+// the spot, or requested cancellation of a running job (the worker
+// records the terminal state).
+type CancelOutcome int
 
 const (
-	cancelNoop cancelOutcome = iota
-	cancelQueued
-	cancelRequested
+	CancelNoop CancelOutcome = iota
+	CancelQueued
+	CancelRequested
 )
 
 // Cancel aborts the job: a queued job is marked canceled immediately, a
 // running one has its context canceled (the VM interrupts at its next
 // check point).
-func (j *Job) Cancel() cancelOutcome {
+func (j *Job) Cancel() CancelOutcome {
 	j.mu.Lock()
 	if j.state.terminal() {
 		j.mu.Unlock()
-		return cancelNoop
+		return CancelNoop
 	}
 	if j.state == StateQueued {
 		j.state = StateCanceled
@@ -339,12 +356,28 @@ func (j *Job) Cancel() cancelOutcome {
 		j.finished = time.Now()
 		close(j.done)
 		j.mu.Unlock()
-		return cancelQueued
+		return CancelQueued
 	}
 	cancel := j.cancel
 	j.mu.Unlock()
 	if cancel != nil {
 		cancel()
 	}
-	return cancelRequested
+	return CancelRequested
+}
+
+// failIfQueued marks a still-queued job failed with msg (the drain and
+// queued-deadline-expiry paths), reporting whether it transitioned; a
+// job already canceled or started is left alone.
+func (j *Job) failIfQueued(msg string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateFailed
+	j.errMsg = msg
+	j.finished = time.Now()
+	close(j.done)
+	return true
 }

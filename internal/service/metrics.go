@@ -65,6 +65,15 @@ type Metrics struct {
 	JobsRejected  *telemetry.Counter // queue-full rejections
 	JobsCanceled  *telemetry.Counter
 
+	// Load-shed and saturation counters. JobsRejected is the umbrella
+	// (every 429); AdmissionShed and QuotaShed classify the cause, and
+	// DeadlineExpired / DrainFailed count jobs that were accepted but
+	// failed before (or instead of) doing useful work.
+	AdmissionShed   *telemetry.Counter // shed at the admission high-water mark
+	QuotaShed       *telemetry.Counter // shed by a tenant token bucket
+	DeadlineExpired *telemetry.Counter // request deadline passed (queued or running)
+	DrainFailed     *telemetry.Counter // queued jobs failed by shutdown (ErrServerDraining)
+
 	CacheHits   *telemetry.Counter
 	CacheMisses *telemetry.Counter
 
@@ -84,6 +93,10 @@ func newMetrics(reg *telemetry.Registry) *Metrics {
 		JobsFailed:      reg.Counter("jrpmd_jobs_failed_total", "Jobs that ended in error."),
 		JobsRejected:    reg.Counter("jrpmd_jobs_rejected_total", "Submissions refused because the queue was full."),
 		JobsCanceled:    reg.Counter("jrpmd_jobs_canceled_total", "Jobs canceled before or during execution."),
+		AdmissionShed:   reg.Counter("jrpmd_admission_shed_total", "Submissions shed at the queue's admission high-water mark."),
+		QuotaShed:       reg.Counter("jrpmd_quota_shed_total", "Submissions shed by per-tenant token-bucket quotas."),
+		DeadlineExpired: reg.Counter("jrpmd_deadline_expired_total", "Jobs failed because their request deadline passed."),
+		DrainFailed:     reg.Counter("jrpmd_drain_failed_total", "Queued jobs failed by shutdown before starting (ErrServerDraining)."),
 		CacheHits:       reg.Counter("jrpmd_artifact_cache_hits_total", "Compiled-artifact cache hits."),
 		CacheMisses:     reg.Counter("jrpmd_artifact_cache_misses_total", "Compiled-artifact cache misses."),
 		CyclesSimulated: reg.Counter("jrpmd_cycles_simulated_total", "VM cycles executed across clean, traced and recording runs."),
@@ -116,6 +129,8 @@ func (p *Pool) registerPoolGauges(reg *telemetry.Registry) {
 		func() float64 { return float64(p.sessions.Counts().Active) })
 	reg.CounterFunc("jrpmd_sessions_started_total", "Adaptive sessions started over the daemon's lifetime.",
 		func() int64 { return int64(p.sessions.Counts().Started) })
+	reg.GaugeFunc("jrpmd_tenants", "Tenant lanes tracked by the fair queue.",
+		func() float64 { return float64(len(p.Tenants())) })
 	reg.GaugeFunc("jrpmd_draining", "1 while the pool refuses new submissions.",
 		func() float64 {
 			if p.Draining() {
@@ -143,6 +158,12 @@ type MetricsSnapshot struct {
 	QueueWait       HistogramSnapshot `json:"queue_wait"`
 	RunTime         HistogramSnapshot `json:"run_time"`
 
+	// Shedding breaks the daemon's load-shed and saturation behavior out
+	// by cause; Tenants lists per-tenant submission/queue/shed stats
+	// (fair-dequeue lanes keyed on X-JRPM-Tenant).
+	Shedding SheddingSnapshot `json:"shedding"`
+	Tenants  []TenantSnapshot `json:"tenants"`
+
 	// TraceCache reports the recorded-trace cache: artifact count, resident
 	// bytes, and replay hit ratio.
 	TraceCache TraceCacheSnapshot `json:"trace_cache"`
@@ -155,6 +176,15 @@ type MetricsSnapshot struct {
 	// cluster.WorkerSnapshot) when jrpmd runs with -worker; absent
 	// otherwise.
 	Cluster any `json:"cluster,omitempty"`
+}
+
+// SheddingSnapshot is the "shedding" section of GET /v1/metrics: how
+// the daemon degraded under load instead of queueing without bound.
+type SheddingSnapshot struct {
+	AdmissionShed   int64 `json:"admission_shed"`
+	QuotaShed       int64 `json:"quota_shed"`
+	DeadlineExpired int64 `json:"deadline_expired"`
+	DrainFailed     int64 `json:"drain_failed"`
 }
 
 // SessionsSnapshot is the "sessions" section of GET /v1/metrics.
@@ -191,5 +221,11 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 		CyclesSimulated: m.CyclesSimulated.Load(),
 		QueueWait:       m.QueueWait.Snapshot(),
 		RunTime:         m.RunTime.Snapshot(),
+		Shedding: SheddingSnapshot{
+			AdmissionShed:   m.AdmissionShed.Load(),
+			QuotaShed:       m.QuotaShed.Load(),
+			DeadlineExpired: m.DeadlineExpired.Load(),
+			DrainFailed:     m.DrainFailed.Load(),
+		},
 	}
 }

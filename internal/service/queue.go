@@ -28,6 +28,12 @@ var ErrQueueFull = errors.New("service: job queue full")
 // ErrStopped is returned by Submit after Stop.
 var ErrStopped = errors.New("service: pool stopped")
 
+// ErrServerDraining marks jobs that were accepted but never started
+// because the daemon shut down first. They are failed (not silently
+// dropped) so a client polling job status learns the job must be
+// resubmitted elsewhere.
+var ErrServerDraining = errors.New("service: server draining; job was queued but never started")
+
 // Config sizes the pool.
 type Config struct {
 	// Workers is the number of concurrent pipeline executors; <= 0 means
@@ -52,6 +58,17 @@ type Config struct {
 	// MaxSessions bounds concurrently running adaptive sessions
 	// (POST /v1/sessions); <= 0 means session.DefaultMaxSessions.
 	MaxSessions int
+	// AdmitHighWater is the admission-control mark as a fraction of
+	// QueueDepth in (0, 1]: once the backlog reaches it, submissions are
+	// shed fast with 429 + Retry-After rather than queued. <= 0 or > 1
+	// disables shedding below queue-full (mark = QueueDepth).
+	AdmitHighWater float64
+	// TenantRate and TenantBurst configure the per-tenant token-bucket
+	// quota (jobs/second and burst capacity), keyed on the X-JRPM-Tenant
+	// header. TenantRate <= 0 disables quotas; TenantBurst <= 0 with a
+	// rate set means a burst of max(1, TenantRate).
+	TenantRate  float64
+	TenantBurst float64
 }
 
 func (c Config) withDefaults() Config {
@@ -76,7 +93,25 @@ func (c Config) withDefaults() Config {
 	if c.LongPoll <= 0 {
 		c.LongPoll = 30 * time.Second
 	}
+	if c.TenantRate > 0 && c.TenantBurst <= 0 {
+		c.TenantBurst = c.TenantRate
+		if c.TenantBurst < 1 {
+			c.TenantBurst = 1
+		}
+	}
 	return c
+}
+
+// admitMark resolves the admission high-water fraction to a job count.
+func (c Config) admitMark() int {
+	if c.AdmitHighWater <= 0 || c.AdmitHighWater > 1 {
+		return c.QueueDepth
+	}
+	mark := int(float64(c.QueueDepth) * c.AdmitHighWater)
+	if mark < 1 {
+		mark = 1
+	}
+	return mark
 }
 
 // Pool runs pipeline jobs on a fixed set of workers fed by a bounded
@@ -93,7 +128,7 @@ type Pool struct {
 	smetrics *session.Metrics
 	tracer   *telemetry.Tracer // nil = job spans disabled
 
-	queue    chan *Job
+	queue    *tenantQueue
 	jobs     sync.Map // id -> *Job
 	seq      atomic.Int64
 	live     atomic.Int64 // jobs accepted but not yet terminal
@@ -121,7 +156,7 @@ func NewPool(cfg Config) *Pool {
 		traces:   NewTraceCache(cfg.TraceCacheBytes),
 		sessions: session.NewManager(cfg.MaxSessions, smetrics, nil),
 		smetrics: smetrics,
-		queue:    make(chan *Job, cfg.QueueDepth),
+		queue:    newTenantQueue(cfg.QueueDepth, cfg.admitMark(), cfg.TenantRate, cfg.TenantBurst),
 	}
 	p.registerPoolGauges(reg)
 	p.ctx, p.cancel = context.WithCancel(context.Background())
@@ -172,7 +207,10 @@ func (p *Pool) Traces() *TraceCache { return p.traces }
 func (p *Pool) Config() Config { return p.cfg }
 
 // QueueLength is the number of jobs currently waiting for a worker.
-func (p *Pool) QueueLength() int { return len(p.queue) }
+func (p *Pool) QueueLength() int { return p.queue.length() }
+
+// Tenants snapshots the per-tenant queue/quota stats for /v1/metrics.
+func (p *Pool) Tenants() []TenantSnapshot { return p.queue.snapshot() }
 
 // Active is the number of jobs accepted and not yet terminal (queued or
 // executing); Drain waits for it to reach zero.
@@ -197,24 +235,36 @@ func (p *Pool) SubmitCtx(ctx context.Context, req Request) (*Job, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
+	if req.Tenant == "" {
+		req.Tenant = DefaultTenant
+	}
+	now := time.Now()
 	job := &Job{
 		ID:          fmt.Sprintf("j%08d", p.seq.Add(1)),
 		Req:         req,
+		Tenant:      req.Tenant,
 		state:       StateQueued,
-		submitted:   time.Now(),
+		submitted:   now,
 		traceparent: telemetry.ContextTraceparent(ctx),
 		done:        make(chan struct{}),
 	}
-	select {
-	case p.queue <- job:
-		p.jobs.Store(job.ID, job)
-		p.metrics.JobsSubmitted.Add(1)
-		p.live.Add(1)
-		return job, nil
-	default:
-		p.metrics.JobsRejected.Add(1)
-		return nil, ErrQueueFull
+	if err := p.queue.admit(job, now); err != nil {
+		switch {
+		case errors.Is(err, ErrAdmission):
+			p.metrics.AdmissionShed.Add(1)
+			p.metrics.JobsRejected.Add(1)
+		case errors.Is(err, ErrQueueFull):
+			p.metrics.JobsRejected.Add(1)
+		default: // *QuotaError
+			p.metrics.QuotaShed.Add(1)
+			p.metrics.JobsRejected.Add(1)
+		}
+		return nil, err
 	}
+	p.jobs.Store(job.ID, job)
+	p.metrics.JobsSubmitted.Add(1)
+	p.live.Add(1)
+	return job, nil
 }
 
 // Get returns a job by id.
@@ -226,21 +276,21 @@ func (p *Pool) Get(id string) (*Job, bool) {
 	return v.(*Job), true
 }
 
-// Cancel aborts a job by id; it reports whether the job was still live.
-func (p *Pool) Cancel(id string) (bool, error) {
+// Cancel aborts a job by id, reporting what it did: CancelNoop means
+// the job had already reached a terminal state (the HTTP layer answers
+// 409).
+func (p *Pool) Cancel(id string) (CancelOutcome, error) {
 	j, ok := p.Get(id)
 	if !ok {
-		return false, fmt.Errorf("no job %q", id)
+		return CancelNoop, fmt.Errorf("no job %q", id)
 	}
-	switch j.Cancel() {
-	case cancelQueued:
+	switch out := j.Cancel(); out {
+	case CancelQueued:
 		p.metrics.JobsCanceled.Add(1)
 		p.live.Add(-1)
-		return true, nil
-	case cancelRequested:
-		return true, nil // the worker records the cancellation
+		return out, nil
 	default:
-		return false, nil
+		return out, nil // CancelRequested: the worker records the cancellation
 	}
 }
 
@@ -286,16 +336,14 @@ func (p *Pool) stop() {
 	cancel()
 	p.cancel()
 	p.wg.Wait()
-	// Workers are gone; fail anything still sitting in the queue.
-	for {
-		select {
-		case j := <-p.queue:
-			if j.Cancel() == cancelQueued {
-				p.metrics.JobsCanceled.Add(1)
-				p.live.Add(-1)
-			}
-		default:
-			return
+	// Workers are gone; jobs still queued will never start. Fail them
+	// loudly with ErrServerDraining (not a silent drop, not "canceled" —
+	// the client did nothing) so a status poll says to resubmit.
+	for _, j := range p.queue.drain() {
+		if j.failIfQueued(ErrServerDraining.Error()) {
+			p.metrics.DrainFailed.Add(1)
+			p.metrics.JobsFailed.Add(1)
+			p.live.Add(-1)
 		}
 	}
 }
@@ -306,14 +354,38 @@ func (p *Pool) worker() {
 		select {
 		case <-p.ctx.Done():
 			return
-		case j := <-p.queue:
-			p.run(j)
+		case <-p.queue.readyc():
+			if p.ctx.Err() != nil {
+				// Shutdown raced the wake-up: leave the job in its lane
+				// for stop()'s drain pass (ErrServerDraining) instead of
+				// starting it against a dead context.
+				return
+			}
+			if j := p.queue.pop(); j != nil {
+				p.run(j)
+			}
 		}
 	}
 }
 
-// run executes one job with timeout, cancellation and panic isolation.
+// run executes one job with deadline, timeout, cancellation and panic
+// isolation.
 func (p *Pool) run(j *Job) {
+	// A request-level deadline covers the job's whole life from
+	// submission — queue wait included. If it already passed while the
+	// job waited for a worker, fail fast without burning VM time.
+	var deadline time.Time
+	if j.Req.DeadlineMs > 0 {
+		deadline = j.submitted.Add(time.Duration(j.Req.DeadlineMs) * time.Millisecond)
+		if !time.Now().Before(deadline) {
+			if j.failIfQueued(fmt.Sprintf("deadline (%dms) expired while queued", j.Req.DeadlineMs)) {
+				p.metrics.DeadlineExpired.Add(1)
+				p.metrics.JobsFailed.Add(1)
+				p.live.Add(-1)
+			}
+			return
+		}
+	}
 	timeout := p.cfg.DefaultTimeout
 	if j.Req.TimeoutMs > 0 {
 		timeout = time.Duration(j.Req.TimeoutMs) * time.Millisecond
@@ -324,12 +396,20 @@ func (p *Pool) run(j *Job) {
 	ctx, cancel := context.WithTimeoutCause(p.ctx, timeout,
 		fmt.Errorf("job timeout (%s) exceeded", timeout))
 	defer cancel()
+	var dcause error
+	if !deadline.IsZero() {
+		dcause = fmt.Errorf("job deadline (%dms past submission) exceeded", j.Req.DeadlineMs)
+		var dcancel context.CancelFunc
+		ctx, dcancel = context.WithDeadlineCause(ctx, deadline, dcause)
+		defer dcancel()
+	}
 
 	wait, ok := j.start(cancel)
 	if !ok {
 		return // canceled while queued; Cancel dropped the live count
 	}
 	defer p.live.Add(-1)
+	defer p.queue.completed(j.Tenant)
 	p.metrics.QueueWait.Observe(wait)
 
 	var sp *telemetry.Span
@@ -365,6 +445,9 @@ func (p *Pool) run(j *Job) {
 		p.metrics.JobsCanceled.Add(1)
 		j.finish(StateCanceled, nil, "canceled")
 	default:
+		if dcause != nil && context.Cause(ctx) == dcause {
+			p.metrics.DeadlineExpired.Add(1)
+		}
 		p.metrics.JobsFailed.Add(1)
 		j.finish(StateFailed, nil, err.Error())
 	}

@@ -96,6 +96,11 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
 }
 
+// TenantHeader names the request header that selects the quota and
+// fair-dequeue lane a submission is charged to; absent means
+// DefaultTenant.
+const TenantHeader = "X-JRPM-Tenant"
+
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
@@ -104,9 +109,18 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
+	req.Tenant = r.Header.Get(TenantHeader)
 	job, err := s.pool.SubmitCtx(r.Context(), req)
+	var quota *QuotaError
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.As(err, &quota):
+		// Shed fast with the bucket's own refill estimate so a
+		// well-behaved client backs off exactly as long as needed.
+		secs := int(quota.RetryAfter/time.Second) + 1
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrAdmission):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, err.Error())
 		return
@@ -149,12 +163,21 @@ func (s *Server) get(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
-	live, err := s.pool.Cancel(r.PathValue("id"))
+	out, err := s.pool.Cancel(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"canceled": live})
+	if out == CancelNoop {
+		// The job already reached a terminal state: there is nothing to
+		// cancel, and pretending otherwise (the old 200 {"canceled":
+		// false}) hid races from clients. 409 states the conflict.
+		job, _ := s.pool.Get(r.PathValue("id"))
+		writeError(w, http.StatusConflict,
+			"job already "+string(job.View().State)+"; nothing to cancel")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"canceled": true})
 }
 
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
@@ -169,6 +192,7 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	m.QueueLength = s.pool.QueueLength()
 	m.TraceCache = s.pool.Traces().Snapshot()
 	m.Sessions = s.pool.sessionsSnapshot()
+	m.Tenants = s.pool.Tenants()
 	if s.ExtraMetrics != nil {
 		m.Cluster = s.ExtraMetrics()
 	}

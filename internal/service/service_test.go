@@ -387,8 +387,8 @@ func TestCancelQueuedAndRunning(t *testing.T) {
 	}
 
 	// Cancel the queued job: it terminates immediately, never runs.
-	if live, err := pool.Cancel(queued.ID); err != nil || !live {
-		t.Fatalf("cancel queued: live=%v err=%v", live, err)
+	if out, err := pool.Cancel(queued.ID); err != nil || out != CancelQueued {
+		t.Fatalf("cancel queued: outcome=%v err=%v", out, err)
 	}
 	if v := queued.View(); v.State != StateCanceled {
 		t.Fatalf("queued job state=%s, want canceled", v.State)
@@ -396,8 +396,8 @@ func TestCancelQueuedAndRunning(t *testing.T) {
 
 	// Cancel the running job, then let the hook return: the canceled
 	// context interrupts the pipeline.
-	if live, err := pool.Cancel(running.ID); err != nil || !live {
-		t.Fatalf("cancel running: live=%v err=%v", live, err)
+	if out, err := pool.Cancel(running.ID); err != nil || out != CancelRequested {
+		t.Fatalf("cancel running: outcome=%v err=%v", out, err)
 	}
 	close(release)
 	if v := mustWait(t, running); v.State != StateCanceled {

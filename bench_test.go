@@ -349,13 +349,39 @@ func BenchmarkAblations(b *testing.B) {
 	}
 }
 
-// BenchmarkVMDispatch isolates the interpreter hot path: the pre-decoded
-// fast engine (vmsim) against the reference block-at-a-time oracle
-// (refvm), on identical programs and inputs. The untraced pair runs the
-// clean program with no listeners — pure dispatch; the traced pair runs
-// the annotated program with the full comparator-bank tracer attached,
-// measuring what the batched emission layer buys when every heap access
-// emits an event.
+// dispatchKernelSrc is a straight-line array-walk kernel: one hot inner
+// loop whose body is a single basic block, the shape the native tier's
+// fused whole-iteration path targets. The outer loop re-arms the inner
+// one so each VM.Run executes ~600k micro-ops.
+const dispatchKernelSrc = `
+global a: int[];
+
+func main() {
+	var s: int = 0;
+	var r: int = 0;
+	var i: int = 0;
+	while (r < 200) {
+		i = 0;
+		while (i < len(a)) {
+			s = s + a[i];
+			i = i + 1;
+		}
+		r = r + 1;
+	}
+	print(s);
+}
+`
+
+// BenchmarkVMDispatch isolates the interpreter hot path across the three
+// execution tiers: the reference block-at-a-time oracle (refvm), the
+// pre-decoded fast engine (vmsim), and the fast engine with the
+// closure-threaded native tier installed on every loop. The untraced
+// group runs the clean Huffman workload with no listeners — pure
+// dispatch; the traced group runs the annotated program with the full
+// comparator-bank tracer attached, measuring what batched emission and
+// compiled event closures buy when every heap access emits an event; the
+// kernel group runs the straight-line array walk where the native tier's
+// fused iteration path should dominate.
 func BenchmarkVMDispatch(b *testing.B) {
 	w, err := workloads.ByName("Huffman")
 	if err != nil {
@@ -367,44 +393,63 @@ func BenchmarkVMDispatch(b *testing.B) {
 		b.Fatal(err)
 	}
 	in := w.NewInput(benchScale)
-	names := make([]string, 0, len(in.Ints))
-	for name := range in.Ints {
-		names = append(names, name)
+	ints := in.Ints
+
+	kc, err := jrpm.Compile(dispatchKernelSrc, opts)
+	if err != nil {
+		b.Fatal(err)
 	}
-	sort.Strings(names)
+	kints := map[string][]int64{"a": make([]int64, 512)}
+	for i := range kints["a"] {
+		kints["a"][i] = int64(i*2654435761%251) - 125
+	}
+
+	bindAll := func(bind func(string, []int64) error, ints map[string][]int64) {
+		names := make([]string, 0, len(ints))
+		for name := range ints {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if err := bind(name, ints[name]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 
 	type engine struct {
 		name string
-		run  func(prog *tir.Program, traced bool) int64
+		run  func(prog *tir.Program, ints map[string][]int64, traced bool) int64
 	}
-	engines := []engine{
-		{"fast", func(prog *tir.Program, traced bool) int64 {
+	fastRun := func(native bool) func(prog *tir.Program, ints map[string][]int64, traced bool) int64 {
+		return func(prog *tir.Program, ints map[string][]int64, traced bool) int64 {
 			vm := vmsim.New(prog)
 			vm.Out = io.Discard
-			if traced {
-				vm.Listeners = []vmsim.Listener{core.NewTracer(prog, opts.Cfg, core.DefaultOptions())}
-			}
-			for _, name := range names {
-				if err := vm.BindGlobalInts(name, in.Ints[name]); err != nil {
+			if native {
+				if _, err := vm.InstallNativeAll(); err != nil {
 					b.Fatal(err)
 				}
 			}
+			if traced {
+				vm.Listeners = []vmsim.Listener{core.NewTracer(prog, opts.Cfg, core.DefaultOptions())}
+			}
+			bindAll(vm.BindGlobalInts, ints)
 			if err := vm.Run("main"); err != nil {
 				b.Fatal(err)
 			}
 			return vm.Cycles
-		}},
-		{"ref", func(prog *tir.Program, traced bool) int64 {
+		}
+	}
+	engines := []engine{
+		{"fast", fastRun(false)},
+		{"native", fastRun(true)},
+		{"ref", func(prog *tir.Program, ints map[string][]int64, traced bool) int64 {
 			vm := refvm.New(prog)
 			vm.Out = io.Discard
 			if traced {
 				vm.Listeners = []vmsim.Listener{core.NewTracer(prog, opts.Cfg, core.DefaultOptions())}
 			}
-			for _, name := range names {
-				if err := vm.BindGlobalInts(name, in.Ints[name]); err != nil {
-					b.Fatal(err)
-				}
-			}
+			bindAll(vm.BindGlobalInts, ints)
 			if err := vm.Run("main"); err != nil {
 				b.Fatal(err)
 			}
@@ -412,25 +457,27 @@ func BenchmarkVMDispatch(b *testing.B) {
 		}},
 	}
 
-	for _, eng := range engines {
-		eng := eng
-		b.Run("untraced/"+eng.name, func(b *testing.B) {
-			var cycles int64
-			for i := 0; i < b.N; i++ {
-				cycles = eng.run(c.Clean, false)
-			}
-			b.ReportMetric(float64(cycles)/float64(b.Elapsed().Nanoseconds())*float64(b.N)*1e3, "Mcycles/s")
-		})
+	groups := []struct {
+		name   string
+		prog   *tir.Program
+		ints   map[string][]int64
+		traced bool
+	}{
+		{"untraced", c.Clean, ints, false},
+		{"traced", c.Annotated, ints, true},
+		{"kernel", kc.Clean, kints, false},
 	}
-	for _, eng := range engines {
-		eng := eng
-		b.Run("traced/"+eng.name, func(b *testing.B) {
-			var cycles int64
-			for i := 0; i < b.N; i++ {
-				cycles = eng.run(c.Annotated, true)
-			}
-			b.ReportMetric(float64(cycles)/float64(b.Elapsed().Nanoseconds())*float64(b.N)*1e3, "Mcycles/s")
-		})
+	for _, g := range groups {
+		for _, eng := range engines {
+			g, eng := g, eng
+			b.Run(g.name+"/"+eng.name, func(b *testing.B) {
+				var cycles int64
+				for i := 0; i < b.N; i++ {
+					cycles = eng.run(g.prog, g.ints, g.traced)
+				}
+				b.ReportMetric(float64(cycles)/float64(b.Elapsed().Nanoseconds())*float64(b.N)*1e3, "Mcycles/s")
+			})
+		}
 	}
 }
 

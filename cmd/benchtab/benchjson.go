@@ -30,16 +30,17 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([\d.]+) ns/op`)
 var allocsField = regexp.MustCompile(`\s([\d.]+) allocs/op`)
 
 // gomaxprocsSuffix is the trailing -N goroutine count `go test` appends
-// to benchmark names; stripped so the JSON keys stay stable across
-// machines with different core counts.
+// to benchmark names (only when GOMAXPROCS != 1); stripped so the JSON
+// keys stay stable across machines with different core counts.
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 // benchJSON parses `go test -bench -benchmem` text from r and writes the
-// name -> {ns/op, allocs/op} map as JSON to out. Non-benchmark lines
-// (ok/PASS/goos headers) are skipped; duplicate names (e.g. -count>1)
-// keep the last run.
+// name -> {ns/op, allocs/op} map as JSON to out. Sub-benchmark names
+// keep their full `/`-qualified form. Non-benchmark lines (ok/PASS/goos
+// headers) are skipped; duplicate names (e.g. -count>1) keep the last
+// run.
 func benchJSON(r io.Reader, out string) error {
-	rows := map[string]BenchRow{}
+	raw := map[string]BenchRow{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -48,7 +49,6 @@ func benchJSON(r io.Reader, out string) error {
 		if m == nil {
 			continue
 		}
-		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
 		ns, err := strconv.ParseFloat(m[2], 64)
 		if err != nil {
 			return fmt.Errorf("benchjson: %q: %w", line, err)
@@ -59,10 +59,31 @@ func benchJSON(r io.Reader, out string) error {
 				return fmt.Errorf("benchjson: %q: %w", line, err)
 			}
 		}
-		rows[name] = row
+		raw[m[1]] = row
 	}
 	if err := sc.Err(); err != nil {
 		return err
+	}
+
+	// Strip the GOMAXPROCS suffix — but never at the cost of merging two
+	// distinct benchmarks. The suffix is indistinguishable by syntax from
+	// a sub-benchmark whose own name ends in -<digits> (go test appends
+	// no suffix at GOMAXPROCS=1), so `shard-2` vs `shard-4` would both
+	// collapse to `shard` and all but one line would silently vanish from
+	// the map. When stripping would collide, the colliding benchmarks
+	// keep their full qualified names instead.
+	owners := map[string][]string{}
+	for name := range raw {
+		s := gomaxprocsSuffix.ReplaceAllString(name, "")
+		owners[s] = append(owners[s], name)
+	}
+	rows := make(map[string]BenchRow, len(raw))
+	for name, row := range raw {
+		s := gomaxprocsSuffix.ReplaceAllString(name, "")
+		if len(owners[s]) > 1 {
+			s = name
+		}
+		rows[s] = row
 	}
 	if len(rows) == 0 {
 		return fmt.Errorf("benchjson: no benchmark lines on stdin")

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runBenchJSON(t *testing.T, input string) map[string]BenchRow {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := benchJSON(strings.NewReader(input), out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows map[string]BenchRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestBenchJSONSubBenchmarks pins the `/`-qualified name handling: every
+// sub-benchmark line is parsed, emitted under its qualified name, and
+// the GOMAXPROCS -N suffix is stripped.
+func TestBenchJSONSubBenchmarks(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: jrpm
+BenchmarkVMDispatch/untraced/fast-8     309   3886208 ns/op   389.9 Mcycles/s   89264 B/op   9 allocs/op
+BenchmarkVMDispatch/untraced/native-8   900   1331245 ns/op  1577.0 Mcycles/s  223640 B/op 860 allocs/op
+BenchmarkVMDispatch/untraced/ref-8      120   8850000 ns/op   303.6 Mcycles/s   10064 B/op  10 allocs/op
+BenchmarkCompile                       5000    240000 ns/op
+PASS
+ok  	jrpm	3.021s
+`
+	rows := runBenchJSON(t, input)
+	want := map[string]float64{
+		"BenchmarkVMDispatch/untraced/fast":   3886208,
+		"BenchmarkVMDispatch/untraced/native": 1331245,
+		"BenchmarkVMDispatch/untraced/ref":    8850000,
+		"BenchmarkCompile":                    240000,
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows %v, want %d", len(rows), rows, len(want))
+	}
+	for name, ns := range want {
+		row, ok := rows[name]
+		if !ok {
+			t.Errorf("missing benchmark %q", name)
+			continue
+		}
+		if row.NsPerOp != ns {
+			t.Errorf("%s ns/op = %v, want %v", name, row.NsPerOp, ns)
+		}
+	}
+	if got := rows["BenchmarkVMDispatch/untraced/native"].AllocsPerOp; got != 860 {
+		t.Errorf("native allocs/op = %v, want 860", got)
+	}
+}
+
+// TestBenchJSONNumericLeafNoCollapse is the regression test for the
+// silent-drop bug: on a GOMAXPROCS=1 machine go test appends no -N
+// suffix, so sub-benchmarks whose names end in -<digits> used to be
+// mistaken for suffixed names, collapse to one key, and all but the
+// last line vanished from the output.
+func TestBenchJSONNumericLeafNoCollapse(t *testing.T) {
+	input := `BenchmarkSweep/shard-2    10   100 ns/op
+BenchmarkSweep/shard-4    10   200 ns/op
+BenchmarkSweep/shard-8    10   300 ns/op
+PASS
+`
+	rows := runBenchJSON(t, input)
+	want := map[string]float64{
+		"BenchmarkSweep/shard-2": 100,
+		"BenchmarkSweep/shard-4": 200,
+		"BenchmarkSweep/shard-8": 300,
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows %v, want %d (lines silently dropped)", len(rows), rows, len(want))
+	}
+	for name, ns := range want {
+		if rows[name].NsPerOp != ns {
+			t.Errorf("%s ns/op = %v, want %v", name, rows[name].NsPerOp, ns)
+		}
+	}
+}
+
+// TestBenchJSONDuplicatesKeepLast pins the -count>1 behaviour: repeated
+// runs of the same benchmark keep the last figure.
+func TestBenchJSONDuplicatesKeepLast(t *testing.T) {
+	input := `BenchmarkX-8   10   100 ns/op
+BenchmarkX-8   10   150 ns/op
+`
+	rows := runBenchJSON(t, input)
+	if len(rows) != 1 || rows["BenchmarkX"].NsPerOp != 150 {
+		t.Fatalf("rows = %v, want BenchmarkX=150", rows)
+	}
+}
+
+func TestBenchJSONEmptyInput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := benchJSON(strings.NewReader("PASS\nok jrpm 1s\n"), out); err == nil {
+		t.Fatal("benchJSON accepted input without benchmark lines")
+	}
+}

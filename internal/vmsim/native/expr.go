@@ -1,0 +1,634 @@
+package native
+
+import (
+	"fmt"
+	"math"
+
+	"jrpm/internal/hydra"
+	"jrpm/internal/tir"
+)
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// plainVal returns the operand's producer when it is inlined at this
+// consumer with no register write-back — the shape peepholes are allowed
+// to absorb. Materialized and write-back values must keep their register
+// effects, so they stay behind the generic operand path.
+func plainVal(o operand) *val {
+	if o.v != nil && !o.v.mat && !o.v.wb && !o.v.dead && o.v.uses == 1 {
+		return o.v
+	}
+	return nil
+}
+
+// constLeaf matches an inlined integer constant operand.
+func constLeaf(o operand) (int64, bool) {
+	if c := plainVal(o); c != nil && c.in.Op == tir.OpConstI {
+		return c.in.Imm, true
+	}
+	return 0, false
+}
+
+// slotLeaf matches an inlined LdLoc operand, performing its scheduling
+// bookkeeping (a StLoc to the same slot between def and use forces
+// materialization on the next round).
+func (bc *blockCtx) slotLeaf(o operand) (int32, bool) {
+	if c := plainVal(o); c != nil && c.in.Op == tir.OpLdLoc {
+		bc.noteExec(c)
+		return int32(c.in.Slot), true
+	}
+	return -1, false
+}
+
+// globLeaf matches an inlined LdGlob operand.
+func globLeaf(o operand) (int32, bool) {
+	if c := plainVal(o); c != nil && c.in.Op == tir.OpLdGlob {
+		return int32(c.in.Imm), true
+	}
+	return -1, false
+}
+
+// globLenLeaf matches ArrLen(LdGlob g) — the `len(a)` of a loop bound —
+// which compiles to one read of the per-run global-length cache.
+func (bc *blockCtx) globLenLeaf(o operand) (g int32, site *faultSite, ok bool) {
+	c := plainVal(o)
+	if c == nil || c.in.Op != tir.OpArrLen {
+		return 0, nil, false
+	}
+	gg, gok := globLeaf(c.a)
+	if !gok {
+		return 0, nil, false
+	}
+	bc.noteExec(c)
+	return gg, c.site, true
+}
+
+// idxAddrLeaf matches the canonical indexed address chain
+// Add(LdGlob g, Shl(LdLoc s, ConstI k)) produced for a[i].
+func (bc *blockCtx) idxAddrLeaf(o operand) (g, s int32, k uint64, ok bool) {
+	c := plainVal(o)
+	if c == nil || c.in.Op != tir.OpAdd {
+		return 0, 0, 0, false
+	}
+	gg, gok := globLeaf(c.a)
+	if !gok {
+		return 0, 0, 0, false
+	}
+	sh := plainVal(c.b)
+	if sh == nil || sh.in.Op != tir.OpShl {
+		return 0, 0, 0, false
+	}
+	kk, kok := constLeaf(sh.b)
+	if !kok {
+		return 0, 0, 0, false
+	}
+	ss, sok := bc.slotLeaf(sh.a)
+	if !sok {
+		return 0, 0, 0, false
+	}
+	return gg, ss, uint64(kk) & 63, true
+}
+
+// operandExpr builds the expression for one operand: a register read for
+// external or materialized producers, the inlined producer otherwise.
+func (bc *blockCtx) operandExpr(o operand, owner *val) expr {
+	if o.v == nil || o.v.mat {
+		bc.noteRegRead(o.reg, owner)
+		r := o.reg
+		return func(st *State) uint64 { return st.Regs[r] }
+	}
+	return bc.emitVal(o.v)
+}
+
+// emitVal builds the closure for an executed value, wrapping it with a
+// register write-back when later code reads the register.
+func (bc *blockCtx) emitVal(v *val) expr {
+	bc.noteExec(v)
+	e := bc.buildVal(v)
+	if v.wb {
+		inner := e
+		d := int32(v.in.Dst)
+		return func(st *State) uint64 {
+			x := inner(st)
+			st.Regs[d] = x
+			return x
+		}
+	}
+	return e
+}
+
+// emitMat builds the def-position statement for a materialized value.
+func (bc *blockCtx) emitMat(v *val) stmt {
+	e := bc.emitVal(v)
+	d := int32(v.in.Dst)
+	if d >= 0 && (v.uses > 0 || v.extLive) {
+		return func(st *State) { st.Regs[d] = e(st) }
+	}
+	return func(st *State) { e(st) }
+}
+
+func (bc *blockCtx) buildVal(v *val) expr {
+	in := v.in
+	switch in.Op {
+	case tir.OpConstI:
+		c := uint64(in.Imm)
+		return func(st *State) uint64 { return c }
+	case tir.OpConstF:
+		c := math.Float64bits(in.FImm)
+		return func(st *State) uint64 { return c }
+	case tir.OpMov:
+		return bc.operandExpr(v.a, v)
+	case tir.OpLdLoc:
+		s := int32(in.Slot)
+		return func(st *State) uint64 { return st.Slots[s] }
+	case tir.OpLdGlob:
+		g := int32(in.Imm)
+		return func(st *State) uint64 { return uint64(st.Globals[g]) }
+	case tir.OpLoad:
+		return bc.buildLoad(v)
+	case tir.OpArrLen:
+		site := v.site
+		if g, gok := globLeaf(v.a); gok {
+			return func(st *State) uint64 {
+				n := st.GlobLen[g]
+				if n < 0 {
+					panic(&thrown{site: site, addr: uint64(st.Globals[g])})
+				}
+				return uint64(n)
+			}
+		}
+		a := bc.operandExpr(v.a, v)
+		return func(st *State) uint64 {
+			base := uint32(a(st))
+			n, ok := st.Arrays[base]
+			if !ok {
+				panic(&thrown{site: site, addr: uint64(base)})
+			}
+			return uint64(n)
+		}
+	case tir.OpNeg:
+		a := bc.operandExpr(v.a, v)
+		return func(st *State) uint64 { return uint64(-int64(a(st))) }
+	case tir.OpNot:
+		a := bc.operandExpr(v.a, v)
+		return func(st *State) uint64 { return b2u(a(st) == 0) }
+	case tir.OpFNeg:
+		a := bc.operandExpr(v.a, v)
+		return func(st *State) uint64 { return math.Float64bits(-math.Float64frombits(a(st))) }
+	case tir.OpI2F:
+		a := bc.operandExpr(v.a, v)
+		return func(st *State) uint64 { return math.Float64bits(float64(int64(a(st)))) }
+	case tir.OpF2I:
+		a := bc.operandExpr(v.a, v)
+		return func(st *State) uint64 { return uint64(int64(math.Float64frombits(a(st)))) }
+	default:
+		return bc.buildBin(v)
+	}
+}
+
+func (bc *blockCtx) buildLoad(v *val) expr {
+	site := v.site
+	pc := int32(v.in.PC)
+	cyc := v.cycOff
+	if g, s, k, ok := bc.idxAddrLeaf(v.a); ok {
+		return func(st *State) uint64 {
+			addr := uint32(int64(uint64(st.Globals[g])) + (int64(st.Slots[s]) << k))
+			w := addr / hydra.WordSize
+			if addr%hydra.WordSize != 0 || int(w) >= len(st.Mem) || addr >= st.HeapTop {
+				panic(&thrown{site: site, addr: uint64(addr)})
+			}
+			if st.Em != nil {
+				st.Em.HeapLoad(st.cycleBase+cyc, addr, pc)
+			}
+			return st.Mem[w]
+		}
+	}
+	a := bc.operandExpr(v.a, v)
+	return func(st *State) uint64 {
+		addr := uint32(a(st))
+		w := addr / hydra.WordSize
+		if addr%hydra.WordSize != 0 || int(w) >= len(st.Mem) || addr >= st.HeapTop {
+			panic(&thrown{site: site, addr: uint64(addr)})
+		}
+		if st.Em != nil {
+			st.Em.HeapLoad(st.cycleBase+cyc, addr, pc)
+		}
+		return st.Mem[w]
+	}
+}
+
+// buildBin covers the two-operand arithmetic, bitwise, shift and compare
+// opcodes, with constant-RHS specializations for the shapes address and
+// induction arithmetic produce.
+func (bc *blockCtx) buildBin(v *val) expr {
+	op := v.in.Op
+	if k, ok := constLeaf(v.b); ok {
+		a := bc.operandExpr(v.a, v)
+		switch op {
+		case tir.OpAdd:
+			return func(st *State) uint64 { return uint64(int64(a(st)) + k) }
+		case tir.OpSub:
+			return func(st *State) uint64 { return uint64(int64(a(st)) - k) }
+		case tir.OpMul:
+			return func(st *State) uint64 { return uint64(int64(a(st)) * k) }
+		case tir.OpShl:
+			kk := uint64(k) & 63
+			return func(st *State) uint64 { return uint64(int64(a(st)) << kk) }
+		case tir.OpShr:
+			kk := uint64(k) & 63
+			return func(st *State) uint64 { return uint64(int64(a(st)) >> kk) }
+		case tir.OpLt:
+			return func(st *State) uint64 { return b2u(int64(a(st)) < k) }
+		case tir.OpGt:
+			return func(st *State) uint64 { return b2u(int64(a(st)) > k) }
+		case tir.OpEq:
+			ku := uint64(k)
+			return func(st *State) uint64 { return b2u(a(st) == ku) }
+		case tir.OpNe:
+			ku := uint64(k)
+			return func(st *State) uint64 { return b2u(a(st) != ku) }
+		}
+		// Fall through rebuilding b generically; the const operand's
+		// bookkeeping is side-effect-free, so re-walking it is safe.
+		b := bc.operandExpr(v.b, v)
+		return bc.genericBin(v, a, b)
+	}
+	a := bc.operandExpr(v.a, v)
+	b := bc.operandExpr(v.b, v)
+	return bc.genericBin(v, a, b)
+}
+
+func (bc *blockCtx) genericBin(v *val, a, b expr) expr {
+	switch v.in.Op {
+	case tir.OpAdd:
+		return func(st *State) uint64 { return uint64(int64(a(st)) + int64(b(st))) }
+	case tir.OpSub:
+		return func(st *State) uint64 { return uint64(int64(a(st)) - int64(b(st))) }
+	case tir.OpMul:
+		return func(st *State) uint64 { return uint64(int64(a(st)) * int64(b(st))) }
+	case tir.OpDiv:
+		site := v.site
+		return func(st *State) uint64 {
+			x := int64(a(st))
+			d := int64(b(st))
+			if d == 0 {
+				panic(&thrown{site: site})
+			}
+			return uint64(x / d)
+		}
+	case tir.OpMod:
+		site := v.site
+		return func(st *State) uint64 {
+			x := int64(a(st))
+			d := int64(b(st))
+			if d == 0 {
+				panic(&thrown{site: site})
+			}
+			return uint64(x % d)
+		}
+	case tir.OpAnd:
+		return func(st *State) uint64 { return a(st) & b(st) }
+	case tir.OpOr:
+		return func(st *State) uint64 { return a(st) | b(st) }
+	case tir.OpXor:
+		return func(st *State) uint64 { return a(st) ^ b(st) }
+	case tir.OpShl:
+		return func(st *State) uint64 { return uint64(int64(a(st)) << (b(st) & 63)) }
+	case tir.OpShr:
+		return func(st *State) uint64 { return uint64(int64(a(st)) >> (b(st) & 63)) }
+	case tir.OpFAdd:
+		return func(st *State) uint64 {
+			return math.Float64bits(math.Float64frombits(a(st)) + math.Float64frombits(b(st)))
+		}
+	case tir.OpFSub:
+		return func(st *State) uint64 {
+			return math.Float64bits(math.Float64frombits(a(st)) - math.Float64frombits(b(st)))
+		}
+	case tir.OpFMul:
+		return func(st *State) uint64 {
+			return math.Float64bits(math.Float64frombits(a(st)) * math.Float64frombits(b(st)))
+		}
+	case tir.OpFDiv:
+		return func(st *State) uint64 {
+			return math.Float64bits(math.Float64frombits(a(st)) / math.Float64frombits(b(st)))
+		}
+	case tir.OpEq:
+		return func(st *State) uint64 { return b2u(a(st) == b(st)) }
+	case tir.OpNe:
+		return func(st *State) uint64 { return b2u(a(st) != b(st)) }
+	case tir.OpLt:
+		return func(st *State) uint64 { return b2u(int64(a(st)) < int64(b(st))) }
+	case tir.OpLe:
+		return func(st *State) uint64 { return b2u(int64(a(st)) <= int64(b(st))) }
+	case tir.OpGt:
+		return func(st *State) uint64 { return b2u(int64(a(st)) > int64(b(st))) }
+	case tir.OpGe:
+		return func(st *State) uint64 { return b2u(int64(a(st)) >= int64(b(st))) }
+	case tir.OpFEq:
+		return func(st *State) uint64 { return b2u(math.Float64frombits(a(st)) == math.Float64frombits(b(st))) }
+	case tir.OpFNe:
+		return func(st *State) uint64 { return b2u(math.Float64frombits(a(st)) != math.Float64frombits(b(st))) }
+	case tir.OpFLt:
+		return func(st *State) uint64 { return b2u(math.Float64frombits(a(st)) < math.Float64frombits(b(st))) }
+	case tir.OpFLe:
+		return func(st *State) uint64 { return b2u(math.Float64frombits(a(st)) <= math.Float64frombits(b(st))) }
+	case tir.OpFGt:
+		return func(st *State) uint64 { return b2u(math.Float64frombits(a(st)) > math.Float64frombits(b(st))) }
+	case tir.OpFGe:
+		return func(st *State) uint64 { return b2u(math.Float64frombits(a(st)) >= math.Float64frombits(b(st))) }
+	}
+	bc.fail("unexpected binary opcode %d", v.in.Op)
+	return func(st *State) uint64 { return 0 }
+}
+
+// emitStmt builds the closure for an effectful statement opcode.
+func (bc *blockCtx) emitStmt(v *val) stmt {
+	in := v.in
+	cyc := v.cycOff
+	switch in.Op {
+	case tir.OpStLoc:
+		s := int32(in.Slot)
+		if c := plainVal(v.a); c != nil && c.in.Op == tir.OpAdd {
+			if s2, ok := bc.slotLeaf(c.a); ok {
+				bc.noteExec(c)
+				if k, kok := constLeaf(c.b); kok {
+					// i = i + 1 and friends: one closure, no frame traffic.
+					return func(st *State) { st.Slots[s] = uint64(int64(st.Slots[s2]) + k) }
+				}
+				if f := bc.accLoadStmt(s, s2, c.b); f != nil {
+					return f
+				}
+				x := bc.operandExpr(c.b, c)
+				return func(st *State) { st.Slots[s] = uint64(int64(st.Slots[s2]) + int64(x(st))) }
+			}
+		}
+		e := bc.operandExpr(v.a, v)
+		return func(st *State) { st.Slots[s] = e(st) }
+	case tir.OpStore:
+		return bc.buildStore(v)
+	case tir.OpPrint:
+		e := bc.operandExpr(v.a, v)
+		if in.IsF {
+			return func(st *State) { fmt.Fprintf(st.Out, "%g\n", math.Float64frombits(e(st))) }
+		}
+		return func(st *State) { fmt.Fprintf(st.Out, "%d\n", int64(e(st))) }
+	case tir.OpSLoop:
+		loop, nl := int32(in.Loop), int32(in.Imm)
+		return func(st *State) {
+			if st.Em != nil {
+				st.Em.LoopStart(st.cycleBase+cyc, loop, nl, st.Frame)
+			}
+			if st.Prof != nil {
+				st.Prof.Push(loop)
+			}
+		}
+	case tir.OpELoop:
+		loop := int32(in.Loop)
+		return func(st *State) {
+			if st.Em != nil {
+				st.Em.LoopEnd(st.cycleBase+cyc, loop)
+			}
+			if st.Prof != nil {
+				st.Prof.Pop(loop)
+			}
+		}
+	case tir.OpEOI:
+		loop := int32(in.Loop)
+		return func(st *State) {
+			if st.Em != nil {
+				st.Em.LoopIter(st.cycleBase+cyc, loop)
+			}
+		}
+	case tir.OpLWL:
+		slot, pc := int32(in.Slot), int32(in.PC)
+		return func(st *State) {
+			if st.Em != nil {
+				st.Em.LocalLoad(st.cycleBase+cyc, st.Frame, slot, pc)
+			}
+		}
+	case tir.OpSWL:
+		slot, pc := int32(in.Slot), int32(in.PC)
+		return func(st *State) {
+			if st.Em != nil {
+				st.Em.LocalStore(st.cycleBase+cyc, st.Frame, slot, pc)
+			}
+		}
+	case tir.OpReadStats:
+		loop := int32(in.Loop)
+		return func(st *State) {
+			if st.Em != nil {
+				st.Em.ReadStats(st.cycleBase+cyc, loop)
+			}
+		}
+	}
+	bc.fail("unexpected statement opcode %d", in.Op)
+	return func(st *State) {}
+}
+
+// accLoadStmt fuses the reduction shape `acc = acc + a[i]` — a StLoc
+// whose RHS adds an indexed heap load into the same-block slot read —
+// into a single closure. The shape is probed without any scheduling
+// bookkeeping first; only on a certain match are the load and its index
+// slot noted, in the same order the generic path would note them.
+func (bc *blockCtx) accLoadStmt(s, s2 int32, o operand) stmt {
+	ld := plainVal(o)
+	if ld == nil || ld.in.Op != tir.OpLoad {
+		return nil
+	}
+	adr := plainVal(ld.a)
+	if adr == nil || adr.in.Op != tir.OpAdd {
+		return nil
+	}
+	g, gok := globLeaf(adr.a)
+	if !gok {
+		return nil
+	}
+	sh := plainVal(adr.b)
+	if sh == nil || sh.in.Op != tir.OpShl {
+		return nil
+	}
+	kk, kok := constLeaf(sh.b)
+	if !kok {
+		return nil
+	}
+	sl := plainVal(sh.a)
+	if sl == nil || sl.in.Op != tir.OpLdLoc {
+		return nil
+	}
+	bc.noteExec(ld)
+	bc.noteExec(sl)
+	si := int32(sl.in.Slot)
+	k := uint64(kk) & 63
+	site := ld.site
+	pc := int32(ld.in.PC)
+	cyc := ld.cycOff
+	return func(st *State) {
+		addr := uint32(int64(uint64(st.Globals[g])) + (int64(st.Slots[si]) << k))
+		w := addr / hydra.WordSize
+		if addr%hydra.WordSize != 0 || int(w) >= len(st.Mem) || addr >= st.HeapTop {
+			panic(&thrown{site: site, addr: uint64(addr)})
+		}
+		if st.Em != nil {
+			st.Em.HeapLoad(st.cycleBase+cyc, addr, pc)
+		}
+		st.Slots[s] = uint64(int64(st.Slots[s2]) + int64(st.Mem[w]))
+	}
+}
+
+func (bc *blockCtx) buildStore(v *val) stmt {
+	site := v.site
+	pc := int32(v.in.PC)
+	cyc := v.cycOff
+	if g, s, k, ok := bc.idxAddrLeaf(v.a); ok {
+		ve := bc.operandExpr(v.b, v)
+		return func(st *State) {
+			addr := uint32(int64(uint64(st.Globals[g])) + (int64(st.Slots[s]) << k))
+			x := ve(st)
+			w := addr / hydra.WordSize
+			if addr%hydra.WordSize != 0 || int(w) >= len(st.Mem) || addr >= st.HeapTop {
+				panic(&thrown{site: site, addr: uint64(addr)})
+			}
+			st.Mem[w] = x
+			if st.Em != nil {
+				st.Em.HeapStore(st.cycleBase+cyc, addr, pc)
+			}
+		}
+	}
+	ae := bc.operandExpr(v.a, v)
+	ve := bc.operandExpr(v.b, v)
+	return func(st *State) {
+		addr := uint32(ae(st))
+		x := ve(st)
+		w := addr / hydra.WordSize
+		if addr%hydra.WordSize != 0 || int(w) >= len(st.Mem) || addr >= st.HeapTop {
+			panic(&thrown{site: site, addr: uint64(addr)})
+		}
+		st.Mem[w] = x
+		if st.Em != nil {
+			st.Em.HeapStore(st.cycleBase+cyc, addr, pc)
+		}
+	}
+}
+
+// emitBrIf builds the terminator closure for a conditional branch, fusing
+// an inlined compare — and, for the canonical loop-header shape
+// `i < len(a)`, the whole bound check — into the branch.
+func (bc *blockCtx) emitBrIf(v *val) func(*State) int32 {
+	t0, t1 := bc.succOf(0), bc.succOf(1)
+	if c := plainVal(v.a); c != nil && isIntCmp(c.in.Op) {
+		bc.noteExec(c)
+		op := c.in.Op
+		if s, sok := bc.slotLeaf(c.a); sok {
+			if g, site, gok := bc.globLenLeaf(c.b); gok {
+				switch op {
+				case tir.OpLt:
+					return func(st *State) int32 {
+						n := st.GlobLen[g]
+						if n < 0 {
+							panic(&thrown{site: site, addr: uint64(st.Globals[g])})
+						}
+						if int64(st.Slots[s]) < n {
+							return t0
+						}
+						return t1
+					}
+				case tir.OpGe:
+					return func(st *State) int32 {
+						n := st.GlobLen[g]
+						if n < 0 {
+							panic(&thrown{site: site, addr: uint64(st.Globals[g])})
+						}
+						if int64(st.Slots[s]) >= n {
+							return t0
+						}
+						return t1
+					}
+				}
+				// Other compares against a global bound: generic fused
+				// compare-branch below, with the cached length as RHS.
+				a := func(st *State) uint64 { return st.Slots[s] }
+				b := func(st *State) uint64 {
+					n := st.GlobLen[g]
+					if n < 0 {
+						panic(&thrown{site: site, addr: uint64(st.Globals[g])})
+					}
+					return uint64(n)
+				}
+				return brIfCmp(op, a, b, t0, t1)
+			}
+			a := func(st *State) uint64 { return st.Slots[s] }
+			b := bc.operandExpr(c.b, c)
+			return brIfCmp(op, a, b, t0, t1)
+		}
+		a := bc.operandExpr(c.a, c)
+		b := bc.operandExpr(c.b, c)
+		return brIfCmp(op, a, b, t0, t1)
+	}
+	cond := bc.operandExpr(v.a, v)
+	return func(st *State) int32 {
+		if cond(st) != 0 {
+			return t0
+		}
+		return t1
+	}
+}
+
+func isIntCmp(op tir.Op) bool {
+	switch op {
+	case tir.OpEq, tir.OpNe, tir.OpLt, tir.OpLe, tir.OpGt, tir.OpGe:
+		return true
+	}
+	return false
+}
+
+func brIfCmp(op tir.Op, a, b expr, t0, t1 int32) func(*State) int32 {
+	switch op {
+	case tir.OpEq:
+		return func(st *State) int32 {
+			if a(st) == b(st) {
+				return t0
+			}
+			return t1
+		}
+	case tir.OpNe:
+		return func(st *State) int32 {
+			if a(st) != b(st) {
+				return t0
+			}
+			return t1
+		}
+	case tir.OpLt:
+		return func(st *State) int32 {
+			if int64(a(st)) < int64(b(st)) {
+				return t0
+			}
+			return t1
+		}
+	case tir.OpLe:
+		return func(st *State) int32 {
+			if int64(a(st)) <= int64(b(st)) {
+				return t0
+			}
+			return t1
+		}
+	case tir.OpGt:
+		return func(st *State) int32 {
+			if int64(a(st)) > int64(b(st)) {
+				return t0
+			}
+			return t1
+		}
+	default: // tir.OpGe
+		return func(st *State) int32 {
+			if int64(a(st)) >= int64(b(st)) {
+				return t0
+			}
+			return t1
+		}
+	}
+}

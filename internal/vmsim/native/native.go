@@ -1,0 +1,444 @@
+// Package native is the third execution tier above the predecoded
+// interpreter: it compiles annotated loops from TIR into closure-threaded
+// Go code. Each loop body block becomes a chain of pre-bound closures (a
+// single fused closure when the block is straight-line), loop temporaries
+// are register-allocated onto Go stack values instead of the VM's
+// register frame, the step-limit/interrupt-poll guards are hoisted to one
+// window check per block (or per iteration on the fused path), and the
+// hydra tracer costs (AnnotCost, ReadStatsCost) are baked into the static
+// cycle offsets at compile time.
+//
+// The deopt contract: native execution only ever commits whole blocks.
+// Before running a block it checks that every micro-op in the block fits
+// under the step limit and inside the current interrupt-poll window; if
+// not it exits back to the predecoded tier at that block's first
+// instruction, which then steps micro-op by micro-op — so a step limit, an
+// interrupt, or a sampler tick lands on the identical instruction it
+// would land on in the reference interpreter. Runtime faults (bad
+// addresses, division by zero) are raised from inside a block with
+// statically precomputed step/cycle/counter prefixes, reproducing the
+// reference engine's exact fault-point state. Blocks containing
+// unsupported operations (calls, allocation, returns) compile to deopt
+// stubs: reaching one exits to the interpreter, which finishes the
+// iteration and re-enters native code at the next loop-header arrival.
+//
+// The package deliberately does not import vmsim: the VM passes its
+// mutable state in through State and receives events/profiler callbacks
+// through the Emitter and Profiler interfaces, so the two packages cannot
+// cycle. TestVMDifferential, TestVMStepLimitSweep and FuzzVMDiff hold
+// this tier bit-identical to both the predecoded engine and the refvm
+// oracle: same cycles, events, heap, output, counters, errors.
+package native
+
+import (
+	"fmt"
+	"io"
+
+	"jrpm/internal/tir"
+)
+
+// pollShift mirrors the interpreter's interrupt-poll throttle (one poll
+// every 2^pollShift steps). vmsim asserts the two constants agree, so the
+// deopt-at-window-boundary contract cannot silently drift.
+const PollShift = 13
+
+// maxBlockSteps bounds the micro-op count of a compilable block (and of a
+// fused iteration): a window precheck over more than a poll period can
+// never pass, so such a block would deopt forever. Far above real
+// codegen output.
+const maxBlockSteps = 2048
+
+// Counter indices into State.Ctr, mirroring the VM's instruction-mix
+// counters. The differential harness compares all seven.
+const (
+	CtrHeapLoads = iota
+	CtrHeapStores
+	CtrLocalLoads
+	CtrLocalStores
+	CtrLocalAnnot
+	CtrLoopAnnot
+	CtrReadStats
+	NumCounters
+)
+
+// Config carries the compile-time specialization knobs: the hydra tracer
+// costs are baked into every static cycle offset, so a plan is only valid
+// for the configuration it was compiled against.
+type Config struct {
+	AnnotCost     int64
+	ReadStatsCost int64
+}
+
+// Emitter receives trace events from compiled code. It mirrors the VM's
+// batched emitter surface; a nil Emitter in State means the run is
+// untraced and every emission site is one predictable branch.
+type Emitter interface {
+	HeapLoad(now int64, addr uint32, pc int32)
+	HeapStore(now int64, addr uint32, pc int32)
+	LocalLoad(now int64, frame uint64, slot, pc int32)
+	LocalStore(now int64, frame uint64, slot, pc int32)
+	LoopStart(now int64, loop, numLocals int32, frame uint64)
+	LoopIter(now int64, loop int32)
+	LoopEnd(now int64, loop int32)
+	ReadStats(now int64, loop int32)
+}
+
+// Profiler keeps the sampling profiler's annotated-loop stack in sync
+// while native code executes SLoop/ELoop annotations. Ticks themselves
+// always happen in the interpreter (native code deopts at every poll
+// window), so the sampler never misses or double-counts a window.
+type Profiler interface {
+	Push(loop int32)
+	Pop(loop int32)
+}
+
+// State is the mutable VM state a native loop executes against. The VM
+// fills it at loop entry and reads Steps/Cycles/Ctr back at exit; Regs,
+// Slots and Mem are aliased, not copied, so effects land directly in the
+// frame and heap.
+type State struct {
+	Regs    []uint64
+	Slots   []uint64
+	Mem     []uint64
+	Globals []uint32
+	// GlobLen caches each global's array length (-1 when the global's
+	// base address is not an allocated array), letting compiled loop
+	// headers test `i < len(a)` without a map lookup. Sound because
+	// globals are bound before Run and never reassigned during it.
+	GlobLen  []int64
+	Arrays   map[uint32]int64
+	HeapTop  uint32
+	Steps    int64
+	Cycles   int64
+	MaxSteps int64
+	Frame    uint64
+	Out      io.Writer
+	Em       Emitter
+	Prof     Profiler
+	Ctr      [NumCounters]int64
+
+	// Per-block bases, maintained by the runner: fault sites and event
+	// timestamps are static offsets from these.
+	stepBase  int64
+	cycleBase int64
+}
+
+// ExitKind discriminates how a native loop execution ended.
+type ExitKind uint8
+
+const (
+	// ExitEdge: the loop left its compiled region along a normal control
+	// edge; resume interpreting at Exit.Block. Steps/cycles/counters are
+	// committed.
+	ExitEdge ExitKind = iota
+	// ExitDeoptEntry: the entry precheck failed before anything ran; the
+	// caller must undo the dispatch prologue and execute the original
+	// header instruction interpretively. Nothing was consumed.
+	ExitDeoptEntry
+	// ExitDeopt: a block's window precheck failed (step limit or
+	// interrupt poll due inside it) or the block is an unsupported-op
+	// stub; resume interpreting at Exit.Block, which re-enters native
+	// code automatically at the next header arrival.
+	ExitDeopt
+	// ExitFault: a runtime fault; State carries the exact fault-point
+	// accounting and Exit.Fault the message.
+	ExitFault
+)
+
+func (k ExitKind) String() string {
+	switch k {
+	case ExitEdge:
+		return "edge"
+	case ExitDeoptEntry:
+		return "deopt-entry"
+	case ExitDeopt:
+		return "deopt"
+	case ExitFault:
+		return "fault"
+	}
+	return fmt.Sprintf("exit(%d)", uint8(k))
+}
+
+// Fault is a positioned runtime fault with the reference interpreter's
+// message; the VM wraps it into its RuntimeError.
+type Fault struct {
+	Msg  string
+	Line int32
+}
+
+// Exit reports how a Run ended. Block is a function block index.
+type Exit struct {
+	Kind  ExitKind
+	Block int32
+	Fault Fault
+}
+
+// ctrDelta is one sparse counter increment.
+type ctrDelta struct {
+	idx int32
+	d   int64
+}
+
+// stmt executes one effectful statement of a block.
+type stmt func(st *State)
+
+// expr computes one value.
+type expr func(st *State) uint64
+
+// faultSite is the static half of a fault: the reference engine's
+// message, and the step/cycle/counter prefixes of the faulting micro-op
+// within its block.
+type faultSite struct {
+	format  string
+	hasAddr bool
+	line    int32
+	dSteps  int64 // steps consumed through the faulting micro-op's prologue
+	dCycles int64 // cycles consumed through the faulting micro-op's prologue
+	ctrs    []ctrDelta
+}
+
+// thrown is the panic payload carrying a fault out of a closure chain.
+type thrown struct {
+	site *faultSite
+	addr uint64
+}
+
+func (t *thrown) fault() Fault {
+	msg := t.site.format
+	if t.site.hasAddr {
+		msg = fmt.Sprintf(t.site.format, uint32(t.addr))
+	}
+	return Fault{Msg: msg, Line: t.site.line}
+}
+
+// cblock is one compiled basic block.
+type cblock struct {
+	run    func(st *State) int32 // successor: region index >= 0, or ^funcBlock
+	stmts  []stmt                // the statements run fuses (kept for iterBody)
+	steps  int64                 // micro-op count
+	cycles int64                 // total cycle cost (annotation costs baked in)
+	ctrs   []ctrDelta
+	block  int32 // function block index (deopt resume point)
+	stub   bool
+	yield  bool // another compiled loop's header: exit so its tier runs
+	// static successor info for fused-cycle detection
+	succs [2]int32
+	nsucc int
+}
+
+// Loop is one compiled loop, shareable across VMs and goroutines: all
+// closure captures are immutable compile-time values; every mutable thing
+// flows through *State.
+type Loop struct {
+	ID     int32
+	Func   int
+	Header int
+	Name   string
+
+	blocks []cblock
+	entry  int32
+
+	// Fused straight-line iteration: when the loop's region is a single
+	// cycle of straight-line blocks, one window precheck and one commit
+	// cover the whole iteration. iterBatch runs up to k whole iterations
+	// — header decision, body statements, per-block base advances — in
+	// one pre-fused closure loop, returning how many completed and the
+	// off-cycle target that ended the batch early (meaningless when all
+	// k ran).
+	cycle     []*cblock
+	bodyNext  int32
+	iterBatch func(st *State, k int64) (int64, int32)
+	iterSteps int64
+	iterCyc   int64
+	iterCtrs  []ctrDelta
+}
+
+// Fused reports whether the loop runs on the fused whole-iteration path.
+func (l *Loop) Fused() bool { return l.cycle != nil }
+
+// Blocks reports how many region blocks compiled (stubs excluded).
+func (l *Loop) Blocks() (compiled, stubs int) {
+	for i := range l.blocks {
+		if l.blocks[i].stub {
+			stubs++
+		} else {
+			compiled++
+		}
+	}
+	return compiled, stubs
+}
+
+// Plan is the compiled artifact for one (program, loop set, config)
+// triple. Immutable and goroutine-safe after CompilePlan.
+type Plan struct {
+	Loops    []*Loop
+	Rejected map[int]string // loop ID -> reason
+	Cfg      Config
+}
+
+// Run executes the loop natively. On entry the interpreter's dispatch
+// prologue has already paid the header's first micro-op (one step, one
+// cycle, and the poll that goes with it) — Run treats it as prepaid.
+func (l *Loop) Run(st *State) (ex Exit) {
+	// The fused path defers its bookkeeping to one commit per batch. A
+	// fault mid-batch reconstructs the uncommitted work — whole iterations
+	// plus the completed blocks of the current one — from how far stepBase
+	// advanced past the batch's committed start, and replays their counter
+	// deltas before the faulting block's own static prefix. batchStart < 0
+	// means no batch is in flight (entry, exits, block-at-a-time path).
+	batchStart := int64(-1)
+	defer func() {
+		if r := recover(); r != nil {
+			t, ok := r.(*thrown)
+			if !ok {
+				panic(r)
+			}
+			if batchStart >= 0 {
+				delta := st.stepBase - batchStart
+				for _, cd := range l.iterCtrs {
+					st.Ctr[cd.idx] += cd.d * (delta / l.iterSteps)
+				}
+				rem := delta % l.iterSteps
+				for _, cb := range l.cycle {
+					if rem <= 0 {
+						break
+					}
+					for _, cd := range cb.ctrs {
+						st.Ctr[cd.idx] += cd.d
+					}
+					rem -= cb.steps
+				}
+			}
+			st.Steps = st.stepBase + t.site.dSteps
+			st.Cycles = st.cycleBase + t.site.dCycles
+			for _, cd := range t.site.ctrs {
+				st.Ctr[cd.idx] += cd.d
+			}
+			ex = Exit{Kind: ExitFault, Fault: t.fault()}
+		}
+	}()
+
+	// Entry: the header block, with micro-op 1 prepaid. The remaining
+	// micro-ops 2..K must fit under the limit and inside the current poll
+	// window; if they don't, the caller re-executes the header
+	// interpretively (and since a poll that fired on micro-op 1 leaves
+	// K-1 < window micro-ops, a failed precheck implies that poll did NOT
+	// fire, so the re-execution repays it exactly once).
+	hdr := &l.blocks[l.entry]
+	s0 := st.Steps - 1
+	if s0+hdr.steps > st.MaxSteps || st.Steps>>PollShift != (s0+hdr.steps)>>PollShift {
+		return Exit{Kind: ExitDeoptEntry}
+	}
+	st.stepBase = s0
+	st.cycleBase = st.Cycles - 1
+	next := hdr.run(st)
+	st.Steps = s0 + hdr.steps
+	st.Cycles = st.cycleBase + hdr.cycles
+	for _, cd := range hdr.ctrs {
+		st.Ctr[cd.idx] += cd.d
+	}
+	if next < 0 {
+		return Exit{Kind: ExitEdge, Block: ^next}
+	}
+
+	b := next
+	for {
+		// Fused fast path, batched: compute how many whole iterations fit
+		// under the step limit and inside the current poll window, run them
+		// with no per-iteration precheck, and commit steps, cycles, and
+		// counters once per batch (counter deltas multiplied by the
+		// iteration count). stepBase/cycleBase still advance per block so
+		// event timestamps and fault replay stay exact.
+		if b == l.entry && l.cycle != nil {
+			iterBatch := l.iterBatch
+			for {
+				s := st.Steps
+				lim := st.MaxSteps
+				if w := (s>>PollShift+1)<<PollShift - 1; w < lim {
+					lim = w
+				}
+				k := (lim - s) / l.iterSteps
+				if k <= 0 {
+					break // near a limit or poll: go block-at-a-time
+				}
+				st.stepBase, st.cycleBase = s, st.Cycles
+				batchStart = s
+				n, nx := iterBatch(st, k)
+				if n < k {
+					// Loop exit (or an unexpected edge) on iteration n+1:
+					// commit the batch so far plus the header alone, and
+					// leave the fused path.
+					st.Steps = st.stepBase + hdr.steps
+					st.Cycles = st.cycleBase + hdr.cycles
+					for _, cd := range l.iterCtrs {
+						st.Ctr[cd.idx] += cd.d * n
+					}
+					for _, cd := range hdr.ctrs {
+						st.Ctr[cd.idx] += cd.d
+					}
+					batchStart = -1
+					if nx < 0 {
+						return Exit{Kind: ExitEdge, Block: ^nx}
+					}
+					b = nx
+					break
+				}
+				st.Steps = st.stepBase
+				st.Cycles = st.cycleBase
+				for _, cd := range l.iterCtrs {
+					st.Ctr[cd.idx] += cd.d * k
+				}
+				batchStart = -1
+			}
+			// A window break falls through with b still at the header:
+			// the block-at-a-time path below runs whatever still fits.
+		}
+		cb := &l.blocks[b]
+		if cb.stub {
+			return Exit{Kind: ExitDeopt, Block: cb.block}
+		}
+		if cb.yield {
+			// An inner compiled loop's header: edge-exit so the
+			// interpreter lands on its dNativeEnter and its fused path
+			// takes over, instead of this loop interpreting the nest
+			// block-at-a-time.
+			return Exit{Kind: ExitEdge, Block: cb.block}
+		}
+		s := st.Steps
+		if s+cb.steps > st.MaxSteps || s>>PollShift != (s+cb.steps)>>PollShift {
+			return Exit{Kind: ExitDeopt, Block: cb.block}
+		}
+		st.stepBase, st.cycleBase = s, st.Cycles
+		next := cb.run(st)
+		st.Steps = s + cb.steps
+		st.Cycles = st.cycleBase + cb.cycles
+		for _, cd := range cb.ctrs {
+			st.Ctr[cd.idx] += cd.d
+		}
+		if next < 0 {
+			return Exit{Kind: ExitEdge, Block: ^next}
+		}
+		b = next
+	}
+}
+
+// counterOf maps an opcode to its counter index, or -1.
+func counterOf(op tir.Op) int32 {
+	switch op {
+	case tir.OpLdLoc:
+		return CtrLocalLoads
+	case tir.OpStLoc:
+		return CtrLocalStores
+	case tir.OpLoad:
+		return CtrHeapLoads
+	case tir.OpStore:
+		return CtrHeapStores
+	case tir.OpLWL, tir.OpSWL:
+		return CtrLocalAnnot
+	case tir.OpSLoop, tir.OpELoop, tir.OpEOI:
+		return CtrLoopAnnot
+	case tir.OpReadStats:
+		return CtrReadStats
+	}
+	return -1
+}

@@ -1,0 +1,199 @@
+package native
+
+import (
+	"strings"
+	"testing"
+
+	"jrpm/internal/annotate"
+	"jrpm/internal/lang"
+	"jrpm/internal/tir"
+)
+
+// compileSrc builds a tir.Program with the loop table filled, the same
+// two-step pipeline jrpm.Compile runs (lex/parse/TIR, then loop
+// discovery via an annotation pass with no annotations requested).
+func compileSrc(t *testing.T, src string) *tir.Program {
+	t.Helper()
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := annotate.Apply(prog, annotate.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func allLoopIDs(prog *tir.Program) []int {
+	ids := make([]int, 0, len(prog.Loops))
+	for i := range prog.Loops {
+		ids = append(ids, prog.Loops[i].ID)
+	}
+	return ids
+}
+
+const mixedSrc = `
+global a: int[];
+global r: int[];
+
+func addone(x: int): int {
+	return x + 1;
+}
+
+func main() {
+	var i: int = 0;
+	var s: int = 0;
+	while (i < 64) {
+		s = s + a[i];
+		i++;
+	}
+	var j: int = 0;
+	while (j < 8) {
+		s = s + addone(j);
+		j++;
+	}
+	var k: int = 0;
+	while (addone(k) < 8) {
+		s = s + 1;
+		k++;
+	}
+	r[0] = s;
+}
+`
+
+// TestCompilePlanMixed pins the opportunistic-compilation contract's
+// three outcomes: the straight-line reduction loop compiles onto the
+// fused whole-iteration path; the loop that calls a function in its
+// body compiles block-at-a-time with the call block as a deopt stub;
+// the loop that calls a function in its header condition is reported in
+// Rejected (the header must compile — it is the tier's entry point)
+// rather than failing the plan.
+func TestCompilePlanMixed(t *testing.T) {
+	prog := compileSrc(t, mixedSrc)
+	if len(prog.Loops) != 3 {
+		t.Fatalf("discovered %d loops, want 3", len(prog.Loops))
+	}
+	plan := CompilePlan(prog, allLoopIDs(prog), Config{AnnotCost: 1, ReadStatsCost: 1})
+
+	if len(plan.Loops) != 2 {
+		t.Fatalf("compiled %d loops, want 2; rejected: %v", len(plan.Loops), plan.Rejected)
+	}
+	var fused, stubbed *Loop
+	for _, l := range plan.Loops {
+		if l.Fused() {
+			fused = l
+		} else {
+			stubbed = l
+		}
+	}
+	if fused == nil {
+		t.Fatal("straight-line reduction loop did not take the fused path")
+	}
+	if compiled, stubs := fused.Blocks(); compiled == 0 || stubs != 0 {
+		t.Errorf("fused loop L%d blocks: compiled=%d stubs=%d, want all compiled", fused.ID, compiled, stubs)
+	}
+	if stubbed == nil {
+		t.Fatal("call-in-body loop missing from the plan")
+	}
+	if _, stubs := stubbed.Blocks(); stubs == 0 {
+		t.Errorf("call-in-body loop L%d has no stub blocks", stubbed.ID)
+	}
+	if len(plan.Rejected) != 1 {
+		t.Fatalf("rejected = %v, want exactly the call-in-header loop", plan.Rejected)
+	}
+	for id, why := range plan.Rejected {
+		if !strings.Contains(why, "call") {
+			t.Errorf("loop L%d rejected for %q, want a contains-call reason", id, why)
+		}
+	}
+}
+
+// TestCompilePlanUnknownIDs ignores requested IDs that name no loop:
+// native is a best-effort tier, and the session may request loops that a
+// recompile has since renumbered away.
+func TestCompilePlanUnknownIDs(t *testing.T) {
+	prog := compileSrc(t, mixedSrc)
+	plan := CompilePlan(prog, []int{9999}, Config{})
+	if len(plan.Loops) != 0 || len(plan.Rejected) != 0 {
+		t.Fatalf("plan for unknown ID: loops=%v rejected=%v, want empty", plan.Loops, plan.Rejected)
+	}
+}
+
+const nestedSrc = `
+global a: int[];
+global r: int[];
+
+func main() {
+	var i: int = 0;
+	var s: int = 0;
+	while (i < 8) {
+		var j: int = 0;
+		while (j < 8) {
+			s = s + a[i*8+j];
+			j++;
+		}
+		i++;
+	}
+	r[0] = s;
+}
+`
+
+// TestMarkYields pins cooperative nesting: when both loops of a nest
+// compile, the outer loop's copy of the inner header becomes a yield
+// block so the inner loop's own (fused) tier runs instead of the outer
+// loop interpreting it block-at-a-time.
+func TestMarkYields(t *testing.T) {
+	prog := compileSrc(t, nestedSrc)
+	if len(prog.Loops) != 2 {
+		t.Fatalf("discovered %d loops, want 2", len(prog.Loops))
+	}
+	plan := CompilePlan(prog, allLoopIDs(prog), Config{AnnotCost: 1, ReadStatsCost: 1})
+	if len(plan.Loops) != 2 {
+		t.Fatalf("compiled %d loops, want 2; rejected: %v", len(plan.Loops), plan.Rejected)
+	}
+	var outer, inner *Loop
+	for _, l := range plan.Loops {
+		for i := range prog.Loops {
+			if prog.Loops[i].ID == int(l.ID) && prog.Loops[i].StaticDepth == 1 {
+				outer = l
+			} else if prog.Loops[i].ID == int(l.ID) {
+				inner = l
+			}
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatal("could not identify outer/inner loop in the plan")
+	}
+	yields := 0
+	for i := range outer.blocks {
+		if outer.blocks[i].yield {
+			yields++
+			if int(outer.blocks[i].block) != inner.Header {
+				t.Errorf("yield block %d is not the inner loop's header %d", outer.blocks[i].block, inner.Header)
+			}
+		}
+	}
+	if yields != 1 {
+		t.Errorf("outer loop has %d yield blocks, want 1 (the inner header)", yields)
+	}
+	for i := range inner.blocks {
+		if inner.blocks[i].yield {
+			t.Errorf("inner loop block %d marked yield", inner.blocks[i].block)
+		}
+	}
+}
+
+func TestExitKindString(t *testing.T) {
+	cases := map[ExitKind]string{
+		ExitEdge:       "edge",
+		ExitDeoptEntry: "deopt-entry",
+		ExitDeopt:      "deopt",
+		ExitFault:      "fault",
+		ExitKind(42):   "exit(42)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("ExitKind(%d).String() = %q, want %q", uint8(k), got, want)
+		}
+	}
+}

@@ -109,6 +109,18 @@ type VM struct {
 	interrupted atomic.Bool
 	sampler     *Sampler
 
+	// Native tier attachment (InstallNative): the patched code clone is
+	// what vm.code points at, these carry the compiled loops and the
+	// per-run state they need.
+	native        *nativeBuild
+	nativeGlobLen []int64
+	nativeStats   []NativeLoopStats
+
+	// Native-tier execution counters for reports and /v1/metrics.
+	NNativeEnters int64
+	NNativeDeopts int64
+	NNativeSteps  int64
+
 	// Instruction mix counters for reports.
 	NHeapLoads   int64
 	NHeapStores  int64
@@ -258,6 +270,12 @@ func (vm *VM) Run(name string) error {
 		if cl, ok := l.(CallListener); ok {
 			vm.callLsnrs = append(vm.callLsnrs, cl)
 		}
+	}
+	if vm.native != nil {
+		// Globals are bound and arrays never freed, so the compiled
+		// `len(a)` guards can read a flat per-run cache instead of the
+		// arrays map.
+		vm.nativeGlobLen = buildGlobLen(vm.globals, vm.arrays, vm.nativeGlobLen)
 	}
 	em := newBatchEmitter(vm.Listeners)
 	_, err := vm.exec(vm.code, fi, nil, em)

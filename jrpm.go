@@ -47,6 +47,10 @@ import (
 // build as well as by trace-format version.
 const Version = "0.4.0"
 
+// NativeLoopStats is the per-loop execution record of the closure-
+// threaded native tier (re-exported from vmsim for API consumers).
+type NativeLoopStats = vmsim.NativeLoopStats
+
 // Input binds harness data to a program's global arrays.
 type Input struct {
 	Ints   map[string][]int64
@@ -71,6 +75,14 @@ type Options struct {
 	// and the active annotated-loop stack. 0 leaves the dispatch loop
 	// untouched. See ProfileResult.Samples.
 	SamplePeriod int64
+	// NativeLoops lists annotated-loop IDs to execute on the closure-
+	// threaded native tier (internal/vmsim/native) during the profile
+	// runs. The tier is bit-identical to the interpreter — simulated
+	// cycles, events, counters and traces are unaffected; only wall-clock
+	// speed changes — so it is safe to enable per-epoch from adaptive
+	// sessions. Loops the native compiler rejects silently stay on the
+	// predecoded tier; see ProfileResult.Native and NativeRejected.
+	NativeLoops []int
 }
 
 // DefaultOptions returns the paper's setup: the Hydra configuration,
@@ -190,6 +202,12 @@ type ProfileResult struct {
 	// Samples is the sampling-profiler result for the traced run; nil
 	// unless Options.SamplePeriod was set.
 	Samples *vmsim.SampleProfile
+	// Native reports the native tier's execution of the traced run (one
+	// entry per compiled loop); nil unless Options.NativeLoops was set.
+	// NativeRejected maps requested loop IDs the native compiler refused
+	// to their reasons.
+	Native         []vmsim.NativeLoopStats
+	NativeRejected map[int]string
 	// AnnotationCount is the number of annotation instructions inserted.
 	AnnotationCount int
 	Opts            Options
@@ -318,7 +336,7 @@ func (c *Compiled) profileWith(ctx context.Context, in Input, opts Options, extr
 	opts.Annot = c.Annot
 	opts.Optimize = c.Optimize
 
-	cleanCycles, err := c.RunClean(ctx, in, opts.Cfg)
+	cleanCycles, err := c.runCleanOpts(ctx, in, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -326,6 +344,11 @@ func (c *Compiled) profileWith(ctx context.Context, in Input, opts Options, extr
 	vm, err := newVM(c.Annotated, in, opts.Cfg)
 	if err != nil {
 		return nil, err
+	}
+	if len(opts.NativeLoops) > 0 {
+		if _, err := vm.InstallNative(opts.NativeLoops...); err != nil {
+			return nil, err
+		}
 	}
 	tracer := core.NewTracer(c.Annotated, opts.Cfg, opts.Tracer)
 	vm.Listeners = append(vm.Listeners, tracer)
@@ -360,5 +383,28 @@ func (c *Compiled) profileWith(ctx context.Context, in Input, opts Options, extr
 	if sampler != nil {
 		res.Samples = sampler.Profile(c.Annotated)
 	}
+	if len(opts.NativeLoops) > 0 {
+		res.Native = vm.NativeStats()
+		res.NativeRejected = vm.NativeRejected()
+	}
 	return res, nil
+}
+
+// runCleanOpts is RunClean with the native tier installed per
+// opts.NativeLoops: the clean and annotated programs share loop IDs, so
+// the same set accelerates both profile runs.
+func (c *Compiled) runCleanOpts(ctx context.Context, in Input, opts Options) (int64, error) {
+	vm, err := newVM(c.Clean, in, opts.Cfg)
+	if err != nil {
+		return 0, err
+	}
+	if len(opts.NativeLoops) > 0 {
+		if _, err := vm.InstallNative(opts.NativeLoops...); err != nil {
+			return 0, err
+		}
+	}
+	if err := runVM(ctx, vm); err != nil {
+		return 0, err
+	}
+	return vm.Cycles, nil
 }

@@ -25,6 +25,7 @@
 //
 //	jrpm sweep -w Huffman -trace huffman.jrt -banks 1,2,4,8 -history 2,4,8 \
 //	    -workers host1:8077,host2:8077
+//	jrpm sweep ... -registry hub:8077      # dynamic fleet (see README "Running a fleet")
 //	jrpm sweep ... -trace-out spans.json   # stitched distributed trace
 //
 // Adaptive sessions (see README "Closing the loop"):
@@ -46,12 +47,14 @@ import (
 	"mime"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"jrpm"
 	"jrpm/internal/cluster"
+	"jrpm/internal/fleet"
 	"jrpm/internal/hydra"
 	"jrpm/internal/service"
 	"jrpm/internal/telemetry"
@@ -83,8 +86,14 @@ func main() {
 		scale   = flag.Float64("scale", 1, "input scale factor for -w")
 		list    = flag.Bool("list", false, "list built-in workloads")
 		daemon  = flag.String("daemon", "", "jrpmd address: submit the job to a running daemon instead of executing locally")
+		version = flag.Bool("version", false, "print module + trace-format version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		printVersion("jrpm")
+		return
+	}
 
 	if *list {
 		for _, w := range workloads.All() {
@@ -524,6 +533,9 @@ func sweepMain(args []string) {
 	banksList := fs.String("banks", "", "comma-separated comparator bank counts to sweep")
 	histList := fs.String("history", "", "comma-separated heap-store history depths to sweep")
 	workerList := fs.String("workers", "", "comma-separated jrpmd worker addresses (empty = run locally)")
+	registryAddr := fs.String("registry", "", "fleet registry address: schedule over its live members (workers may join or die mid-sweep) instead of a static -workers list")
+	replicas := fs.Int("replicas", 1, "recording replicas placed across the fleet (worker-to-worker transfer)")
+	progress := fs.Bool("progress", false, "print per-row progress to stderr as shards land (default with -registry)")
 	shard := fs.Int("shard", 0, "configs per shard (0 = default)")
 	showMetrics := fs.Bool("metrics", false, "print coordinator scheduling metrics")
 	traceOut := fs.String("trace-out", "", "write the sweep's stitched span trace (coordinator + worker spans) to this JSON file")
@@ -569,11 +581,17 @@ func sweepMain(args []string) {
 	if err != nil {
 		fatal(fmt.Errorf("sweep: %w", err))
 	}
-	coord := cluster.New(cluster.Options{
+	copts := cluster.Options{
 		Workers:      addrs,
+		Replicas:     *replicas,
 		ShardConfigs: *shard,
 		Logger:       telemetry.NewLogger(os.Stderr, level),
-	})
+	}
+	if *registryAddr != "" {
+		copts.Workers = nil
+		copts.Membership = fleet.NewRegistryMembership(*registryAddr)
+	}
+	coord := cluster.New(copts)
 	name := *wname
 	if name == "" {
 		name = *srcPath
@@ -591,11 +609,24 @@ func sweepMain(args []string) {
 		ctx, root = telemetry.StartSpan(ctx, "jrpm.sweep")
 	}
 
-	res, err := coord.Sweep(ctx, cluster.Grid{
+	// Progress streams per-row completions to stderr as shards land —
+	// the client-side face of the streaming-sweep path.
+	var onRow func(int, int, cluster.OutcomeRow)
+	rowsDone := 0
+	if *progress || *registryAddr != "" {
+		onRow = func(_, _ int, _ cluster.OutcomeRow) {
+			rowsDone++
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d rows", rowsDone, len(cfgs))
+		}
+	}
+	res, err := coord.SweepStream(ctx, cluster.Grid{
 		Traces:  []cluster.GridTrace{{Name: name, Source: src, Data: data}},
 		Configs: cfgs,
 		Opts:    jrpm.DefaultOptions(),
-	})
+	}, onRow)
+	if rowsDone > 0 {
+		fmt.Fprintln(os.Stderr)
+	}
 	root.End()
 	if err != nil {
 		fatal(err)
@@ -698,4 +729,20 @@ func intList(s string, fallback int) ([]int, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "jrpm:", err)
 	os.Exit(1)
+}
+
+// printVersion prints the GET /v1/version payload for the -version
+// flag, keyed deterministically.
+func printVersion(cmd string) {
+	p := service.VersionPayload()
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("%s", cmd)
+	for _, k := range keys {
+		fmt.Printf(" %s=%v", k, p[k])
+	}
+	fmt.Println()
 }

@@ -49,10 +49,26 @@ func main() {
 		admitHWM    = flag.Float64("admit-hwm", 0, "in-process pool: admission high-water mark as a fraction of queue depth (0 = off)")
 		tenantRate  = flag.Float64("tenant-rate", 0, "in-process pool: per-tenant quota, jobs/second (0 = off)")
 		tenantBurst = flag.Float64("tenant-burst", 0, "in-process pool: per-tenant quota burst (0 = max(1, rate))")
+		version     = flag.Bool("version", false, "print module + trace-format version and exit")
 	)
 	var specs specList
 	flag.Var(&specs, "spec", "load spec JSON file (repeatable)")
 	flag.Parse()
+
+	if *version {
+		p := service.VersionPayload()
+		keys := make([]string, 0, len(p))
+		for k := range p {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("%s", "jrpmbench")
+		for _, k := range keys {
+			fmt.Printf(" %s=%v", k, p[k])
+		}
+		fmt.Println()
+		return
+	}
 
 	if len(specs) == 0 {
 		fmt.Fprintln(os.Stderr, "jrpmbench: at least one -spec is required")

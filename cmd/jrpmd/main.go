@@ -19,9 +19,22 @@
 // GET/DELETE /v1/sessions/{id}, GET /v1/metrics (?format=prom for
 // Prometheus text), GET /metrics, GET /v1/healthz, GET /v1/readyz,
 // GET /v1/version, GET /v1/traces/spans; with -worker additionally
-// POST /v1/shards and GET/PUT /v1/traces/{hash}. See the README sections
-// "Running as a service", "Observability", "Distributed sweeps" and
-// "Closing the loop" for request and response shapes.
+// POST /v1/shards, GET/PUT /v1/traces/{hash} and
+// POST /v1/traces/{hash}/pull. See the README sections "Running as a
+// service", "Observability", "Distributed sweeps", "Running a fleet"
+// and "Closing the loop" for request and response shapes.
+//
+// Every jrpmd also hosts the fleet surface: a membership registry
+// (POST /v1/fleet/register, GET /v1/fleet/members,
+// DELETE /v1/fleet/members/{id}) and a streaming sweep API
+// (POST /v1/sweeps, GET /v1/sweeps/{id}[/rows], DELETE /v1/sweeps/{id})
+// whose coordinator schedules over the registry's live members with
+// -replicas way trace replication. Workers join a fleet with
+//
+//	jrpmd -worker -addr :8078 -registry hub:8077 -advertise host:8078
+//
+// heartbeating until drain, when they deregister before the queue
+// drains so no new shards land on a dying worker.
 //
 // Every request runs under a telemetry span; requests carrying a W3C
 // traceparent header join the caller's distributed trace, and the
@@ -42,12 +55,18 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
+	"jrpm"
 	"jrpm/internal/cluster"
+	"jrpm/internal/fleet"
+	"jrpm/internal/fleet/sweeps"
 	"jrpm/internal/service"
 	"jrpm/internal/telemetry"
+	"jrpm/internal/trace"
 )
 
 func main() {
@@ -69,8 +88,18 @@ func main() {
 		pprofAt  = flag.String("pprof", "", "serve Go pprof on this extra address (e.g. localhost:6060); empty = off")
 		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		spanCap  = flag.Int("span-cap", telemetry.DefaultCollectorCap, "span collector ring capacity")
+		registry = flag.String("registry", "", "fleet registry address to self-register with (requires -worker)")
+		adverts  = flag.String("advertise", "", "address advertised to the fleet (default derives from -addr)")
+		replicas = flag.Int("replicas", 1, "trace replicas placed across the fleet for sweeps served by this daemon")
+		fleetTTL = flag.Duration("fleet-ttl", fleet.DefaultTTL, "liveness TTL granted by this daemon's fleet registry")
+		maxTrace = flag.Int64("max-trace-mb", 0, "reject trace uploads larger than this many MiB (0 = default cap)")
+		version  = flag.Bool("version", false, "print module + trace-format version and exit")
 	)
 	flag.Parse()
+	if *version {
+		printVersion("jrpmd")
+		return
+	}
 
 	level, err := telemetry.ParseLevel(*logLevel)
 	if err != nil {
@@ -101,10 +130,29 @@ func main() {
 	api.Register(mux)
 	if *worker {
 		cw := cluster.NewWorker(pool, 0, 0)
+		cw.MaxTraceBytes = *maxTrace << 20
 		cw.Register(mux)
 		cw.RegisterProm(pool.Registry())
 		api.ExtraMetrics = func() any { return cw.Snapshot() }
 	}
+
+	// Every jrpmd hosts the fleet surface: a membership registry and a
+	// streaming sweep API whose coordinator schedules over the registry's
+	// live members. A daemon that never sees a registration simply has an
+	// empty fleet.
+	freg := fleet.NewRegistry(fleet.RegistryOptions{TTL: *fleetTTL, Logger: logger})
+	freg.Register(mux)
+	freg.RegisterProm(pool.Registry())
+	coord := cluster.New(cluster.Options{
+		Membership:           freg,
+		Replicas:             *replicas,
+		DisableLocalFallback: true, // a hub must not silently replay grids itself
+		Logger:               logger,
+	})
+	sweepSrv := sweeps.NewServer(coord, sweeps.Options{Logger: logger})
+	sweepSrv.Register(mux)
+	sweepSrv.RegisterProm(pool.Registry())
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           telemetry.Middleware(tracer, mux),
@@ -113,6 +161,35 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Fleet worker mode: keep this daemon registered (and heartbeating)
+	// with a remote registry until shutdown begins, then deregister
+	// before the drain so the fleet stops routing shards here first.
+	agentDone := make(chan struct{})
+	close(agentDone)
+	if *registry != "" {
+		if !*worker {
+			fmt.Fprintln(os.Stderr, "jrpmd: -registry requires -worker (nothing to offer the fleet otherwise)")
+			os.Exit(2)
+		}
+		self := *adverts
+		if self == "" {
+			self = *addr
+		}
+		if strings.HasPrefix(self, ":") {
+			self = "localhost" + self
+		}
+		agent := &fleet.Agent{
+			Registry: *registry,
+			Self:     fleet.Member{Addr: self, Module: jrpm.Version, TraceFormat: trace.Version},
+			Logger:   logger,
+		}
+		agentDone = make(chan struct{})
+		go func() {
+			defer close(agentDone)
+			agent.Run(ctx)
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -137,6 +214,9 @@ func main() {
 		}
 	case <-ctx.Done():
 		logger.Info("jrpmd: signal received, draining", "deadline", *drain)
+		// The fleet agent deregisters first so the membership view stops
+		// routing new shards here while in-flight jobs finish.
+		<-agentDone
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		// Order matters: the pool first (stop accepting, let in-flight jobs
@@ -152,6 +232,22 @@ func main() {
 		}
 		flushMetrics(pool, logger)
 	}
+}
+
+// printVersion prints the GET /v1/version payload for -version flags,
+// keyed deterministically.
+func printVersion(cmd string) {
+	p := service.VersionPayload()
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("%s", cmd)
+	for _, k := range keys {
+		fmt.Printf(" %s=%v", k, p[k])
+	}
+	fmt.Println()
 }
 
 // servePprof runs net/http/pprof on its own listener so profiling

@@ -20,6 +20,12 @@ import (
 // dispatcher re-pushes and retries once within the same attempt.
 var errTraceMissing = errors.New("cluster: worker does not hold the trace")
 
+// maxResidency bounds the per-worker trace-residency memo. Against a
+// churning fleet the coordinator outlives many worker generations; the
+// memo is only a stat-probe saver, so an LRU bound keeps it from
+// growing without limit while a false eviction costs one extra stat.
+const maxResidency = 4096
+
 // workerClient is the coordinator's HTTP face of one worker.
 type workerClient struct {
 	name string // as configured (display + metrics key)
@@ -28,6 +34,7 @@ type workerClient struct {
 
 	mu       sync.Mutex
 	hasTrace map[string]bool // content addresses known to be worker-resident
+	order    []string        // LRU order, oldest first
 }
 
 func newWorkerClient(addr string, timeout time.Duration) *workerClient {
@@ -42,6 +49,28 @@ func newWorkerClient(addr string, timeout time.Duration) *workerClient {
 		hc:       &http.Client{Timeout: timeout},
 		hasTrace: map[string]bool{},
 	}
+}
+
+// markResident records key in the bounded residency memo.
+func (wc *workerClient) markResident(key string) {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	if wc.hasTrace[key] {
+		return
+	}
+	wc.hasTrace[key] = true
+	wc.order = append(wc.order, key)
+	for len(wc.order) > maxResidency {
+		delete(wc.hasTrace, wc.order[0])
+		wc.order = wc.order[1:]
+	}
+}
+
+// resident reports whether key is memoized as worker-resident.
+func (wc *workerClient) resident(key string) bool {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	return wc.hasTrace[key]
 }
 
 // apiError decodes a worker's JSON error body.
@@ -108,10 +137,20 @@ func (wc *workerClient) ready(ctx context.Context) (bool, error) {
 }
 
 // forget drops the resident marker for a trace (after a trace_missing
-// rejection).
+// rejection). The stale LRU slot ages out on its own.
 func (wc *workerClient) forget(key string) {
 	wc.mu.Lock()
 	delete(wc.hasTrace, key)
+	wc.mu.Unlock()
+}
+
+// forgetAll empties the residency memo — called when the worker leaves
+// the fleet, so a later reincarnation at the same address starts from
+// honest stat probes.
+func (wc *workerClient) forgetAll() {
+	wc.mu.Lock()
+	wc.hasTrace = map[string]bool{}
+	wc.order = nil
 	wc.mu.Unlock()
 }
 
@@ -119,10 +158,7 @@ func (wc *workerClient) forget(key string) {
 // only when the worker's content-addressed cache misses. It reports
 // whether a push happened.
 func (wc *workerClient) ensureTrace(ctx context.Context, key string, data []byte) (bool, error) {
-	wc.mu.Lock()
-	known := wc.hasTrace[key]
-	wc.mu.Unlock()
-	if known {
+	if wc.resident(key) {
 		return false, nil
 	}
 
@@ -138,9 +174,7 @@ func (wc *workerClient) ensureTrace(ctx context.Context, key string, data []byte
 	resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusNoContent, http.StatusOK:
-		wc.mu.Lock()
-		wc.hasTrace[key] = true
-		wc.mu.Unlock()
+		wc.markResident(key)
 		return false, nil
 	case http.StatusNotFound:
 		// fall through to push
@@ -174,10 +208,37 @@ func (wc *workerClient) ensureTrace(ctx context.Context, key string, data []byte
 		sp.Fail(err)
 		return false, err
 	}
-	wc.mu.Lock()
-	wc.hasTrace[key] = true
-	wc.mu.Unlock()
+	wc.markResident(key)
 	return true, nil
+}
+
+// pull instructs the worker to fetch the recording from a replica
+// holder (POST /v1/traces/{hash}/pull): the replication data path that
+// moves bytes worker-to-worker instead of through the coordinator.
+func (wc *workerClient) pull(ctx context.Context, key string, sources []string) error {
+	body, err := json.Marshal(struct {
+		Sources []string `json:"sources"`
+	}{Sources: sources})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		wc.base+"/v1/traces/"+key+"/pull", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	telemetry.Inject(ctx, req.Header)
+	resp, err := wc.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("trace pull: %w", decodeError(resp))
+	}
+	wc.markResident(key)
+	return nil
 }
 
 // runShard executes POST /v1/shards.

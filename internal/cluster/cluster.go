@@ -14,7 +14,13 @@
 // dead worker, straggler shards are hedged onto a second worker, idle
 // workers steal queued shards from busy ones, and when no worker is
 // reachable at all the whole grid degrades gracefully to local
-// execution. See DESIGN.md "Distributed trace-replay sweeps".
+// execution. The worker set itself may be dynamic: with a
+// fleet.Membership the scheduler re-snapshots the fleet during the
+// sweep, admitting workers that join mid-flight and stealing back the
+// shards of workers that die, while recordings replicate worker-to-
+// worker by rendezvous placement so the coordinator is not the
+// bandwidth bottleneck. See DESIGN.md "Distributed trace-replay
+// sweeps" and "Fleet".
 package cluster
 
 import (
@@ -78,6 +84,10 @@ type ShardRequest struct {
 	Tracer   core.Options          `json:"tracer"`
 	Select   profile.SelectOptions `json:"select"`
 	Configs  []hydra.Config        `json:"configs"`
+	// Sources lists replica holders (worker base URLs) the executing
+	// worker may fetch the recording from on a cache miss, so the
+	// coordinator ships each trace's bytes at most once fleet-wide.
+	Sources []string `json:"sources,omitempty"`
 }
 
 // ShardResponse is the body of a successful POST /v1/shards.

@@ -6,10 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"jrpm"
+	"jrpm/internal/fleet"
 	"jrpm/internal/hydra"
 	"jrpm/internal/service"
 	"jrpm/internal/telemetry"
@@ -21,8 +24,22 @@ import (
 // the negative range as the explicit off switch.
 type Options struct {
 	// Workers lists jrpmd worker addresses (host:port or full URLs).
-	// Empty means every sweep runs locally.
+	// Empty means every sweep runs locally. Ignored when Membership is
+	// set.
 	Workers []string
+	// Membership supplies the worker set dynamically (a fleet
+	// registry). When set it replaces Workers and the scheduler
+	// re-snapshots it for the whole duration of a sweep: workers that
+	// join mid-sweep are admitted and pick up shards, workers that
+	// disappear are retired and their shards stolen back.
+	Membership fleet.Membership
+	// MembershipInterval is the fleet re-snapshot (and replica
+	// reconcile) period; <= 0 means 250ms.
+	MembershipInterval time.Duration
+	// Replicas is the desired number of fleet members holding each
+	// recording, placed by rendezvous hashing and transferred
+	// worker-to-worker; <= 1 keeps the single execution copy.
+	Replicas int
 	// ShardConfigs is the number of grid configs per shard; <= 0 means 4.
 	ShardConfigs int
 	// MaxAttempts bounds dispatch attempts per shard before giving up on
@@ -63,6 +80,12 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
+	if o.MembershipInterval <= 0 {
+		o.MembershipInterval = 250 * time.Millisecond
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 1
+	}
 	if o.ShardConfigs <= 0 {
 		o.ShardConfigs = 4
 	}
@@ -103,25 +126,68 @@ func (o Options) withDefaults() Options {
 }
 
 // Coordinator drives distributed sweeps. It is stateless between Sweep
-// calls except for the worker trace-residency bookkeeping, so one
-// coordinator can run many grids against the same fleet and ship each
-// recording to each worker at most once.
+// calls except for the per-worker trace-residency bookkeeping (bounded,
+// and dropped when a worker leaves the fleet), so one coordinator can
+// run many grids against the same fleet and ship each recording to each
+// worker at most once.
 type Coordinator struct {
-	opts    Options
-	clients []*workerClient
+	opts       Options
+	membership fleet.Membership
+	dynamic    bool
+
+	clientMu sync.Mutex
+	clients  map[string]*workerClient // by member ID, persistent across sweeps
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
 }
 
-// New builds a coordinator for a fixed worker fleet.
+// New builds a coordinator for a worker fleet: dynamic when
+// opts.Membership is set, otherwise the static opts.Workers list.
 func New(opts Options) *Coordinator {
 	opts = opts.withDefaults()
-	c := &Coordinator{opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
-	for _, addr := range opts.Workers {
-		c.clients = append(c.clients, newWorkerClient(addr, 0))
+	c := &Coordinator{
+		opts:    opts,
+		clients: map[string]*workerClient{},
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+	}
+	if opts.Membership != nil {
+		c.membership = opts.Membership
+		c.dynamic = true
+	} else {
+		c.membership = fleet.Static(opts.Workers)
 	}
 	return c
+}
+
+// client resolves (and caches) the HTTP client for a fleet member. A
+// member that re-registers under the same ID with a new address gets a
+// fresh client, dropping the stale residency memo with it.
+func (c *Coordinator) client(m fleet.Member) *workerClient {
+	base := m.Addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	c.clientMu.Lock()
+	defer c.clientMu.Unlock()
+	wc := c.clients[m.ID]
+	if wc == nil || wc.base != base {
+		wc = newWorkerClient(m.Addr, 0)
+		wc.name = m.ID
+		c.clients[m.ID] = wc
+	}
+	return wc
+}
+
+// dropClient forgets a member's client state entirely (fleet
+// departure): the residency memo for a dead worker is useless, and
+// keeping it across churning worker generations would grow without
+// bound.
+func (c *Coordinator) dropClient(id string) {
+	c.clientMu.Lock()
+	delete(c.clients, id)
+	c.clientMu.Unlock()
 }
 
 func (c *Coordinator) jitter(d time.Duration) time.Duration {
@@ -141,20 +207,20 @@ func (c *Coordinator) backoff(attempt int) time.Duration {
 	return c.jitter(d)
 }
 
-// preflight version- and readiness-checks every worker. Unreachable or
+// preflight version- and readiness-checks every member. Unreachable or
 // draining workers are excluded (they may come back; the breaker would
 // exclude them anyway); reachable workers with a different trace-format
 // version are refusals — mixing formats corrupts results, so they are
 // reported as hard errors.
-func (c *Coordinator) preflight(ctx context.Context) (healthy []*workerClient, refusals []error) {
+func (c *Coordinator) preflight(ctx context.Context, members []fleet.Member) (healthy []fleet.Member, refusals []error) {
 	pctx, cancel := context.WithTimeout(ctx, c.opts.PingTimeout)
 	defer cancel()
-	vis := make([]VersionInfo, len(c.clients))
-	errs := make([]error, len(c.clients))
-	ready := make([]bool, len(c.clients))
-	readyErrs := make([]error, len(c.clients))
+	vis := make([]VersionInfo, len(members))
+	errs := make([]error, len(members))
+	ready := make([]bool, len(members))
+	readyErrs := make([]error, len(members))
 	var wg sync.WaitGroup
-	for i, wc := range c.clients {
+	for i, m := range members {
 		wg.Add(1)
 		go func(i int, wc *workerClient) {
 			defer wg.Done()
@@ -162,28 +228,28 @@ func (c *Coordinator) preflight(ctx context.Context) (healthy []*workerClient, r
 			if errs[i] == nil {
 				ready[i], readyErrs[i] = wc.ready(pctx)
 			}
-		}(i, wc)
+		}(i, c.client(m))
 	}
 	wg.Wait()
-	// Iterate in configured order so worker indices (and therefore trace
+	// Iterate in membership order so worker indices (and therefore trace
 	// affinity and shard placement) are deterministic.
-	for i, wc := range c.clients {
+	for i, m := range members {
 		switch {
 		case errs[i] != nil:
 			c.opts.Logger.WarnCtx(ctx, "cluster: worker unreachable, excluded",
-				"worker", wc.name, "err", errs[i])
+				"worker", m.ID, "err", errs[i])
 		case vis[i].TraceFormat != trace.Version:
 			refusals = append(refusals, fmt.Errorf(
 				"worker %s: trace format v%d, coordinator speaks v%d (module %q) — refusing mixed-format worker",
-				wc.name, vis[i].TraceFormat, trace.Version, vis[i].Module))
+				m.ID, vis[i].TraceFormat, trace.Version, vis[i].Module))
 		case readyErrs[i] != nil:
 			c.opts.Logger.WarnCtx(ctx, "cluster: worker readiness probe failed, excluded",
-				"worker", wc.name, "err", readyErrs[i])
+				"worker", m.ID, "err", readyErrs[i])
 		case !ready[i]:
 			c.opts.Logger.WarnCtx(ctx, "cluster: worker draining, excluded",
-				"worker", wc.name)
+				"worker", m.ID)
 		default:
-			healthy = append(healthy, wc)
+			healthy = append(healthy, m)
 		}
 	}
 	return healthy, refusals
@@ -199,20 +265,29 @@ func (c *Coordinator) preflight(ctx context.Context) (healthy []*workerClient, r
 // to workers over traceparent headers so their server-side spans join
 // the same trace.
 func (c *Coordinator) Sweep(ctx context.Context, grid Grid) (*Result, error) {
+	return c.SweepStream(ctx, grid, nil)
+}
+
+// SweepStream is Sweep with a live row feed: onRow is invoked exactly
+// once per (trace, config) cell, as the shard owning the cell
+// completes, with the same row that later lands in Result.Outcomes.
+// Rows arrive in completion order, not grid order. Callbacks are
+// serialized (never concurrent) but must not block for long — they run
+// on the scheduling path. A nil onRow is Sweep.
+func (c *Coordinator) SweepStream(ctx context.Context, grid Grid, onRow func(trace, config int, row OutcomeRow)) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	ctx, sp := telemetry.StartSpan(ctx, "cluster.sweep")
 	sp.SetInt("sweep.traces", int64(len(grid.Traces)))
 	sp.SetInt("sweep.configs", int64(len(grid.Configs)))
-	sp.SetInt("sweep.workers", int64(len(c.clients)))
-	res, err := c.sweep(ctx, grid)
+	res, err := c.sweep(ctx, grid, onRow)
 	sp.Fail(err)
 	sp.End()
 	return res, err
 }
 
-func (c *Coordinator) sweep(ctx context.Context, grid Grid) (*Result, error) {
+func (c *Coordinator) sweep(ctx context.Context, grid Grid, onRow func(int, int, OutcomeRow)) (*Result, error) {
 	if len(grid.Traces) == 0 {
 		return nil, errors.New("cluster: grid has no traces")
 	}
@@ -231,26 +306,43 @@ func (c *Coordinator) sweep(ctx context.Context, grid Grid) (*Result, error) {
 	}
 
 	metrics := newMetrics()
-	if len(c.clients) == 0 {
-		return c.localGrid(ctx, &grid, metrics, false)
+	members, merr := c.membership.Members(ctx)
+	if merr != nil {
+		if c.opts.DisableLocalFallback {
+			return nil, fmt.Errorf("%w: membership: %v", ErrNoWorkers, merr)
+		}
+		c.opts.Logger.WarnCtx(ctx, "cluster: membership unavailable, running grid locally", "err", merr)
+		return c.localGrid(ctx, &grid, metrics, true, onRow)
 	}
-	healthy, refusals := c.preflight(ctx)
+	if len(members) == 0 {
+		if !c.dynamic {
+			// No workers configured: plain local execution, not a
+			// degradation.
+			return c.localGrid(ctx, &grid, metrics, false, onRow)
+		}
+		if c.opts.DisableLocalFallback {
+			return nil, fmt.Errorf("%w: fleet registry reports no live members", ErrNoWorkers)
+		}
+		return c.localGrid(ctx, &grid, metrics, true, onRow)
+	}
+	healthy, refusals := c.preflight(ctx, members)
 	if len(healthy) == 0 {
 		if len(refusals) > 0 {
 			return nil, errors.Join(refusals...)
 		}
 		if c.opts.DisableLocalFallback {
-			return nil, fmt.Errorf("%w: all %d workers unreachable", ErrNoWorkers, len(c.clients))
+			return nil, fmt.Errorf("%w: all %d workers unreachable", ErrNoWorkers, len(members))
 		}
-		return c.localGrid(ctx, &grid, metrics, true)
+		return c.localGrid(ctx, &grid, metrics, true, onRow)
 	}
 	if len(refusals) > 0 {
 		// Some workers are usable but others speak a different trace
 		// format: refuse loudly rather than silently shrinking the fleet.
 		return nil, errors.Join(refusals...)
 	}
+	telemetry.SpanFrom(ctx).SetInt("sweep.workers", int64(len(healthy)))
 
-	s := newSched(c, &grid, keys, healthy, metrics)
+	s := newSched(c, &grid, keys, healthy, metrics, onRow)
 	if err := s.run(ctx); err != nil {
 		return nil, err
 	}
@@ -261,15 +353,16 @@ func (c *Coordinator) sweep(ctx context.Context, grid Grid) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Outcomes: out, Metrics: metrics.Snapshot()}, nil
+	snap := metrics.Snapshot()
+	snap.TraceReplicas = s.replicaCounts()
+	return &Result{Outcomes: out, Metrics: snap}, nil
 }
 
 // localGrid executes the whole grid in-process (no workers configured,
 // or none reachable).
-func (c *Coordinator) localGrid(ctx context.Context, grid *Grid, metrics *Metrics, degraded bool) (*Result, error) {
+func (c *Coordinator) localGrid(ctx context.Context, grid *Grid, metrics *Metrics, degraded bool, onRow func(int, int, OutcomeRow)) (*Result, error) {
 	if degraded {
-		c.opts.Logger.WarnCtx(ctx, "cluster: no usable workers, running grid locally",
-			"workers", len(c.clients))
+		c.opts.Logger.WarnCtx(ctx, "cluster: no usable workers, running grid locally")
 	}
 	ctx, sp := telemetry.StartSpan(ctx, "sweep.local_grid")
 	defer sp.End()
@@ -282,6 +375,11 @@ func (c *Coordinator) localGrid(ctx context.Context, grid *Grid, metrics *Metric
 		outs := compiled.SweepTrace(ctx, gt.Data, grid.Configs, grid.Opts, 0)
 		out[ti] = EncodeOutcomes(outs)
 		metrics.onLocalShard()
+		if onRow != nil && ctx.Err() == nil {
+			for ci, row := range out[ti] {
+				onRow(ti, ci, row)
+			}
+		}
 	}
 	if err := context.Cause(ctx); err != nil && ctx.Err() != nil {
 		return nil, err
@@ -340,6 +438,7 @@ type task struct {
 	inflight int // active attempts
 	hedged   bool
 	done     bool
+	skipped  bool // sentinel abandoned (no worker could run it)
 	rows     []OutcomeRow
 	by       string // worker that produced rows
 }
@@ -351,51 +450,91 @@ type flight struct {
 	cancel context.CancelFunc
 }
 
+// schedWorker is one fleet member's scheduling state for the duration
+// of a sweep. Workers are appended as the fleet grows and flagged
+// retired (never removed, so indices stay stable) as it shrinks.
+type schedWorker struct {
+	id           string
+	client       *workerClient
+	queue        []*task
+	retired      bool
+	consecFail   int
+	breakerUntil time.Time
+}
+
+// traceStore tracks where each recording's replicas live during a
+// sweep. All access is under sched.mu.
+type traceStore struct {
+	entries map[string]*storeEntry
+	total   int64 // sum of holder counts across entries
+}
+
+type storeEntry struct {
+	holders map[string]string // member ID -> base URL peers can fetch from
+	pending map[string]bool   // replica transfers in flight, by target ID
+	lost    bool              // a holder departed; next pull is a re-replication
+	seeding bool              // a coordinator push (first placement) is in flight
+}
+
 type sched struct {
 	c       *Coordinator
 	grid    *Grid
 	keys    []string
-	clients []*workerClient
 	metrics *Metrics
+	onRow   func(int, int, OutcomeRow)
 
 	mu            sync.Mutex
 	cond          *sync.Cond
 	ctx           context.Context
-	queues        [][]*task
+	workers       []*schedWorker
+	byID          map[string]int
 	flights       map[*flight]struct{}
 	primaries     []*task
 	remaining     int
 	sentinelsLeft int
-	consecFail    []int
-	breakerUntil  []time.Time
 	err           error
 	closed        bool
+	running       int             // live worker goroutines
+	localInflight int             // asynchronous local-fallback executions
+	refused       map[string]bool // members refused this sweep (format mismatch)
 	timers        []*time.Timer
+	store         *traceStore
+
+	emitMu sync.Mutex // serializes onRow callbacks
 
 	compileOnce []sync.Once
 	compiled    []*jrpm.Compiled
 	compileErr  []error
 }
 
-func newSched(c *Coordinator, grid *Grid, keys []string, clients []*workerClient, metrics *Metrics) *sched {
+func newSched(c *Coordinator, grid *Grid, keys []string, members []fleet.Member, metrics *Metrics, onRow func(int, int, OutcomeRow)) *sched {
 	s := &sched{
-		c:            c,
-		grid:         grid,
-		keys:         keys,
-		clients:      clients,
-		metrics:      metrics,
-		queues:       make([][]*task, len(clients)),
-		flights:      map[*flight]struct{}{},
-		consecFail:   make([]int, len(clients)),
-		breakerUntil: make([]time.Time, len(clients)),
-		compileOnce:  make([]sync.Once, len(grid.Traces)),
-		compiled:     make([]*jrpm.Compiled, len(grid.Traces)),
-		compileErr:   make([]error, len(grid.Traces)),
+		c:           c,
+		grid:        grid,
+		keys:        keys,
+		metrics:     metrics,
+		onRow:       onRow,
+		byID:        map[string]int{},
+		flights:     map[*flight]struct{}{},
+		refused:     map[string]bool{},
+		store:       &traceStore{entries: map[string]*storeEntry{}},
+		compileOnce: make([]sync.Once, len(grid.Traces)),
+		compiled:    make([]*jrpm.Compiled, len(grid.Traces)),
+		compileErr:  make([]error, len(grid.Traces)),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	for _, m := range members {
+		s.byID[m.ID] = len(s.workers)
+		s.workers = append(s.workers, &schedWorker{id: m.ID, client: c.client(m)})
+	}
+	for _, key := range keys {
+		if s.store.entries[key] == nil {
+			s.store.entries[key] = &storeEntry{holders: map[string]string{}, pending: map[string]bool{}}
+		}
+	}
 
 	size := c.opts.ShardConfigs
-	w := len(clients)
+	w := len(s.workers)
 	for ti := range grid.Traces {
 		for lo := 0; lo < len(grid.Configs); lo += size {
 			hi := lo + size
@@ -430,7 +569,7 @@ func newSched(c *Coordinator, grid *Grid, keys []string, clients []*workerClient
 
 func (s *sched) enqueueLocked(w int, t *task) {
 	t.queued++
-	s.queues[w] = append(s.queues[w], t)
+	s.workers[w].queue = append(s.workers[w].queue, t)
 }
 
 // terminalLocked reports whether worker loops should exit.
@@ -438,18 +577,38 @@ func (s *sched) terminalLocked() bool {
 	return s.err != nil || s.ctx.Err() != nil || (s.remaining == 0 && s.sentinelsLeft == 0)
 }
 
+// leastLoadedLocked returns the live worker with the shortest queue,
+// preferring any worker over avoid but falling back to avoid when it is
+// the only one left; -1 when no live worker exists.
+func (s *sched) leastLoadedLocked(avoid int) int {
+	best := -1
+	for i, w := range s.workers {
+		if w.retired || i == avoid {
+			continue
+		}
+		if best < 0 || len(w.queue) < len(s.workers[best].queue) {
+			best = i
+		}
+	}
+	if best < 0 && avoid >= 0 && avoid < len(s.workers) && !s.workers[avoid].retired {
+		best = avoid
+	}
+	return best
+}
+
 // next blocks until worker w has a shard to run (its own queue first,
-// then stealing from the longest other queue) or the sweep is over.
+// then stealing from the longest other queue) or the sweep is over (or
+// the worker itself has been retired from the fleet).
 func (s *sched) next(w int) (*task, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
-		if s.terminalLocked() {
+		if s.terminalLocked() || s.workers[w].retired {
 			return nil, false
 		}
 		// Circuit breaker: while open, this worker takes no new work. The
 		// sleep is chunked so a completed sweep never waits out a cooldown.
-		if wait := time.Until(s.breakerUntil[w]); wait > 0 {
+		if wait := time.Until(s.workers[w].breakerUntil); wait > 0 {
 			if wait > 10*time.Millisecond {
 				wait = 10 * time.Millisecond
 			}
@@ -465,12 +624,12 @@ func (s *sched) next(w int) (*task, bool) {
 			return t, false
 		}
 		// Work stealing: this worker drained early; take the oldest
-		// queued shard from the most loaded peer.
+		// queued shard from the most loaded live peer.
 		best, bestLen := -1, 0
 		if !s.c.opts.DisableStealing {
-			for i := range s.queues {
-				if i != w && len(s.queues[i]) > bestLen {
-					best, bestLen = i, len(s.queues[i])
+			for i, pw := range s.workers {
+				if i != w && !pw.retired && len(pw.queue) > bestLen {
+					best, bestLen = i, len(pw.queue)
 				}
 			}
 		}
@@ -484,24 +643,56 @@ func (s *sched) next(w int) (*task, bool) {
 	}
 }
 
-// popLocked pops the front of queue w, skipping tasks already completed
-// by another copy.
+// popLocked pops the front of worker w's queue, skipping tasks already
+// completed by another copy or abandoned.
 func (s *sched) popLocked(w int) *task {
-	for len(s.queues[w]) > 0 {
-		t := s.queues[w][0]
-		s.queues[w] = s.queues[w][1:]
+	q := s.workers[w].queue
+	for len(q) > 0 {
+		t := q[0]
+		q = q[1:]
+		s.workers[w].queue = q
 		t.queued--
-		if !t.done {
+		if !t.done && !t.skipped {
 			return t
 		}
 	}
 	return nil
 }
 
-// run executes the scheduler until the grid is merged or failed.
+// spawnLocked starts worker w's dispatch loop.
+func (s *sched) spawnLocked(w int) {
+	s.running++
+	go s.workerLoop(w)
+}
+
+func (s *sched) workerLoop(w int) {
+	defer func() {
+		s.mu.Lock()
+		s.running--
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
+	for {
+		t, stolen := s.next(w)
+		if t == nil {
+			return
+		}
+		s.metrics.onDispatch(s.workers[w].client.name, stolen)
+		s.attempt(w, t)
+	}
+}
+
+// run executes the scheduler until the grid is merged or failed. The
+// completion signal is the task ledger (remaining + sentinelsLeft), not
+// worker-goroutine exit: with a dynamic fleet, workers come and go
+// while the sweep runs.
 func (s *sched) run(ctx context.Context) error {
 	s.mu.Lock()
 	s.ctx = ctx
+	for w := range s.workers {
+		s.spawnLocked(w)
+	}
+	nWorkers := len(s.workers)
 	s.mu.Unlock()
 
 	stop := make(chan struct{})
@@ -512,29 +703,26 @@ func (s *sched) run(ctx context.Context) error {
 		case <-stop:
 		}
 	}()
-	if s.c.opts.HedgeAfter > 0 && len(s.clients) >= 2 {
+	if s.c.opts.HedgeAfter > 0 && (s.c.dynamic || nWorkers >= 2) {
 		go s.hedgeMonitor(stop)
 	}
-
-	var wg sync.WaitGroup
-	for w := range s.clients {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				t, stolen := s.next(w)
-				if t == nil {
-					return
-				}
-				s.metrics.onDispatch(s.clients[w].name, stolen)
-				s.attempt(w, t)
-			}
-		}(w)
+	if s.c.dynamic || s.c.opts.Replicas > 1 {
+		go s.fleetMonitor(stop)
 	}
-	wg.Wait()
+
+	s.mu.Lock()
+	for !s.terminalLocked() {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
 	close(stop)
 
 	s.mu.Lock()
+	// Drain straggler goroutines (worker loops see the terminal state
+	// and exit; async local fallbacks finish) before merge reads tasks.
+	for s.running > 0 || s.localInflight > 0 {
+		s.cond.Wait()
+	}
 	s.closed = true
 	for _, tm := range s.timers {
 		tm.Stop()
@@ -554,7 +742,7 @@ func (s *sched) run(ctx context.Context) error {
 // through the completion / retry / breaker machinery.
 func (s *sched) attempt(w int, t *task) {
 	s.mu.Lock()
-	if t.done || s.terminalLocked() {
+	if t.done || t.skipped || s.terminalLocked() {
 		s.mu.Unlock()
 		return
 	}
@@ -570,25 +758,27 @@ func (s *sched) attempt(w int, t *task) {
 	s.mu.Lock()
 	delete(s.flights, fl)
 	t.inflight--
-	if t.done { // hedge loser: a peer already completed this shard
+	if t.done || t.skipped { // hedge loser: a peer already completed this shard
 		s.mu.Unlock()
 		return
 	}
-	name := s.clients[w].name
+	sw := s.workers[w]
+	name := sw.client.name
 	if err == nil {
-		s.consecFail[w] = 0
+		sw.consecFail = 0
 		s.completeLocked(t, rows, name)
 		s.mu.Unlock()
+		s.emit(t)
 		s.metrics.onComplete(name, time.Since(fl.start))
 		return
 	}
 
 	// Failure path.
 	var breakerOpened, retried, localRun bool
-	s.consecFail[w]++
-	if s.consecFail[w] >= s.c.opts.BreakerThreshold && time.Now().After(s.breakerUntil[w]) {
-		s.breakerUntil[w] = time.Now().Add(s.c.opts.BreakerCooldown)
-		s.consecFail[w] = 0 // half-open after cooldown: one probe re-trips it after Threshold more
+	sw.consecFail++
+	if sw.consecFail >= s.c.opts.BreakerThreshold && time.Now().After(sw.breakerUntil) {
+		sw.breakerUntil = time.Now().Add(s.c.opts.BreakerCooldown)
+		sw.consecFail = 0 // half-open after cooldown: one probe re-trips it after Threshold more
 		breakerOpened = true
 	}
 	if s.ctx.Err() != nil {
@@ -604,6 +794,7 @@ func (s *sched) attempt(w int, t *task) {
 	case t.attempts >= s.c.opts.MaxAttempts:
 		if t.sentinelOf != nil {
 			// A sentinel that cannot run is a skipped check, not a failure.
+			t.skipped = true
 			s.sentinelsLeft--
 			s.cond.Broadcast()
 		} else if !s.c.opts.DisableLocalFallback {
@@ -642,6 +833,20 @@ func (s *sched) attempt(w int, t *task) {
 		log.WarnCtx(sctx, "cluster: shard exhausted cluster attempts, running locally",
 			"trace", t.trace, "lo", t.lo, "hi", t.hi)
 		s.localShard(t)
+	}
+}
+
+// emit streams a completed primary's rows to the SweepStream callback.
+// Called outside sched.mu (rows are immutable once done); the emit
+// mutex keeps callbacks serialized.
+func (s *sched) emit(t *task) {
+	if s.onRow == nil || t.sentinelOf != nil {
+		return
+	}
+	s.emitMu.Lock()
+	defer s.emitMu.Unlock()
+	for i, row := range t.rows {
+		s.onRow(t.trace, t.lo+i, row)
 	}
 }
 
@@ -689,26 +894,60 @@ func (s *sched) checkSentinelLocked(primary, sent *task) {
 	}
 }
 
-// requeue puts a retried shard back on the least-loaded worker, avoiding
-// the one that just failed it when there is a choice.
+// reassignLocked routes a dequeued task to a live worker, or — when the
+// fleet has none — to the local fallback (primaries) or a skipped check
+// (sentinels). Tasks with another copy still in play are dropped; that
+// copy decides.
+func (s *sched) reassignLocked(t *task, avoid int) {
+	if t.done || t.skipped {
+		return
+	}
+	if best := s.leastLoadedLocked(avoid); best >= 0 {
+		s.enqueueLocked(best, t)
+		return
+	}
+	if t.inflight > 0 || t.queued > 0 {
+		return
+	}
+	if t.sentinelOf != nil {
+		t.skipped = true
+		s.sentinelsLeft--
+		return
+	}
+	if s.c.opts.DisableLocalFallback {
+		if s.err == nil {
+			s.err = fmt.Errorf("cluster: shard (trace %d, configs [%d,%d)) stranded: no live workers remain",
+				t.trace, t.lo, t.hi)
+		}
+		return
+	}
+	s.goLocalLocked(t)
+}
+
+// goLocalLocked runs the local fallback for t on its own goroutine,
+// tracked so run() never merges while one is still writing.
+func (s *sched) goLocalLocked(t *task) {
+	s.localInflight++
+	go func() {
+		s.localShard(t)
+		s.mu.Lock()
+		s.localInflight--
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}()
+}
+
+// requeue puts a retried shard back on the least-loaded live worker,
+// avoiding the one that just failed it when there is a choice.
 func (s *sched) requeue(t *task, avoid int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	t.queued-- // drop the reservation taken when the timer was armed
 	if s.closed || t.done || s.terminalLocked() {
-		t.queued--
 		s.cond.Broadcast()
 		return
 	}
-	best := -1
-	for i := range s.queues {
-		if i == avoid && len(s.clients) > 1 {
-			continue
-		}
-		if best < 0 || len(s.queues[i]) < len(s.queues[best]) {
-			best = i
-		}
-	}
-	s.queues[best] = append(s.queues[best], t)
+	s.reassignLocked(t, avoid)
 	s.cond.Broadcast()
 }
 
@@ -735,11 +974,11 @@ func (s *sched) hedgeMonitor(stop <-chan struct{}) {
 				continue
 			}
 			best := -1
-			for i := range s.queues {
-				if i == fl.worker {
+			for i, pw := range s.workers {
+				if i == fl.worker || pw.retired {
 					continue
 				}
-				if best < 0 || len(s.queues[i]) < len(s.queues[best]) {
+				if best < 0 || len(pw.queue) < len(s.workers[best].queue) {
 					best = i
 				}
 			}
@@ -760,30 +999,387 @@ func (s *sched) hedgeMonitor(stop <-chan struct{}) {
 	}
 }
 
-// execute is one network attempt: make the recording resident (shipping
-// bytes only on cache miss), then run the shard; a worker that evicted
-// the trace between push and dispatch gets exactly one re-push.
+// ---------------------------------------------------------------------------
+// Fleet dynamics
+
+// fleetMonitor periodically re-snapshots the membership (dynamic
+// fleets) and reconciles replica placement (Replicas > 1).
+func (s *sched) fleetMonitor(stop <-chan struct{}) {
+	tick := time.NewTicker(s.c.opts.MembershipInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		if s.c.dynamic {
+			s.reconcile()
+		}
+		if s.c.opts.Replicas > 1 {
+			s.replicateTick()
+		}
+	}
+}
+
+// reconcile diffs the current membership snapshot against the
+// scheduler's worker set: departed members are retired (their shards
+// stolen back), new members are preflighted and admitted.
+func (s *sched) reconcile() {
+	mctx, cancel := context.WithTimeout(s.ctx, s.c.opts.PingTimeout)
+	members, err := s.c.membership.Members(mctx)
+	cancel()
+	if err != nil {
+		// A registry blip must not retire live workers; try again next
+		// tick.
+		s.c.opts.Logger.DebugCtx(s.ctx, "cluster: membership snapshot failed", "err", err)
+		return
+	}
+	seen := map[string]bool{}
+	for _, m := range members {
+		seen[m.ID] = true
+	}
+
+	var joins []fleet.Member
+	s.mu.Lock()
+	if s.closed || s.terminalLocked() {
+		s.mu.Unlock()
+		return
+	}
+	for _, w := range s.workers {
+		if !w.retired && !seen[w.id] {
+			s.retireLocked(w)
+		}
+	}
+	for _, m := range members {
+		if s.refused[m.ID] {
+			continue
+		}
+		if idx, ok := s.byID[m.ID]; ok && !s.workers[idx].retired {
+			continue
+		}
+		joins = append(joins, m)
+	}
+	s.mu.Unlock()
+	for _, m := range joins {
+		s.admit(m)
+	}
+}
+
+// retireLocked removes a departed worker from scheduling: its queued
+// shards move to live workers (or the local fallback), its in-flight
+// attempts are canceled so the retry machinery re-routes them, and its
+// residency memo and replica holdings are dropped.
+func (s *sched) retireLocked(w *schedWorker) {
+	if w.retired {
+		return
+	}
+	w.retired = true
+	idx := s.byID[w.id]
+	w.client.forgetAll()
+	s.c.dropClient(w.id)
+	for _, e := range s.store.entries {
+		if e.holders[w.id] != "" {
+			delete(e.holders, w.id)
+			e.lost = true
+			s.store.total--
+		}
+		delete(e.pending, w.id)
+	}
+	s.metrics.setReplicaGauge(s.store.total)
+	for fl := range s.flights {
+		if fl.worker == idx {
+			fl.cancel()
+		}
+	}
+	q := w.queue
+	w.queue = nil
+	for _, t := range q {
+		t.queued--
+		s.reassignLocked(t, idx)
+	}
+	s.metrics.onMemberLeave()
+	s.c.opts.Logger.WarnCtx(s.ctx, "cluster: worker left the fleet, shards stolen back",
+		"worker", w.client.name, "requeued", len(q))
+	s.cond.Broadcast()
+}
+
+// admit preflights a joining member and, if healthy, adds it to the
+// worker set (or revives its retired slot) and starts its dispatch
+// loop. The new worker has an empty queue; it picks up work by
+// stealing, retries and hedges.
+func (s *sched) admit(m fleet.Member) {
+	wc := s.c.client(m)
+	pctx, cancel := context.WithTimeout(s.ctx, s.c.opts.PingTimeout)
+	vi, err := wc.version(pctx)
+	var ready bool
+	if err == nil {
+		ready, err = wc.ready(pctx)
+	}
+	cancel()
+	if err != nil || !ready {
+		// Not reachable/ready yet; the next reconcile retries.
+		return
+	}
+	if vi.TraceFormat != trace.Version {
+		s.mu.Lock()
+		s.refused[m.ID] = true
+		s.mu.Unlock()
+		s.c.opts.Logger.WarnCtx(s.ctx, "cluster: joining worker refused (trace format mismatch)",
+			"worker", m.ID, "worker_format", vi.TraceFormat, "coordinator_format", trace.Version)
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.terminalLocked() {
+		return
+	}
+	if idx, ok := s.byID[m.ID]; ok {
+		w := s.workers[idx]
+		if !w.retired {
+			return
+		}
+		w.retired = false
+		w.client = wc
+		w.consecFail = 0
+		w.breakerUntil = time.Time{}
+		s.spawnLocked(idx)
+	} else {
+		s.byID[m.ID] = len(s.workers)
+		s.workers = append(s.workers, &schedWorker{id: m.ID, client: wc})
+		s.spawnLocked(len(s.workers) - 1)
+	}
+	s.metrics.onMemberJoin()
+	s.c.opts.Logger.InfoCtx(s.ctx, "cluster: worker joined the fleet mid-sweep", "worker", m.ID)
+	s.cond.Broadcast()
+}
+
+// replicateTick drives replica placement toward Replicas holders per
+// recording, choosing targets by rendezvous hashing over live workers
+// and instructing them to pull from existing holders (never the
+// coordinator).
+func (s *sched) replicateTick() {
+	type pullJob struct {
+		key     string
+		target  *schedWorker
+		sources []string
+		relost  bool
+	}
+	var jobs []pullJob
+	s.mu.Lock()
+	if s.closed || s.terminalLocked() {
+		s.mu.Unlock()
+		return
+	}
+	var live []fleet.Member
+	for _, w := range s.workers {
+		if !w.retired {
+			live = append(live, fleet.Member{ID: w.id, Addr: w.client.base})
+		}
+	}
+	if len(live) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	for key, e := range s.store.entries {
+		if len(e.holders) == 0 {
+			// Not placed anywhere yet; the first shard execution seeds it.
+			continue
+		}
+		want := s.c.opts.Replicas
+		if want > len(live) {
+			want = len(live)
+		}
+		if len(e.holders)+len(e.pending) >= want {
+			continue
+		}
+		for _, m := range fleet.Placement(key, live, want) {
+			if e.holders[m.ID] != "" || e.pending[m.ID] {
+				continue
+			}
+			sources := s.store.sourcesLocked(key, m.ID)
+			if len(sources) == 0 {
+				continue
+			}
+			e.pending[m.ID] = true
+			jobs = append(jobs, pullJob{key: key, target: s.workers[s.byID[m.ID]], sources: sources, relost: e.lost})
+			if len(e.holders)+len(e.pending) >= want {
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		go s.replicateOne(j.key, j.target, j.sources, j.relost)
+	}
+}
+
+// replicateOne moves one replica worker-to-worker: the target pulls the
+// recording from an existing holder.
+func (s *sched) replicateOne(key string, target *schedWorker, sources []string, relost bool) {
+	ctx, cancel := context.WithTimeout(s.ctx, s.c.opts.ShardTimeout)
+	defer cancel()
+	ctx, sp := telemetry.StartSpan(ctx, "trace.replicate")
+	sp.SetAttr("worker", target.client.name)
+	sp.SetAttr("trace.key", key)
+	err := target.client.pull(ctx, key, sources)
+	sp.Fail(err)
+	sp.End()
+
+	s.mu.Lock()
+	e := s.store.entries[key]
+	delete(e.pending, target.id)
+	placed := err == nil && !target.retired
+	if placed {
+		if e.holders[target.id] == "" {
+			e.holders[target.id] = target.client.base
+			s.store.total++
+			s.metrics.setReplicaGauge(s.store.total)
+		}
+		e.lost = false
+	}
+	s.mu.Unlock()
+	if placed {
+		s.metrics.onReplicaPull(relost)
+	} else if err != nil {
+		s.c.opts.Logger.DebugCtx(s.ctx, "cluster: replica pull failed",
+			"worker", target.client.name, "trace", key, "err", err)
+	}
+}
+
+// addHolder records that worker sw now holds key's recording.
+func (s *sched) addHolder(key string, sw *schedWorker) {
+	s.mu.Lock()
+	if e := s.store.entries[key]; e != nil && e.holders[sw.id] == "" {
+		e.holders[sw.id] = sw.client.base
+		s.store.total++
+		s.metrics.setReplicaGauge(s.store.total)
+	}
+	s.mu.Unlock()
+	sw.client.markResident(key)
+}
+
+// dropHolder forgets a (key, worker) placement after the worker denied
+// holding the recording.
+func (s *sched) dropHolder(key, id string) {
+	s.mu.Lock()
+	if e := s.store.entries[key]; e != nil && e.holders[id] != "" {
+		delete(e.holders, id)
+		e.lost = true
+		s.store.total--
+		s.metrics.setReplicaGauge(s.store.total)
+	}
+	s.mu.Unlock()
+}
+
+// sourcesLocked lists base URLs of key's holders, excluding one member,
+// in deterministic order.
+func (st *traceStore) sourcesLocked(key, exclude string) []string {
+	e := st.entries[key]
+	if e == nil {
+		return nil
+	}
+	ids := make([]string, 0, len(e.holders))
+	for id := range e.holders {
+		if id != exclude {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = e.holders[id]
+	}
+	return out
+}
+
+// replicaCounts snapshots holders-per-trace for the final metrics.
+func (s *sched) replicaCounts() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.store.entries))
+	for key, e := range s.store.entries {
+		out[key] = len(e.holders)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Shard execution
+
+// execute is one network attempt: make the recording available on the
+// worker, then run the shard. The coordinator ships bytes only when no
+// fleet member holds the recording yet; otherwise the worker is handed
+// the holders' addresses and fetches peer-to-peer on a cache miss. A
+// worker that evicted the trace between placement and dispatch gets
+// exactly one coordinator re-push as the liveness backstop.
 func (s *sched) execute(ctx context.Context, w int, t *task) (rows []OutcomeRow, err error) {
+	sw := s.workers[w]
+	wc := sw.client
 	ctx, sp := telemetry.StartSpan(ctx, "shard.dispatch")
-	sp.SetAttr("worker", s.clients[w].name)
+	sp.SetAttr("worker", wc.name)
 	sp.SetInt("shard.trace", int64(t.trace))
 	sp.SetInt("shard.lo", int64(t.lo))
 	sp.SetInt("shard.hi", int64(t.hi))
 	defer func() { sp.Fail(err); sp.End() }()
 
-	wc := s.clients[w]
 	key := s.keys[t.trace]
 	data := s.grid.Traces[t.trace].Data
-	pushed, err := wc.ensureTrace(ctx, key, data)
-	if pushed {
-		s.metrics.onPush(wc.name)
+	// First placement of a recording is serialized through the seeding
+	// gate: exactly one worker receives the coordinator push, everyone
+	// else waits for a holder to exist and then fetches peer-to-peer.
+	// Without the gate, a worker stealing a shard at sweep start races
+	// the affinity worker's first push and the coordinator ships the
+	// bytes twice.
+	var sources []string
+	seeder := false
+	s.mu.Lock()
+	e := s.store.entries[key]
+	for {
+		if s.terminalLocked() {
+			s.mu.Unlock()
+			if cerr := s.ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			return nil, errors.New("cluster: sweep already terminal")
+		}
+		if e.holders[sw.id] != "" {
+			break
+		}
+		if srcs := s.store.sourcesLocked(key, sw.id); len(srcs) > 0 {
+			sources = srcs
+			break
+		}
+		if !e.seeding {
+			e.seeding, seeder = true, true
+			break
+		}
+		s.cond.Wait()
 	}
-	if err != nil {
-		return nil, err
+	s.mu.Unlock()
+	if seeder {
+		pushed, perr := wc.ensureTrace(ctx, key, data)
+		if pushed {
+			s.metrics.onPush(wc.name)
+		}
+		s.mu.Lock()
+		e.seeding = false
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		if perr != nil {
+			return nil, perr
+		}
+		s.addHolder(key, sw)
 	}
-	rows, err = wc.runShard(ctx, s.shardReq(t))
+	req := s.shardReq(t)
+	req.Sources = sources
+	rows, err = wc.runShard(ctx, req)
 	if errors.Is(err, errTraceMissing) {
+		// Peer fetch failed or an eviction raced the dispatch: one
+		// coordinator re-push keeps the shard alive.
 		wc.forget(key)
+		s.dropHolder(key, sw.id)
 		pushed, perr := wc.ensureTrace(ctx, key, data)
 		if pushed {
 			s.metrics.onPush(wc.name)
@@ -791,7 +1387,10 @@ func (s *sched) execute(ctx context.Context, w int, t *task) (rows []OutcomeRow,
 		if perr != nil {
 			return nil, perr
 		}
-		rows, err = wc.runShard(ctx, s.shardReq(t))
+		rows, err = wc.runShard(ctx, req)
+	}
+	if err == nil {
+		s.addHolder(key, sw)
 	}
 	return rows, err
 }
@@ -835,8 +1434,8 @@ func (s *sched) localShard(t *task) {
 	sp.Fail(err)
 	sp.End()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if t.done {
+		s.mu.Unlock()
 		return
 	}
 	if err != nil {
@@ -844,10 +1443,13 @@ func (s *sched) localShard(t *task) {
 			s.err = fmt.Errorf("cluster: local fallback for shard (trace %d, configs [%d,%d)): %w", t.trace, t.lo, t.hi, err)
 		}
 		s.cond.Broadcast()
+		s.mu.Unlock()
 		return
 	}
 	s.metrics.onLocalShard()
 	s.completeLocked(t, rows, "local")
+	s.mu.Unlock()
+	s.emit(t)
 }
 
 // merge assembles the [trace][config] outcome matrix; every cell must be

@@ -25,6 +25,11 @@ type Metrics struct {
 	local      *telemetry.Counter
 	sentinels  *telemetry.Counter
 	pushes     *telemetry.Counter
+	joins      *telemetry.Counter
+	leaves     *telemetry.Counter
+	replicated *telemetry.Counter
+	rerepl     *telemetry.Counter
+	replicaGa  *telemetry.Gauge
 
 	mu        sync.Mutex
 	latencies []time.Duration // completed shard round-trip times
@@ -53,6 +58,11 @@ func newMetrics() *Metrics {
 		local:      reg.Counter("jrpm_sweep_local_shards_total", "Shards executed in-process as graceful degradation."),
 		sentinels:  reg.Counter("jrpm_sweep_sentinel_checks_total", "Cross-worker determinism comparisons performed."),
 		pushes:     reg.Counter("jrpm_sweep_trace_pushes_total", "Recordings shipped to workers (content-address misses)."),
+		joins:      reg.Counter("jrpm_sweep_member_joins_total", "Workers admitted mid-sweep from the fleet membership."),
+		leaves:     reg.Counter("jrpm_sweep_member_leaves_total", "Workers retired mid-sweep after leaving the fleet."),
+		replicated: reg.Counter("jrpm_sweep_replica_pulls_total", "Worker-to-worker replica transfers instructed by the scheduler."),
+		rerepl:     reg.Counter("jrpm_sweep_rereplications_total", "Replica transfers that restored a replica lost to membership churn."),
+		replicaGa:  reg.Gauge("jrpm_sweep_trace_replicas", "Recording replicas currently placed across the fleet (all traces)."),
 		perWorker:  map[string]*workerCounters{},
 	}
 }
@@ -106,6 +116,20 @@ func (m *Metrics) onBreakerOpen() { m.breaker.Inc() }
 func (m *Metrics) onLocalShard()  { m.local.Inc() }
 func (m *Metrics) onSentinel()    { m.sentinels.Inc() }
 
+func (m *Metrics) onMemberJoin()  { m.joins.Inc() }
+func (m *Metrics) onMemberLeave() { m.leaves.Inc() }
+
+func (m *Metrics) onReplicaPull(rereplication bool) {
+	m.replicated.Inc()
+	if rereplication {
+		m.rerepl.Inc()
+	}
+}
+
+// setReplicaGauge tracks the fleet-wide replica population (the sum of
+// per-trace holder counts) as placement and churn move it.
+func (m *Metrics) setReplicaGauge(n int64) { m.replicaGa.Set(n) }
+
 func (m *Metrics) onPush(w string) {
 	m.pushes.Inc()
 	m.mu.Lock()
@@ -139,9 +163,16 @@ type Snapshot struct {
 	LocalShards    int64         `json:"local_shards"`
 	SentinelChecks int64         `json:"sentinel_checks"`
 	TracePushes    int64         `json:"trace_pushes"`
+	MemberJoins    int64         `json:"member_joins,omitempty"`
+	MemberLeaves   int64         `json:"member_leaves,omitempty"`
+	ReplicaPulls   int64         `json:"replica_pulls,omitempty"`
+	ReReplications int64         `json:"rereplications,omitempty"`
 	ShardP50Ms     float64       `json:"shard_p50_ms"`
 	ShardP99Ms     float64       `json:"shard_p99_ms"`
 	Workers        []WorkerStats `json:"workers"`
+	// TraceReplicas maps each grid trace's content address to how many
+	// fleet members held it when the sweep finished.
+	TraceReplicas map[string]int `json:"trace_replicas,omitempty"`
 }
 
 // quantile returns the q-th latency quantile in milliseconds; ds is
@@ -170,6 +201,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		LocalShards:    m.local.Load(),
 		SentinelChecks: m.sentinels.Load(),
 		TracePushes:    m.pushes.Load(),
+		MemberJoins:    m.joins.Load(),
+		MemberLeaves:   m.leaves.Load(),
+		ReplicaPulls:   m.replicated.Load(),
+		ReReplications: m.rerepl.Load(),
 		ShardP50Ms:     quantile(m.latencies, 0.50),
 		ShardP99Ms:     quantile(m.latencies, 0.99),
 	}

@@ -1,0 +1,193 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func members(t *testing.T, m Membership) []Member {
+	t.Helper()
+	ms, err := m.Members(context.Background())
+	if err != nil {
+		t.Fatalf("Members: %v", err)
+	}
+	return ms
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	reg := NewRegistry(RegistryOptions{TTL: time.Minute})
+	now := time.Unix(1000, 0)
+	reg.now = func() time.Time { return now }
+	mux := http.NewServeMux()
+	reg.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	agent := &Agent{Registry: srv.URL, Self: Member{Addr: "w1:9090", Module: "v1", TraceFormat: 3}}
+	agent.hc = srv.Client()
+	ttl, err := agent.register(context.Background())
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if ttl != time.Minute {
+		t.Fatalf("ttl = %v, want 1m", ttl)
+	}
+	ms := members(t, reg)
+	if len(ms) != 1 || ms[0].ID != "w1:9090" || ms[0].TraceFormat != 3 {
+		t.Fatalf("members after register: %+v", ms)
+	}
+
+	// Heartbeat refreshes rather than duplicating.
+	if _, err := agent.register(context.Background()); err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	snap := reg.Snapshot()
+	if snap.Registers != 1 || snap.Heartbeats != 1 || snap.Live != 1 {
+		t.Fatalf("snapshot after heartbeat: %+v", snap)
+	}
+
+	// The HTTP membership view agrees with the in-process one.
+	remote := NewRegistryMembership(srv.URL)
+	if got := members(t, remote); len(got) != 1 || got[0].ID != "w1:9090" {
+		t.Fatalf("remote members: %+v", got)
+	}
+
+	// TTL lapse prunes the member on the next read.
+	now = now.Add(2 * time.Minute)
+	if got := members(t, reg); len(got) != 0 {
+		t.Fatalf("members after TTL lapse: %+v", got)
+	}
+	if snap := reg.Snapshot(); snap.Expirations != 1 {
+		t.Fatalf("expirations = %d, want 1", snap.Expirations)
+	}
+
+	// Graceful deregister removes immediately and is idempotent.
+	if _, err := agent.register(context.Background()); err != nil {
+		t.Fatalf("re-register: %v", err)
+	}
+	agent.deregister()
+	agent.deregister()
+	if got := members(t, reg); len(got) != 0 {
+		t.Fatalf("members after deregister: %+v", got)
+	}
+	if snap := reg.Snapshot(); snap.Deregisters != 1 {
+		t.Fatalf("deregisters = %d, want 1", snap.Deregisters)
+	}
+}
+
+func TestRegistryRejectsBadRegister(t *testing.T) {
+	reg := NewRegistry(RegistryOptions{})
+	mux := http.NewServeMux()
+	reg.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := srv.Client().Post(srv.URL+"/v1/fleet/register", "application/json",
+		nil)
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty body: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestAgentHeartbeatKeepsMemberAlive(t *testing.T) {
+	reg := NewRegistry(RegistryOptions{TTL: 150 * time.Millisecond})
+	mux := http.NewServeMux()
+	reg.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	agent := &Agent{Registry: srv.URL, Self: Member{Addr: "w1:9090"}}
+	done := make(chan struct{})
+	go func() { agent.Run(ctx); close(done) }()
+
+	// Across several TTL windows the heartbeats must keep the member
+	// live.
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+		if len(members(t, reg)) == 0 && time.Since(deadline.Add(-time.Second)) > 300*time.Millisecond {
+			t.Fatal("member expired despite a running agent")
+		}
+	}
+	if len(members(t, reg)) != 1 {
+		t.Fatal("member not live after heartbeat window")
+	}
+
+	// Cancel drains: the agent deregisters on its way out.
+	cancel()
+	<-done
+	if got := members(t, reg); len(got) != 0 {
+		t.Fatalf("members after agent shutdown: %+v", got)
+	}
+}
+
+func TestStaticMembership(t *testing.T) {
+	ms := members(t, Static{"a:1", "", "b:2"})
+	if len(ms) != 2 || ms[0].ID != "a:1" || ms[1].Addr != "b:2" {
+		t.Fatalf("static members: %+v", ms)
+	}
+}
+
+func TestPlacementProperties(t *testing.T) {
+	fleet := make([]Member, 0, 8)
+	for i := 0; i < 8; i++ {
+		fleet = append(fleet, Member{ID: fmt.Sprintf("w%d", i), Addr: fmt.Sprintf("w%d:9090", i)})
+	}
+	keys := make([]string, 0, 200)
+	for i := 0; i < 200; i++ {
+		keys = append(keys, fmt.Sprintf("trace-%03d", i))
+	}
+
+	// Deterministic and independent of member order.
+	shuffled := append([]Member{}, fleet[4:]...)
+	shuffled = append(shuffled, fleet[:4]...)
+	for _, k := range keys {
+		a := Placement(k, fleet, 3)
+		b := Placement(k, shuffled, 3)
+		if len(a) != 3 || len(b) != 3 {
+			t.Fatalf("placement size: %d/%d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i].ID != b[i].ID {
+				t.Fatalf("placement order-dependent for %s: %v vs %v", k, a, b)
+			}
+		}
+	}
+
+	// Spread: every member should own some keys at n=1.
+	owners := map[string]int{}
+	for _, k := range keys {
+		owners[Placement(k, fleet, 1)[0].ID]++
+	}
+	if len(owners) != len(fleet) {
+		t.Fatalf("rendezvous spread covers %d/%d members: %v", len(owners), len(fleet), owners)
+	}
+
+	// Minimal movement: removing one member must not move keys it did
+	// not own.
+	without := append(append([]Member{}, fleet[:3]...), fleet[4:]...)
+	for _, k := range keys {
+		before := Placement(k, fleet, 1)[0]
+		after := Placement(k, without, 1)[0]
+		if before.ID != "w3" && after.ID != before.ID {
+			t.Fatalf("key %s moved from %s to %s though w3 left", k, before.ID, after.ID)
+		}
+	}
+
+	// n larger than the fleet returns everyone.
+	if got := Placement("k", fleet[:2], 5); len(got) != 2 {
+		t.Fatalf("overshoot placement: %v", got)
+	}
+	if got := Placement("k", nil, 2); got != nil {
+		t.Fatalf("empty fleet placement: %v", got)
+	}
+}

@@ -199,12 +199,20 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, m)
 }
 
-func (s *Server) version(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+// VersionPayload is the body of GET /v1/version: module version,
+// trace-format version, and the Go runtime. The CLIs' -version flags
+// print the same payload so a human and a preflighting coordinator see
+// identical facts.
+func VersionPayload() map[string]any {
+	return map[string]any{
 		"module":       jrpm.Version,
 		"trace_format": trace.Version,
 		"go":           runtime.Version(),
-	})
+	}
+}
+
+func (s *Server) version(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, VersionPayload())
 }
 
 func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {

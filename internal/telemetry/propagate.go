@@ -128,6 +128,14 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the wrapped writer so streaming responses (NDJSON
+// sweep rows) keep flushing through the tracing middleware.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // Middleware wraps an HTTP handler with server-side tracing: it
 // extracts an incoming traceparent, opens one server span per request
 // (joined to the caller's trace when propagated), makes the tracer

@@ -1,0 +1,199 @@
+// The `jrpm corpus` verbs: generate a deterministic program corpus
+// from a spec, inspect a manifest, and run a corpus through the profile
+// pipeline against its expected-speedup oracle bands (see README
+// "Generating a corpus").
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"jrpm"
+	"jrpm/internal/cluster"
+	"jrpm/internal/corpus"
+	"jrpm/internal/experiments"
+)
+
+func corpusMain(args []string) {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: jrpm corpus generate|info|run ...")
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "generate":
+		corpusGenerate(args[1:])
+	case "info":
+		corpusInfo(args[1:])
+	case "run":
+		corpusRun(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "jrpm corpus: unknown verb %q (want generate, info or run)\n", args[0])
+		os.Exit(2)
+	}
+}
+
+// resolveSpec is the shared -name / -spec resolution for corpus verbs.
+func resolveSpec(name, specPath string) corpus.Spec {
+	switch {
+	case name != "" && specPath != "":
+		fatal(errors.New("corpus: -name and -spec are mutually exclusive"))
+	case specPath != "":
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			fatal(err)
+		}
+		spec, err := corpus.ParseSpec(data)
+		if err != nil {
+			fatal(err)
+		}
+		return spec
+	default:
+		if name == "" {
+			name = "default"
+		}
+		spec, ok := corpus.SpecByName(name)
+		if !ok {
+			fatal(fmt.Errorf("corpus: unknown built-in spec %q (want default or smoke)", name))
+		}
+		return spec
+	}
+	panic("unreachable")
+}
+
+// corpusGenerate compiles a spec into a manifest (and optionally the
+// rendered sources) and prints the fingerprint — the byte-identity
+// contract two machines can compare.
+func corpusGenerate(args []string) {
+	fs := flag.NewFlagSet("jrpm corpus generate", flag.ExitOnError)
+	name := fs.String("name", "", "built-in spec name: default or smoke")
+	specPath := fs.String("spec", "", "path to a JSON corpus spec")
+	outDir := fs.String("o", "", "output directory: writes manifest.json and one <id>.jr per program")
+	fs.Parse(args)
+	spec := resolveSpec(*name, *specPath)
+
+	m, progs, err := corpus.Compile(spec)
+	if err != nil {
+		fatal(err)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		data, err := m.Encode()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(*outDir, "manifest.json"), data, 0o644); err != nil {
+			fatal(err)
+		}
+		for i, p := range progs {
+			path := filepath.Join(*outDir, m.Programs[i].ID+".jr")
+			if err := os.WriteFile(path, []byte(p.Source), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wrote %s and %d programs to %s\n", "manifest.json", len(progs), *outDir)
+	}
+	fmt.Printf("corpus:      %s (seed %d)\n", m.Name, m.Seed)
+	fmt.Printf("programs:    %d\n", len(m.Programs))
+	fmt.Printf("fingerprint: %s\n", m.Fingerprint)
+}
+
+// corpusInfo verifies and summarizes a manifest file.
+func corpusInfo(args []string) {
+	fs := flag.NewFlagSet("jrpm corpus info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(errors.New("corpus info: exactly one manifest.json expected"))
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	m, err := corpus.ParseManifest(data)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("corpus:      %s (seed %d)\n", m.Name, m.Seed)
+	fmt.Printf("programs:    %d\n", len(m.Programs))
+	fmt.Printf("fingerprint: %s\n", m.Fingerprint)
+	type key struct {
+		dep   string
+		class string
+	}
+	counts := map[key]int{}
+	for _, e := range m.Programs {
+		counts[key{e.Params.Dep, e.Band.Class}]++
+	}
+	fmt.Printf("%-14s %-8s %s\n", "dependence", "class", "programs")
+	for _, dep := range []string{corpus.DepIndependent, corpus.DepReduction, corpus.DepDistance} {
+		for _, class := range []string{corpus.ClassSerial, corpus.ClassHalf, corpus.ClassFull} {
+			if n := counts[key{dep, class}]; n > 0 {
+				fmt.Printf("%-14s %-8s %d\n", dep, class, n)
+			}
+		}
+	}
+}
+
+// corpusTraces turns a corpus manifest into a sweep trace population:
+// each program is regenerated from its manifest record (hash-verified),
+// profiled once in-process to capture its event stream, and handed to
+// the sweep grid — from there the cluster/fleet machinery treats it
+// like any other recording.
+func corpusTraces(path string, n int) []cluster.GridTrace {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := corpus.ParseManifest(data)
+	if err != nil {
+		fatal(err)
+	}
+	entries := m.Programs
+	if n > 0 && n < len(entries) {
+		entries = entries[:n]
+	}
+	traces := make([]cluster.GridTrace, 0, len(entries))
+	for _, e := range entries {
+		p, err := e.Regenerate()
+		if err != nil {
+			fatal(err)
+		}
+		c, err := jrpm.Compile(p.Source, jrpm.DefaultOptions())
+		if err != nil {
+			fatal(fmt.Errorf("corpus %s: %w", e.ID, err))
+		}
+		var buf bytes.Buffer
+		if _, err := c.ProfileRecord(context.Background(), p.Input(), jrpm.DefaultOptions(), &buf); err != nil {
+			fatal(fmt.Errorf("corpus %s: record: %w", e.ID, err))
+		}
+		traces = append(traces, cluster.GridTrace{Name: e.ID, Source: p.Source, Data: buf.Bytes()})
+	}
+	return traces
+}
+
+// corpusRun profiles every program in a corpus and checks the Eq. 1
+// estimates against the oracle bands, printing the per-axis ablation
+// table with exceptions enumerated.
+func corpusRun(args []string) {
+	fs := flag.NewFlagSet("jrpm corpus run", flag.ExitOnError)
+	name := fs.String("name", "", "built-in spec name: default or smoke")
+	specPath := fs.String("spec", "", "path to a JSON corpus spec")
+	n := fs.Int("n", 0, "cap the corpus at the first n programs (0 = all)")
+	fs.Parse(args)
+	spec := resolveSpec(*name, *specPath)
+	if *n > 0 && (spec.Size == 0 || *n < spec.Size) {
+		spec.Size = *n
+	}
+
+	_, text, err := experiments.AblateCorpus(context.Background(), spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(text)
+}

@@ -33,6 +33,13 @@
 //	jrpm session -w BitOps -scale 0.35 -epochs 8       # promote, observe, demote
 //	jrpm session -w BitOps -jitter -seed 7 -budget 5000000
 //	jrpm session -w BitOps -daemon localhost:8077      # run it on a jrpmd
+//
+// Generated corpora (see README "Generating a corpus"):
+//
+//	jrpm corpus generate -name smoke -o corpus/       # manifest + sources
+//	jrpm corpus info corpus/manifest.json
+//	jrpm corpus run -name default                     # oracle-band check table
+//	jrpm sweep -corpus corpus/manifest.json -corpus-n 8 -banks 1,4,8
 package main
 
 import (
@@ -78,6 +85,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "session" {
 		sessionMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "corpus" {
+		corpusMain(os.Args[2:])
 		return
 	}
 	var (
@@ -521,15 +532,19 @@ func printLoopTiers(prog *tir.Program, pr *jrpm.ProfileResult) {
 	}
 }
 
-// sweepMain runs `jrpm sweep`: replay one recording under a bank ×
+// sweepMain runs `jrpm sweep`: replay recordings under a bank ×
 // history config grid, either locally or sharded across a fleet of
-// jrpmd -worker daemons.
+// jrpmd -worker daemons. The trace population is one recording
+// (-trace, with -w/-src naming the program) or a generated corpus
+// (-corpus, recording each program in-process first).
 func sweepMain(args []string) {
 	fs := flag.NewFlagSet("jrpm sweep", flag.ExitOnError)
 	wname := fs.String("w", "", "built-in workload name (must match the recording)")
 	srcPath := fs.String("src", "", "path to the recorded program's .jr source")
 	scale := fs.Float64("scale", 1, "input scale factor for -w (unused during replay)")
-	tracePath := fs.String("trace", "", "recorded trace file (required)")
+	tracePath := fs.String("trace", "", "recorded trace file (required unless -corpus)")
+	corpusPath := fs.String("corpus", "", "corpus manifest.json: sweep every corpus program instead of one recording")
+	corpusN := fs.Int("corpus-n", 0, "cap the corpus at the first n programs (0 = all)")
 	banksList := fs.String("banks", "", "comma-separated comparator bank counts to sweep")
 	histList := fs.String("history", "", "comma-separated heap-store history depths to sweep")
 	workerList := fs.String("workers", "", "comma-separated jrpmd worker addresses (empty = run locally)")
@@ -541,13 +556,25 @@ func sweepMain(args []string) {
 	traceOut := fs.String("trace-out", "", "write the sweep's stitched span trace (coordinator + worker spans) to this JSON file")
 	logLevel := fs.String("log-level", "warn", "minimum scheduler log level: debug, info, warn, error")
 	fs.Parse(args)
-	if *tracePath == "" {
-		fatal(errors.New("sweep: -trace <file> is required"))
-	}
-	src, _ := resolveProgram(fs, *wname, *srcPath, *scale)
-	data, err := os.ReadFile(*tracePath)
-	if err != nil {
-		fatal(err)
+	var traces []cluster.GridTrace
+	switch {
+	case *corpusPath != "" && *tracePath != "":
+		fatal(errors.New("sweep: -corpus and -trace are mutually exclusive"))
+	case *corpusPath != "":
+		traces = corpusTraces(*corpusPath, *corpusN)
+	case *tracePath != "":
+		src, _ := resolveProgram(fs, *wname, *srcPath, *scale)
+		data, err := os.ReadFile(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		name := *wname
+		if name == "" {
+			name = *srcPath
+		}
+		traces = []cluster.GridTrace{{Name: name, Source: src, Data: data}}
+	default:
+		fatal(errors.New("sweep: -trace <file> or -corpus <manifest.json> is required"))
 	}
 
 	base := hydra.DefaultConfig()
@@ -592,10 +619,6 @@ func sweepMain(args []string) {
 		copts.Membership = fleet.NewRegistryMembership(*registryAddr)
 	}
 	coord := cluster.New(copts)
-	name := *wname
-	if name == "" {
-		name = *srcPath
-	}
 
 	// With -trace-out the whole sweep runs under one client span; the
 	// workers' server-side spans join it over traceparent headers and are
@@ -616,11 +639,11 @@ func sweepMain(args []string) {
 	if *progress || *registryAddr != "" {
 		onRow = func(_, _ int, _ cluster.OutcomeRow) {
 			rowsDone++
-			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d rows", rowsDone, len(cfgs))
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d rows", rowsDone, len(cfgs)*len(traces))
 		}
 	}
 	res, err := coord.SweepStream(ctx, cluster.Grid{
-		Traces:  []cluster.GridTrace{{Name: name, Source: src, Data: data}},
+		Traces:  traces,
 		Configs: cfgs,
 		Opts:    jrpm.DefaultOptions(),
 	}, onRow)
@@ -640,15 +663,20 @@ func sweepMain(args []string) {
 		}
 	}
 
-	fmt.Printf("%-6s %-8s %-10s %s\n", "banks", "history", "predicted", "selected STLs")
-	for i, row := range res.Outcomes[0] {
-		if row.Err != "" {
-			fatal(fmt.Errorf("config %d (banks=%d history=%d): %s",
-				i, cfgs[i].Tracer.Banks, cfgs[i].Tracer.HeapStoreLines, row.Err))
+	for ti, rows := range res.Outcomes {
+		if len(traces) > 1 {
+			fmt.Printf("%s:\n", traces[ti].Name)
 		}
-		fmt.Printf("%-6d %-8d %-10.2f %v\n",
-			cfgs[i].Tracer.Banks, cfgs[i].Tracer.HeapStoreLines,
-			row.PredictedSpeedup(), row.Selected)
+		fmt.Printf("%-6s %-8s %-10s %s\n", "banks", "history", "predicted", "selected STLs")
+		for i, row := range rows {
+			if row.Err != "" {
+				fatal(fmt.Errorf("%s config %d (banks=%d history=%d): %s",
+					traces[ti].Name, i, cfgs[i].Tracer.Banks, cfgs[i].Tracer.HeapStoreLines, row.Err))
+			}
+			fmt.Printf("%-6d %-8d %-10.2f %v\n",
+				cfgs[i].Tracer.Banks, cfgs[i].Tracer.HeapStoreLines,
+				row.PredictedSpeedup(), row.Selected)
+		}
 	}
 	if *showMetrics {
 		b, err := json.MarshalIndent(res.Metrics, "", "  ")

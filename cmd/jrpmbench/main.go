@@ -17,6 +17,11 @@
 // server-side queueing cannot hide in the generator (no coordinated
 // omission).
 //
+// A spec whose "corpus" field names a corpus manifest (see jrpm corpus
+// generate) draws its kernel pool from the generated programs instead
+// of the registered benchmarks; requests then carry the regenerated
+// sources inline.
+//
 // In-process runs build a service.Pool from the -workers/-queue/
 // -admit-hwm/-tenant-rate/-tenant-burst flags, so saturation and
 // shedding scenarios are self-contained; -daemon drives a live jrpmd

@@ -1,0 +1,400 @@
+// Package corpus is a seeded, fully deterministic JR source-program
+// generator that sweeps the axes the TLS speculation model actually
+// depends on: loop-nest depth, loop-carried dependence distance,
+// working-set size, branch density, call structure, and array aliasing.
+//
+// Every generated program has a known dependence structure by
+// construction, so the Equation 1/2 estimate its profile run produces
+// can be checked against an analytically derived expected-speedup band
+// (see oracle.go). The 26 paper kernels are a fixed target; the corpus
+// is the parameterized input space around them — in the spirit of
+// mining parallel kernels from trace structure rather than only natural
+// loops — and it is what the fuzz harness, the experiments ablations,
+// the sweep CLIs and the load harness draw from when they need "many
+// programs" instead of "the same 26".
+//
+// Determinism contract: Generate is a pure function of Params, and
+// Compile is a pure function of a Spec — same spec + seed produce
+// byte-identical sources and a byte-identical manifest on any machine.
+// Nothing here reads the clock, the environment, or map iteration
+// order.
+//
+// The generated shape (axes in brackets):
+//
+//	global a: int[];                      // len = Iterations [working set]
+//	global b: int[];                      // [Alias] may-alias traffic
+//
+//	func work(x: int): int { ... }        // [Call] straight-line helper
+//
+//	func kernel() {
+//	    var s: int = 0;                   // reduction accumulator (Dep=reduction)
+//	    var d1: int = 0;                  // [NestDepth] outer repeat loops
+//	    while (d1 < 2) {
+//	        var i: int = K;               // K = DepDistance (Dep=distance)
+//	        while (i < len(a)) {          // <- the target loop
+//	            var t: int = a[(i - K)];  // [Dep] the injected dependence load
+//	            t = ((t * m) + c) & 8191; // [BodyOps] pad chain, possibly
+//	            if ((t & 3) != 0) { ... } // [BranchDensity] partly branch-gated,
+//	            t = work(t);              // [Call] possibly through the helper
+//	            b[i] = (b[i] + t);        // [Alias] same-iteration only
+//	            a[i] = (t + 1);           // the injected dependence store
+//	            i = (i + 1);
+//	        }
+//	        d1 = (d1 + 1);
+//	    }
+//	}
+//
+//	func main() { kernel(); <checksum of a>; print(sum); }
+//
+// The dependence statements are deliberately placed load-first /
+// store-last and kept unconditional: the critical arc the TEST
+// comparator banks observe then matches the injected distance exactly
+// (the heap store-timestamp FIFO is word-granular, so element distance
+// is arc distance), while branches and calls only stretch the thread
+// size between them. The scalar screen classifies t as private, i as an
+// inductor and s as a reduction, so no local-variable arcs pollute the
+// heap dependence being injected.
+package corpus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"jrpm"
+	"jrpm/internal/lang"
+	"jrpm/internal/tir"
+)
+
+// Dependence kinds for Params.Dep.
+const (
+	DepIndependent = "independent" // a[i] = f(a[i]): no cross-iteration arcs
+	DepReduction   = "reduction"   // s = s + f(a[i]): screen-excluded scalar only
+	DepDistance    = "distance"    // a[i] = f(a[i-K]): heap arc at distance K
+)
+
+// Params pins one generated program. Every field participates in the
+// manifest, so two machines agreeing on Params agree on the bytes.
+type Params struct {
+	// Seed drives the incidental choices (pad-op constants, input
+	// values); the structural axes below are explicit.
+	Seed uint64 `json:"seed"`
+	// NestDepth counts loops around the target loop plus the target
+	// itself: 1 = the target loop alone, d > 1 adds d-1 two-trip repeat
+	// loops around it.
+	NestDepth int `json:"nest_depth"`
+	// Dep selects the injected dependence structure.
+	Dep string `json:"dep"`
+	// DepDistance is the loop-carried dependence distance in iterations
+	// (Dep=distance only; 0 otherwise). Kept <= 8 so the dependence
+	// always fits the 192-line store-timestamp FIFO.
+	DepDistance int `json:"dep_distance,omitempty"`
+	// Iterations is the target loop's trip count and the length of the
+	// bound arrays — the working-set axis. Kept in [16, 512]: at least
+	// 4x the CPU count so the trip-count cap never binds, at most the
+	// direct-mapped line-timestamp geometry.
+	Iterations int `json:"iterations"`
+	// BodyOps is the number of pad statements in the loop body — the
+	// thread-size axis.
+	BodyOps int `json:"body_ops"`
+	// BranchDensity is the fraction of pad ops gated behind a
+	// data-dependent branch, in [0, 1].
+	BranchDensity float64 `json:"branch_density"`
+	// Call routes one pad step through a straight-line helper function.
+	Call bool `json:"call"`
+	// Alias adds same-iteration read-then-write traffic on a second
+	// array: may-alias at compile time, dynamically independent — the
+	// case TEST exists to prove profitable.
+	Alias bool `json:"alias"`
+}
+
+// Validate rejects parameter combinations outside the generator's
+// calibrated envelope.
+func (p Params) Validate() error {
+	if p.NestDepth < 1 || p.NestDepth > 3 {
+		return fmt.Errorf("corpus: nest_depth %d out of range [1,3]", p.NestDepth)
+	}
+	switch p.Dep {
+	case DepIndependent, DepReduction:
+		if p.DepDistance != 0 {
+			return fmt.Errorf("corpus: dep %q takes no dep_distance (got %d)", p.Dep, p.DepDistance)
+		}
+	case DepDistance:
+		if p.DepDistance < 1 || p.DepDistance > 8 {
+			return fmt.Errorf("corpus: dep_distance %d out of range [1,8]", p.DepDistance)
+		}
+	default:
+		return fmt.Errorf("corpus: dep %q: want %s, %s or %s", p.Dep, DepIndependent, DepReduction, DepDistance)
+	}
+	if p.Iterations < 16 || p.Iterations > 512 {
+		return fmt.Errorf("corpus: iterations %d out of range [16,512]", p.Iterations)
+	}
+	if p.BodyOps < 1 || p.BodyOps > 16 {
+		return fmt.Errorf("corpus: body_ops %d out of range [1,16]", p.BodyOps)
+	}
+	if p.BranchDensity < 0 || p.BranchDensity > 1 {
+		return fmt.Errorf("corpus: branch_density %g out of range [0,1]", p.BranchDensity)
+	}
+	return nil
+}
+
+// Program is one generated corpus program: the lang AST, its canonical
+// rendering, and the metadata record the manifest stores.
+type Program struct {
+	Params Params
+	File   *lang.File
+	Source string
+	// SHA256 is the hex digest of Source — the per-program identity the
+	// manifest fingerprint is built from.
+	SHA256 string
+	// Band is the expected-speedup oracle for the target loop.
+	Band Band
+}
+
+// rng is the xorshift64* generator used for all incidental choices,
+// matching the loadgen/workloads idiom.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Generate builds the program for p. It is a pure function: equal
+// Params yield byte-identical Source.
+func Generate(p Params) (*Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	r := newRNG(p.Seed*0x9e3779b97f4a7c15 + 1)
+
+	f := &lang.File{}
+	f.Globals = append(f.Globals, &lang.GlobalDecl{Name: "a", Type: lang.TypeIntArr})
+	if p.Alias {
+		f.Globals = append(f.Globals, &lang.GlobalDecl{Name: "b", Type: lang.TypeIntArr})
+	}
+	if p.Call {
+		f.Funcs = append(f.Funcs, helperFunc(r))
+	}
+	f.Funcs = append(f.Funcs, kernelFunc(p, r))
+	f.Funcs = append(f.Funcs, mainFunc())
+
+	src := lang.Format(f)
+	sum := sha256.Sum256([]byte(src))
+	return &Program{
+		Params: p,
+		File:   f,
+		Source: src,
+		SHA256: hex.EncodeToString(sum[:]),
+		Band:   p.band(),
+	}, nil
+}
+
+// Input fabricates the deterministic harness bindings for the program:
+// array lengths realize the working-set axis, values come from the
+// program's own seed.
+func (p *Program) Input() jrpm.Input {
+	r := newRNG(p.Params.Seed*0x9e3779b97f4a7c15 + 2)
+	mk := func() []int64 {
+		vals := make([]int64, p.Params.Iterations)
+		for i := range vals {
+			vals[i] = int64(r.intn(4096))
+		}
+		return vals
+	}
+	in := jrpm.Input{Ints: map[string][]int64{"a": mk()}}
+	if p.Params.Alias {
+		in.Ints["b"] = mk()
+	}
+	return in
+}
+
+// TargetLoopID resolves the program's target loop — the innermost loop
+// of func kernel — in a compiled tir.Program (clean or annotated; both
+// share loop IDs). Returns -1 if the loop table has no kernel loop.
+func TargetLoopID(prog *tir.Program) int {
+	fi, ok := prog.FuncIndex["kernel"]
+	if !ok {
+		return -1
+	}
+	best, depth := -1, 0
+	for i := range prog.Loops {
+		l := &prog.Loops[i]
+		if l.Func == fi && l.StaticDepth > depth {
+			best, depth = l.ID, l.StaticDepth
+		}
+	}
+	return best
+}
+
+// --- AST construction helpers -----------------------------------------------
+
+func ident(name string) *lang.IdentExpr { return &lang.IdentExpr{Name: name} }
+func intLit(v int64) *lang.IntLit       { return &lang.IntLit{Val: v} }
+
+func bin(op lang.TokKind, x, y lang.Expr) *lang.BinExpr {
+	return &lang.BinExpr{Op: op, X: x, Y: y}
+}
+
+func index(arr string, idx lang.Expr) *lang.IndexExpr {
+	return &lang.IndexExpr{Arr: ident(arr), Idx: idx}
+}
+
+func assign(lhs lang.Expr, rhs lang.Expr) *lang.AssignStmt {
+	return &lang.AssignStmt{LHS: lhs, Op: lang.TokAssign, RHS: rhs}
+}
+
+func varInit(name string, init lang.Expr) *lang.VarStmt {
+	return &lang.VarStmt{Name: name, Type: lang.TypeInt, Init: init}
+}
+
+func call(name string, args ...lang.Expr) *lang.CallExpr {
+	return &lang.CallExpr{Name: name, Args: args}
+}
+
+func block(stmts ...lang.Stmt) *lang.BlockStmt { return &lang.BlockStmt{Stmts: stmts} }
+
+// helperFunc is the straight-line callee for the call-structure axis:
+// it adds call overhead and thread size without touching the heap or
+// introducing loops, so the injected dependence structure is unchanged.
+func helperFunc(r *rng) *lang.FuncDecl {
+	m := int64(3 + 2*r.intn(4))
+	c := int64(r.intn(64))
+	return &lang.FuncDecl{
+		Name:   "work",
+		Params: []lang.Param{{Name: "x", Type: lang.TypeInt}},
+		Result: lang.TypeInt,
+		Body: block(
+			varInit("y", bin(lang.TokPlus, bin(lang.TokStar, ident("x"), intLit(m)), intLit(c))),
+			assign(ident("y"), bin(lang.TokAmp, ident("y"), intLit(8191))),
+			&lang.ReturnStmt{Val: ident("y")},
+		),
+	}
+}
+
+// padOp is one step of the pad chain: t = ((t * m) + c) & 8191.
+func padOp(r *rng) lang.Stmt {
+	m := int64(3 + 2*r.intn(4))
+	c := int64(r.intn(128))
+	return assign(ident("t"),
+		bin(lang.TokAmp,
+			bin(lang.TokPlus, bin(lang.TokStar, ident("t"), intLit(m)), intLit(c)),
+			intLit(8191)))
+}
+
+// kernelFunc builds func kernel: NestDepth-1 two-trip repeat loops
+// around the target loop carrying the injected dependence.
+func kernelFunc(p Params, r *rng) *lang.FuncDecl {
+	k := int64(p.DepDistance)
+
+	// Loop body, dependence load first.
+	var body []lang.Stmt
+	switch p.Dep {
+	case DepDistance:
+		body = append(body, varInit("t", index("a", bin(lang.TokMinus, ident("i"), intLit(k)))))
+	default: // independent, reduction both read a[i]
+		body = append(body, varInit("t", index("a", ident("i"))))
+	}
+
+	// Pad chain: gated ops behind a data-dependent branch.
+	gated := int(p.BranchDensity*float64(p.BodyOps) + 0.5)
+	if gated > p.BodyOps {
+		gated = p.BodyOps
+	}
+	for i := 0; i < p.BodyOps-gated; i++ {
+		body = append(body, padOp(r))
+	}
+	if gated > 0 {
+		var inner []lang.Stmt
+		for i := 0; i < gated; i++ {
+			inner = append(inner, padOp(r))
+		}
+		body = append(body, &lang.IfStmt{
+			Cond: bin(lang.TokNe, bin(lang.TokAmp, ident("t"), intLit(3)), intLit(0)),
+			Then: block(inner...),
+		})
+	}
+	if p.Call {
+		body = append(body, assign(ident("t"), call("work", ident("t"))))
+	}
+
+	// May-alias traffic: read-then-write b[i] inside the iteration only,
+	// so it adds heap events but no cross-iteration arcs.
+	if p.Alias {
+		body = append(body, assign(index("b", ident("i")),
+			bin(lang.TokPlus, index("b", ident("i")), ident("t"))))
+	}
+
+	// Dependence sink last.
+	switch p.Dep {
+	case DepReduction:
+		body = append(body, assign(ident("s"), bin(lang.TokPlus, ident("s"), ident("t"))))
+	default:
+		body = append(body, assign(index("a", ident("i")), bin(lang.TokPlus, ident("t"), intLit(1))))
+	}
+	body = append(body, assign(ident("i"), bin(lang.TokPlus, ident("i"), intLit(1))))
+
+	target := &lang.WhileStmt{
+		Cond: bin(lang.TokLt, ident("i"), call("len", ident("a"))),
+		Body: block(body...),
+	}
+
+	// The target loop plus its iterator initialization.
+	inner := []lang.Stmt{varInit("i", intLit(k)), target}
+
+	// Wrap in NestDepth-1 two-trip repeat loops.
+	for d := p.NestDepth - 1; d >= 1; d-- {
+		v := fmt.Sprintf("d%d", d)
+		loop := &lang.WhileStmt{
+			Cond: bin(lang.TokLt, ident(v), intLit(2)),
+			Body: block(append(inner, assign(ident(v), bin(lang.TokPlus, ident(v), intLit(1))))...),
+		}
+		inner = []lang.Stmt{varInit(v, intLit(0)), loop}
+	}
+
+	var stmts []lang.Stmt
+	if p.Dep == DepReduction {
+		stmts = append(stmts, varInit("s", intLit(0)))
+	}
+	stmts = append(stmts, inner...)
+	if p.Dep == DepReduction {
+		// Keep the reduction live past the loops so the screen classifies
+		// it as a reduction rather than dead code.
+		stmts = append(stmts, assign(index("a", intLit(0)), ident("s")))
+	}
+	return &lang.FuncDecl{Name: "kernel", Result: lang.TypeVoid, Body: block(stmts...)}
+}
+
+// mainFunc calls the kernel and prints a checksum of a, so every
+// generated program has observable output for differential testing.
+func mainFunc() *lang.FuncDecl {
+	sumLoop := &lang.WhileStmt{
+		Cond: bin(lang.TokLt, ident("j"), call("len", ident("a"))),
+		Body: block(
+			assign(ident("c"), bin(lang.TokPlus, ident("c"), index("a", ident("j")))),
+			assign(ident("j"), bin(lang.TokPlus, ident("j"), intLit(1))),
+		),
+	}
+	return &lang.FuncDecl{
+		Name:   "main",
+		Result: lang.TypeVoid,
+		Body: block(
+			&lang.ExprStmt{X: call("kernel")},
+			varInit("c", intLit(0)),
+			varInit("j", intLit(0)),
+			sumLoop,
+			&lang.PrintStmt{Val: ident("c")},
+		),
+	}
+}

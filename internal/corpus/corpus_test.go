@@ -1,0 +1,281 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"jrpm"
+	"jrpm/internal/lang"
+)
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{NestDepth: 0, Dep: DepIndependent, Iterations: 64, BodyOps: 4},
+		{NestDepth: 4, Dep: DepIndependent, Iterations: 64, BodyOps: 4},
+		{NestDepth: 1, Dep: "spooky", Iterations: 64, BodyOps: 4},
+		{NestDepth: 1, Dep: DepIndependent, DepDistance: 1, Iterations: 64, BodyOps: 4},
+		{NestDepth: 1, Dep: DepReduction, DepDistance: 2, Iterations: 64, BodyOps: 4},
+		{NestDepth: 1, Dep: DepDistance, DepDistance: 0, Iterations: 64, BodyOps: 4},
+		{NestDepth: 1, Dep: DepDistance, DepDistance: 9, Iterations: 64, BodyOps: 4},
+		{NestDepth: 1, Dep: DepIndependent, Iterations: 8, BodyOps: 4},
+		{NestDepth: 1, Dep: DepIndependent, Iterations: 1024, BodyOps: 4},
+		{NestDepth: 1, Dep: DepIndependent, Iterations: 64, BodyOps: 0},
+		{NestDepth: 1, Dep: DepIndependent, Iterations: 64, BodyOps: 4, BranchDensity: 1.5},
+	}
+	for _, p := range bad {
+		if _, err := Generate(p); err == nil {
+			t.Errorf("Generate(%+v): want error", p)
+		}
+	}
+	if _, err := Generate(Params{NestDepth: 2, Dep: DepDistance, DepDistance: 3, Iterations: 32, BodyOps: 2}); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Params{Seed: 42, NestDepth: 2, Dep: DepDistance, DepDistance: 2,
+		Iterations: 64, BodyOps: 6, BranchDensity: 0.5, Call: true, Alias: true}
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Source != b.Source || a.SHA256 != b.SHA256 {
+		t.Fatalf("same params, different programs:\n%s\n----\n%s", a.Source, b.Source)
+	}
+
+	p2 := p
+	p2.Seed = 43
+	c, err := Generate(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Source == a.Source {
+		t.Fatal("different seeds produced identical sources (pad constants not seeded?)")
+	}
+
+	ia, ib := a.Input(), Generate2Input(t, p)
+	if len(ia.Ints["a"]) != p.Iterations || len(ib.Ints["a"]) != p.Iterations {
+		t.Fatalf("input array length %d/%d, want %d", len(ia.Ints["a"]), len(ib.Ints["a"]), p.Iterations)
+	}
+	for i := range ia.Ints["a"] {
+		if ia.Ints["a"][i] != ib.Ints["a"][i] {
+			t.Fatal("inputs not deterministic")
+		}
+	}
+}
+
+func Generate2Input(t *testing.T, p Params) jrpm.Input {
+	t.Helper()
+	prog, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.Input()
+}
+
+// TestCompileDeterministic is the fingerprint gate: compiling a spec
+// twice must produce byte-identical manifests and sources.
+func TestCompileDeterministic(t *testing.T) {
+	for _, spec := range []Spec{SmokeSpec(), DefaultSpec()} {
+		m1, p1, err := Compile(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, p2, err := Compile(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m1.Fingerprint != m2.Fingerprint {
+			t.Fatalf("%s: fingerprints differ: %s vs %s", spec.Name, m1.Fingerprint, m2.Fingerprint)
+		}
+		if spec.Size > 0 && len(p1) != spec.Size {
+			t.Fatalf("%s: %d programs, want %d", spec.Name, len(p1), spec.Size)
+		}
+		for i := range p1 {
+			if p1[i].Source != p2[i].Source {
+				t.Fatalf("%s: program %d sources differ", spec.Name, i)
+			}
+		}
+		b1, err := m1.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := m2.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b1) != string(b2) {
+			t.Fatalf("%s: encoded manifests differ", spec.Name)
+		}
+	}
+}
+
+// TestSampleStableUnderResize: a program's bytes are pinned by its grid
+// position, so growing the sample size must not change programs that
+// were already in the corpus.
+func TestSampleStableUnderResize(t *testing.T) {
+	spec := SmokeSpec()
+	full := spec
+	full.Size = 0
+	mFull, _, err := Compile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mSample, _, err := Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byParams := make(map[Params]string, len(mFull.Programs))
+	for _, e := range mFull.Programs {
+		byParams[e.Params] = e.SHA256
+	}
+	for _, e := range mSample.Programs {
+		sha, ok := byParams[e.Params]
+		if !ok {
+			t.Fatalf("%s: sampled params not in full grid: %+v", e.ID, e.Params)
+		}
+		if sha != e.SHA256 {
+			t.Fatalf("%s: sampled program differs from its full-grid twin", e.ID)
+		}
+	}
+}
+
+// TestFormatRoundTrip is the jrfmt gate: every generated program must
+// already be in canonical form (print→parse→print is the identity),
+// and parsing its source must succeed.
+func TestFormatRoundTrip(t *testing.T) {
+	_, progs, err := Compile(SmokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range progs {
+		got, err := lang.FormatSource(p.Source)
+		if err != nil {
+			t.Fatalf("program %d: reparse: %v\n%s", i, err, p.Source)
+		}
+		if got != p.Source {
+			t.Fatalf("program %d: format not idempotent:\n--- generated ---\n%s\n--- reformatted ---\n%s", i, p.Source, got)
+		}
+	}
+}
+
+// TestGeneratedProgramsCompile: the full smoke corpus must make it
+// through the real frontend.
+func TestGeneratedProgramsCompile(t *testing.T) {
+	_, progs, err := Compile(SmokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range progs {
+		if _, err := jrpm.Compile(p.Source, jrpm.DefaultOptions()); err != nil {
+			t.Fatalf("program %d: %v\n%s", i, err, p.Source)
+		}
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m, _, err := Compile(SmokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ParseManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Fingerprint != m.Fingerprint || len(m2.Programs) != len(m.Programs) {
+		t.Fatal("manifest did not survive the round trip")
+	}
+
+	// Regenerate verifies the source hash.
+	if _, err := m2.Programs[0].Regenerate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := m2.Programs[0]
+	bad.SHA256 = strings.Repeat("0", 64)
+	if _, err := bad.Regenerate(); err == nil {
+		t.Fatal("Regenerate accepted a wrong source hash")
+	}
+
+	// A tampered manifest must fail the fingerprint check.
+	tampered := strings.Replace(string(data), `"nest_depth": 1`, `"nest_depth": 2`, 1)
+	if tampered == string(data) {
+		t.Fatal("tamper target not found")
+	}
+	if _, err := ParseManifest([]byte(tampered)); err == nil {
+		t.Fatal("ParseManifest accepted a tampered manifest")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"name":"x","axes":{"dep":["distance"],"dep_distance":[1,2]}}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSpec([]byte(`{"axes":{}}`)); err == nil {
+		t.Fatal("spec without a name accepted")
+	}
+	if _, err := ParseSpec([]byte(`{"name":"x","axes":{"dep_distances":[1]}}`)); err == nil {
+		t.Fatal("unknown axis name accepted")
+	}
+	if _, err := ParseSpec([]byte(`{"name":"x","size":-1,"axes":{}}`)); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	for _, name := range []string{"default", "smoke"} {
+		s, ok := SpecByName(name)
+		if !ok || s.Name != name {
+			t.Fatalf("SpecByName(%q) = %+v, %v", name, s, ok)
+		}
+	}
+	if _, ok := SpecByName("nope"); ok {
+		t.Fatal("unknown name resolved")
+	}
+}
+
+func TestFuzzSeedsCompile(t *testing.T) {
+	seeds := FuzzSeeds()
+	if len(seeds) < 8 {
+		t.Fatalf("only %d fuzz seeds", len(seeds))
+	}
+	kinds := map[string]bool{}
+	for _, p := range seeds {
+		kinds[p.Params.Dep] = true
+		if _, err := jrpm.Compile(p.Source, jrpm.DefaultOptions()); err != nil {
+			t.Fatalf("seed %+v: %v", p.Params, err)
+		}
+	}
+	for _, k := range []string{DepIndependent, DepReduction, DepDistance} {
+		if !kinds[k] {
+			t.Fatalf("fuzz seeds missing dependence kind %s", k)
+		}
+	}
+}
+
+func TestSoupDeterministic(t *testing.T) {
+	s1, w1 := Soup(17)
+	s2, w2 := Soup(17)
+	if s1 != s2 {
+		t.Fatal("Soup not deterministic")
+	}
+	if len(w1) != SoupVars {
+		t.Fatalf("want %d values, got %d", SoupVars, len(w1))
+	}
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatal("Soup values not deterministic")
+		}
+	}
+	s3, _ := Soup(18)
+	if s3 == s1 {
+		t.Fatal("different soup seeds produced identical sources")
+	}
+}

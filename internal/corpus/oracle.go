@@ -1,0 +1,260 @@
+// Expected-speedup oracle bands.
+//
+// Every corpus program's dependence structure is known by construction,
+// so Equation 1 can be evaluated analytically before the program ever
+// runs: the injected arc distance fixes the critical-arc bin and
+// length, the trip counts fix arc frequency and iterations per entry,
+// and Table 2 fixes the TLS overheads. The only quantity the oracle
+// cannot know exactly is the thread size T in simulated cycles — that
+// depends on the VM's per-instruction cost model — so the band is the
+// analytic speedup evaluated across a coarse [tMin, tMax] thread-size
+// envelope derived from the body shape (pad ops, branch gating, call,
+// alias traffic), widened by a margin. A profile estimate landing
+// outside its band means either the generator's structure leaked (an
+// unintended arc) or the estimator drifted — both worth failing on.
+package corpus
+
+import (
+	"context"
+	"fmt"
+
+	"jrpm"
+	"jrpm/internal/hydra"
+)
+
+// Band classes: the qualitative Eq. 1 outcome implied by the injected
+// structure at p=4.
+const (
+	ClassSerial = "serial" // distance-1: store→load arc shorter than comm, no overlap
+	ClassHalf   = "half"   // distance-2: I = T − A₂/2 ≈ T/2, two-way overlap
+	ClassFull   = "full"   // no arcs, or distance ≥ 3: I clamps to T/p
+)
+
+// Band is the expected range for the target loop's Eq. 1 Speedup under
+// hydra.DefaultConfig.
+type Band struct {
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+	Class string  `json:"class"`
+}
+
+// Contains reports whether an observed speedup lands in the band.
+func (b Band) Contains(sp float64) bool { return sp >= b.Lo && sp <= b.Hi }
+
+func (b Band) String() string {
+	return fmt.Sprintf("[%.2f, %.2f] %s", b.Lo, b.Hi, b.Class)
+}
+
+// Per-iteration cost envelope, in simulated VM cycles (annotation
+// overheads included — thread sizes are measured on the traced run).
+// The decomposition matters more than the constants: an iteration is
+//
+//	T = base + extra
+//
+// where base is the fixed overhead every iteration pays (dependence
+// load + store, induction update, back edge, annotations) and extra is
+// the generated body work between the load and the store (pad chain,
+// branch, call, alias traffic). The two are bounded separately because
+// the distance-K arc length is NOT independent of T: the store of
+// iteration i and the load of iteration i+K are separated by K·T minus
+// the in-between body work, i.e. A_K = (K−1)·T + base. Treating base
+// and T as independent corners would produce unphysical combinations
+// (a tiny thread with a huge head/tail gap). Calibrated against
+// Derive().AvgThreadSize in TestOracleThreadSizeEnvelope.
+const (
+	iterBaseMin, iterBaseMax   = 8.0, 30.0  // dep load+store, induction, back edge
+	padOpCostMin, padOpCostMax = 4.0, 12.0  // t = ((t*m)+c) & 8191
+	branchCostMin, branchCost  = 1.0, 6.0   // the if guarding gated pads
+	callCostMin, callCostMax   = 10.0, 34.0 // call + straight-line helper body
+	aliasCostMin, aliasCostMax = 5.0, 16.0  // b[i] = (b[i] + t)
+	// bandMargin widens the envelope speedups into the final band.
+	bandMargin = 0.18
+)
+
+// extraBounds bounds the body work beyond the per-iteration base.
+func (p Params) extraBounds() (float64, float64) {
+	gated := int(p.BranchDensity*float64(p.BodyOps) + 0.5)
+	if gated > p.BodyOps {
+		gated = p.BodyOps
+	}
+	plain := p.BodyOps - gated
+
+	exMin := float64(plain) * padOpCostMin
+	exMax := float64(plain) * padOpCostMax
+	if gated > 0 {
+		// The branch itself always executes; the gated pads execute only
+		// when (t & 3) != 0, so they may contribute nothing at all.
+		exMin += branchCostMin
+		exMax += branchCost + float64(gated)*padOpCostMax
+	}
+	if p.Call {
+		exMin += callCostMin
+		exMax += callCostMax
+	}
+	if p.Alias {
+		exMin += aliasCostMin
+		exMax += aliasCostMax
+	}
+	return exMin, exMax
+}
+
+// threadSizeBounds returns the [tMin, tMax] envelope for one iteration.
+func (p Params) threadSizeBounds() (float64, float64) {
+	exMin, exMax := p.extraBounds()
+	return iterBaseMin + exMin, iterBaseMax + exMax
+}
+
+// eq1Speedup evaluates the analytic Equation 1 for the target loop at
+// thread size t cycles, mirroring profile.Estimator exactly but with
+// arc statistics derived from the injected structure instead of
+// measured by the comparator banks.
+func (p Params) eq1Speedup(t, headTail float64, cfg hydra.Config) float64 {
+	pcpu := float64(cfg.CPUs)
+	ov := cfg.Overheads
+
+	iters := float64(p.Iterations - p.DepDistance) // threads per entry
+	arcs := float64(p.Iterations - 2*p.DepDistance)
+	if arcs < 0 {
+		arcs = 0
+	}
+
+	clamp := func(i float64) float64 {
+		if i < t/pcpu {
+			return t / pcpu
+		}
+		if i > t {
+			return t
+		}
+		return i
+	}
+
+	iEff := t / pcpu // arc-free threads start every T/p cycles
+	if p.Dep == DepDistance && arcs > 0 {
+		// Per-entry thread pairs = iters − 1; the first DepDistance
+		// loaded elements are harness-pristine, so arcs < pairs.
+		f := arcs / (iters - 1)
+		if f > 1 {
+			f = 1
+		}
+		var iBin float64
+		if p.DepDistance == 1 {
+			// BinPrev: arc length is just the head/tail gap, usually under
+			// the communication latency — no overlap.
+			a1 := headTail
+			iBin = clamp(t - (a1 - float64(ov.StoreLoadComm)))
+		} else {
+			// BinEarlier: A₂ = (K−1) full iterations + head/tail.
+			a2 := float64(p.DepDistance-1)*t + headTail
+			iBin = clamp(t - a2/2)
+		}
+		iEff = f*iBin + (1-f)*(t/pcpu)
+	}
+
+	base := t / iEff
+	if base < 1 {
+		base = 1
+	}
+	if base > pcpu {
+		base = pcpu
+	}
+
+	// Overheads, per Table 2: SpecTime normalized per loop cycle.
+	sp := t / (t/base + float64(ov.EndOfIter) +
+		float64(ov.LoopStartup+ov.LoopShutdown)/iters)
+	if cap := pcpu; sp > cap {
+		sp = cap
+	}
+	if sp > iters {
+		sp = iters
+	}
+	return sp
+}
+
+// band computes the oracle band for the injected structure by
+// evaluating the analytic Eq. 1 across the thread-size and head/tail
+// envelopes.
+func (p Params) band() Band {
+	cfg := hydra.DefaultConfig()
+	exMin, exMax := p.extraBounds()
+
+	lo, hi := -1.0, -1.0
+	for _, base := range []float64{iterBaseMin, iterBaseMax} {
+		for _, extra := range []float64{exMin, exMax} {
+			sp := p.eq1Speedup(base+extra, base, cfg)
+			if lo < 0 || sp < lo {
+				lo = sp
+			}
+			if sp > hi {
+				hi = sp
+			}
+		}
+	}
+
+	b := Band{Lo: lo * (1 - bandMargin), Hi: hi * (1 + bandMargin)}
+	if b.Lo < 0.5 {
+		b.Lo = 0.5
+	}
+	if cap := float64(cfg.CPUs); b.Hi > cap {
+		b.Hi = cap
+	}
+
+	switch {
+	case p.Dep != DepDistance || p.Iterations-2*p.DepDistance <= 0:
+		b.Class = ClassFull
+	case p.DepDistance == 1:
+		b.Class = ClassSerial
+	case p.DepDistance == 2:
+		b.Class = ClassHalf
+	default:
+		b.Class = ClassFull
+	}
+	return b
+}
+
+// Eval is the outcome of profiling one corpus program and checking the
+// target loop's Eq. 1 estimate against its oracle band.
+type Eval struct {
+	ID     string `json:"id"`
+	Params Params `json:"params"`
+	Band   Band   `json:"band"`
+	LoopID int    `json:"loop_id"`
+	// Est is the measured Eq. 1 speedup estimate for the target loop.
+	Est float64 `json:"est"`
+	// BaseSpeedup is the dependency-limited speedup before overheads.
+	BaseSpeedup float64 `json:"base_speedup"`
+	// ThreadSize is Derive()'s AvgThreadSize — the quantity the band's
+	// envelope brackets.
+	ThreadSize float64 `json:"thread_size"`
+	// Selected reports whether Equation 2 picked the loop.
+	Selected bool `json:"selected"`
+	InBand   bool `json:"in_band"`
+}
+
+// Evaluate compiles and profiles the program under default options and
+// checks the target loop's estimate against the band.
+func (p *Program) Evaluate(ctx context.Context) (Eval, error) {
+	ev := Eval{Params: p.Params, Band: p.Band, LoopID: -1}
+	c, err := jrpm.Compile(p.Source, jrpm.DefaultOptions())
+	if err != nil {
+		return ev, fmt.Errorf("corpus: compile: %w", err)
+	}
+	res, err := c.Profile(ctx, p.Input(), jrpm.DefaultOptions())
+	if err != nil {
+		return ev, fmt.Errorf("corpus: profile: %w", err)
+	}
+	id := TargetLoopID(res.Annotated)
+	if id < 0 {
+		return ev, fmt.Errorf("corpus: no kernel loop in compiled program")
+	}
+	node, ok := res.Analysis.Nodes[id]
+	if !ok || node.Stats == nil {
+		return ev, fmt.Errorf("corpus: target loop L%d has no profile node", id)
+	}
+	ev.LoopID = id
+	ev.Est = node.Est.Speedup
+	ev.BaseSpeedup = node.Est.BaseSpeedup
+	ev.ThreadSize = node.Est.Derived.AvgThreadSize
+	ev.Selected = node.Selected
+	ev.InBand = p.Band.Contains(ev.Est)
+	return ev, nil
+}

@@ -1,0 +1,140 @@
+package corpus
+
+import (
+	"context"
+	"testing"
+)
+
+// TestOracleBands is the table-driven satellite: known dependence
+// structures must land in their predicted Eq. 1/2 band, and the band's
+// qualitative class must match the structure.
+func TestOracleBands(t *testing.T) {
+	cases := []struct {
+		name  string
+		p     Params
+		class string
+	}{
+		{"independent", Params{Seed: 1, NestDepth: 1, Dep: DepIndependent, Iterations: 64, BodyOps: 4}, ClassFull},
+		{"independent-large", Params{Seed: 2, NestDepth: 1, Dep: DepIndependent, Iterations: 512, BodyOps: 12}, ClassFull},
+		{"reduction", Params{Seed: 3, NestDepth: 1, Dep: DepReduction, Iterations: 64, BodyOps: 4}, ClassFull},
+		{"distance-1", Params{Seed: 4, NestDepth: 1, Dep: DepDistance, DepDistance: 1, Iterations: 64, BodyOps: 4}, ClassSerial},
+		{"distance-1-small", Params{Seed: 5, NestDepth: 1, Dep: DepDistance, DepDistance: 1, Iterations: 16, BodyOps: 1}, ClassSerial},
+		{"distance-2", Params{Seed: 6, NestDepth: 1, Dep: DepDistance, DepDistance: 2, Iterations: 64, BodyOps: 4}, ClassHalf},
+		{"distance-3", Params{Seed: 7, NestDepth: 1, Dep: DepDistance, DepDistance: 3, Iterations: 64, BodyOps: 4}, ClassFull},
+		{"distance-8", Params{Seed: 8, NestDepth: 1, Dep: DepDistance, DepDistance: 8, Iterations: 64, BodyOps: 4}, ClassFull},
+		// N = 2K: every load reads a harness-pristine element, so no
+		// arcs exist at all despite the textual dependence.
+		{"distance-8-no-arcs", Params{Seed: 9, NestDepth: 1, Dep: DepDistance, DepDistance: 8, Iterations: 16, BodyOps: 2}, ClassFull},
+		{"nested-serial", Params{Seed: 10, NestDepth: 3, Dep: DepDistance, DepDistance: 1, Iterations: 64, BodyOps: 4}, ClassSerial},
+		{"nested-full", Params{Seed: 11, NestDepth: 2, Dep: DepIndependent, Iterations: 16, BodyOps: 1, BranchDensity: 1, Call: true, Alias: true}, ClassFull},
+		{"half-heavy-body", Params{Seed: 12, NestDepth: 1, Dep: DepDistance, DepDistance: 2, Iterations: 512, BodyOps: 12, BranchDensity: 1, Call: true, Alias: true}, ClassHalf},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := Generate(tc.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prog.Band.Class != tc.class {
+				t.Fatalf("band class %s, want %s (band %s)", prog.Band.Class, tc.class, prog.Band)
+			}
+			if prog.Band.Lo >= prog.Band.Hi {
+				t.Fatalf("degenerate band %s", prog.Band)
+			}
+			ev, err := prog.Evaluate(context.Background())
+			if err != nil {
+				t.Fatalf("%v\n%s", err, prog.Source)
+			}
+			if !ev.InBand {
+				t.Errorf("estimate %.3f outside band %s (base %.3f, T %.1f)\n%s",
+					ev.Est, ev.Band, ev.BaseSpeedup, ev.ThreadSize, prog.Source)
+			}
+			// The class ordering must be visible in the measured base
+			// speedup: serial stays under 2, full reaches the CPU count.
+			switch tc.class {
+			case ClassSerial:
+				if ev.BaseSpeedup > 2 {
+					t.Errorf("serial structure got base speedup %.2f", ev.BaseSpeedup)
+				}
+			case ClassFull:
+				if ev.BaseSpeedup < 3.5 {
+					t.Errorf("full structure got base speedup %.2f", ev.BaseSpeedup)
+				}
+			case ClassHalf:
+				if ev.BaseSpeedup < 1.6 || ev.BaseSpeedup > 3.4 {
+					t.Errorf("half structure got base speedup %.2f", ev.BaseSpeedup)
+				}
+			}
+		})
+	}
+}
+
+// TestOracleThreadSizeEnvelope pins the cost model the bands are built
+// on: measured traced-run thread sizes must stay inside the analytic
+// [tMin, tMax] envelope across the body-shape axes.
+func TestOracleThreadSizeEnvelope(t *testing.T) {
+	cases := []Params{
+		{Seed: 1, NestDepth: 1, Dep: DepIndependent, Iterations: 64, BodyOps: 1},
+		{Seed: 2, NestDepth: 1, Dep: DepIndependent, Iterations: 64, BodyOps: 12},
+		{Seed: 3, NestDepth: 1, Dep: DepReduction, Iterations: 64, BodyOps: 4},
+		{Seed: 4, NestDepth: 1, Dep: DepDistance, DepDistance: 1, Iterations: 16, BodyOps: 1},
+		{Seed: 5, NestDepth: 1, Dep: DepDistance, DepDistance: 2, Iterations: 512, BodyOps: 12, BranchDensity: 1, Call: true, Alias: true},
+		{Seed: 6, NestDepth: 2, Dep: DepIndependent, Iterations: 16, BodyOps: 1, BranchDensity: 1, Call: true, Alias: true},
+		{Seed: 7, NestDepth: 1, Dep: DepIndependent, Iterations: 512, BodyOps: 8, BranchDensity: 0.5, Call: true},
+	}
+	for _, p := range cases {
+		prog, err := Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := prog.Evaluate(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tMin, tMax := p.threadSizeBounds()
+		if ev.ThreadSize < tMin || ev.ThreadSize > tMax {
+			t.Errorf("%+v: thread size %.1f outside envelope [%.0f, %.0f]", p, ev.ThreadSize, tMin, tMax)
+		}
+	}
+}
+
+// TestBandMonotone: the qualitative ordering serial < half < full must
+// hold between measured estimates of otherwise-identical programs.
+func TestBandMonotone(t *testing.T) {
+	base := Params{Seed: 21, NestDepth: 1, Dep: DepDistance, Iterations: 256, BodyOps: 8}
+	est := make(map[int]float64)
+	for _, k := range []int{1, 2, 4} {
+		p := base
+		p.DepDistance = k
+		prog, err := Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := prog.Evaluate(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		est[k] = ev.Est
+	}
+	if !(est[1] < est[2] && est[2] < est[4]) {
+		t.Fatalf("estimates not ordered by distance: d1=%.2f d2=%.2f d4=%.2f", est[1], est[2], est[4])
+	}
+}
+
+// TestEvaluateSelectsProfitableLoops: Equation 2 must select the target
+// loop when the oracle predicts useful speedup and skip it when the
+// structure is serial and overhead-bound.
+func TestEvaluateSelection(t *testing.T) {
+	good := Params{Seed: 31, NestDepth: 1, Dep: DepIndependent, Iterations: 256, BodyOps: 8}
+	prog, err := Generate(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := prog.Evaluate(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Selected {
+		t.Errorf("profitable independent loop not selected (est %.2f)", ev.Est)
+	}
+}

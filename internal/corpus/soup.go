@@ -1,0 +1,225 @@
+// Statement-soup generation: the unstructured counterpart to Generate.
+//
+// Generate builds programs with *known* dependence structure for the
+// oracle; Soup builds arbitrary nested control flow with *known
+// values* — each program is evaluated by a direct Go interpreter
+// alongside rendering, so the compiled VM's variable state can be
+// checked exactly. This is the generator the lang cross-checks and the
+// vmsim fuzz corpus used to each carry a private copy of; it lives here
+// so there is exactly one.
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SoupVars is the number of scalar variables a soup program threads
+// through its statements and stores to the out array.
+const SoupVars = 4
+
+// Soup generates the seed-th statement-soup program: the JR source and
+// the final values of its SoupVars variables (what `out` must hold
+// after running main). Deterministic in seed.
+func Soup(seed uint64) (src string, want []int64) {
+	r := newRNG(seed * 0x9e3779b97f4a7c15)
+	g := &soupGen{r: r}
+	stmts := g.stmts(3, 4)
+
+	var sb strings.Builder
+	sb.WriteString("global out: int[];\nfunc main() {\n")
+	init := make([]int64, SoupVars)
+	for i := 0; i < SoupVars; i++ {
+		init[i] = int64(r.intn(19) - 9)
+		fmt.Fprintf(&sb, "\tvar v%d: int = %d;\n", i, init[i])
+	}
+	g.render(&sb, stmts, "\t")
+	for i := 0; i < SoupVars; i++ {
+		fmt.Fprintf(&sb, "\tout[%d] = v%d;\n", i, i)
+	}
+	sb.WriteString("}\n")
+
+	want = append([]int64(nil), init...)
+	soupEval(stmts, want)
+	return sb.String(), want
+}
+
+// soupExpr is a generated integer expression.
+type soupExpr struct {
+	op   string // "lit", "var", or a binary operator
+	lit  int64
+	v    int
+	l, r *soupExpr
+}
+
+// soupStmt is a generated statement.
+type soupStmt struct {
+	kind string // "assign", "if", "loop"
+	v    int    // assign target
+	e    *soupExpr
+	cmp  string // comparison for if
+	rhs  *soupExpr
+	body []*soupStmt
+	els  []*soupStmt
+	n    int // loop trip count
+}
+
+// soupGen carries the generator state; loopSeq makes every for-loop
+// iterator name unique within one program.
+type soupGen struct {
+	r       *rng
+	loopSeq int
+}
+
+func (g *soupGen) expr(depth int) *soupExpr {
+	r := g.r
+	if depth == 0 || r.intn(3) == 0 {
+		if r.intn(2) == 0 {
+			return &soupExpr{op: "lit", lit: int64(r.intn(41) - 20)}
+		}
+		return &soupExpr{op: "var", v: r.intn(SoupVars)}
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^"}
+	return &soupExpr{
+		op: ops[r.intn(len(ops))],
+		l:  g.expr(depth - 1),
+		r:  g.expr(depth - 1),
+	}
+}
+
+func (g *soupGen) stmts(depth, maxLen int) []*soupStmt {
+	r := g.r
+	n := 1 + r.intn(maxLen)
+	out := make([]*soupStmt, 0, n)
+	for i := 0; i < n; i++ {
+		switch k := r.intn(6); {
+		case k <= 2 || depth == 0:
+			out = append(out, &soupStmt{kind: "assign", v: r.intn(SoupVars), e: g.expr(2)})
+		case k <= 4:
+			cmps := []string{"<", "<=", "==", "!=", ">", ">="}
+			s := &soupStmt{
+				kind: "if",
+				e:    g.expr(1),
+				cmp:  cmps[r.intn(len(cmps))],
+				rhs:  g.expr(1),
+				body: g.stmts(depth-1, 2),
+			}
+			if r.intn(2) == 0 {
+				s.els = g.stmts(depth-1, 2)
+			}
+			out = append(out, s)
+		default:
+			out = append(out, &soupStmt{
+				kind: "loop",
+				n:    1 + r.intn(4),
+				body: g.stmts(depth-1, 2),
+			})
+		}
+	}
+	return out
+}
+
+func (e *soupExpr) render(sb *strings.Builder) {
+	switch e.op {
+	case "lit":
+		if e.lit < 0 {
+			fmt.Fprintf(sb, "(0 - %d)", -e.lit)
+		} else {
+			fmt.Fprintf(sb, "%d", e.lit)
+		}
+	case "var":
+		fmt.Fprintf(sb, "v%d", e.v)
+	default:
+		sb.WriteString("(")
+		e.l.render(sb)
+		fmt.Fprintf(sb, " %s ", e.op)
+		e.r.render(sb)
+		sb.WriteString(")")
+	}
+}
+
+func (g *soupGen) render(sb *strings.Builder, stmts []*soupStmt, indent string) {
+	for _, s := range stmts {
+		switch s.kind {
+		case "assign":
+			fmt.Fprintf(sb, "%sv%d = ", indent, s.v)
+			s.e.render(sb)
+			sb.WriteString(";\n")
+		case "if":
+			fmt.Fprintf(sb, "%sif (", indent)
+			s.e.render(sb)
+			fmt.Fprintf(sb, " %s ", s.cmp)
+			s.rhs.render(sb)
+			sb.WriteString(") {\n")
+			g.render(sb, s.body, indent+"\t")
+			if s.els != nil {
+				fmt.Fprintf(sb, "%s} else {\n", indent)
+				g.render(sb, s.els, indent+"\t")
+			}
+			fmt.Fprintf(sb, "%s}\n", indent)
+		case "loop":
+			g.loopSeq++
+			iv := fmt.Sprintf("it%d", g.loopSeq)
+			fmt.Fprintf(sb, "%sfor (var %s: int = 0; %s < %d; %s++) {\n", indent, iv, iv, s.n, iv)
+			g.render(sb, s.body, indent+"\t")
+			fmt.Fprintf(sb, "%s}\n", indent)
+		}
+	}
+}
+
+func (e *soupExpr) eval(vars []int64) int64 {
+	switch e.op {
+	case "lit":
+		return e.lit
+	case "var":
+		return vars[e.v]
+	case "+":
+		return e.l.eval(vars) + e.r.eval(vars)
+	case "-":
+		return e.l.eval(vars) - e.r.eval(vars)
+	case "*":
+		return e.l.eval(vars) * e.r.eval(vars)
+	case "&":
+		return e.l.eval(vars) & e.r.eval(vars)
+	case "|":
+		return e.l.eval(vars) | e.r.eval(vars)
+	case "^":
+		return e.l.eval(vars) ^ e.r.eval(vars)
+	}
+	panic("corpus: bad soup op " + e.op)
+}
+
+func soupEval(stmts []*soupStmt, vars []int64) {
+	for _, s := range stmts {
+		switch s.kind {
+		case "assign":
+			vars[s.v] = s.e.eval(vars)
+		case "if":
+			l, r := s.e.eval(vars), s.rhs.eval(vars)
+			take := false
+			switch s.cmp {
+			case "<":
+				take = l < r
+			case "<=":
+				take = l <= r
+			case "==":
+				take = l == r
+			case "!=":
+				take = l != r
+			case ">":
+				take = l > r
+			case ">=":
+				take = l >= r
+			}
+			if take {
+				soupEval(s.body, vars)
+			} else if s.els != nil {
+				soupEval(s.els, vars)
+			}
+		case "loop":
+			for i := 0; i < s.n; i++ {
+				soupEval(s.body, vars)
+			}
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"jrpm/internal/corpus"
+)
+
+// This file holds the corpus ablation: run a generated corpus through
+// the full profile pipeline and check every program's Equation 1
+// estimate against its analytically derived oracle band. The corpus is
+// the estimator's off-home-turf exam — the 26 paper kernels the other
+// ablations sweep are the shapes the model was tuned on; the generated
+// programs sweep the axes (dependence distance, nest depth, working
+// set, branch density, calls, aliasing) the model claims to predict.
+
+// CorpusBin aggregates the programs sharing one injected dependence
+// structure.
+type CorpusBin struct {
+	Dep      string
+	Distance int
+	Class    string
+	Programs int
+	Selected int
+	InBand   int
+	MeanEst  float64
+	// MeanErr is the mean relative distance of the estimate from the
+	// band midpoint — the estimate-error the band model carries.
+	MeanErr float64
+}
+
+// CorpusException is one out-of-band program, enumerated (never
+// silently dropped) in the ablation table.
+type CorpusException struct {
+	ID   string
+	Eval corpus.Eval
+}
+
+// CorpusResult is the full corpus ablation outcome.
+type CorpusResult struct {
+	Manifest   *corpus.Manifest
+	Bins       []CorpusBin
+	Exceptions []CorpusException
+	InBand     int
+	Total      int
+}
+
+// InBandFrac is the headline number: the fraction of programs whose
+// measured estimate landed inside the oracle band.
+func (r *CorpusResult) InBandFrac() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.InBand) / float64(r.Total)
+}
+
+// AblateCorpus compiles the spec and profiles every program,
+// parallelized across CPUs with deterministic, order-preserving
+// aggregation.
+func AblateCorpus(ctx context.Context, spec corpus.Spec) (*CorpusResult, string, error) {
+	m, progs, err := corpus.Compile(spec)
+	if err != nil {
+		return nil, "", err
+	}
+
+	evals := make([]corpus.Eval, len(progs))
+	errs := make([]error, len(progs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range progs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			evals[i], errs[i] = progs[i].Evaluate(ctx)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, "", fmt.Errorf("%s: %w", m.Programs[i].ID, err)
+		}
+	}
+
+	res := &CorpusResult{Manifest: m, Total: len(progs)}
+	type binKey struct {
+		dep  string
+		dist int
+	}
+	bins := make(map[binKey]*CorpusBin)
+	for i, ev := range evals {
+		e := m.Programs[i]
+		k := binKey{e.Params.Dep, e.Params.DepDistance}
+		b := bins[k]
+		if b == nil {
+			b = &CorpusBin{Dep: k.dep, Distance: k.dist, Class: e.Band.Class}
+			bins[k] = b
+		}
+		b.Programs++
+		b.MeanEst += ev.Est
+		if mid := (e.Band.Lo + e.Band.Hi) / 2; mid > 0 {
+			err := ev.Est/mid - 1
+			if err < 0 {
+				err = -err
+			}
+			b.MeanErr += err
+		}
+		if ev.Selected {
+			b.Selected++
+		}
+		if ev.InBand {
+			b.InBand++
+			res.InBand++
+		} else {
+			res.Exceptions = append(res.Exceptions, CorpusException{ID: e.ID, Eval: ev})
+		}
+	}
+	for _, b := range bins {
+		b.MeanEst /= float64(b.Programs)
+		b.MeanErr /= float64(b.Programs)
+		res.Bins = append(res.Bins, *b)
+	}
+	sort.Slice(res.Bins, func(i, j int) bool {
+		if res.Bins[i].Dep != res.Bins[j].Dep {
+			return res.Bins[i].Dep < res.Bins[j].Dep
+		}
+		return res.Bins[i].Distance < res.Bins[j].Distance
+	})
+
+	return res, renderCorpus(res), nil
+}
+
+func renderCorpus(res *CorpusResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation: generated corpus vs expected-speedup oracle (corpus %q, fingerprint %s)\n",
+		res.Manifest.Name, res.Manifest.Fingerprint[:12])
+	fmt.Fprintf(&sb, "%-14s %9s %6s %10s %10s %10s %9s %9s\n",
+		"dependence", "distance", "class", "programs", "selected%", "mean est.", "mean err", "in-band%")
+	for _, b := range res.Bins {
+		dist := "-"
+		if b.Dep == corpus.DepDistance {
+			dist = fmt.Sprintf("%d", b.Distance)
+		}
+		fmt.Fprintf(&sb, "%-14s %9s %6s %10d %9.1f%% %9.2fx %9.2f %8.1f%%\n",
+			b.Dep, dist, b.Class, b.Programs,
+			100*float64(b.Selected)/float64(b.Programs),
+			b.MeanEst, b.MeanErr,
+			100*float64(b.InBand)/float64(b.Programs))
+	}
+	fmt.Fprintf(&sb, "total in-band: %d/%d (%.1f%%)\n", res.InBand, res.Total, 100*res.InBandFrac())
+	if len(res.Exceptions) == 0 {
+		sb.WriteString("exceptions: none\n")
+	} else {
+		sb.WriteString("exceptions (estimate outside oracle band):\n")
+		for _, ex := range res.Exceptions {
+			p := ex.Eval.Params
+			fmt.Fprintf(&sb, "  %s dep=%s/%d nest=%d iters=%d ops=%d bd=%.1f call=%v alias=%v: est %.2fx outside %s\n",
+				ex.ID, p.Dep, p.DepDistance, p.NestDepth, p.Iterations, p.BodyOps,
+				p.BranchDensity, p.Call, p.Alias, ex.Eval.Est, ex.Eval.Band)
+		}
+	}
+	return sb.String()
+}

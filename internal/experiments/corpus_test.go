@@ -1,0 +1,52 @@
+package experiments_test
+
+import (
+	"context"
+	"testing"
+
+	"jrpm/internal/corpus"
+	"jrpm/internal/experiments"
+)
+
+// TestGoldenCorpus snapshots the full default-corpus ablation table —
+// 500 generated programs through the profile pipeline against their
+// oracle bands — and enforces the acceptance gate: at least 95% of the
+// corpus must land inside its expected-speedup band, with every
+// exception enumerated in the table.
+func TestGoldenCorpus(t *testing.T) {
+	res, text, err := experiments.AblateCorpus(context.Background(), corpus.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := res.InBandFrac(); frac < 0.95 {
+		t.Errorf("in-band fraction %.1f%% below the 95%% gate (%d exceptions)",
+			100*frac, len(res.Exceptions))
+	}
+	if res.Total != 500 {
+		t.Errorf("default corpus has %d programs, want 500", res.Total)
+	}
+	if len(res.Exceptions)+res.InBand != res.Total {
+		t.Errorf("exceptions not fully enumerated: %d in-band + %d exceptions != %d total",
+			res.InBand, len(res.Exceptions), res.Total)
+	}
+	checkGolden(t, "corpus", text)
+}
+
+// TestCorpusAblationDeterministic: the rendered table is a pure
+// function of the spec — two runs must agree byte for byte (the
+// parallel evaluation must not leak scheduling order into the output).
+func TestCorpusAblationDeterministic(t *testing.T) {
+	spec := corpus.SmokeSpec()
+	spec.Size = 40 // keep the double run cheap
+	_, t1, err := experiments.AblateCorpus(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, t2, err := experiments.AblateCorpus(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Fatalf("corpus ablation not deterministic:\n--- first\n%s\n--- second\n%s", t1, t2)
+	}
+}

@@ -1,202 +1,42 @@
 package lang_test
 
 import (
-	"fmt"
-	"strings"
 	"testing"
 
+	"jrpm/internal/corpus"
 	"jrpm/internal/lang"
 	"jrpm/internal/opt"
 	"jrpm/internal/vmsim"
 )
 
-// This file cross-checks the whole compiler + VM stack against a direct
-// Go interpreter over randomly generated programs: the generator builds a
-// little statement AST, renders it to JR source, and also evaluates it in
-// Go; compiled execution must produce identical variable states.
+// These tests cross-check the whole compiler + VM stack against
+// corpus.Soup's direct Go evaluator: for every generated program the
+// compiled execution must reproduce the evaluator's variable state.
+// The generator itself lives in internal/corpus so the lang
+// cross-checks and the vmsim fuzz corpus share one implementation.
 
-type genRNG struct{ s uint64 }
-
-func (r *genRNG) next() uint64 {
-	r.s ^= r.s >> 12
-	r.s ^= r.s << 25
-	r.s ^= r.s >> 27
-	return r.s * 0x2545f4914f6cdd1d
-}
-
-func (r *genRNG) intn(n int) int { return int(r.next() % uint64(n)) }
-
-// expr is a generated integer expression.
-type expr struct {
-	op   string // "lit", "var", or a binary operator
-	lit  int64
-	v    int
-	l, r *expr
-}
-
-const nVars = 4
-
-func genExpr(r *genRNG, depth int) *expr {
-	if depth == 0 || r.intn(3) == 0 {
-		if r.intn(2) == 0 {
-			return &expr{op: "lit", lit: int64(r.intn(41) - 20)}
-		}
-		return &expr{op: "var", v: r.intn(nVars)}
+func runSoup(t *testing.T, seed uint64, optimize bool) {
+	t.Helper()
+	src, want := corpus.Soup(seed)
+	prog, err := lang.Compile(src)
+	if err != nil {
+		t.Fatalf("seed %d: compile error: %v\n%s", seed, err, src)
 	}
-	ops := []string{"+", "-", "*", "&", "|", "^"}
-	return &expr{
-		op: ops[r.intn(len(ops))],
-		l:  genExpr(r, depth-1),
-		r:  genExpr(r, depth-1),
+	if optimize {
+		opt.Program(prog)
 	}
-}
-
-func (e *expr) render(sb *strings.Builder) {
-	switch e.op {
-	case "lit":
-		if e.lit < 0 {
-			fmt.Fprintf(sb, "(0 - %d)", -e.lit)
-		} else {
-			fmt.Fprintf(sb, "%d", e.lit)
-		}
-	case "var":
-		fmt.Fprintf(sb, "v%d", e.v)
-	default:
-		sb.WriteString("(")
-		e.l.render(sb)
-		fmt.Fprintf(sb, " %s ", e.op)
-		e.r.render(sb)
-		sb.WriteString(")")
+	vm := vmsim.New(prog)
+	vm.MaxSteps = 1 << 22
+	if err := vm.BindGlobalInts("out", make([]int64, corpus.SoupVars)); err != nil {
+		t.Fatal(err)
 	}
-}
-
-func (e *expr) eval(vars []int64) int64 {
-	switch e.op {
-	case "lit":
-		return e.lit
-	case "var":
-		return vars[e.v]
-	case "+":
-		return e.l.eval(vars) + e.r.eval(vars)
-	case "-":
-		return e.l.eval(vars) - e.r.eval(vars)
-	case "*":
-		return e.l.eval(vars) * e.r.eval(vars)
-	case "&":
-		return e.l.eval(vars) & e.r.eval(vars)
-	case "|":
-		return e.l.eval(vars) | e.r.eval(vars)
-	case "^":
-		return e.l.eval(vars) ^ e.r.eval(vars)
+	if err := vm.Run("main"); err != nil {
+		t.Fatalf("seed %d: runtime error: %v\n%s", seed, err, src)
 	}
-	panic("bad op")
-}
-
-// stmt is a generated statement.
-type stmt struct {
-	kind string // "assign", "if", "loop"
-	v    int    // assign target
-	e    *expr  // assign value / condition lhs
-	cmp  string // comparison for if
-	rhs  *expr
-	body []*stmt
-	els  []*stmt
-	n    int // loop trip count
-}
-
-func genStmts(r *genRNG, depth, maxLen int) []*stmt {
-	n := 1 + r.intn(maxLen)
-	out := make([]*stmt, 0, n)
-	for i := 0; i < n; i++ {
-		switch k := r.intn(6); {
-		case k <= 2 || depth == 0:
-			out = append(out, &stmt{kind: "assign", v: r.intn(nVars), e: genExpr(r, 2)})
-		case k <= 4:
-			cmps := []string{"<", "<=", "==", "!=", ">", ">="}
-			s := &stmt{
-				kind: "if",
-				e:    genExpr(r, 1),
-				cmp:  cmps[r.intn(len(cmps))],
-				rhs:  genExpr(r, 1),
-				body: genStmts(r, depth-1, 2),
-			}
-			if r.intn(2) == 0 {
-				s.els = genStmts(r, depth-1, 2)
-			}
-			out = append(out, s)
-		default:
-			out = append(out, &stmt{
-				kind: "loop",
-				n:    1 + r.intn(4),
-				body: genStmts(r, depth-1, 2),
-			})
-		}
-	}
-	return out
-}
-
-var loopSeq int
-
-func renderStmts(sb *strings.Builder, stmts []*stmt, indent string) {
-	for _, s := range stmts {
-		switch s.kind {
-		case "assign":
-			fmt.Fprintf(sb, "%sv%d = ", indent, s.v)
-			s.e.render(sb)
-			sb.WriteString(";\n")
-		case "if":
-			fmt.Fprintf(sb, "%sif (", indent)
-			s.e.render(sb)
-			fmt.Fprintf(sb, " %s ", s.cmp)
-			s.rhs.render(sb)
-			sb.WriteString(") {\n")
-			renderStmts(sb, s.body, indent+"\t")
-			if s.els != nil {
-				fmt.Fprintf(sb, "%s} else {\n", indent)
-				renderStmts(sb, s.els, indent+"\t")
-			}
-			fmt.Fprintf(sb, "%s}\n", indent)
-		case "loop":
-			loopSeq++
-			iv := fmt.Sprintf("it%d", loopSeq)
-			fmt.Fprintf(sb, "%sfor (var %s: int = 0; %s < %d; %s++) {\n", indent, iv, iv, s.n, iv)
-			renderStmts(sb, s.body, indent+"\t")
-			fmt.Fprintf(sb, "%s}\n", indent)
-		}
-	}
-}
-
-func evalStmts(stmts []*stmt, vars []int64) {
-	for _, s := range stmts {
-		switch s.kind {
-		case "assign":
-			vars[s.v] = s.e.eval(vars)
-		case "if":
-			l, r := s.e.eval(vars), s.rhs.eval(vars)
-			take := false
-			switch s.cmp {
-			case "<":
-				take = l < r
-			case "<=":
-				take = l <= r
-			case "==":
-				take = l == r
-			case "!=":
-				take = l != r
-			case ">":
-				take = l > r
-			case ">=":
-				take = l >= r
-			}
-			if take {
-				evalStmts(s.body, vars)
-			} else if s.els != nil {
-				evalStmts(s.els, vars)
-			}
-		case "loop":
-			for i := 0; i < s.n; i++ {
-				evalStmts(s.body, vars)
-			}
+	got, _ := vm.GlobalInts("out")
+	for i := 0; i < corpus.SoupVars; i++ {
+		if got[i] != want[i] {
+			t.Fatalf("seed %d: v%d = %d, want %d\n%s", seed, i, got[i], want[i], src)
 		}
 	}
 }
@@ -205,44 +45,7 @@ func evalStmts(stmts []*stmt, vars []int64) {
 // flow and verifies compiled execution against direct evaluation.
 func TestRandomProgramsMatchReference(t *testing.T) {
 	for seed := uint64(1); seed <= 120; seed++ {
-		r := &genRNG{s: seed * 0x9e3779b97f4a7c15}
-		stmts := genStmts(r, 3, 4)
-
-		var sb strings.Builder
-		sb.WriteString("global out: int[];\nfunc main() {\n")
-		init := make([]int64, nVars)
-		for i := 0; i < nVars; i++ {
-			init[i] = int64(r.intn(19) - 9)
-			fmt.Fprintf(&sb, "\tvar v%d: int = %d;\n", i, init[i])
-		}
-		renderStmts(&sb, stmts, "\t")
-		for i := 0; i < nVars; i++ {
-			fmt.Fprintf(&sb, "\tout[%d] = v%d;\n", i, i)
-		}
-		sb.WriteString("}\n")
-		src := sb.String()
-
-		prog, err := lang.Compile(src)
-		if err != nil {
-			t.Fatalf("seed %d: compile error: %v\n%s", seed, err, src)
-		}
-		vm := vmsim.New(prog)
-		vm.MaxSteps = 1 << 22
-		if err := vm.BindGlobalInts("out", make([]int64, nVars)); err != nil {
-			t.Fatal(err)
-		}
-		if err := vm.Run("main"); err != nil {
-			t.Fatalf("seed %d: runtime error: %v\n%s", seed, err, src)
-		}
-		got, _ := vm.GlobalInts("out")
-
-		want := append([]int64(nil), init...)
-		evalStmts(stmts, want)
-		for i := 0; i < nVars; i++ {
-			if got[i] != want[i] {
-				t.Fatalf("seed %d: v%d = %d, want %d\n%s", seed, i, got[i], want[i], src)
-			}
-		}
+		runSoup(t, seed, false)
 	}
 }
 
@@ -251,43 +54,6 @@ func TestRandomProgramsMatchReference(t *testing.T) {
 // optimized execution must match direct evaluation too.
 func TestOptimizerPreservesRandomPrograms(t *testing.T) {
 	for seed := uint64(200); seed <= 280; seed++ {
-		r := &genRNG{s: seed * 0x9e3779b97f4a7c15}
-		stmts := genStmts(r, 3, 4)
-
-		var sb strings.Builder
-		sb.WriteString("global out: int[];\nfunc main() {\n")
-		init := make([]int64, nVars)
-		for i := 0; i < nVars; i++ {
-			init[i] = int64(r.intn(19) - 9)
-			fmt.Fprintf(&sb, "\tvar v%d: int = %d;\n", i, init[i])
-		}
-		renderStmts(&sb, stmts, "\t")
-		for i := 0; i < nVars; i++ {
-			fmt.Fprintf(&sb, "\tout[%d] = v%d;\n", i, i)
-		}
-		sb.WriteString("}\n")
-		src := sb.String()
-
-		prog, err := lang.Compile(src)
-		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-		opt.Program(prog)
-		vm := vmsim.New(prog)
-		vm.MaxSteps = 1 << 22
-		if err := vm.BindGlobalInts("out", make([]int64, nVars)); err != nil {
-			t.Fatal(err)
-		}
-		if err := vm.Run("main"); err != nil {
-			t.Fatalf("seed %d: optimized run: %v\n%s", seed, err, src)
-		}
-		got, _ := vm.GlobalInts("out")
-		want := append([]int64(nil), init...)
-		evalStmts(stmts, want)
-		for i := 0; i < nVars; i++ {
-			if got[i] != want[i] {
-				t.Fatalf("seed %d: optimized v%d = %d, want %d\n%s", seed, i, got[i], want[i], src)
-			}
-		}
+		runSoup(t, seed, true)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"jrpm/internal/corpus"
 	"jrpm/internal/lang"
 	"jrpm/internal/tir"
 	"jrpm/internal/workloads"
@@ -103,18 +104,7 @@ func main() {
 // format round trip with identical code.
 func TestFormatRandomPrograms(t *testing.T) {
 	for seed := uint64(300); seed <= 340; seed++ {
-		r := &genRNG{s: seed * 0x9e3779b97f4a7c15}
-		stmts := genStmts(r, 3, 4)
-		var sb strings.Builder
-		sb.WriteString("global out: int[];\nfunc main() {\n")
-		for i := 0; i < nVars; i++ {
-			sb.WriteString("\tvar v")
-			sb.WriteByte(byte('0' + i))
-			sb.WriteString(": int = 1;\n")
-		}
-		renderStmts(&sb, stmts, "\t")
-		sb.WriteString("}\n")
-		src := sb.String()
+		src, _ := corpus.Soup(seed)
 
 		orig, err := lang.Compile(src)
 		if err != nil {

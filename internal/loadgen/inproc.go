@@ -45,7 +45,7 @@ func (a *InProcess) Close() error {
 func (a *InProcess) Prepare(ctx context.Context, sched *Schedule) (map[string]string, error) {
 	keys := make(map[string]string, len(sched.Kernels))
 	for _, kernel := range sched.Kernels {
-		req := service.Request{Workload: kernel, Scale: sched.Spec.Scale, Record: true}
+		req := sched.PrepareRequest(kernel)
 		var v service.JobView
 		for attempt := 0; ; attempt++ {
 			j, err := a.pool.Submit(req)

@@ -5,9 +5,13 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
+	"jrpm/internal/corpus"
 	"jrpm/internal/service"
 )
 
@@ -321,6 +325,166 @@ func TestRemoteRejectsNonJSON(t *testing.T) {
 	var out any
 	if _, err := plat.getJSON(context.Background(), "/v1/metrics", &out); err == nil {
 		t.Fatal("HTML response decoded without error")
+	}
+}
+
+// writeCorpusManifest compiles a tiny corpus and writes its manifest,
+// returning the path a Spec.Corpus field can point at.
+func writeCorpusManifest(t *testing.T, size int) string {
+	t.Helper()
+	cs := corpus.SmokeSpec()
+	cs.Size = size
+	m, _, err := corpus.Compile(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCorpusBackedSchedule: a spec drawing its kernel pool from a
+// corpus manifest builds a schedule whose every request carries the
+// regenerated program inline — warm, cold, session, and the setup
+// recording all submit source + inputs rather than a registry name.
+func TestCorpusBackedSchedule(t *testing.T) {
+	spec := &Spec{
+		Name:    "corpus-sched",
+		Seed:    9,
+		Arrival: ArrivalSpec{Process: "constant", RatePerSec: 100, DurationMs: 400},
+		Mix:     MixSpec{Cold: 0.2, Warm: 0.5, Replay: 0.2, Session: 0.1},
+		Corpus:  writeCorpusManifest(t, 4),
+	}
+	sched, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Kernels) == 0 {
+		t.Fatal("corpus-backed schedule touched no kernels")
+	}
+	for _, k := range sched.Kernels {
+		if !strings.HasPrefix(k, "smoke-") {
+			t.Fatalf("kernel %q is not a corpus program ID", k)
+		}
+		req := sched.PrepareRequest(k)
+		if req.Source == "" || !req.Record || req.Workload != "" {
+			t.Fatalf("prepare request for %s not inline-source recording: %+v", k, req)
+		}
+	}
+	for _, op := range sched.Ops {
+		switch op.Class {
+		case OpWarm, OpCold:
+			req, err := sched.JobRequest(op, "")
+			if err != nil {
+				t.Fatalf("op %d: %v", op.Index, err)
+			}
+			if req.Source == "" || req.Workload != "" {
+				t.Fatalf("%s op %d did not inline the corpus source: %+v", op.Class, op.Index, req)
+			}
+			if len(req.Ints) == 0 {
+				t.Fatalf("%s op %d has no inline inputs", op.Class, op.Index)
+			}
+		case OpSession:
+			req := sched.SessionRequest(op)
+			if req.Source == "" || req.Workload != "" {
+				t.Fatalf("session op %d did not inline the corpus source: %+v", op.Index, req)
+			}
+		}
+	}
+	// Same spec, same schedule — the corpus pool must not break the
+	// determinism contract.
+	again, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Fingerprint() != again.Fingerprint() {
+		t.Fatal("corpus-backed schedule not deterministic")
+	}
+}
+
+// TestRunCorpusInProcess is the corpus end-to-end smoke: generated
+// programs driven through the real pool across all four op classes.
+func TestRunCorpusInProcess(t *testing.T) {
+	spec := &Spec{
+		Name:    "corpus-smoke",
+		Seed:    11,
+		Arrival: ArrivalSpec{Process: "constant", RatePerSec: 60, DurationMs: 400},
+		Mix:     MixSpec{Cold: 0.15, Warm: 0.55, Replay: 0.2, Session: 0.1},
+		Corpus:  writeCorpusManifest(t, 3),
+	}
+	sched, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := NewInProcessPool(service.Config{Workers: 4, QueueDepth: 256})
+	defer plat.Close()
+
+	res, err := Run(context.Background(), sched, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Overall.Total != int64(len(sched.Ops)) {
+		t.Fatalf("recorded %d outcomes for %d scheduled ops",
+			res.Report.Overall.Total, len(sched.Ops))
+	}
+	if n := res.Report.Overall.Errors[ErrInternal]; n != 0 {
+		t.Fatalf("%d internal errors in a corpus smoke run", n)
+	}
+	if n := res.Report.Overall.Errors[ErrReject]; n != 0 {
+		t.Fatalf("%d rejects in a corpus smoke run", n)
+	}
+	if res.Report.Overall.OKCount == 0 {
+		t.Fatal("no successful corpus requests")
+	}
+}
+
+// TestSpecValidateNamedFields pins the error wording a spec author sees:
+// the failing JSON field is named, not just the underlying complaint.
+func TestSpecValidateNamedFields(t *testing.T) {
+	base := func() Spec {
+		return Spec{
+			Name:    "x",
+			Arrival: ArrivalSpec{Process: "constant", RatePerSec: 1, DurationMs: 100},
+		}
+	}
+
+	s := base()
+	s.Workloads = []string{"Huffman", "no_such_kernel"}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "workloads[1]") ||
+		!strings.Contains(err.Error(), "no_such_kernel") {
+		t.Errorf("unknown workload error does not name the field: %v", err)
+	}
+
+	s = base()
+	s.Corpus = filepath.Join(t.TempDir(), "no_such_manifest.json")
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "corpus:") {
+		t.Errorf("missing corpus error does not name the field: %v", err)
+	}
+
+	s = base()
+	s.Corpus = writeCorpusManifest(t, 2)
+	s.Workloads = []string{"Huffman"}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "corpus:") ||
+		!strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("corpus+workloads error not named: %v", err)
+	}
+
+	// A present but corrupt manifest passes Validate (no I/O beyond the
+	// stat) and must fail Build with the field named.
+	s = base()
+	bad := filepath.Join(t.TempDir(), "manifest.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.Corpus = bad
+	if _, err := Build(&s); err == nil || !strings.Contains(err.Error(), "corpus:") {
+		t.Errorf("corrupt manifest error not named: %v", err)
 	}
 }
 

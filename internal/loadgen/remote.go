@@ -118,7 +118,7 @@ func classifyStatus(code int) (ErrClass, bool) {
 func (a *Remote) Prepare(ctx context.Context, sched *Schedule) (map[string]string, error) {
 	keys := make(map[string]string, len(sched.Kernels))
 	for _, kernel := range sched.Kernels {
-		req := service.Request{Workload: kernel, Scale: sched.Spec.Scale, Record: true}
+		req := sched.PrepareRequest(kernel)
 		var v service.JobView
 		for attempt := 0; ; attempt++ {
 			var sub submitView

@@ -1,7 +1,8 @@
 // Package loadgen is the open-loop load harness for the jrpm serving
 // stack. A Spec describes production-shaped traffic — a workload mix
-// drawn from the paper's 26 kernels (cold compiles, warm cache hits,
-// trace replays, adaptive-session epochs), an arrival process
+// drawn from the paper's 26 kernels or from a generated corpus manifest
+// (cold compiles, warm cache hits, trace replays, adaptive-session
+// epochs), an arrival process
 // (constant-rate, Poisson, or a stepped ramp), and a tenant population —
 // and the runner fires it open-loop: requests launch at their scheduled
 // instants whether or not earlier ones have completed, and latency is
@@ -40,6 +41,11 @@ type Spec struct {
 	// Workloads restricts the kernel pool to these names; empty means
 	// all 26 registered kernels.
 	Workloads []string `json:"workloads,omitempty"`
+	// Corpus points at a corpus manifest (jrpm corpus generate -o): the
+	// kernel pool becomes the manifest's generated programs, regenerated
+	// from their recorded parameters and submitted as inline sources.
+	// Mutually exclusive with Workloads.
+	Corpus string `json:"corpus,omitempty"`
 	// Scale stretches every kernel's dataset (default 1.0). Load specs
 	// usually run small scales: the harness measures the serving stack,
 	// not the VM.
@@ -153,9 +159,17 @@ func (s *Spec) Validate() error {
 	if s.DeadlineMs < 0 || s.TimeoutMs < 0 {
 		return fmt.Errorf("deadline_ms and timeout_ms must not be negative")
 	}
-	for _, name := range s.Workloads {
+	for i, name := range s.Workloads {
 		if _, err := workloads.ByName(name); err != nil {
-			return err
+			return fmt.Errorf("workloads[%d]: %w", i, err)
+		}
+	}
+	if s.Corpus != "" {
+		if len(s.Workloads) > 0 {
+			return fmt.Errorf("corpus: mutually exclusive with workloads")
+		}
+		if _, err := os.Stat(s.Corpus); err != nil {
+			return fmt.Errorf("corpus: %w", err)
 		}
 	}
 	return nil

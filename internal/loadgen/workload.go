@@ -5,9 +5,11 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"os"
 	"time"
 
 	"jrpm"
+	"jrpm/internal/corpus"
 	"jrpm/internal/service"
 	"jrpm/internal/workloads"
 )
@@ -43,6 +45,17 @@ type Schedule struct {
 	// use order: the setup pass prewarms the artifact cache and records
 	// one replay trace for each.
 	Kernels []string
+	// corpus maps program IDs to their regenerated source and input when
+	// the spec draws its kernel pool from a corpus manifest; nil for
+	// registered-workload pools.
+	corpus map[string]corpusProgram
+}
+
+// corpusProgram is one corpus entry's executable form, regenerated once
+// at Build time (the manifest records parameters, not bytes).
+type corpusProgram struct {
+	source string
+	input  jrpm.Input
 }
 
 // replayConfigs is the fixed machine-variation set every replay op
@@ -61,9 +74,15 @@ func Build(spec *Spec) (*Schedule, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	pool, kernels, err := loadCorpusPool(spec.Corpus)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: corpus: %w", err)
+	}
+	if kernels == nil {
+		kernels = spec.kernels()
+	}
 	r := newRNG(spec.Seed)
 	offsets := spec.Arrival.offsets(r)
-	kernels := spec.kernels()
 
 	m := spec.Mix
 	total := m.Cold + m.Warm + m.Replay + m.Session
@@ -94,7 +113,36 @@ func Build(spec *Spec) (*Schedule, error) {
 		}
 		ops[i] = op
 	}
-	return &Schedule{Spec: spec, Ops: ops, Kernels: used}, nil
+	return &Schedule{Spec: spec, Ops: ops, Kernels: used, corpus: pool}, nil
+}
+
+// loadCorpusPool reads a corpus manifest and regenerates every program
+// (hash-verified against the manifest record), returning the kernel
+// pool in manifest order. An empty path means no corpus: both returns
+// are nil.
+func loadCorpusPool(path string) (map[string]corpusProgram, []string, error) {
+	if path == "" {
+		return nil, nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := corpus.ParseManifest(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	pool := make(map[string]corpusProgram, len(m.Programs))
+	ids := make([]string, 0, len(m.Programs))
+	for _, e := range m.Programs {
+		p, err := e.Regenerate()
+		if err != nil {
+			return nil, nil, err
+		}
+		pool[e.ID] = corpusProgram{source: p.Source, input: p.Input()}
+		ids = append(ids, e.ID)
+	}
+	return pool, ids, nil
 }
 
 func pickTenant(tw []TenantWeight, u float64) string {
@@ -144,18 +192,22 @@ func (s *Schedule) JobRequest(op Op, traceKey string) (service.Request, error) {
 	}
 	switch op.Class {
 	case OpWarm:
-		req.Workload = op.Kernel
-		req.Scale = s.Spec.Scale
+		if p, ok := s.corpus[op.Kernel]; ok {
+			// Corpus programs have no server-side registration: warm ops
+			// submit the same source bytes every time, so after the setup
+			// pass they hit the artifact cache like a named kernel.
+			req.Source = p.source
+			req.Ints, req.Floats = p.input.Ints, p.input.Floats
+		} else {
+			req.Workload = op.Kernel
+			req.Scale = s.Spec.Scale
+		}
 	case OpCold:
-		src, err := coldSource(op.Kernel, s.Spec.Seed, op.Index)
+		src, in, err := s.program(op.Kernel)
 		if err != nil {
 			return req, err
 		}
-		req.Source = src
-		in, err := kernelInput(op.Kernel, s.Spec.Scale)
-		if err != nil {
-			return req, err
-		}
+		req.Source = fmt.Sprintf("%s\n// loadgen cold %d/%d\n", src, s.Spec.Seed, op.Index)
 		req.Ints, req.Floats = in.Ints, in.Floats
 	case OpReplay:
 		if traceKey == "" {
@@ -170,35 +222,48 @@ func (s *Schedule) JobRequest(op Op, traceKey string) (service.Request, error) {
 }
 
 // SessionRequest renders a session op: a short two-epoch adaptive
-// session over the op's kernel.
+// session over the op's kernel (inline source for corpus programs).
 func (s *Schedule) SessionRequest(op Op) service.SessionRequest {
-	return service.SessionRequest{
-		Workload: op.Kernel,
-		Scale:    s.Spec.Scale,
-		Epochs:   2,
+	req := service.SessionRequest{Epochs: 2}
+	if p, ok := s.corpus[op.Kernel]; ok {
+		req.Source = p.source
+		req.Ints, req.Floats = p.input.Ints, p.input.Floats
+	} else {
+		req.Workload = op.Kernel
+		req.Scale = s.Spec.Scale
 	}
+	return req
 }
 
-// coldSource returns the kernel's source with a unique trailing comment
-// — semantically identical, but a different content address, so every
-// cold op pays a full compile.
-func coldSource(kernel string, seed uint64, index int) (string, error) {
-	w, err := workloads.ByName(kernel)
-	if err != nil {
-		return "", err
+// PrepareRequest renders the setup recording job for one kernel: a
+// Record run that captures the replay trace and, as a side effect,
+// fills the artifact cache so warm ops hit from the first request.
+func (s *Schedule) PrepareRequest(kernel string) service.Request {
+	req := service.Request{Record: true}
+	if p, ok := s.corpus[kernel]; ok {
+		req.Source = p.source
+		req.Ints, req.Floats = p.input.Ints, p.input.Floats
+	} else {
+		req.Workload = kernel
+		req.Scale = s.Spec.Scale
 	}
-	return fmt.Sprintf("%s\n// loadgen cold %d/%d\n", w.Source, seed, index), nil
+	return req
 }
 
-// kernelInput regenerates the kernel's deterministic inputs for inline
-// (cold) submission.
-func kernelInput(kernel string, scale float64) (jrpm.Input, error) {
+// program resolves a kernel to its source and inline input: a corpus
+// program when the spec draws from a manifest, the registered benchmark
+// otherwise.
+func (s *Schedule) program(kernel string) (string, jrpm.Input, error) {
+	if p, ok := s.corpus[kernel]; ok {
+		return p.source, p.input, nil
+	}
 	w, err := workloads.ByName(kernel)
 	if err != nil {
-		return jrpm.Input{}, err
+		return "", jrpm.Input{}, err
 	}
+	scale := s.Spec.Scale
 	if scale <= 0 {
 		scale = 1
 	}
-	return w.NewInput(scale), nil
+	return w.Source, w.NewInput(scale), nil
 }

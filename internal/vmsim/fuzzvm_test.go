@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"jrpm/internal/corpus"
 	"jrpm/internal/tir"
 )
 
@@ -26,9 +27,19 @@ func fuzzCompile(src string) (clean, ann *tir.Program, err error) {
 // FuzzVMDiff feeds arbitrary JR sources that survive the frontend
 // through both execution engines and requires bit-identical behavior:
 // same events, output, heap, cycles, counters, trace bytes, faults and
-// STL selections. Seeded with the checked-in corpus.
+// STL selections. Seeded with the checked-in corpus, the generated
+// corpus's stratified seeds (every dependence kind and distance regime,
+// shallow and deep nests, with calls and branch-gated bodies aimed at
+// the native tier's deopt-guard edges), and statement-soup programs.
 func FuzzVMDiff(f *testing.F) {
 	for _, src := range corpusSources(f) {
+		f.Add(src)
+	}
+	for _, p := range corpus.FuzzSeeds() {
+		f.Add(p.Source)
+	}
+	for seed := uint64(1); seed <= 8; seed++ {
+		src, _ := corpus.Soup(seed)
 		f.Add(src)
 	}
 	f.Add("func main() { print(1); }")
